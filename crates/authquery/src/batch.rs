@@ -1,0 +1,176 @@
+//! Batch query processing and verification.
+//!
+//! Analytic dashboards rarely issue one query at a time: a committee ranks
+//! applicants under several weightings, a risk desk sweeps several score
+//! bands. Batching does not change the protocol — each query still gets its
+//! own verification object — but it gives callers a single call site and a
+//! single aggregated cost record, which is also what the experiment harness
+//! uses to average costs over query mixes.
+
+use crate::client::{self, VerifiedResult};
+use crate::cost::{ClientCost, ServerCost};
+use crate::error::VerifyError;
+use crate::query::Query;
+use crate::server::{QueryResponse, Server};
+use vaq_crypto::Verifier;
+use vaq_funcdb::FunctionTemplate;
+
+/// The responses to a batch of queries, in query order.
+#[derive(Clone, Debug)]
+pub struct BatchResponse {
+    /// Individual responses.
+    pub responses: Vec<QueryResponse>,
+}
+
+impl BatchResponse {
+    /// Aggregated server cost across the batch.
+    pub fn total_server_cost(&self) -> ServerCost {
+        let mut total = ServerCost::default();
+        for r in &self.responses {
+            total.imh_nodes_visited += r.cost.imh_nodes_visited;
+            total.fmh_nodes_visited += r.cost.fmh_nodes_visited;
+            total.vo_nodes_collected += r.cost.vo_nodes_collected;
+            total.result_len += r.cost.result_len;
+        }
+        total
+    }
+
+    /// Total size of all verification objects in bytes.
+    pub fn total_vo_bytes(&self) -> usize {
+        self.responses.iter().map(|r| r.vo.byte_size()).sum()
+    }
+}
+
+/// Outcome of verifying a batch.
+#[derive(Clone, Debug)]
+pub struct BatchVerification {
+    /// Per-query verification outcomes, in query order.
+    pub outcomes: Vec<Result<VerifiedResult, VerifyError>>,
+}
+
+impl BatchVerification {
+    /// True if every query in the batch verified.
+    pub fn all_ok(&self) -> bool {
+        self.outcomes.iter().all(Result::is_ok)
+    }
+
+    /// Indices of the queries that failed verification.
+    pub fn failed_indices(&self) -> Vec<usize> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_err())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Aggregated client cost over the successfully verified queries.
+    pub fn total_client_cost(&self) -> ClientCost {
+        let mut total = ClientCost::default();
+        for outcome in self.outcomes.iter().flatten() {
+            total.add(&outcome.cost);
+        }
+        total
+    }
+}
+
+/// Processes a batch of queries against a server.
+pub fn process_batch(server: &Server, queries: &[Query]) -> BatchResponse {
+    BatchResponse {
+        responses: queries.iter().map(|q| server.process(q)).collect(),
+    }
+}
+
+/// Verifies a batch of responses against their queries.
+///
+/// The `queries` and `responses` slices must be parallel; the function
+/// panics if their lengths differ (that is a caller bug, not an attack).
+pub fn verify_batch(
+    queries: &[Query],
+    responses: &[QueryResponse],
+    template: &FunctionTemplate,
+    verifier: &dyn Verifier,
+) -> BatchVerification {
+    assert_eq!(
+        queries.len(),
+        responses.len(),
+        "queries and responses must be parallel slices"
+    );
+    BatchVerification {
+        outcomes: queries
+            .iter()
+            .zip(responses.iter())
+            .map(|(q, r)| client::verify(q, &r.records, &r.vo, template, verifier))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ifmh::IfmhTree;
+    use crate::signing::SigningMode;
+    use vaq_crypto::{SignatureScheme, Signer};
+    use vaq_funcdb::{Dataset, Domain, FunctionTemplate, Record};
+
+    fn setup() -> (Dataset, Server, SignatureScheme) {
+        let template = FunctionTemplate::new(vec!["x"]);
+        let records = (0..20)
+            .map(|i| Record::new(i, vec![(i as f64 + 0.5) / 20.0]))
+            .collect();
+        let dataset = Dataset::new(records, template, Domain::unit(1));
+        let scheme = SignatureScheme::test_rsa(91);
+        let tree = IfmhTree::build(&dataset, SigningMode::OneSignature, &scheme);
+        let server = Server::new(dataset.clone(), tree);
+        (dataset, server, scheme)
+    }
+
+    fn sample_queries() -> Vec<Query> {
+        vec![
+            Query::top_k(vec![0.8], 4),
+            Query::range(vec![0.3], 0.05, 0.2),
+            Query::knn(vec![0.6], 3, 0.3),
+        ]
+    }
+
+    #[test]
+    fn batch_processing_and_verification_succeeds() {
+        let (dataset, server, scheme) = setup();
+        let queries = sample_queries();
+        let batch = process_batch(&server, &queries);
+        assert_eq!(batch.responses.len(), 3);
+        assert!(batch.total_vo_bytes() > 0);
+        assert!(batch.total_server_cost().total_nodes() > 0);
+
+        let verifier = scheme.verifier();
+        let verification = verify_batch(&queries, &batch.responses, &dataset.template, verifier.as_ref());
+        assert!(verification.all_ok());
+        assert!(verification.failed_indices().is_empty());
+        assert_eq!(verification.total_client_cost().signature_verifications, 3);
+    }
+
+    #[test]
+    fn batch_verification_pinpoints_tampered_query() {
+        let (dataset, server, scheme) = setup();
+        let queries = sample_queries();
+        let mut batch = process_batch(&server, &queries);
+        // Tamper with the second response only.
+        batch.responses[1].records.clear();
+        let verifier = scheme.verifier();
+        let verification = verify_batch(&queries, &batch.responses, &dataset.template, verifier.as_ref());
+        assert!(!verification.all_ok());
+        assert_eq!(verification.failed_indices(), vec![1]);
+        // Costs still aggregate over the passing queries.
+        assert_eq!(verification.total_client_cost().signature_verifications, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel slices")]
+    fn mismatched_lengths_panic() {
+        let (dataset, server, scheme) = setup();
+        let queries = sample_queries();
+        let batch = process_batch(&server, &queries);
+        let verifier = scheme.verifier();
+        let _ = verify_batch(&queries[..2], &batch.responses, &dataset.template, verifier.as_ref());
+    }
+}

@@ -1,0 +1,302 @@
+//! Client-side verification of query results.
+//!
+//! The verification proceeds in two steps (paper Sec. 3.3):
+//!
+//! 1. **Authenticity** — the client re-hashes the returned records, rebuilds
+//!    the relevant part of the FMH-tree from the Merkle range proof, rebuilds
+//!    the IMH path (one-signature) or the subdomain digest (multi-signature),
+//!    and checks the owner's signature over the resulting digest. Success
+//!    proves every record and hash it used came from the owner's original
+//!    tree.
+//! 2. **Query semantics** — the client mimics the server: it checks the
+//!    query input lies in the proven subdomain, recomputes every returned
+//!    record's score, and checks the boundary entries prove that nothing
+//!    satisfying the query was omitted (completeness) and nothing included
+//!    violates the query condition (soundness).
+
+use crate::cost::ClientCost;
+use crate::error::VerifyError;
+use crate::query::Query;
+use crate::vo::{
+    intersection_node_hash, multi_signature_digest, subdomain_node_hash, BoundaryEntry,
+    IntersectionVerification, VerificationObject,
+};
+use vaq_crypto::sha256::Digest;
+use vaq_crypto::Verifier;
+use vaq_funcdb::{inequality_set_digest, FuncId, FunctionTemplate, Record};
+use vaq_mht::verify_range;
+
+/// Outcome of a successful verification.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VerifiedResult {
+    /// Client-side cost counters (Fig. 7 metric).
+    pub cost: ClientCost,
+    /// Scores of the verified result records at the query's weight vector,
+    /// in result order (handy for callers that want to display rankings
+    /// without recomputing).
+    pub scores: Vec<f64>,
+}
+
+/// Small tolerance applied to boundary comparisons so legitimate results are
+/// not rejected due to floating-point noise.
+const SCORE_EPS: f64 = 1e-9;
+
+/// Verifies a query result against its verification object.
+///
+/// * `query` — the query the client originally issued,
+/// * `records` — the result records returned by the server,
+/// * `vo` — the verification object returned by the server,
+/// * `template` — the owner-published utility-function template,
+/// * `verifier` — the owner's public key.
+pub fn verify(
+    query: &Query,
+    records: &[Record],
+    vo: &VerificationObject,
+    template: &FunctionTemplate,
+    verifier: &dyn Verifier,
+) -> Result<VerifiedResult, VerifyError> {
+    let mut cost = ClientCost::default();
+    let x = query.weights();
+    if x.len() != template.dims() {
+        return Err(VerifyError::BadRecord(
+            "query weight vector does not match the template arity".into(),
+        ));
+    }
+
+    // ---- Step 1a: rebuild the FMH part from the result + boundaries -------
+    let mut leaves: Vec<Digest> = Vec::with_capacity(records.len() + 2);
+    leaves.push(vo.left_boundary.leaf_digest());
+    cost.hash_ops += 1;
+    for r in records {
+        leaves.push(r.digest());
+        cost.hash_ops += 1;
+    }
+    leaves.push(vo.right_boundary.leaf_digest());
+    cost.hash_ops += 1;
+
+    let first_leaf = vo.first_leaf as usize;
+    let outcome = verify_range(first_leaf, &leaves, &vo.range_proof)
+        .map_err(|e| VerifyError::MalformedProof(e.to_string()))?;
+    cost.hash_ops += outcome.hash_ops;
+
+    let leaf_count = vo.range_proof.leaf_count as usize;
+    let last_leaf = first_leaf + leaves.len() - 1;
+    let subdomain_hash = subdomain_node_hash(&outcome.root, vo.range_proof.leaf_count);
+    cost.hash_ops += 1;
+
+    // Sentinel / position consistency: the min sentinel sits at leaf 0 and
+    // the max sentinel at leaf `leaf_count - 1`, and nowhere else.
+    match &vo.left_boundary {
+        BoundaryEntry::MinSentinel if first_leaf != 0 => {
+            return Err(VerifyError::MalformedVo(
+                "min sentinel presented away from the start of the list".into(),
+            ))
+        }
+        BoundaryEntry::Record(_) if first_leaf == 0 => {
+            return Err(VerifyError::MalformedVo(
+                "left boundary must be the min sentinel at the start of the list".into(),
+            ))
+        }
+        BoundaryEntry::MaxSentinel => {
+            return Err(VerifyError::MalformedVo("left boundary cannot be the max sentinel".into()))
+        }
+        _ => {}
+    }
+    match &vo.right_boundary {
+        BoundaryEntry::MaxSentinel if last_leaf != leaf_count - 1 => {
+            return Err(VerifyError::MalformedVo(
+                "max sentinel presented away from the end of the list".into(),
+            ))
+        }
+        BoundaryEntry::Record(_) if last_leaf == leaf_count - 1 => {
+            return Err(VerifyError::MalformedVo(
+                "right boundary must be the max sentinel at the end of the list".into(),
+            ))
+        }
+        BoundaryEntry::MinSentinel => {
+            return Err(VerifyError::MalformedVo("right boundary cannot be the min sentinel".into()))
+        }
+        _ => {}
+    }
+
+    // ---- Step 1b: subdomain verification + signature -----------------------
+    let signed_digest = match &vo.intersection_verification {
+        IntersectionVerification::OneSignature { path } => {
+            let mut current = subdomain_hash;
+            for step in path.iter().rev() {
+                if step.coeffs.len() != x.len() {
+                    return Err(VerifyError::MalformedVo(
+                        "intersection predicate has wrong dimensionality".into(),
+                    ));
+                }
+                let g: f64 = step
+                    .coeffs
+                    .iter()
+                    .zip(x.iter())
+                    .map(|(c, v)| c * v)
+                    .sum::<f64>()
+                    + step.constant;
+                let expected_above = g >= 0.0;
+                if expected_above != step.went_above {
+                    return Err(VerifyError::WrongSubdomain);
+                }
+                let pred = step.predicate_digest();
+                cost.hash_ops += 1;
+                current = if step.went_above {
+                    intersection_node_hash(&pred, &current, &step.sibling_hash)
+                } else {
+                    intersection_node_hash(&pred, &step.sibling_hash, &current)
+                };
+                cost.hash_ops += 1;
+            }
+            current
+        }
+        IntersectionVerification::MultiSignature { halfspaces } => {
+            for hs in halfspaces {
+                if hs.dims() != x.len() {
+                    return Err(VerifyError::MalformedVo(
+                        "inequality has wrong dimensionality".into(),
+                    ));
+                }
+                if !hs.satisfied(x) {
+                    return Err(VerifyError::WrongSubdomain);
+                }
+            }
+            let ineq = inequality_set_digest(halfspaces);
+            cost.hash_ops += 1 + halfspaces.len();
+            let digest = multi_signature_digest(&ineq, &subdomain_hash);
+            cost.hash_ops += 1;
+            digest
+        }
+    };
+
+    cost.signature_verifications += 1;
+    if !verifier.verify_digest(&signed_digest, &vo.signature) {
+        return Err(VerifyError::SignatureMismatch);
+    }
+
+    // ---- Step 2: query semantics -------------------------------------------
+    // Scores of the returned records and the boundary entries under X.
+    let score_of = |record: &Record| -> Result<f64, VerifyError> {
+        if record.arity() != template.dims() {
+            return Err(VerifyError::BadRecord(format!(
+                "record {} has arity {}, template needs {}",
+                record.id,
+                record.arity(),
+                template.dims()
+            )));
+        }
+        Ok(template.to_function(FuncId(0), record).eval(x))
+    };
+
+    let scores: Vec<f64> = records
+        .iter()
+        .map(&score_of)
+        .collect::<Result<Vec<_>, _>>()?;
+
+    // The authenticated list is sorted ascending, so the result must be too.
+    for w in scores.windows(2) {
+        if w[0] > w[1] + SCORE_EPS {
+            return Err(VerifyError::InconsistentResultOrder);
+        }
+    }
+
+    let left_score = match &vo.left_boundary {
+        BoundaryEntry::Record(r) => Some(score_of(r)?),
+        _ => None,
+    };
+    let right_score = match &vo.right_boundary {
+        BoundaryEntry::Record(r) => Some(score_of(r)?),
+        _ => None,
+    };
+
+    // Number of real records in the subdomain's list (excludes sentinels).
+    let n_real = leaf_count.saturating_sub(2);
+
+    match query {
+        Query::Range { lower, upper, .. } => {
+            // Soundness: every returned record satisfies the range.
+            for (i, s) in scores.iter().enumerate() {
+                if *s < lower - SCORE_EPS || *s > upper + SCORE_EPS {
+                    return Err(VerifyError::UnsoundRecord { position: i });
+                }
+            }
+            // Completeness: the entries flanking the window fall outside it.
+            if let Some(ls) = left_score {
+                if ls >= *lower - SCORE_EPS {
+                    return Err(VerifyError::Incomplete(
+                        "left boundary record also satisfies the range".into(),
+                    ));
+                }
+            }
+            if let Some(rs) = right_score {
+                if rs <= *upper + SCORE_EPS {
+                    return Err(VerifyError::Incomplete(
+                        "right boundary record also satisfies the range".into(),
+                    ));
+                }
+            }
+        }
+        Query::TopK { k, .. } => {
+            let expected = (*k).min(n_real);
+            if records.len() != expected {
+                return Err(VerifyError::WrongResultLength {
+                    expected,
+                    got: records.len(),
+                });
+            }
+            if expected > 0 {
+                // The window must end at the top of the authenticated list.
+                if !matches!(vo.right_boundary, BoundaryEntry::MaxSentinel) {
+                    return Err(VerifyError::Incomplete(
+                        "top-k result does not end at the maximum of the list".into(),
+                    ));
+                }
+                // The record just below the window must not beat anything in it.
+                if let Some(ls) = left_score {
+                    let min_included = scores
+                        .iter()
+                        .cloned()
+                        .fold(f64::INFINITY, f64::min);
+                    if ls > min_included + SCORE_EPS {
+                        return Err(VerifyError::Incomplete(
+                            "a record outside the top-k result scores higher than a returned one"
+                                .into(),
+                        ));
+                    }
+                }
+            }
+        }
+        Query::Knn { k, target, .. } => {
+            let expected = (*k).min(n_real);
+            if records.len() != expected {
+                return Err(VerifyError::WrongResultLength {
+                    expected,
+                    got: records.len(),
+                });
+            }
+            if expected > 0 {
+                let worst_included = scores
+                    .iter()
+                    .map(|s| (s - target).abs())
+                    .fold(0.0f64, f64::max);
+                if let Some(ls) = left_score {
+                    if (ls - target).abs() + SCORE_EPS < worst_included {
+                        return Err(VerifyError::Incomplete(
+                            "an excluded record is closer to the target than a returned one".into(),
+                        ));
+                    }
+                }
+                if let Some(rs) = right_score {
+                    if (rs - target).abs() + SCORE_EPS < worst_included {
+                        return Err(VerifyError::Incomplete(
+                            "an excluded record is closer to the target than a returned one".into(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(VerifiedResult { cost, scores })
+}

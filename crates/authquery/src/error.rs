@@ -1,0 +1,93 @@
+//! Verification errors.
+
+/// Why a verification object / query result pair was rejected.
+///
+/// Every variant corresponds to a concrete attack (or transmission fault)
+/// from the paper's adversary model: forged or dropped records, a wrong
+/// subdomain, a truncated result, a tampered proof or signature.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The signature over the recomputed root digest did not verify.
+    SignatureMismatch,
+    /// The Merkle range proof was malformed or incomplete.
+    MalformedProof(String),
+    /// The query's weight vector does not fall in the subdomain the server
+    /// answered from (one-signature: a path branch disagrees with the
+    /// evaluation of the intersection function; multi-signature: an
+    /// inequality is violated).
+    WrongSubdomain,
+    /// The result records are not consistent with the claimed positions in
+    /// the authenticated sorted list (wrong order or wrong leaf indices).
+    InconsistentResultOrder,
+    /// A record in the result does not satisfy the query condition
+    /// (soundness violation).
+    UnsoundRecord {
+        /// Position of the offending record within the result.
+        position: usize,
+    },
+    /// A boundary record proves the result incomplete (a qualifying record
+    /// was left out), or a boundary that must be a sentinel is not.
+    Incomplete(String),
+    /// The result length does not match what the query requires (e.g. a
+    /// top-k query answered with fewer than k records although the database
+    /// holds at least k).
+    WrongResultLength {
+        /// Number of records expected.
+        expected: usize,
+        /// Number of records received.
+        got: usize,
+    },
+    /// The verification object is structurally inconsistent with the query
+    /// result (e.g. leaf indices overflow the tree).
+    MalformedVo(String),
+    /// The record data itself is malformed (arity mismatch with template).
+    BadRecord(String),
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::SignatureMismatch => write!(f, "root signature does not verify"),
+            VerifyError::MalformedProof(m) => write!(f, "malformed Merkle proof: {m}"),
+            VerifyError::WrongSubdomain => {
+                write!(f, "query input does not belong to the proven subdomain")
+            }
+            VerifyError::InconsistentResultOrder => {
+                write!(f, "result records are inconsistent with the authenticated order")
+            }
+            VerifyError::UnsoundRecord { position } => {
+                write!(f, "record at position {position} does not satisfy the query condition")
+            }
+            VerifyError::Incomplete(m) => write!(f, "result is incomplete: {m}"),
+            VerifyError::WrongResultLength { expected, got } => {
+                write!(f, "expected {expected} records, got {got}")
+            }
+            VerifyError::MalformedVo(m) => write!(f, "malformed verification object: {m}"),
+            VerifyError::BadRecord(m) => write!(f, "bad record: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(VerifyError, &str)> = vec![
+            (VerifyError::SignatureMismatch, "signature"),
+            (VerifyError::WrongSubdomain, "subdomain"),
+            (VerifyError::UnsoundRecord { position: 3 }, "position 3"),
+            (
+                VerifyError::WrongResultLength { expected: 5, got: 2 },
+                "expected 5",
+            ),
+            (VerifyError::Incomplete("gap".into()), "gap"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! The IFMH-tree: the paper's authenticated index.
+//!
+//! Construction follows Sec. 3.1 of the paper:
+//!
+//! 1. build an I-tree over the dataset's functions (one subdomain per region
+//!    with a fixed sort order),
+//! 2. build an FMH-tree (Merkle tree with `f_min` / `f_max` sentinels) over
+//!    every subdomain's sorted record list,
+//! 3. propagate hash values bottom-up through the I-tree — a subdomain
+//!    node's hash is (a binding of) its FMH root, an intersection node's
+//!    hash combines its children's hashes — yielding the IMH-tree,
+//! 4. sign: either only the IMH root (*one-signature*) or every subdomain's
+//!    FMH root together with its defining inequalities (*multi-signature*).
+
+use crate::cost::OwnerStats;
+use crate::signing::SigningMode;
+use crate::vo::{
+    intersection_node_hash, max_sentinel_digest, min_sentinel_digest, multi_signature_digest,
+    predicate_digest, subdomain_node_hash,
+};
+use std::collections::HashMap;
+use vaq_crypto::sha256::Digest;
+use vaq_crypto::{Signature, Signer};
+use vaq_funcdb::{Dataset, LpSplitOracle, SplitOracle};
+use vaq_itree::{BuildStats, ITree, ITreeBuilder, Node, NodeId};
+use vaq_mht::MerkleTree;
+
+/// The Intersection and Function Merkle Hash tree.
+#[derive(Debug)]
+pub struct IfmhTree {
+    pub(crate) itree: ITree,
+    /// FMH-tree per subdomain node, keyed by the I-tree node id.
+    pub(crate) fmh: HashMap<u32, MerkleTree>,
+    /// IMH hash per I-tree node (indexed by node id).
+    pub(crate) node_hashes: Vec<Digest>,
+    pub(crate) mode: SigningMode,
+    /// Root signature (one-signature mode).
+    pub(crate) root_signature: Option<Signature>,
+    /// Per-subdomain signatures (multi-signature mode), keyed by node id.
+    pub(crate) leaf_signatures: HashMap<u32, Signature>,
+    stats: OwnerStats,
+    /// I-tree construction statistics.
+    pub build_stats: BuildStats,
+}
+
+impl IfmhTree {
+    /// Builds the IFMH-tree with the exact (LP-based) split oracle.
+    pub fn build(dataset: &Dataset, mode: SigningMode, signer: &dyn Signer) -> Self {
+        Self::build_with_oracle(dataset, mode, signer, LpSplitOracle::new())
+    }
+
+    /// Builds the IFMH-tree with a caller-supplied split oracle (used by the
+    /// feasibility ablation).
+    pub fn build_with_oracle<O: SplitOracle>(
+        dataset: &Dataset,
+        mode: SigningMode,
+        signer: &dyn Signer,
+        oracle: O,
+    ) -> Self {
+        // Step 1: the I-tree.
+        let (itree, build_stats) =
+            ITreeBuilder::new(oracle).build_with_stats(&dataset.functions, dataset.domain.clone());
+
+        let mut hash_ops = 0usize;
+
+        // Pre-compute every record's digest once; each is one hash operation.
+        let record_digests: Vec<Digest> = dataset.records.iter().map(|r| r.digest()).collect();
+        hash_ops += record_digests.len();
+        // The two sentinel digests.
+        let min_d = min_sentinel_digest();
+        let max_d = max_sentinel_digest();
+        hash_ops += 2;
+
+        // Step 2: an FMH-tree per subdomain.
+        let mut fmh: HashMap<u32, MerkleTree> = HashMap::new();
+        let mut fmh_nodes = 0usize;
+        let mut fmh_bytes = 0usize;
+        for &leaf in itree.leaf_ids() {
+            let sorted = itree.sorted_list(leaf);
+            let mut leaves = Vec::with_capacity(sorted.len() + 2);
+            leaves.push(min_d);
+            for id in sorted {
+                leaves.push(record_digests[id.index()]);
+            }
+            leaves.push(max_d);
+            let tree = MerkleTree::build(leaves);
+            hash_ops += tree.build_hash_ops;
+            fmh_nodes += tree.node_count();
+            fmh_bytes += tree.byte_size();
+            fmh.insert(leaf.0, tree);
+        }
+
+        // Step 3: propagate hashes through the I-tree (iterative post-order).
+        let mut node_hashes = vec![[0u8; 32]; itree.node_count()];
+        let mut computed = vec![false; itree.node_count()];
+        let mut stack: Vec<NodeId> = vec![itree.root()];
+        while let Some(&top) = stack.last() {
+            match itree.node(top) {
+                Node::Subdomain { .. } => {
+                    let tree = &fmh[&top.0];
+                    node_hashes[top.index()] =
+                        subdomain_node_hash(&tree.root(), tree.leaf_count() as u32);
+                    hash_ops += 1;
+                    computed[top.index()] = true;
+                    stack.pop();
+                }
+                Node::Intersection {
+                    pair,
+                    coeffs,
+                    constant,
+                    above,
+                    below,
+                } => {
+                    let a_done = computed[above.index()];
+                    let b_done = computed[below.index()];
+                    if a_done && b_done {
+                        let pred = predicate_digest((pair.0 .0, pair.1 .0), coeffs, *constant);
+                        node_hashes[top.index()] = intersection_node_hash(
+                            &pred,
+                            &node_hashes[above.index()],
+                            &node_hashes[below.index()],
+                        );
+                        hash_ops += 2;
+                        computed[top.index()] = true;
+                        stack.pop();
+                    } else {
+                        if !a_done {
+                            stack.push(*above);
+                        }
+                        if !b_done {
+                            stack.push(*below);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Step 4: sign.
+        let mut root_signature = None;
+        let mut leaf_signatures = HashMap::new();
+        let signatures;
+        match mode {
+            SigningMode::OneSignature => {
+                root_signature = Some(signer.sign_digest(&node_hashes[itree.root().index()]));
+                signatures = 1;
+            }
+            SigningMode::MultiSignature => {
+                for &leaf in itree.leaf_ids() {
+                    let constraints = itree.constraints(leaf);
+                    let ineq = constraints.inequality_digest();
+                    hash_ops += 1 + constraints.halfspaces.len();
+                    let digest = multi_signature_digest(&ineq, &node_hashes[leaf.index()]);
+                    hash_ops += 1;
+                    leaf_signatures.insert(leaf.0, signer.sign_digest(&digest));
+                }
+                signatures = leaf_signatures.len();
+            }
+        }
+
+        let sig_size = signer.verifier().signature_size();
+        let stats = OwnerStats {
+            records: dataset.len(),
+            subdomains: itree.subdomain_count(),
+            imh_nodes: itree.node_count(),
+            fmh_nodes,
+            hash_ops,
+            signatures,
+            structure_bytes: itree.byte_size()
+                + fmh_bytes
+                + node_hashes.len() * 32
+                + signatures * sig_size,
+        };
+
+        IfmhTree {
+            itree,
+            fmh,
+            node_hashes,
+            mode,
+            root_signature,
+            leaf_signatures,
+            stats,
+            build_stats,
+        }
+    }
+
+    /// The signing mode this tree was built with.
+    pub fn mode(&self) -> SigningMode {
+        self.mode
+    }
+
+    /// Owner-side construction statistics (Fig. 5).
+    pub fn stats(&self) -> &OwnerStats {
+        &self.stats
+    }
+
+    /// The underlying I-tree.
+    pub fn itree(&self) -> &ITree {
+        &self.itree
+    }
+
+    /// The IMH root hash.
+    pub fn root_hash(&self) -> Digest {
+        self.node_hashes[self.itree.root().index()]
+    }
+
+    /// The hash stored at an I-tree node.
+    pub fn node_hash(&self, id: NodeId) -> Digest {
+        self.node_hashes[id.index()]
+    }
+
+    /// The FMH-tree attached to a subdomain node, if `id` is a leaf.
+    pub fn fmh_tree(&self, id: NodeId) -> Option<&MerkleTree> {
+        self.fmh.get(&id.0)
+    }
+
+    /// Number of subdomains.
+    pub fn subdomain_count(&self) -> usize {
+        self.itree.subdomain_count()
+    }
+
+    /// Number of signatures the structure carries.
+    pub fn signature_count(&self) -> usize {
+        self.stats.signatures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaq_crypto::SignatureScheme;
+    use vaq_funcdb::{Domain, FunctionTemplate, Record};
+
+    fn dataset(n: usize) -> Dataset {
+        // Functions with distinct constants/slopes via two attributes.
+        let template = FunctionTemplate::new(vec!["a", "b"]);
+        let records = (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                Record::new(i as u64, vec![t, 1.0 - t])
+            })
+            .collect();
+        Dataset::new(records, template, Domain::unit(2))
+    }
+
+    #[test]
+    fn one_signature_build_has_single_signature() {
+        let ds = dataset(5);
+        let scheme = SignatureScheme::test_rsa(1);
+        let tree = IfmhTree::build(&ds, SigningMode::OneSignature, &scheme);
+        assert_eq!(tree.signature_count(), 1);
+        assert!(tree.root_signature.is_some());
+        assert!(tree.leaf_signatures.is_empty());
+        assert_eq!(tree.mode(), SigningMode::OneSignature);
+        // The signature verifies against the root hash.
+        let verifier = scheme.verifier();
+        assert!(verifier.verify_digest(&tree.root_hash(), tree.root_signature.as_ref().unwrap()));
+    }
+
+    #[test]
+    fn multi_signature_build_signs_every_subdomain() {
+        let ds = dataset(5);
+        let scheme = SignatureScheme::test_rsa(2);
+        let tree = IfmhTree::build(&ds, SigningMode::MultiSignature, &scheme);
+        assert_eq!(tree.signature_count(), tree.subdomain_count());
+        assert_eq!(tree.leaf_signatures.len(), tree.subdomain_count());
+        assert!(tree.root_signature.is_none());
+    }
+
+    #[test]
+    fn every_leaf_has_an_fmh_tree_with_sentinels() {
+        let ds = dataset(6);
+        let scheme = SignatureScheme::test_rsa(3);
+        let tree = IfmhTree::build(&ds, SigningMode::OneSignature, &scheme);
+        for &leaf in tree.itree().leaf_ids() {
+            let fmh = tree.fmh_tree(leaf).expect("leaf must have an FMH tree");
+            assert_eq!(fmh.leaf_count(), ds.len() + 2);
+            assert_eq!(fmh.leaf(0), min_sentinel_digest());
+            assert_eq!(fmh.leaf(ds.len() + 1), max_sentinel_digest());
+        }
+    }
+
+    #[test]
+    fn node_hashes_are_consistent_bottom_up() {
+        let ds = dataset(4);
+        let scheme = SignatureScheme::test_rsa(4);
+        let tree = IfmhTree::build(&ds, SigningMode::OneSignature, &scheme);
+        for (id, node) in tree.itree().iter() {
+            match node {
+                Node::Subdomain { .. } => {
+                    let fmh = tree.fmh_tree(id).unwrap();
+                    assert_eq!(
+                        tree.node_hash(id),
+                        subdomain_node_hash(&fmh.root(), fmh.leaf_count() as u32)
+                    );
+                }
+                Node::Intersection {
+                    pair,
+                    coeffs,
+                    constant,
+                    above,
+                    below,
+                } => {
+                    let pred = predicate_digest((pair.0 .0, pair.1 .0), coeffs, *constant);
+                    assert_eq!(
+                        tree.node_hash(id),
+                        intersection_node_hash(
+                            &pred,
+                            &tree.node_hash(*above),
+                            &tree.node_hash(*below)
+                        )
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let ds = dataset(6);
+        let scheme = SignatureScheme::test_rsa(5);
+        let tree = IfmhTree::build(&ds, SigningMode::MultiSignature, &scheme);
+        let stats = tree.stats();
+        assert_eq!(stats.records, 6);
+        assert_eq!(stats.subdomains, tree.subdomain_count());
+        assert!(stats.imh_nodes >= stats.subdomains);
+        assert!(stats.fmh_nodes > 0);
+        assert!(stats.hash_ops > 0);
+        assert!(stats.structure_bytes > 0);
+        assert_eq!(stats.signatures, tree.subdomain_count());
+    }
+
+    #[test]
+    fn different_datasets_produce_different_roots() {
+        let scheme = SignatureScheme::test_rsa(6);
+        let t1 = IfmhTree::build(&dataset(5), SigningMode::OneSignature, &scheme);
+        let mut ds2 = dataset(5);
+        ds2.records[2].attrs[0] += 0.01;
+        let ds2 = Dataset::new(ds2.records, ds2.template, ds2.domain);
+        let t2 = IfmhTree::build(&ds2, SigningMode::OneSignature, &scheme);
+        assert_ne!(t1.root_hash(), t2.root_hash());
+    }
+}

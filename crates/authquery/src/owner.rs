@@ -1,0 +1,178 @@
+//! Data-owner conveniences: key management, outsourcing and publication.
+//!
+//! The paper's system model has the data owner perform three actions:
+//! generate a signing key, build the authenticated structure over the
+//! database, and publish the verification material (the utility-function
+//! template, the weight domain and the public key) to data users. The
+//! [`DataOwner`] type bundles those steps behind one ergonomic API, so the
+//! examples and downstream users do not have to wire the pieces together by
+//! hand.
+
+use crate::ifmh::IfmhTree;
+use crate::signing::SigningMode;
+use vaq_crypto::signer::PublicKey;
+use vaq_crypto::{SignatureScheme, Signer};
+use vaq_funcdb::{Dataset, Domain, FunctionTemplate};
+
+/// Everything a data user needs in order to verify query results.
+///
+/// This is the material the owner publishes out of band (on its web page,
+/// via PKI, ...) — crucially it contains **no secrets** and does not need to
+/// be refreshed per query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PublishedMetadata {
+    /// The utility-function template the server applies to every record.
+    pub template: FunctionTemplate,
+    /// The owner-declared weight domain.
+    pub domain: Domain,
+    /// The owner's public verification key.
+    pub public_key: PublicKey,
+    /// Which signing mode the outsourced structure uses.
+    pub mode: SigningMode,
+}
+
+/// The data owner: holds the dataset and the signing key, builds the
+/// authenticated structure and publishes the verification material.
+pub struct DataOwner {
+    dataset: Dataset,
+    scheme: SignatureScheme,
+    mode: SigningMode,
+}
+
+impl DataOwner {
+    /// Creates an owner around an existing dataset and signature scheme.
+    pub fn new(dataset: Dataset, scheme: SignatureScheme, mode: SigningMode) -> Self {
+        DataOwner {
+            dataset,
+            scheme,
+            mode,
+        }
+    }
+
+    /// Creates an owner with a freshly generated RSA key of `modulus_bits`.
+    pub fn with_rsa_key(dataset: Dataset, modulus_bits: usize, seed: u64, mode: SigningMode) -> Self {
+        Self::new(dataset, SignatureScheme::new_rsa(modulus_bits, seed), mode)
+    }
+
+    /// Creates an owner with a freshly generated DSA key.
+    pub fn with_dsa_key(
+        dataset: Dataset,
+        p_bits: usize,
+        q_bits: usize,
+        seed: u64,
+        mode: SigningMode,
+    ) -> Self {
+        Self::new(dataset, SignatureScheme::new_dsa(p_bits, q_bits, seed), mode)
+    }
+
+    /// The owner's dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The signing mode the owner will use.
+    pub fn mode(&self) -> SigningMode {
+        self.mode
+    }
+
+    /// Builds the IFMH-tree — the "upload package" the owner hands to the
+    /// cloud server together with the raw records.
+    pub fn outsource(&self) -> IfmhTree {
+        IfmhTree::build(&self.dataset, self.mode, &self.scheme)
+    }
+
+    /// The verification material the owner publishes to data users.
+    pub fn publish(&self) -> PublishedMetadata {
+        PublishedMetadata {
+            template: self.dataset.template.clone(),
+            domain: self.dataset.domain.clone(),
+            public_key: self.scheme.public_key(),
+            mode: self.mode,
+        }
+    }
+}
+
+impl std::fmt::Debug for DataOwner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataOwner")
+            .field("records", &self.dataset.len())
+            .field("dims", &self.dataset.dims())
+            .field("mode", &self.mode)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use crate::query::Query;
+    use crate::server::Server;
+    use vaq_funcdb::Record;
+
+    fn dataset() -> Dataset {
+        let template = FunctionTemplate::new(vec!["a", "b"]);
+        let records = (0..8)
+            .map(|i| Record::new(i, vec![i as f64 / 8.0, 1.0 - i as f64 / 8.0]))
+            .collect();
+        Dataset::new(records, template, Domain::unit(2))
+    }
+
+    #[test]
+    fn owner_publish_then_full_protocol() {
+        let owner = DataOwner::with_rsa_key(dataset(), 128, 5, SigningMode::MultiSignature);
+        let metadata = owner.publish();
+        let tree = owner.outsource();
+        assert_eq!(tree.mode(), SigningMode::MultiSignature);
+
+        let server = Server::new(owner.dataset().clone(), tree);
+        let query = Query::top_k(vec![0.9, 0.1], 3);
+        let response = server.process(&query);
+
+        // The data user verifies with only the published metadata.
+        let out = client::verify(
+            &query,
+            &response.records,
+            &response.vo,
+            &metadata.template,
+            &metadata.public_key,
+        );
+        assert!(out.is_ok(), "{:?}", out.err());
+    }
+
+    #[test]
+    fn published_metadata_contains_no_private_material() {
+        let owner = DataOwner::with_rsa_key(dataset(), 128, 6, SigningMode::OneSignature);
+        let m1 = owner.publish();
+        let m2 = owner.publish();
+        // Publishing is deterministic and repeatable.
+        assert_eq!(m1, m2);
+        assert_eq!(m1.mode, SigningMode::OneSignature);
+        assert_eq!(m1.template.dims(), 2);
+    }
+
+    #[test]
+    fn dsa_owner_works_end_to_end() {
+        let owner = DataOwner::with_dsa_key(dataset(), 160, 64, 7, SigningMode::OneSignature);
+        let metadata = owner.publish();
+        let server = Server::new(owner.dataset().clone(), owner.outsource());
+        let query = Query::range(vec![0.5, 0.5], 0.3, 0.7);
+        let response = server.process(&query);
+        assert!(client::verify(
+            &query,
+            &response.records,
+            &response.vo,
+            &metadata.template,
+            &metadata.public_key
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn debug_does_not_leak_key_material() {
+        let owner = DataOwner::with_rsa_key(dataset(), 128, 8, SigningMode::OneSignature);
+        let s = format!("{owner:?}");
+        assert!(s.contains("records"));
+        assert!(!s.to_lowercase().contains("private"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Analytic query types and result-window selection.
+
+/// The three representative analytic query types of the paper (Sec. 2.1).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Query {
+    /// `q = (X, k)`: the k records with the highest scores under `X`.
+    TopK {
+        /// Query weight vector `X`.
+        weights: Vec<f64>,
+        /// Number of results requested.
+        k: usize,
+    },
+    /// `q = (X, l, u)`: records whose score lies within `[l, u]`.
+    Range {
+        /// Query weight vector `X`.
+        weights: Vec<f64>,
+        /// Lower bound (inclusive).
+        lower: f64,
+        /// Upper bound (inclusive).
+        upper: f64,
+    },
+    /// `q = (X, k, y)`: the k records whose scores are nearest to `y`.
+    Knn {
+        /// Query weight vector `X`.
+        weights: Vec<f64>,
+        /// Number of neighbours requested.
+        k: usize,
+        /// Target score value `y`.
+        target: f64,
+    },
+}
+
+/// Coarse classification of a [`Query`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Top-k query.
+    TopK,
+    /// Range query.
+    Range,
+    /// K-nearest-neighbour query.
+    Knn,
+}
+
+impl Query {
+    /// Builds a top-k query.
+    pub fn top_k(weights: Vec<f64>, k: usize) -> Self {
+        Query::TopK { weights, k }
+    }
+
+    /// Builds a range query. Panics if `lower > upper`.
+    pub fn range(weights: Vec<f64>, lower: f64, upper: f64) -> Self {
+        assert!(lower <= upper, "range query with lower > upper");
+        Query::Range { weights, lower, upper }
+    }
+
+    /// Builds a KNN query.
+    pub fn knn(weights: Vec<f64>, k: usize, target: f64) -> Self {
+        Query::Knn { weights, k, target }
+    }
+
+    /// The query's weight vector `X`.
+    pub fn weights(&self) -> &[f64] {
+        match self {
+            Query::TopK { weights, .. }
+            | Query::Range { weights, .. }
+            | Query::Knn { weights, .. } => weights,
+        }
+    }
+
+    /// The query kind.
+    pub fn kind(&self) -> QueryKind {
+        match self {
+            Query::TopK { .. } => QueryKind::TopK,
+            Query::Range { .. } => QueryKind::Range,
+            Query::Knn { .. } => QueryKind::Knn,
+        }
+    }
+
+    /// Selects the contiguous window of an *ascending* score list that
+    /// answers this query.
+    ///
+    /// `scores[i]` is the score of the i-th record in the subdomain's sorted
+    /// order. Returns `Some((start, end))` — inclusive 0-based positions —
+    /// or `None` when the result is empty. This selection logic is shared by
+    /// the server (to answer) and the client (to re-check what the answer
+    /// *should* have been).
+    pub fn select_window(&self, scores: &[f64]) -> Option<(usize, usize)> {
+        let n = scores.len();
+        if n == 0 {
+            return None;
+        }
+        match self {
+            Query::TopK { k, .. } => {
+                let k = (*k).min(n);
+                if k == 0 {
+                    None
+                } else {
+                    Some((n - k, n - 1))
+                }
+            }
+            Query::Range { lower, upper, .. } => {
+                // First index with score >= lower.
+                let start = scores.partition_point(|s| *s < *lower);
+                // First index with score > upper.
+                let end = scores.partition_point(|s| *s <= *upper);
+                if start >= end {
+                    None
+                } else {
+                    Some((start, end - 1))
+                }
+            }
+            Query::Knn { k, target, .. } => {
+                let k = (*k).min(n);
+                if k == 0 {
+                    return None;
+                }
+                // Insertion point of the target, then grow the window towards
+                // whichever side is closer until it holds k records.
+                let mut left = scores.partition_point(|s| *s < *target);
+                let mut right = left; // window is [left, right)
+                while right - left < k {
+                    let take_left = if left == 0 {
+                        false
+                    } else if right == n {
+                        true
+                    } else {
+                        // Compare distances of the next candidates.
+                        (target - scores[left - 1]).abs() <= (scores[right] - target).abs()
+                    };
+                    if take_left {
+                        left -= 1;
+                    } else {
+                        right += 1;
+                    }
+                }
+                Some((left, right - 1))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Query::TopK { weights, k } => write!(f, "top-{k} @ {weights:?}"),
+            Query::Range { weights, lower, upper } => {
+                write!(f, "range [{lower}, {upper}] @ {weights:?}")
+            }
+            Query::Knn { weights, k, target } => write!(f, "{k}-NN of {target} @ {weights:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCORES: [f64; 6] = [0.1, 0.2, 0.4, 0.5, 0.7, 0.9];
+
+    #[test]
+    fn top_k_selects_suffix() {
+        let q = Query::top_k(vec![0.5], 2);
+        assert_eq!(q.select_window(&SCORES), Some((4, 5)));
+        let q = Query::top_k(vec![0.5], 100);
+        assert_eq!(q.select_window(&SCORES), Some((0, 5)));
+        let q = Query::top_k(vec![0.5], 0);
+        assert_eq!(q.select_window(&SCORES), None);
+    }
+
+    #[test]
+    fn range_selects_inclusive_window() {
+        let q = Query::range(vec![0.5], 0.2, 0.5);
+        assert_eq!(q.select_window(&SCORES), Some((1, 3)));
+        let q = Query::range(vec![0.5], 0.15, 0.15);
+        assert_eq!(q.select_window(&SCORES), None);
+        let q = Query::range(vec![0.5], -1.0, 2.0);
+        assert_eq!(q.select_window(&SCORES), Some((0, 5)));
+        // Boundaries exactly on scores are included.
+        let q = Query::range(vec![0.5], 0.4, 0.7);
+        assert_eq!(q.select_window(&SCORES), Some((2, 4)));
+    }
+
+    #[test]
+    fn knn_grows_around_target() {
+        let q = Query::knn(vec![0.5], 3, 0.45);
+        // Closest to 0.45: 0.4 (0.05), 0.5 (0.05), 0.2 (0.25) or 0.7 (0.25)
+        let (s, e) = q.select_window(&SCORES).unwrap();
+        assert_eq!(e - s + 1, 3);
+        assert!(s <= 2 && e >= 3, "window must contain 0.4 and 0.5");
+        // k larger than n clips to the whole list.
+        let q = Query::knn(vec![0.5], 10, 0.45);
+        assert_eq!(q.select_window(&SCORES), Some((0, 5)));
+    }
+
+    #[test]
+    fn knn_at_extremes() {
+        let q = Query::knn(vec![0.5], 2, -5.0);
+        assert_eq!(q.select_window(&SCORES), Some((0, 1)));
+        let q = Query::knn(vec![0.5], 2, 5.0);
+        assert_eq!(q.select_window(&SCORES), Some((4, 5)));
+    }
+
+    #[test]
+    fn empty_score_list() {
+        for q in [
+            Query::top_k(vec![0.5], 3),
+            Query::range(vec![0.5], 0.0, 1.0),
+            Query::knn(vec![0.5], 3, 0.5),
+        ] {
+            assert_eq!(q.select_window(&[]), None);
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let q = Query::range(vec![0.1, 0.2], 0.0, 1.0);
+        assert_eq!(q.weights(), &[0.1, 0.2]);
+        assert_eq!(q.kind(), QueryKind::Range);
+        assert!(q.to_string().contains("range"));
+    }
+
+    #[test]
+    #[should_panic(expected = "lower > upper")]
+    fn invalid_range_panics() {
+        let _ = Query::range(vec![0.5], 1.0, 0.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_selected_window_answers_query(
+            mut scores in proptest::collection::vec(0.0f64..100.0, 1..40),
+            kind in 0usize..3,
+            k in 1usize..10,
+            a in 0.0f64..100.0,
+            b in 0.0f64..100.0,
+        ) {
+            scores.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let q = match kind {
+                0 => Query::top_k(vec![0.0], k),
+                1 => Query::range(vec![0.0], lo, hi),
+                _ => Query::knn(vec![0.0], k, a),
+            };
+            match q.select_window(&scores) {
+                None => {
+                    match &q {
+                        Query::Range { lower, upper, .. } => {
+                            proptest::prop_assert!(scores.iter().all(|s| s < lower || s > upper));
+                        }
+                        _ => proptest::prop_assert!(false, "top-k/knn with k>=1 over a non-empty list cannot be empty"),
+                    }
+                }
+                Some((s, e)) => {
+                    proptest::prop_assert!(s <= e && e < scores.len());
+                    match &q {
+                        Query::TopK { k, .. } => {
+                            proptest::prop_assert_eq!(e, scores.len() - 1);
+                            proptest::prop_assert_eq!(e - s + 1, (*k).min(scores.len()));
+                        }
+                        Query::Range { lower, upper, .. } => {
+                            for i in s..=e {
+                                proptest::prop_assert!(scores[i] >= *lower && scores[i] <= *upper);
+                            }
+                            if s > 0 { proptest::prop_assert!(scores[s - 1] < *lower); }
+                            if e + 1 < scores.len() { proptest::prop_assert!(scores[e + 1] > *upper); }
+                        }
+                        Query::Knn { k, target, .. } => {
+                            proptest::prop_assert_eq!(e - s + 1, (*k).min(scores.len()));
+                            // No excluded record is strictly closer than an included one.
+                            let worst_included = (s..=e)
+                                .map(|i| (scores[i] - target).abs())
+                                .fold(0.0f64, f64::max);
+                            if s > 0 {
+                                proptest::prop_assert!((scores[s - 1] - target).abs() >= worst_included - 1e-9);
+                            }
+                            if e + 1 < scores.len() {
+                                proptest::prop_assert!((scores[e + 1] - target).abs() >= worst_included - 1e-9);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The (untrusted) server: query processing and VO construction.
+
+use crate::cost::ServerCost;
+use crate::ifmh::IfmhTree;
+use crate::query::Query;
+use crate::signing::SigningMode;
+use crate::vo::{BoundaryEntry, IntersectionVerification, IvStep, VerificationObject};
+use vaq_funcdb::{Dataset, Record};
+use vaq_itree::Node;
+
+/// A query result together with its verification object and the server's
+/// traversal cost.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// The result records `R(q)`, in ascending score order.
+    pub records: Vec<Record>,
+    /// The verification object `VO(q)`.
+    pub vo: VerificationObject,
+    /// The server's cost counters for this query (Fig. 6 metric).
+    pub cost: ServerCost,
+}
+
+/// The cloud server: holds the outsourced dataset and the owner-built
+/// IFMH-tree, and answers analytic queries with verifiable results.
+#[derive(Debug)]
+pub struct Server {
+    dataset: Dataset,
+    tree: IfmhTree,
+}
+
+impl Server {
+    /// Creates a server from the outsourced dataset and tree.
+    pub fn new(dataset: Dataset, tree: IfmhTree) -> Self {
+        Server { dataset, tree }
+    }
+
+    /// Read access to the hosted dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Read access to the hosted IFMH-tree.
+    pub fn tree(&self) -> &IfmhTree {
+        &self.tree
+    }
+
+    /// Processes an analytic query and constructs the verification object.
+    pub fn process(&self, query: &Query) -> QueryResponse {
+        let x = query.weights();
+        assert_eq!(
+            x.len(),
+            self.dataset.dims(),
+            "query weight vector has wrong dimensionality"
+        );
+
+        // 1. Locate the subdomain containing X.
+        let located = self.tree.itree.locate(x);
+        let leaf = located.leaf;
+        let sorted = self.tree.itree.sorted_list(leaf);
+        let scores: Vec<f64> = sorted
+            .iter()
+            .map(|id| self.dataset.score(*id, x))
+            .collect();
+        let n = sorted.len();
+
+        // 2. Select the result window on the sorted list.
+        let window = query.select_window(&scores);
+
+        // 3. Map the window to FMH leaf indices (leaf 0 is the f_min
+        //    sentinel, records occupy leaves 1..=n, leaf n+1 is f_max).
+        let (records, first_leaf, last_leaf): (Vec<Record>, usize, usize) = match window {
+            Some((s, e)) => {
+                let records = sorted[s..=e]
+                    .iter()
+                    .map(|id| self.dataset.record(*id).clone())
+                    .collect();
+                (records, s, e + 2)
+            }
+            None => {
+                // Empty result: prove the gap between the two adjacent
+                // entries bracketing where the result would have been.
+                let p = match query {
+                    Query::Range { lower, .. } => scores.partition_point(|v| *v < *lower),
+                    _ => n,
+                };
+                (Vec::new(), p, p + 1)
+            }
+        };
+
+        let left_boundary = if first_leaf == 0 {
+            BoundaryEntry::MinSentinel
+        } else {
+            BoundaryEntry::Record(self.dataset.record(sorted[first_leaf - 1]).clone())
+        };
+        let right_boundary = if last_leaf == n + 1 {
+            BoundaryEntry::MaxSentinel
+        } else {
+            BoundaryEntry::Record(self.dataset.record(sorted[last_leaf - 1]).clone())
+        };
+
+        // 4. FMH range proof over [first_leaf, last_leaf].
+        let fmh = self
+            .tree
+            .fmh_tree(leaf)
+            .expect("every subdomain has an FMH tree");
+        let range_proof = fmh.prove_range(first_leaf, last_leaf);
+
+        // 5. Subdomain verification data and signature.
+        let (intersection_verification, signature, vo_nodes_collected) = match self.tree.mode() {
+            SigningMode::OneSignature => {
+                let mut path = Vec::with_capacity(located.path.len());
+                for step in &located.path {
+                    if let Node::Intersection {
+                        pair,
+                        coeffs,
+                        constant,
+                        ..
+                    } = self.tree.itree.node(step.node)
+                    {
+                        path.push(IvStep {
+                            pair: (pair.0 .0, pair.1 .0),
+                            coeffs: coeffs.clone(),
+                            constant: *constant,
+                            sibling_hash: self.tree.node_hash(step.sibling),
+                            went_above: step.went_above,
+                        });
+                    }
+                }
+                let collected = path.len();
+                (
+                    IntersectionVerification::OneSignature { path },
+                    self.tree
+                        .root_signature
+                        .clone()
+                        .expect("one-signature tree carries a root signature"),
+                    collected,
+                )
+            }
+            SigningMode::MultiSignature => {
+                let halfspaces = self.tree.itree.constraints(leaf).halfspaces.clone();
+                (
+                    IntersectionVerification::MultiSignature { halfspaces },
+                    self.tree.leaf_signatures[&leaf.0].clone(),
+                    0,
+                )
+            }
+        };
+
+        let cost = ServerCost {
+            imh_nodes_visited: located.nodes_visited,
+            fmh_nodes_visited: (last_leaf - first_leaf + 1)
+                + range_proof.nodes.len()
+                + fmh.height(),
+            vo_nodes_collected,
+            result_len: records.len(),
+        };
+
+        let vo = VerificationObject {
+            first_leaf: first_leaf as u32,
+            left_boundary,
+            right_boundary,
+            range_proof,
+            intersection_verification,
+            signature,
+        };
+
+        QueryResponse { records, vo, cost }
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based integration tests: for random datasets and random queries,
+//! honest server responses always verify and always match the brute-force
+//! reference answer.
+
+use proptest::prelude::*;
+use vaq_authquery::{client, IfmhTree, Query, Server, SigningMode};
+use vaq_crypto::{SignatureScheme, Signer};
+use vaq_funcdb::{Dataset, Domain, FunctionTemplate, Record};
+
+/// Builds a dataset from raw attribute rows.
+fn dataset_from_rows(rows: &[Vec<f64>]) -> Dataset {
+    let dims = rows[0].len();
+    let template = FunctionTemplate::anonymous(dims);
+    let records = rows
+        .iter()
+        .enumerate()
+        .map(|(i, attrs)| Record::new(i as u64, attrs.clone()))
+        .collect();
+    Dataset::new(records, template, Domain::unit(dims))
+}
+
+/// Reference result ids (sorted) for a query.
+fn reference(dataset: &Dataset, query: &Query) -> Vec<u64> {
+    let x = query.weights();
+    let mut scored: Vec<(f64, u64)> = dataset
+        .functions
+        .iter()
+        .zip(dataset.records.iter())
+        .map(|(f, r)| (f.eval(x), r.id))
+        .collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    let mut ids: Vec<u64> = match query {
+        Query::TopK { k, .. } => {
+            let k = (*k).min(scored.len());
+            scored[scored.len() - k..].iter().map(|(_, i)| *i).collect()
+        }
+        Query::Range { lower, upper, .. } => scored
+            .iter()
+            .filter(|(s, _)| s >= lower && s <= upper)
+            .map(|(_, i)| *i)
+            .collect(),
+        Query::Knn { k, target, .. } => {
+            let mut d: Vec<(f64, u64)> = scored
+                .iter()
+                .map(|(s, i)| ((s - target).abs(), *i))
+                .collect();
+            d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            d[..(*k).min(d.len())].iter().map(|(_, i)| *i).collect()
+        }
+    };
+    ids.sort_unstable();
+    ids
+}
+
+/// Distance multiset for KNN comparison (ties make identity comparison
+/// ill-defined).
+fn distance_profile(dataset: &Dataset, ids: &[u64], x: &[f64], target: f64) -> Vec<f64> {
+    let mut d: Vec<f64> = ids
+        .iter()
+        .map(|id| (dataset.functions[*id as usize].eval(x) - target).abs())
+        .collect();
+    d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    d
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    // 1-dimensional rows keep the subdomain arrangement small enough that a
+    // full owner/server/client round-trip stays fast inside proptest.
+    prop::collection::vec(
+        prop::collection::vec(0.01f64..0.99, 1..=1),
+        2..14,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn honest_responses_always_verify_and_match_reference(
+        rows in rows_strategy(),
+        weight in 0.05f64..0.95,
+        k in 1usize..6,
+        lo in 0.0f64..0.5,
+        width in 0.0f64..0.5,
+        mode_multi in proptest::bool::ANY,
+    ) {
+        let dataset = dataset_from_rows(&rows);
+        let mode = if mode_multi { SigningMode::MultiSignature } else { SigningMode::OneSignature };
+        let scheme = SignatureScheme::test_rsa(42);
+        let tree = IfmhTree::build(&dataset, mode, &scheme);
+        let server = Server::new(dataset.clone(), tree);
+        let verifier = scheme.verifier();
+
+        let queries = vec![
+            Query::top_k(vec![weight], k),
+            Query::range(vec![weight], lo, lo + width),
+            Query::knn(vec![weight], k, lo + width),
+        ];
+        for query in queries {
+            let resp = server.process(&query);
+            let out = client::verify(&query, &resp.records, &resp.vo, &dataset.template, verifier.as_ref());
+            prop_assert!(out.is_ok(), "query {} failed: {:?}", query, out.err());
+
+            let mut got: Vec<u64> = resp.records.iter().map(|r| r.id).collect();
+            got.sort_unstable();
+            let expected = reference(&dataset, &query);
+            match &query {
+                Query::Knn { target, .. } => {
+                    // Compare distance profiles to stay robust under ties.
+                    let x = query.weights();
+                    prop_assert_eq!(got.len(), expected.len());
+                    let gp = distance_profile(&dataset, &got, x, *target);
+                    let ep = distance_profile(&dataset, &expected, x, *target);
+                    for (g, e) in gp.iter().zip(ep.iter()) {
+                        prop_assert!((g - e).abs() < 1e-9);
+                    }
+                }
+                _ => prop_assert_eq!(got, expected, "query {}", query),
+            }
+        }
+    }
+
+    #[test]
+    fn dropping_any_result_record_is_always_detected(
+        rows in prop::collection::vec(prop::collection::vec(0.01f64..0.99, 1..=1), 4..10),
+        weight in 0.05f64..0.95,
+        drop_idx in 0usize..20,
+    ) {
+        let dataset = dataset_from_rows(&rows);
+        let scheme = SignatureScheme::test_rsa(43);
+        let tree = IfmhTree::build(&dataset, SigningMode::OneSignature, &scheme);
+        let server = Server::new(dataset.clone(), tree);
+        let verifier = scheme.verifier();
+        let query = Query::range(vec![weight], 0.0, 1.0);
+        let mut resp = server.process(&query);
+        prop_assume!(resp.records.len() >= 2);
+        let idx = drop_idx % resp.records.len();
+        resp.records.remove(idx);
+        let out = client::verify(&query, &resp.records, &resp.vo, &dataset.template, verifier.as_ref());
+        prop_assert!(out.is_err(), "dropping record {} must be detected", idx);
+    }
+
+    #[test]
+    fn perturbing_any_returned_attribute_is_always_detected(
+        rows in prop::collection::vec(prop::collection::vec(0.01f64..0.99, 1..=1), 3..10),
+        weight in 0.05f64..0.95,
+        victim in 0usize..20,
+        delta in 1e-6f64..0.5,
+    ) {
+        let dataset = dataset_from_rows(&rows);
+        let scheme = SignatureScheme::test_rsa(44);
+        let tree = IfmhTree::build(&dataset, SigningMode::MultiSignature, &scheme);
+        let server = Server::new(dataset.clone(), tree);
+        let verifier = scheme.verifier();
+        let query = Query::top_k(vec![weight], 3);
+        let mut resp = server.process(&query);
+        prop_assume!(!resp.records.is_empty());
+        let idx = victim % resp.records.len();
+        resp.records[idx].attrs[0] += delta;
+        let out = client::verify(&query, &resp.records, &resp.vo, &dataset.template, verifier.as_ref());
+        prop_assert!(out.is_err(), "perturbing record {} must be detected", idx);
+    }
+}

@@ -1,0 +1,39 @@
+//! Ablation bench: I-tree construction with the exact LP split oracle versus
+//! the Monte-Carlo sampling oracle (DESIGN.md ablation #1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vaq_funcdb::{LpSplitOracle, SamplingSplitOracle};
+use vaq_itree::ITreeBuilder;
+use vaq_workload::uniform_dataset;
+
+fn bench_split_oracles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_split_oracle");
+    group.sample_size(10);
+
+    for &n in &[8usize, 16, 24] {
+        let dataset = uniform_dataset(n, 2, 5);
+
+        group.bench_with_input(BenchmarkId::new("lp_oracle", n), &n, |b, _| {
+            b.iter(|| {
+                ITreeBuilder::new(LpSplitOracle::new())
+                    .build(&dataset.functions, dataset.domain.clone())
+            })
+        });
+        for &samples in &[64usize, 256] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("sampling_oracle_{samples}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        ITreeBuilder::new(SamplingSplitOracle::new(samples, 5))
+                            .build(&dataset.functions, dataset.domain.clone())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_split_oracles);
+criterion_main!(benches);

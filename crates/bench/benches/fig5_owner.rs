@@ -1,0 +1,38 @@
+//! Criterion bench for Fig. 5 (data-owner overhead): construction time of
+//! the one-signature IFMH-tree, the multi-signature IFMH-tree and the
+//! signature-mesh baseline as the database grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vaq_authquery::{IfmhTree, SigningMode};
+use vaq_crypto::SignatureScheme;
+use vaq_sigmesh::SignatureMesh;
+use vaq_workload::uniform_dataset;
+
+fn bench_owner_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_owner_construction");
+    group.sample_size(10);
+
+    for &n in &[8usize, 12, 16] {
+        let dataset = uniform_dataset(n, 2, 42);
+        let scheme = SignatureScheme::new_rsa(192, 42);
+
+        group.bench_with_input(BenchmarkId::new("one_signature", n), &n, |b, _| {
+            b.iter(|| IfmhTree::build(&dataset, SigningMode::OneSignature, &scheme))
+        });
+        group.bench_with_input(BenchmarkId::new("multi_signature", n), &n, |b, _| {
+            b.iter(|| IfmhTree::build(&dataset, SigningMode::MultiSignature, &scheme))
+        });
+        // The mesh signs #subdomains × (n + 1) times, so a single build at
+        // n = 16 already takes ~10 s; larger sizes are covered by the
+        // `figures` binary (Fig. 5b) rather than Criterion's repeated runs.
+        if n <= 12 {
+            group.bench_with_input(BenchmarkId::new("signature_mesh", n), &n, |b, _| {
+                b.iter(|| SignatureMesh::build(&dataset, &scheme))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_owner_construction);
+criterion_main!(benches);

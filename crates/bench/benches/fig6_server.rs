@@ -1,0 +1,55 @@
+//! Criterion bench for Fig. 6 (server overhead): time to process a query and
+//! construct the verification object, for top-3, 3-NN and range queries,
+//! comparing the IFMH schemes against the linear-search signature mesh.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vaq_authquery::{IfmhTree, Query, Server, SigningMode};
+use vaq_crypto::SignatureScheme;
+use vaq_sigmesh::SignatureMesh;
+use vaq_workload::uniform_dataset;
+
+fn bench_server_processing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_server_processing");
+    group.sample_size(20);
+
+    let n = 24;
+    let dataset = uniform_dataset(n, 2, 7);
+    let scheme = SignatureScheme::new_rsa(192, 7);
+    let one = Server::new(
+        dataset.clone(),
+        IfmhTree::build(&dataset, SigningMode::OneSignature, &scheme),
+    );
+    let multi = Server::new(
+        dataset.clone(),
+        IfmhTree::build(&dataset, SigningMode::MultiSignature, &scheme),
+    );
+    let mesh = SignatureMesh::build(&dataset, &scheme);
+
+    let x = vec![0.31, 0.77];
+    let mid_score = {
+        let mut s: Vec<f64> = dataset.functions.iter().map(|f| f.eval(&x)).collect();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s[s.len() / 2]
+    };
+    let queries = vec![
+        ("top3", Query::top_k(x.clone(), 3)),
+        ("knn3", Query::knn(x.clone(), 3, mid_score)),
+        ("range", Query::range(x.clone(), mid_score - 0.05, mid_score + 0.05)),
+    ];
+
+    for (label, query) in &queries {
+        group.bench_with_input(BenchmarkId::new("one_signature", label), query, |b, q| {
+            b.iter(|| one.process(q))
+        });
+        group.bench_with_input(BenchmarkId::new("multi_signature", label), query, |b, q| {
+            b.iter(|| multi.process(q))
+        });
+        group.bench_with_input(BenchmarkId::new("signature_mesh", label), query, |b, q| {
+            b.iter(|| mesh.process(&dataset, q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_server_processing);
+criterion_main!(benches);

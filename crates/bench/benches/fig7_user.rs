@@ -1,0 +1,89 @@
+//! Criterion bench for Fig. 7 (user overhead): client-side verification time
+//! as a function of the result length, for both IFMH schemes and the mesh.
+//! The mesh verifies |q| + 1 signatures, the IFMH schemes exactly one — this
+//! bench makes that gap directly measurable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vaq_authquery::{client, IfmhTree, Query, Server, SigningMode};
+use vaq_crypto::{SignatureScheme, Signer};
+use vaq_sigmesh::{verify_mesh_response, SignatureMesh};
+use vaq_workload::uniform_dataset;
+
+fn range_with_len(dataset: &vaq_funcdb::Dataset, x: Vec<f64>, len: usize) -> Query {
+    let mut scores: Vec<f64> = dataset.functions.iter().map(|f| f.eval(&x)).collect();
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let len = len.min(scores.len());
+    let start = (scores.len() - len) / 2;
+    Query::range(x, scores[start] - 1e-9, scores[start + len - 1] + 1e-9)
+}
+
+fn bench_client_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_client_verification");
+    group.sample_size(10);
+
+    // Univariate database: one subdomain, so the sweep isolates the effect
+    // of the result length exactly as the paper's Fig. 7 does.
+    let n = 500;
+    let dataset = uniform_dataset(n, 1, 11);
+    let scheme = SignatureScheme::new_rsa(192, 11);
+    let one = Server::new(
+        dataset.clone(),
+        IfmhTree::build(&dataset, SigningMode::OneSignature, &scheme),
+    );
+    let multi = Server::new(
+        dataset.clone(),
+        IfmhTree::build(&dataset, SigningMode::MultiSignature, &scheme),
+    );
+    let mesh = SignatureMesh::build(&dataset, &scheme);
+    let verifier = scheme.verifier();
+    let x = vec![0.7];
+
+    for &len in &[25usize, 100, 250] {
+        let query = range_with_len(&dataset, x.clone(), len);
+        let r_one = one.process(&query);
+        let r_multi = multi.process(&query);
+        let r_mesh = mesh.process(&dataset, &query);
+
+        group.bench_with_input(BenchmarkId::new("one_signature", len), &len, |b, _| {
+            b.iter(|| {
+                client::verify(&query, &r_one.records, &r_one.vo, &dataset.template, verifier.as_ref())
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("multi_signature", len), &len, |b, _| {
+            b.iter(|| {
+                client::verify(&query, &r_multi.records, &r_multi.vo, &dataset.template, verifier.as_ref())
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("signature_mesh", len), &len, |b, _| {
+            b.iter(|| verify_mesh_response(&query, &r_mesh, &dataset.template, verifier.as_ref()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_rsa_vs_dsa_verification(c: &mut Criterion) {
+    // Fig. 7c: a single signature verification under RSA vs DSA.
+    let mut group = c.benchmark_group("fig7c_signature_verification");
+    group.sample_size(20);
+
+    let digest = vaq_crypto::sha256::sha256(b"fig7c bench digest");
+    let rsa = SignatureScheme::new_rsa(192, 3);
+    let dsa = SignatureScheme::new_dsa(256, 96, 3);
+    let rsa_sig = rsa.sign_digest(&digest);
+    let dsa_sig = dsa.sign_digest(&digest);
+    let rsa_v = rsa.verifier();
+    let dsa_v = dsa.verifier();
+
+    group.bench_function("rsa_verify", |b| {
+        b.iter(|| assert!(rsa_v.verify_digest(&digest, &rsa_sig)))
+    });
+    group.bench_function("dsa_verify", |b| {
+        b.iter(|| assert!(dsa_v.verify_digest(&digest, &dsa_sig)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_client_verification, bench_rsa_vs_dsa_verification);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench for Fig. 8 (communication overhead): time to assemble the
+//! verification object, plus a one-off report of the VO sizes (the figure's
+//! actual metric, printed to stderr since Criterion only records time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vaq_authquery::{IfmhTree, Query, Server, SigningMode};
+use vaq_crypto::SignatureScheme;
+use vaq_sigmesh::SignatureMesh;
+use vaq_workload::uniform_dataset;
+
+fn range_with_len(dataset: &vaq_funcdb::Dataset, x: Vec<f64>, len: usize) -> Query {
+    let mut scores: Vec<f64> = dataset.functions.iter().map(|f| f.eval(&x)).collect();
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let len = len.min(scores.len());
+    let start = (scores.len() - len) / 2;
+    Query::range(x, scores[start] - 1e-9, scores[start + len - 1] + 1e-9)
+}
+
+fn bench_vo_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_vo_assembly");
+    group.sample_size(20);
+
+    let n = 400;
+    let dataset = uniform_dataset(n, 1, 19);
+    let scheme = SignatureScheme::new_rsa(192, 19);
+    let one = Server::new(
+        dataset.clone(),
+        IfmhTree::build(&dataset, SigningMode::OneSignature, &scheme),
+    );
+    let multi = Server::new(
+        dataset.clone(),
+        IfmhTree::build(&dataset, SigningMode::MultiSignature, &scheme),
+    );
+    let mesh = SignatureMesh::build(&dataset, &scheme);
+    let x = vec![0.4];
+
+    for &len in &[10usize, 50, 200] {
+        let query = range_with_len(&dataset, x.clone(), len);
+
+        // Report the Fig. 8a metric (VO size in bytes) once per point.
+        let s1 = one.process(&query).vo.byte_size();
+        let s2 = multi.process(&query).vo.byte_size();
+        let s3 = mesh.process(&dataset, &query).vo.byte_size();
+        eprintln!("fig8a |q|={len}: one-sig={s1} B, multi-sig={s2} B, mesh={s3} B");
+
+        group.bench_with_input(BenchmarkId::new("one_signature", len), &query, |b, q| {
+            b.iter(|| one.process(q).vo.byte_size())
+        });
+        group.bench_with_input(BenchmarkId::new("multi_signature", len), &query, |b, q| {
+            b.iter(|| multi.process(q).vo.byte_size())
+        });
+        group.bench_with_input(BenchmarkId::new("signature_mesh", len), &query, |b, q| {
+            b.iter(|| mesh.process(&dataset, q).vo.byte_size())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vo_assembly);
+criterion_main!(benches);

@@ -1,0 +1,210 @@
+//! Shared experiment setup: datasets, schemes and query helpers.
+
+use std::time::{Duration, Instant};
+use vaq_authquery::{IfmhTree, Query, SigningMode};
+use vaq_crypto::{SignatureScheme, Signer, Verifier};
+use vaq_funcdb::Dataset;
+use vaq_sigmesh::SignatureMesh;
+use vaq_workload::uniform_dataset;
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sizes that finish in seconds–minutes (default).
+    Small,
+    /// The paper's original parameters (hours of compute; use with care).
+    Paper,
+}
+
+impl Scale {
+    /// Record counts for the database-size sweeps (Figs. 5, 6a–c, 8b).
+    pub fn size_sweep(&self) -> Vec<usize> {
+        match self {
+            Scale::Small => vec![8, 12, 16, 20, 26, 32],
+            Scale::Paper => vec![1_000, 2_500, 5_000, 7_500, 10_000],
+        }
+    }
+
+    /// Database size for the result-length sweeps (Figs. 6d, 7, 8a).
+    pub fn sweep_database_size(&self) -> usize {
+        match self {
+            Scale::Small => 1_000,
+            Scale::Paper => 10_000,
+        }
+    }
+
+    /// Result lengths for the result-length sweeps.
+    pub fn result_length_sweep(&self) -> Vec<usize> {
+        match self {
+            Scale::Small => vec![50, 100, 200, 400, 600, 800, 1_000],
+            Scale::Paper => vec![1_000, 2_500, 5_000, 7_500, 10_000],
+        }
+    }
+
+    /// Dimensionality used for arrangement-heavy sweeps. Two weight
+    /// variables give the `O(n²)` wedge arrangement the paper's analysis
+    /// assumes.
+    pub fn arrangement_dims(&self) -> usize {
+        2
+    }
+
+    /// RSA modulus bits for the experiments (the paper used 640-byte RSA
+    /// signatures; the harness defaults to smaller keys so the mesh baseline
+    /// finishes).
+    pub fn rsa_bits(&self) -> usize {
+        match self {
+            Scale::Small => 192,
+            Scale::Paper => 1_024,
+        }
+    }
+
+    /// DSA (p, q) bits.
+    pub fn dsa_bits(&self) -> (usize, usize) {
+        match self {
+            Scale::Small => (256, 96),
+            Scale::Paper => (1_024, 160),
+        }
+    }
+}
+
+/// The three schemes built over one dataset, plus their build times.
+pub struct SchemeSet {
+    /// The dataset all three schemes index.
+    pub dataset: Dataset,
+    /// One-signature IFMH-tree.
+    pub one_sig: IfmhTree,
+    /// Multi-signature IFMH-tree.
+    pub multi_sig: IfmhTree,
+    /// Signature-mesh baseline.
+    pub mesh: SignatureMesh,
+    /// Wall-clock build time of the one-signature tree.
+    pub one_sig_build: Duration,
+    /// Wall-clock build time of the multi-signature tree.
+    pub multi_sig_build: Duration,
+    /// Wall-clock build time of the mesh.
+    pub mesh_build: Duration,
+    /// The signing scheme (kept so callers can obtain the verifier).
+    pub scheme: SignatureScheme,
+}
+
+impl SchemeSet {
+    /// Builds all three structures over a uniform dataset of `n` records with
+    /// `dims` weight variables.
+    pub fn build_uniform(n: usize, dims: usize, seed: u64, rsa_bits: usize) -> Self {
+        let dataset = uniform_dataset(n, dims, seed);
+        Self::build(dataset, seed, rsa_bits)
+    }
+
+    /// Builds all three structures over the given dataset.
+    pub fn build(dataset: Dataset, seed: u64, rsa_bits: usize) -> Self {
+        let scheme = SignatureScheme::new_rsa(rsa_bits, seed ^ 0xA5A5);
+
+        let t0 = Instant::now();
+        let one_sig = IfmhTree::build(&dataset, SigningMode::OneSignature, &scheme);
+        let one_sig_build = t0.elapsed();
+
+        let t0 = Instant::now();
+        let multi_sig = IfmhTree::build(&dataset, SigningMode::MultiSignature, &scheme);
+        let multi_sig_build = t0.elapsed();
+
+        let t0 = Instant::now();
+        let mesh = SignatureMesh::build(&dataset, &scheme);
+        let mesh_build = t0.elapsed();
+
+        SchemeSet {
+            dataset,
+            one_sig,
+            multi_sig,
+            mesh,
+            one_sig_build,
+            multi_sig_build,
+            mesh_build,
+            scheme,
+        }
+    }
+
+    /// The owner's public verification key.
+    pub fn verifier(&self) -> Box<dyn Verifier> {
+        self.scheme.verifier()
+    }
+}
+
+/// Builds a range query at weight vector `x` whose result contains exactly
+/// (or as close as possible to) `len` records of the dataset.
+pub fn range_query_with_result_len(dataset: &Dataset, x: Vec<f64>, len: usize) -> Query {
+    let mut scores: Vec<f64> = dataset.functions.iter().map(|f| f.eval(&x)).collect();
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if scores.is_empty() || len == 0 {
+        return Query::range(x, 1.0, 0.9 + 1.0); // empty range above everything
+    }
+    let len = len.min(scores.len());
+    // Centre the window in the middle of the score distribution.
+    let start = (scores.len() - len) / 2;
+    let lower = scores[start] - 1e-9;
+    let upper = scores[start + len - 1] + 1e-9;
+    Query::range(x, lower, upper)
+}
+
+/// A fixed, reproducible weight vector inside the unit domain.
+pub fn probe_weights(dims: usize, salt: u64) -> Vec<f64> {
+    (0..dims)
+        .map(|i| {
+            let v = ((salt.wrapping_mul(2654435761).wrapping_add(i as u64 * 97)) % 89) as f64;
+            0.05 + 0.9 * (v / 89.0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_set_builds_and_answers() {
+        let set = SchemeSet::build_uniform(8, 2, 3, 128);
+        assert_eq!(set.one_sig.signature_count(), 1);
+        assert!(set.multi_sig.signature_count() >= 1);
+        assert!(set.mesh.stats().signatures > set.multi_sig.signature_count());
+        let q = Query::top_k(probe_weights(2, 1), 3);
+        let server = vaq_authquery::Server::new(set.dataset.clone(), set.one_sig);
+        let resp = server.process(&q);
+        assert_eq!(resp.records.len(), 3);
+    }
+
+    #[test]
+    fn range_query_helper_hits_requested_length() {
+        let ds = uniform_dataset(50, 1, 4);
+        let x = vec![0.6];
+        for len in [1usize, 5, 20, 50] {
+            let q = range_query_with_result_len(&ds, x.clone(), len);
+            if let Query::Range { lower, upper, .. } = &q {
+                let count = ds
+                    .functions
+                    .iter()
+                    .filter(|f| {
+                        let s = f.eval(&x);
+                        s >= *lower && s <= *upper
+                    })
+                    .count();
+                assert_eq!(count, len);
+            } else {
+                panic!("helper must build a range query");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_weights_stay_in_unit_domain() {
+        for salt in 0..20 {
+            let w = probe_weights(3, salt);
+            assert!(w.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn scales_expose_parameters() {
+        assert!(Scale::Small.size_sweep().len() >= 3);
+        assert!(Scale::Paper.sweep_database_size() > Scale::Small.sweep_database_size());
+        assert_eq!(Scale::Small.arrangement_dims(), 2);
+    }
+}

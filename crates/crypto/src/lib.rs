@@ -1,0 +1,50 @@
+//! Cryptographic substrate for the verified-analytics workspace.
+//!
+//! The paper ("Verifying the Correctness of Analytic Query Results",
+//! Nosrati & Cai) relies on three cryptographic building blocks:
+//!
+//! * a one-way hash function (SHA-256 in the paper's experiments),
+//! * RSA signatures, and
+//! * DSA signatures (Fig. 7c compares RSA against DSA verification cost).
+//!
+//! The reproduction environment only allows a small set of general-purpose
+//! crates, none of which provide cryptography, so this crate implements the
+//! whole stack from scratch:
+//!
+//! * [`sha256`] — the FIPS 180-4 SHA-256 compression function and a
+//!   streaming [`sha256::Sha256`] hasher.
+//! * [`bignum`] — an arbitrary-precision unsigned integer
+//!   ([`bignum::BigUint`]) with the arithmetic needed for public-key
+//!   signatures (modular exponentiation, modular inverse, division).
+//! * [`prime`] — Miller–Rabin probabilistic primality testing and random
+//!   prime generation.
+//! * [`rsa`] — textbook RSA signatures over SHA-256 digests.
+//! * [`dsa`] — classic (finite-field) DSA signatures.
+//! * [`signer`] — object-safe [`signer::Signer`] / [`signer::Verifier`]
+//!   traits so the authenticated data structures can be parameterised over
+//!   the signature scheme.
+//!
+//! # Security disclaimer
+//!
+//! These primitives exist to reproduce the *performance shape* of the
+//! paper's experiments (hashing is cheap, signature operations are orders of
+//! magnitude more expensive, RSA verification is cheaper than DSA
+//! verification). They are **not** hardened implementations: there is no
+//! padding scheme beyond a minimal deterministic one, no blinding, and no
+//! constant-time guarantee. Do not use this crate to protect real data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bignum;
+pub mod dsa;
+pub mod prime;
+pub mod rsa;
+pub mod sha256;
+pub mod signer;
+
+pub use bignum::BigUint;
+pub use dsa::{DsaKeyPair, DsaPublicKey, DsaSignature};
+pub use rsa::{RsaKeyPair, RsaPublicKey, RsaSignature};
+pub use sha256::{sha256, Digest, Sha256};
+pub use signer::{Signature, SignatureScheme, Signer, Verifier};

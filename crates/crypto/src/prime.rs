@@ -1,0 +1,196 @@
+//! Probabilistic primality testing and random prime generation.
+//!
+//! RSA and DSA key generation need random primes of a few hundred bits.
+//! [`is_probable_prime`] implements Miller–Rabin with a configurable number
+//! of rounds plus trial division by small primes, and [`generate_prime`]
+//! samples odd candidates of an exact bit length until one passes.
+
+use crate::bignum::BigUint;
+use rand::Rng;
+
+/// Small primes used for cheap trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 46] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199,
+];
+
+/// Miller–Rabin primality test with `rounds` random bases.
+///
+/// Returns `true` if `n` is probably prime (error probability at most
+/// 4^-rounds) and `false` if `n` is definitely composite.
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    let two = BigUint::from_u64(2);
+    if n.cmp_to(&two) == std::cmp::Ordering::Equal {
+        return true;
+    }
+    if n.is_even() {
+        return false;
+    }
+
+    // Trial division by small primes.
+    for &p in &SMALL_PRIMES {
+        let bp = BigUint::from_u64(p);
+        if n.cmp_to(&bp) == std::cmp::Ordering::Equal {
+            return true;
+        }
+        if n.rem(&bp).is_zero() {
+            return false;
+        }
+    }
+
+    // Write n - 1 = d * 2^s with d odd.
+    let n_minus_1 = n.sub(&BigUint::one());
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while d.is_even() {
+        d = d.shr(1);
+        s += 1;
+    }
+
+    'witness: for _ in 0..rounds {
+        // Random base in [2, n-2].
+        let upper = n.sub(&BigUint::from_u64(3));
+        let a = BigUint::random_below(rng, &upper).add(&two);
+        let mut x = a.mod_pow(&d, n);
+        if x.is_one() || x.cmp_to(&n_minus_1) == std::cmp::Ordering::Equal {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = x.mul_mod(&x, n);
+            if x.cmp_to(&n_minus_1) == std::cmp::Ordering::Equal {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// `bits` must be at least 2. The candidate's top and bottom bits are forced
+/// to one so the result has the requested size and is odd.
+pub fn generate_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+    assert!(bits >= 2, "prime must have at least 2 bits");
+    loop {
+        let mut candidate = BigUint::random_exact_bits(rng, bits);
+        // Force odd.
+        if candidate.is_even() {
+            candidate = candidate.add(&BigUint::one());
+        }
+        if candidate.bits() != bits {
+            continue;
+        }
+        if is_probable_prime(&candidate, 16, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a "safe-style" prime pair `(p, q)` with `p = q * k + 1`, where
+/// `q` has `q_bits` bits and `p` has (approximately) `p_bits` bits.
+///
+/// This is the standard structure required by DSA: `q` divides `p - 1`.
+pub fn generate_dsa_primes<R: Rng + ?Sized>(
+    p_bits: usize,
+    q_bits: usize,
+    rng: &mut R,
+) -> (BigUint, BigUint) {
+    assert!(p_bits > q_bits + 8, "p must be substantially larger than q");
+    let q = generate_prime(q_bits, rng);
+    loop {
+        // Choose k with p_bits - q_bits bits so p = q*k + 1 has ~p_bits bits.
+        let k = BigUint::random_exact_bits(rng, p_bits - q_bits);
+        // Force k even so p is odd (q odd, k even => q*k even => p odd).
+        let k = if k.is_even() { k } else { k.add(&BigUint::one()) };
+        let p = q.mul(&k).add(&BigUint::one());
+        if p.bits() < p_bits - 1 || p.bits() > p_bits + 1 {
+            continue;
+        }
+        if is_probable_prime(&p, 16, rng) {
+            return (p, q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_primes_are_prime() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in [2u64, 3, 5, 7, 11, 13, 101, 997, 7919, 104729] {
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), 20, &mut rng),
+                "{p} should be prime"
+            );
+        }
+    }
+
+    #[test]
+    fn small_composites_are_composite() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for c in [0u64, 1, 4, 6, 9, 15, 100, 561, 1105, 6601, 8911, 104730] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 20, &mut rng),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat but not Miller-Rabin.
+        let mut rng = StdRng::seed_from_u64(3);
+        for c in [561u64, 41041, 825265] {
+            assert!(!is_probable_prime(&BigUint::from_u64(c), 20, &mut rng));
+        }
+    }
+
+    #[test]
+    fn generate_prime_has_requested_bits() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for bits in [16usize, 32, 64, 96] {
+            let p = generate_prime(bits, &mut rng);
+            assert_eq!(p.bits(), bits);
+            assert!(!p.is_even());
+        }
+    }
+
+    #[test]
+    fn generate_larger_prime() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = generate_prime(160, &mut rng);
+        assert_eq!(p.bits(), 160);
+        assert!(is_probable_prime(&p, 8, &mut rng));
+    }
+
+    #[test]
+    fn dsa_primes_satisfy_divisibility() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (p, q) = generate_dsa_primes(160, 64, &mut rng);
+        // q divides p - 1
+        let p_minus_1 = p.sub(&BigUint::one());
+        assert!(p_minus_1.rem(&q).is_zero());
+        assert!(is_probable_prime(&p, 8, &mut rng));
+        assert!(is_probable_prime(&q, 8, &mut rng));
+    }
+
+    #[test]
+    fn known_large_prime_accepted() {
+        // 2^127 - 1 is a Mersenne prime.
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = BigUint::from_hex("7fffffffffffffffffffffffffffffff").unwrap();
+        assert!(is_probable_prime(&p, 16, &mut rng));
+        // 2^128 - 1 is composite.
+        let c = BigUint::from_hex("ffffffffffffffffffffffffffffffff").unwrap();
+        assert!(!is_probable_prime(&c, 16, &mut rng));
+    }
+}

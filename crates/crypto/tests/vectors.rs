@@ -1,0 +1,97 @@
+//! Known-answer and cross-consistency tests for the cryptographic substrate.
+
+use vaq_crypto::sha256::{sha256, to_hex, Sha256};
+use vaq_crypto::{BigUint, SignatureScheme, Signer, Verifier};
+
+/// NIST / de-facto standard SHA-256 vectors beyond the ones in the unit
+/// tests (covering multi-block messages and byte-at-a-time feeding).
+#[test]
+fn sha256_additional_known_answers() {
+    let cases: Vec<(&[u8], &str)> = vec![
+        (
+            b"The quick brown fox jumps over the lazy dog",
+            "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592",
+        ),
+        (
+            b"The quick brown fox jumps over the lazy dog.",
+            "ef537f25c895bfa782526529a9b63d97aa631564d5d789c2b765448c8635fb6c",
+        ),
+        (
+            b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+        ),
+    ];
+    for (msg, expected) in cases {
+        assert_eq!(to_hex(&sha256(msg)), expected);
+    }
+}
+
+#[test]
+fn sha256_byte_at_a_time_matches_oneshot() {
+    let msg: Vec<u8> = (0u8..=255).cycle().take(1031).collect();
+    let oneshot = sha256(&msg);
+    let mut h = Sha256::new();
+    for b in &msg {
+        h.update(std::slice::from_ref(b));
+    }
+    assert_eq!(h.finalize(), oneshot);
+}
+
+#[test]
+fn biguint_modpow_matches_known_rsa_toy_example() {
+    // Classic toy RSA: p = 61, q = 53, n = 3233, e = 17, d = 2753.
+    let n = BigUint::from_u64(3233);
+    let e = BigUint::from_u64(17);
+    let d = BigUint::from_u64(2753);
+    let m = BigUint::from_u64(65);
+    let c = m.mod_pow(&e, &n);
+    assert_eq!(c, BigUint::from_u64(2790));
+    assert_eq!(c.mod_pow(&d, &n), m);
+}
+
+#[test]
+fn biguint_large_known_product() {
+    // 2^127 - 1 squared, checked against the known decimal-free hex value.
+    let m127 = BigUint::from_hex("7fffffffffffffffffffffffffffffff").unwrap();
+    let sq = m127.mul(&m127);
+    assert_eq!(
+        sq.to_hex(),
+        "3fffffffffffffffffffffffffffffff00000000000000000000000000000001"
+    );
+}
+
+#[test]
+fn signatures_are_not_interchangeable_across_digests_or_schemes() {
+    let rsa1 = SignatureScheme::test_rsa(1001);
+    let rsa2 = SignatureScheme::test_rsa(1002);
+    let dsa = SignatureScheme::test_dsa(1003);
+    let d1 = sha256(b"digest one");
+    let d2 = sha256(b"digest two");
+
+    let s_rsa1 = rsa1.sign_digest(&d1);
+    let s_dsa = dsa.sign_digest(&d1);
+
+    // Correct pairings verify.
+    assert!(rsa1.verifier().verify_digest(&d1, &s_rsa1));
+    assert!(dsa.verifier().verify_digest(&d1, &s_dsa));
+    // Every wrong pairing fails.
+    assert!(!rsa1.verifier().verify_digest(&d2, &s_rsa1));
+    assert!(!rsa2.verifier().verify_digest(&d1, &s_rsa1));
+    assert!(!dsa.verifier().verify_digest(&d2, &s_dsa));
+    assert!(!rsa1.verifier().verify_digest(&d1, &s_dsa));
+    assert!(!dsa.verifier().verify_digest(&d1, &s_rsa1));
+}
+
+#[test]
+fn many_sign_verify_cycles_are_stable() {
+    let scheme = SignatureScheme::test_rsa(1004);
+    let verifier = scheme.verifier();
+    for i in 0..25u32 {
+        let digest = sha256(&i.to_be_bytes());
+        let sig = scheme.sign_digest(&digest);
+        assert!(verifier.verify_digest(&digest, &sig), "cycle {i}");
+        // A signature from one cycle never verifies another cycle's digest.
+        let other = sha256(&(i + 1).to_be_bytes());
+        assert!(!verifier.verify_digest(&other, &sig));
+    }
+}

@@ -1,0 +1,235 @@
+//! Split oracles: does a hyperplane pass through a region?
+//!
+//! The I-tree insert algorithm (paper, Sec. 3.1 step 1) needs to decide, for
+//! every candidate intersection `I_{i,j}` and every tree node's region `X`,
+//! whether the intersection *partitions* `X` — i.e. whether both
+//! `X ∩ {f_i − f_j > 0}` and `X ∩ {f_i − f_j < 0}` are non-empty. This module
+//! provides that decision behind the [`SplitOracle`] trait with two
+//! implementations:
+//!
+//! * [`LpSplitOracle`] — exact (up to floating-point tolerance), using the
+//!   simplex solver to compute the range of the difference function over the
+//!   region.
+//! * [`SamplingSplitOracle`] — Monte-Carlo approximation used by the
+//!   ablation study; cheaper per query but can miss slivers, which the
+//!   ablation bench quantifies.
+
+use crate::subdomain::SubdomainConstraints;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::RefCell;
+
+/// How a hyperplane relates to a region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SplitDecision {
+    /// The hyperplane passes through the region: both strict sides are
+    /// non-empty.
+    Splits,
+    /// The whole region lies on the non-negative side (`g ≥ 0`).
+    AllAbove,
+    /// The whole region lies on the negative side (`g < 0`).
+    AllBelow,
+    /// The region is empty (should not normally be asked).
+    EmptyRegion,
+}
+
+/// Decides whether a linear form's zero set splits a region.
+pub trait SplitOracle {
+    /// Classifies the hyperplane `coeffs·x + constant = 0` against `region`.
+    fn classify(&self, region: &SubdomainConstraints, coeffs: &[f64], constant: f64) -> SplitDecision;
+
+    /// Convenience: true if the hyperplane splits the region.
+    fn splits(&self, region: &SubdomainConstraints, coeffs: &[f64], constant: f64) -> bool {
+        self.classify(region, coeffs, constant) == SplitDecision::Splits
+    }
+}
+
+/// Exact oracle based on the simplex LP solver.
+///
+/// The hyperplane splits the region iff the maximum of `g` over the region is
+/// strictly positive **and** the minimum is strictly negative (beyond the
+/// tolerance). A region entirely on one side is classified accordingly.
+#[derive(Clone, Debug, Default)]
+pub struct LpSplitOracle {
+    /// Tolerance below which an extremum is considered to touch the plane.
+    pub tolerance: f64,
+}
+
+impl LpSplitOracle {
+    /// Creates the oracle with the default tolerance.
+    pub fn new() -> Self {
+        LpSplitOracle { tolerance: 1e-7 }
+    }
+}
+
+impl SplitOracle for LpSplitOracle {
+    fn classify(&self, region: &SubdomainConstraints, coeffs: &[f64], constant: f64) -> SplitDecision {
+        match region.linear_range(coeffs, constant) {
+            None => SplitDecision::EmptyRegion,
+            Some((min, max)) => {
+                let above = max > self.tolerance;
+                let below = min < -self.tolerance;
+                match (above, below) {
+                    (true, true) => SplitDecision::Splits,
+                    (true, false) => SplitDecision::AllAbove,
+                    (false, true) => SplitDecision::AllBelow,
+                    // The form is (numerically) identically zero on the
+                    // region: treat as lying on the closed "above" side.
+                    (false, false) => SplitDecision::AllAbove,
+                }
+            }
+        }
+    }
+}
+
+/// Monte-Carlo oracle: samples points of the region's bounding box, keeps
+/// those inside the region, and looks at the sign of `g` at the survivors.
+///
+/// Used by the feasibility ablation; may misclassify thin regions.
+#[derive(Debug)]
+pub struct SamplingSplitOracle {
+    samples: usize,
+    rng: RefCell<StdRng>,
+}
+
+impl SamplingSplitOracle {
+    /// Creates an oracle drawing `samples` points per query.
+    pub fn new(samples: usize, seed: u64) -> Self {
+        SamplingSplitOracle {
+            samples,
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+}
+
+impl SplitOracle for SamplingSplitOracle {
+    fn classify(&self, region: &SubdomainConstraints, coeffs: &[f64], constant: f64) -> SplitDecision {
+        let mut rng = self.rng.borrow_mut();
+        let mut seen_above = false;
+        let mut seen_below = false;
+        let mut seen_any = false;
+        for _ in 0..self.samples {
+            let p = region.domain.sample(&mut *rng);
+            if !region.contains(&p) {
+                continue;
+            }
+            seen_any = true;
+            let g: f64 = coeffs.iter().zip(p.iter()).map(|(c, v)| c * v).sum::<f64>() + constant;
+            if g > 0.0 {
+                seen_above = true;
+            } else {
+                seen_below = true;
+            }
+            if seen_above && seen_below {
+                return SplitDecision::Splits;
+            }
+        }
+        match (seen_any, seen_above, seen_below) {
+            (false, _, _) => SplitDecision::EmptyRegion,
+            (_, true, false) => SplitDecision::AllAbove,
+            (_, false, true) => SplitDecision::AllBelow,
+            _ => SplitDecision::AllAbove,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::halfspace::HalfSpace;
+
+    fn unit_region(dims: usize) -> SubdomainConstraints {
+        SubdomainConstraints::whole(Domain::unit(dims))
+    }
+
+    #[test]
+    fn lp_oracle_detects_split_through_square() {
+        let oracle = LpSplitOracle::new();
+        // x - y = 0 cuts the unit square diagonally.
+        assert_eq!(
+            oracle.classify(&unit_region(2), &[1.0, -1.0], 0.0),
+            SplitDecision::Splits
+        );
+    }
+
+    #[test]
+    fn lp_oracle_detects_all_above_and_below() {
+        let oracle = LpSplitOracle::new();
+        // x + y + 1 > 0 everywhere on [0,1]^2.
+        assert_eq!(
+            oracle.classify(&unit_region(2), &[1.0, 1.0], 1.0),
+            SplitDecision::AllAbove
+        );
+        // x + y - 5 < 0 everywhere on [0,1]^2.
+        assert_eq!(
+            oracle.classify(&unit_region(2), &[1.0, 1.0], -5.0),
+            SplitDecision::AllBelow
+        );
+    }
+
+    #[test]
+    fn lp_oracle_respects_existing_constraints() {
+        let oracle = LpSplitOracle::new();
+        // Restrict to x >= 0.8; then x - 0.5 = 0 no longer splits.
+        let region = unit_region(1).with(HalfSpace::raw(vec![1.0], -0.8, true));
+        assert_eq!(
+            oracle.classify(&region, &[1.0], -0.5),
+            SplitDecision::AllAbove
+        );
+        // But x - 0.9 = 0 still splits [0.8, 1].
+        assert_eq!(oracle.classify(&region, &[1.0], -0.9), SplitDecision::Splits);
+    }
+
+    #[test]
+    fn lp_oracle_empty_region() {
+        let oracle = LpSplitOracle::new();
+        let region = unit_region(1)
+            .with(HalfSpace::raw(vec![1.0], -0.9, true))
+            .with(HalfSpace::raw(vec![1.0], -0.1, false));
+        assert_eq!(
+            oracle.classify(&region, &[1.0], -0.5),
+            SplitDecision::EmptyRegion
+        );
+    }
+
+    #[test]
+    fn lp_oracle_hyperplane_touching_corner_does_not_split() {
+        let oracle = LpSplitOracle::new();
+        // x + y = 0 only touches the square at the origin corner.
+        assert_eq!(
+            oracle.classify(&unit_region(2), &[1.0, 1.0], 0.0),
+            SplitDecision::AllAbove
+        );
+    }
+
+    #[test]
+    fn sampling_oracle_agrees_on_clear_cases() {
+        let lp = LpSplitOracle::new();
+        let mc = SamplingSplitOracle::new(512, 42);
+        let cases: Vec<(Vec<f64>, f64)> = vec![
+            (vec![1.0, -1.0], 0.0),
+            (vec![1.0, 1.0], 1.0),
+            (vec![1.0, 1.0], -5.0),
+            (vec![1.0, 0.0], -0.5),
+        ];
+        for (coeffs, c) in cases {
+            let a = lp.classify(&unit_region(2), &coeffs, c);
+            let b = mc.classify(&unit_region(2), &coeffs, c);
+            assert_eq!(a, b, "disagreement on {coeffs:?} + {c}");
+        }
+    }
+
+    #[test]
+    fn sampling_oracle_may_miss_slivers_but_never_panics() {
+        // A hyperplane shaving an extremely thin corner: the LP oracle says
+        // Splits, sampling may legitimately answer AllBelow.
+        let lp = LpSplitOracle::new();
+        let mc = SamplingSplitOracle::new(64, 7);
+        let coeffs = vec![1.0, 1.0];
+        let c = -1.999_999;
+        assert_eq!(lp.classify(&unit_region(2), &coeffs, c), SplitDecision::Splits);
+        let d = mc.classify(&unit_region(2), &coeffs, c);
+        assert!(matches!(d, SplitDecision::AllBelow | SplitDecision::Splits));
+    }
+}

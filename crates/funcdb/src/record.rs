@@ -1,0 +1,102 @@
+//! Database records.
+
+use vaq_crypto::sha256::{sha256, Digest};
+
+/// A single record of the outsourced table.
+///
+/// Records carry a unique identifier and a vector of numeric attribute
+/// values (e.g. GPA, number of awards, number of papers in the paper's
+/// running example). The utility-function template maps each record to a
+/// linear function of the query weights.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// Unique identifier assigned by the data owner.
+    pub id: u64,
+    /// Numeric attribute values, in template order.
+    pub attrs: Vec<f64>,
+    /// Optional human-readable label (applicant name, patient id, ...).
+    pub label: Option<String>,
+}
+
+impl Record {
+    /// Creates a record without a label.
+    pub fn new(id: u64, attrs: Vec<f64>) -> Self {
+        Record { id, attrs, label: None }
+    }
+
+    /// Creates a record with a label.
+    pub fn with_label(id: u64, attrs: Vec<f64>, label: impl Into<String>) -> Self {
+        Record {
+            id,
+            attrs,
+            label: Some(label.into()),
+        }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Canonical byte encoding of the record: `id` big-endian followed by
+    /// every attribute as IEEE-754 big-endian bytes, followed by the label
+    /// bytes (if any).
+    ///
+    /// Both the data owner (when building the authenticated structure) and
+    /// the client (when re-hashing returned records during verification)
+    /// must produce exactly the same bytes, so this encoding is the contract
+    /// between them.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.attrs.len() * 8 + 16);
+        out.extend_from_slice(&self.id.to_be_bytes());
+        out.extend_from_slice(&(self.attrs.len() as u32).to_be_bytes());
+        for a in &self.attrs {
+            out.extend_from_slice(&a.to_be_bytes());
+        }
+        if let Some(label) = &self.label {
+            out.extend_from_slice(label.as_bytes());
+        }
+        out
+    }
+
+    /// `H(r)` — the record digest used as a Merkle leaf.
+    pub fn digest(&self) -> Digest {
+        sha256(&self.canonical_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_bytes_are_deterministic() {
+        let r = Record::new(7, vec![3.9, 2.0, 5.0]);
+        assert_eq!(r.canonical_bytes(), r.canonical_bytes());
+        assert_eq!(r.digest(), r.digest());
+    }
+
+    #[test]
+    fn digest_changes_with_any_field() {
+        let base = Record::new(7, vec![3.9, 2.0, 5.0]);
+        let diff_id = Record::new(8, vec![3.9, 2.0, 5.0]);
+        let diff_attr = Record::new(7, vec![3.9, 2.0, 5.1]);
+        let diff_label = Record::with_label(7, vec![3.9, 2.0, 5.0], "alice");
+        assert_ne!(base.digest(), diff_id.digest());
+        assert_ne!(base.digest(), diff_attr.digest());
+        assert_ne!(base.digest(), diff_label.digest());
+    }
+
+    #[test]
+    fn arity_reports_attribute_count() {
+        assert_eq!(Record::new(1, vec![1.0, 2.0]).arity(), 2);
+        assert_eq!(Record::new(1, vec![]).arity(), 0);
+    }
+
+    #[test]
+    fn attribute_order_matters() {
+        let a = Record::new(1, vec![1.0, 2.0]);
+        let b = Record::new(1, vec![2.0, 1.0]);
+        assert_ne!(a.digest(), b.digest());
+    }
+}

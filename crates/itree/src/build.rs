@@ -1,0 +1,196 @@
+//! I-tree construction (paper Sec. 3.1, step 1).
+//!
+//! Starting from a single subdomain node covering the whole domain, every
+//! pairwise intersection `I_{i,j}` is inserted with a breadth-first walk:
+//! wherever the intersection actually partitions a node's region, a
+//! subdomain leaf is converted into an intersection node with two fresh
+//! leaves, and the walk continues into both children of intersection nodes
+//! whose region is split. Regions that lie entirely on one side of the
+//! hyperplane are skipped, which is what keeps the tree from exploding into
+//! the full `O(n^{2d})` arrangement unless the data forces it.
+
+use crate::node::{ITree, Node, NodeId};
+use std::collections::VecDeque;
+use vaq_funcdb::{
+    sort_functions_at, Domain, HalfSpace, LinearFunction, SplitDecision, SplitOracle,
+    SubdomainConstraints,
+};
+
+/// Statistics gathered while building an I-tree.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BuildStats {
+    /// Number of function pairs whose intersection was inserted.
+    pub pairs_inserted: usize,
+    /// Number of split-oracle queries issued.
+    pub oracle_calls: usize,
+    /// Number of nodes visited across all insertions.
+    pub nodes_visited: usize,
+    /// Final number of subdomain (leaf) nodes.
+    pub subdomains: usize,
+    /// Final number of intersection (internal) nodes.
+    pub intersection_nodes: usize,
+}
+
+/// Builds I-trees using a configurable split oracle.
+#[derive(Clone, Debug)]
+pub struct ITreeBuilder<O: SplitOracle> {
+    oracle: O,
+}
+
+impl<O: SplitOracle> ITreeBuilder<O> {
+    /// Creates a builder around the given split oracle.
+    pub fn new(oracle: O) -> Self {
+        ITreeBuilder { oracle }
+    }
+
+    /// Builds the I-tree for `functions` over `domain`.
+    pub fn build(&self, functions: &[LinearFunction], domain: Domain) -> ITree {
+        self.build_with_stats(functions, domain).0
+    }
+
+    /// Builds the I-tree and reports construction statistics.
+    pub fn build_with_stats(
+        &self,
+        functions: &[LinearFunction],
+        domain: Domain,
+    ) -> (ITree, BuildStats) {
+        let mut stats = BuildStats::default();
+
+        // Root: a single subdomain covering the whole domain.
+        let whole = SubdomainConstraints::whole(domain.clone());
+        let witness = whole
+            .witness_point()
+            .unwrap_or_else(|| domain.center());
+        let root_node = Node::Subdomain {
+            constraints: whole,
+            sorted: Vec::new(),
+            witness,
+        };
+        let mut tree = ITree {
+            nodes: vec![root_node],
+            root: NodeId(0),
+            domain,
+            leaves: vec![NodeId(0)],
+        };
+
+        // Insert every pairwise intersection.
+        for i in 0..functions.len() {
+            for j in (i + 1)..functions.len() {
+                let fi = &functions[i];
+                let fj = &functions[j];
+                if fi.same_map(fj) {
+                    // Identical affine maps never produce a transversal
+                    // intersection; their order is resolved by the id
+                    // tie-break in the sort.
+                    continue;
+                }
+                let (coeffs, constant) = fi.difference(fj);
+                self.insert_intersection(&mut tree, fi, fj, &coeffs, constant, &mut stats);
+                stats.pairs_inserted += 1;
+            }
+        }
+
+        // Attach sorted function lists to every leaf.
+        tree.leaves = tree
+            .iter()
+            .filter(|(_, n)| n.is_leaf())
+            .map(|(id, _)| id)
+            .collect();
+        let leaves = tree.leaves.clone();
+        for id in leaves {
+            if let Node::Subdomain {
+                witness, sorted, ..
+            } = &mut tree.nodes[id.index()]
+            {
+                *sorted = sort_functions_at(functions, witness);
+            }
+        }
+
+        stats.subdomains = tree.leaves.len();
+        stats.intersection_nodes = tree.node_count() - tree.leaves.len();
+        (tree, stats)
+    }
+
+    /// Inserts one intersection hyperplane into the tree.
+    fn insert_intersection(
+        &self,
+        tree: &mut ITree,
+        fi: &LinearFunction,
+        fj: &LinearFunction,
+        coeffs: &[f64],
+        constant: f64,
+        stats: &mut BuildStats,
+    ) {
+        let mut queue: VecDeque<(NodeId, SubdomainConstraints)> = VecDeque::new();
+        queue.push_back((
+            tree.root,
+            SubdomainConstraints::whole(tree.domain.clone()),
+        ));
+
+        while let Some((id, region)) = queue.pop_front() {
+            stats.nodes_visited += 1;
+            stats.oracle_calls += 1;
+            let decision = self.oracle.classify(&region, coeffs, constant);
+            if decision != SplitDecision::Splits {
+                continue;
+            }
+            match tree.nodes[id.index()].clone() {
+                Node::Intersection {
+                    coeffs: node_coeffs,
+                    constant: node_constant,
+                    above,
+                    below,
+                    pair,
+                } => {
+                    // Descend into both children, refining the region with the
+                    // half-space each child lives in.
+                    let hs_above = HalfSpace {
+                        coeffs: node_coeffs.clone(),
+                        constant: node_constant,
+                        non_negative: true,
+                        pair: Some((pair.0 .0, pair.1 .0)),
+                    };
+                    let hs_below = hs_above.complement();
+                    queue.push_back((above, region.with(hs_above)));
+                    queue.push_back((below, region.with(hs_below)));
+                }
+                Node::Subdomain { constraints, .. } => {
+                    // Convert this leaf into an intersection node with two new
+                    // subdomain children.
+                    let hs_above = HalfSpace::above(fi, fj);
+                    let hs_below = HalfSpace::below(fi, fj);
+                    let above_constraints = constraints.with(hs_above.clone());
+                    let below_constraints = constraints.with(hs_below.clone());
+
+                    let above_witness = above_constraints
+                        .witness_point()
+                        .unwrap_or_else(|| above_constraints.domain.center());
+                    let below_witness = below_constraints
+                        .witness_point()
+                        .unwrap_or_else(|| below_constraints.domain.center());
+
+                    let above_id = NodeId(tree.nodes.len() as u32);
+                    tree.nodes.push(Node::Subdomain {
+                        constraints: above_constraints,
+                        sorted: Vec::new(),
+                        witness: above_witness,
+                    });
+                    let below_id = NodeId(tree.nodes.len() as u32);
+                    tree.nodes.push(Node::Subdomain {
+                        constraints: below_constraints,
+                        sorted: Vec::new(),
+                        witness: below_witness,
+                    });
+
+                    tree.nodes[id.index()] = Node::Intersection {
+                        pair: (fi.id, fj.id),
+                        coeffs: coeffs.to_vec(),
+                        constant,
+                        above: above_id,
+                        below: below_id,
+                    };
+                }
+            }
+        }
+    }
+}

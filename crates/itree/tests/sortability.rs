@@ -1,0 +1,96 @@
+//! Property tests for the theorem of function sortability (paper Sec. 2.3.1):
+//! inside every subdomain the I-tree produces, the order of the functions is
+//! the same at every point of that subdomain, and it equals the order stored
+//! at the leaf.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vaq_funcdb::{sort_functions_at, Domain, FuncId, LinearFunction, LpSplitOracle};
+use vaq_itree::{ITreeBuilder, Node};
+
+fn functions_from(coeffs: &[(f64, f64)]) -> Vec<LinearFunction> {
+    coeffs
+        .iter()
+        .enumerate()
+        .map(|(i, (a, b))| LinearFunction::new(FuncId(i as u32), vec![*a, *b], 0.0))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every point sampled inside a leaf's constraint system sorts the
+    /// functions exactly as the leaf's stored list (up to ties on
+    /// boundaries, which sampling interior points avoids almost surely).
+    #[test]
+    fn leaf_order_is_invariant_across_the_leaf(
+        coeffs in prop::collection::vec((0.05f64..1.0, 0.05f64..1.0), 2..7),
+        seed in 0u64..1_000,
+    ) {
+        let functions = functions_from(&coeffs);
+        let domain = Domain::unit(2);
+        let tree = ITreeBuilder::new(LpSplitOracle::new()).build(&functions, domain.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        for &leaf in tree.leaf_ids() {
+            let Node::Subdomain { constraints, sorted, .. } = tree.node(leaf) else {
+                panic!("leaf id must reference a subdomain node");
+            };
+            // Rejection-sample a few interior points of this leaf.
+            let mut found = 0;
+            for _ in 0..400 {
+                if found >= 3 {
+                    break;
+                }
+                let p = domain.sample(&mut rng);
+                if !constraints.contains(&p) {
+                    continue;
+                }
+                // Skip points that lie (numerically) on any intersection
+                // boundary, where the order is legitimately ambiguous.
+                let on_boundary = functions.iter().enumerate().any(|(i, fi)| {
+                    functions.iter().skip(i + 1).any(|fj| {
+                        (fi.eval(&p) - fj.eval(&p)).abs() < 1e-9
+                    })
+                });
+                if on_boundary {
+                    continue;
+                }
+                found += 1;
+                let direct = sort_functions_at(&functions, &p);
+                prop_assert_eq!(
+                    &direct, sorted,
+                    "order at {:?} disagrees with leaf order", p
+                );
+            }
+        }
+    }
+
+    /// The leaves partition the domain: every sampled point belongs to the
+    /// constraint system of the leaf that `locate` returns, and `locate`
+    /// agrees with a brute-force scan over all leaves.
+    #[test]
+    fn locate_agrees_with_linear_scan(
+        coeffs in prop::collection::vec((0.05f64..1.0, 0.05f64..1.0), 2..6),
+        px in 0.01f64..0.99,
+        py in 0.01f64..0.99,
+    ) {
+        let functions = functions_from(&coeffs);
+        let tree = ITreeBuilder::new(LpSplitOracle::new()).build(&functions, Domain::unit(2));
+        let p = [px, py];
+        let located = tree.locate(&p);
+        prop_assert!(tree.constraints(located.leaf).contains(&p));
+
+        // At least one leaf must contain the point (they cover the domain);
+        // the located one must be among them.
+        let containing: Vec<_> = tree
+            .leaf_ids()
+            .iter()
+            .copied()
+            .filter(|id| tree.constraints(*id).contains(&p))
+            .collect();
+        prop_assert!(!containing.is_empty());
+        prop_assert!(containing.contains(&located.leaf));
+    }
+}

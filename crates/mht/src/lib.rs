@@ -1,0 +1,478 @@
+//! Merkle hash trees with contiguous-range proofs (the FMH-tree substrate).
+//!
+//! The paper's FMH-tree (Function Merkle Hash tree) is a bottom-up Merkle
+//! tree built over the hashes of a sorted function list, including the
+//! `f_min` / `f_max` sentinel tokens. When the number of nodes in a layer is
+//! odd, the last node is carried into the next round unchanged (paper,
+//! Sec. 3.1 step 2).
+//!
+//! This crate is agnostic about what the leaves are — it works on leaf
+//! digests — so it serves both the per-subdomain FMH-trees of the IFMH
+//! scheme and any other Merkle-authenticated list. The main operations are:
+//!
+//! * [`MerkleTree::build`] — construct the tree from leaf digests,
+//! * [`MerkleTree::prove_range`] — produce a [`RangeProof`] that a
+//!   contiguous run of leaves belongs to the tree,
+//! * [`verify_range`] — recompute the root from the claimed leaves plus the
+//!   proof, counting hash invocations so clients can account for their
+//!   verification cost exactly as the paper's Fig. 7 does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use vaq_crypto::sha256::{sha256_concat, Digest};
+
+/// A Merkle hash tree stored layer by layer.
+///
+/// `layers[0]` holds the leaf digests in order; the last layer holds the
+/// single root digest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MerkleTree {
+    layers: Vec<Vec<Digest>>,
+    /// Number of `H(a|b)` invocations performed while building.
+    pub build_hash_ops: usize,
+}
+
+/// One sibling hash inside a [`RangeProof`], addressed by layer and index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProofNode {
+    /// Layer (0 = leaves).
+    pub layer: u32,
+    /// Index within the layer.
+    pub index: u32,
+    /// The node's digest.
+    pub hash: Digest,
+}
+
+/// A proof that a contiguous range of leaves hashes up to the tree root.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct RangeProof {
+    /// Sibling digests needed to recompute the root.
+    pub nodes: Vec<ProofNode>,
+    /// Total number of leaves of the tree the proof was generated from
+    /// (needed to reproduce the layer shapes during verification).
+    pub leaf_count: u32,
+}
+
+impl RangeProof {
+    /// Serialized size in bytes: each node carries a layer, an index and a
+    /// 32-byte digest, plus the leaf count.
+    pub fn byte_size(&self) -> usize {
+        4 + self.nodes.len() * (4 + 4 + 32)
+    }
+}
+
+/// Result of verifying a range proof.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyOutcome {
+    /// The reconstructed root digest.
+    pub root: Digest,
+    /// Number of hash invocations performed during reconstruction.
+    pub hash_ops: usize,
+}
+
+/// Error cases for range-proof verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The supplied leaves are empty or not contiguous.
+    BadLeafRange,
+    /// A hash needed to compute a parent was neither derivable nor supplied.
+    MissingNode {
+        /// Layer of the missing node.
+        layer: u32,
+        /// Index of the missing node.
+        index: u32,
+    },
+    /// A leaf index is outside the tree.
+    LeafOutOfRange,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::BadLeafRange => write!(f, "leaf range is empty or not contiguous"),
+            VerifyError::MissingNode { layer, index } => {
+                write!(f, "proof is missing node at layer {layer}, index {index}")
+            }
+            VerifyError::LeafOutOfRange => write!(f, "leaf index outside the tree"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl MerkleTree {
+    /// Builds a tree over the given leaf digests.
+    ///
+    /// Panics if `leaves` is empty (the FMH-tree always has at least the two
+    /// sentinel leaves).
+    pub fn build(leaves: Vec<Digest>) -> Self {
+        assert!(!leaves.is_empty(), "Merkle tree needs at least one leaf");
+        let mut layers = vec![leaves];
+        let mut hash_ops = 0usize;
+        while layers.last().expect("non-empty").len() > 1 {
+            let prev = layers.last().expect("non-empty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            let mut i = 0;
+            while i + 1 < prev.len() {
+                next.push(sha256_concat(&prev[i], &prev[i + 1]));
+                hash_ops += 1;
+                i += 2;
+            }
+            if i < prev.len() {
+                // Odd node: carried into the next round unchanged.
+                next.push(prev[i]);
+            }
+            layers.push(next);
+        }
+        MerkleTree {
+            layers,
+            build_hash_ops: hash_ops,
+        }
+    }
+
+    /// The root digest.
+    pub fn root(&self) -> Digest {
+        *self
+            .layers
+            .last()
+            .expect("non-empty tree")
+            .first()
+            .expect("root layer has one node")
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.layers[0].len()
+    }
+
+    /// Leaf digest at `index`.
+    pub fn leaf(&self, index: usize) -> Digest {
+        self.layers[0][index]
+    }
+
+    /// Number of layers (including the leaf layer).
+    pub fn height(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of nodes across all layers (for structure-size
+    /// accounting, Fig. 5c).
+    pub fn node_count(&self) -> usize {
+        self.layers.iter().map(|l| l.len()).sum()
+    }
+
+    /// Approximate in-memory size in bytes (digests only).
+    pub fn byte_size(&self) -> usize {
+        self.node_count() * 32
+    }
+
+    /// Produces a proof that leaves `lo..=hi` belong to this tree.
+    ///
+    /// Panics if the range is empty or out of bounds.
+    pub fn prove_range(&self, lo: usize, hi: usize) -> RangeProof {
+        assert!(lo <= hi, "empty range");
+        assert!(hi < self.leaf_count(), "leaf index out of range");
+        let mut nodes = Vec::new();
+        let mut lo = lo;
+        let mut hi = hi;
+        for (layer_idx, layer) in self.layers.iter().enumerate() {
+            if layer.len() == 1 {
+                break;
+            }
+            // To compute parents floor(lo/2)..=floor(hi/2) we need children
+            // 2*floor(lo/2) ..= 2*floor(hi/2)+1 (clipped to the layer).
+            let need_lo = (lo / 2) * 2;
+            let need_hi = ((hi / 2) * 2 + 1).min(layer.len() - 1);
+            for idx in need_lo..lo {
+                nodes.push(ProofNode {
+                    layer: layer_idx as u32,
+                    index: idx as u32,
+                    hash: layer[idx],
+                });
+            }
+            for idx in (hi + 1)..=need_hi {
+                nodes.push(ProofNode {
+                    layer: layer_idx as u32,
+                    index: idx as u32,
+                    hash: layer[idx],
+                });
+            }
+            lo /= 2;
+            hi /= 2;
+        }
+        RangeProof {
+            nodes,
+            leaf_count: self.leaf_count() as u32,
+        }
+    }
+
+    /// Produces a membership proof for a single leaf.
+    pub fn prove_leaf(&self, index: usize) -> RangeProof {
+        self.prove_range(index, index)
+    }
+}
+
+/// Recomputes the root from a contiguous run of leaf digests starting at
+/// `first_index`, plus the sibling hashes in `proof`.
+///
+/// Returns the reconstructed root and the number of hash operations; the
+/// caller compares the root against a trusted (signed) value.
+pub fn verify_range(
+    first_index: usize,
+    leaves: &[Digest],
+    proof: &RangeProof,
+) -> Result<VerifyOutcome, VerifyError> {
+    if leaves.is_empty() {
+        return Err(VerifyError::BadLeafRange);
+    }
+    let leaf_count = proof.leaf_count as usize;
+    if leaf_count == 0 || first_index + leaves.len() > leaf_count {
+        return Err(VerifyError::LeafOutOfRange);
+    }
+
+    // Known hashes for the current layer: contiguous [lo, hi] plus any proof
+    // nodes for this layer.
+    let mut hash_ops = 0usize;
+    let mut layer_size = leaf_count;
+    let mut layer_idx: u32 = 0;
+    let mut lo = first_index;
+    let mut hi = first_index + leaves.len() - 1;
+    let mut known: Vec<Digest> = leaves.to_vec();
+
+    let get = |known: &[Digest],
+               lo: usize,
+               hi: usize,
+               proof: &RangeProof,
+               layer_idx: u32,
+               idx: usize|
+     -> Option<Digest> {
+        if idx >= lo && idx <= hi {
+            Some(known[idx - lo])
+        } else {
+            proof
+                .nodes
+                .iter()
+                .find(|n| n.layer == layer_idx && n.index as usize == idx)
+                .map(|n| n.hash)
+        }
+    };
+
+    while layer_size > 1 {
+        let parent_size = layer_size.div_ceil(2);
+        let parent_lo = lo / 2;
+        let parent_hi = hi / 2;
+        let mut parents: Vec<Digest> = Vec::with_capacity(parent_hi - parent_lo + 1);
+        for p in parent_lo..=parent_hi {
+            let left_idx = p * 2;
+            let right_idx = p * 2 + 1;
+            let left = get(&known, lo, hi, proof, layer_idx, left_idx).ok_or(
+                VerifyError::MissingNode {
+                    layer: layer_idx,
+                    index: left_idx as u32,
+                },
+            )?;
+            if right_idx >= layer_size {
+                // Odd node carried upward unchanged.
+                parents.push(left);
+            } else {
+                let right = get(&known, lo, hi, proof, layer_idx, right_idx).ok_or(
+                    VerifyError::MissingNode {
+                        layer: layer_idx,
+                        index: right_idx as u32,
+                    },
+                )?;
+                parents.push(sha256_concat(&left, &right));
+                hash_ops += 1;
+            }
+        }
+        known = parents;
+        lo = parent_lo;
+        hi = parent_hi;
+        layer_size = parent_size;
+        layer_idx += 1;
+    }
+
+    Ok(VerifyOutcome {
+        root: known[0],
+        hash_ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaq_crypto::sha256::sha256;
+
+    fn leaves(n: usize) -> Vec<Digest> {
+        (0..n).map(|i| sha256(&(i as u64).to_be_bytes())).collect()
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let l = leaves(1);
+        let t = MerkleTree::build(l.clone());
+        assert_eq!(t.root(), l[0]);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.build_hash_ops, 0);
+    }
+
+    #[test]
+    fn two_leaf_tree_root_is_concat_hash() {
+        let l = leaves(2);
+        let t = MerkleTree::build(l.clone());
+        assert_eq!(t.root(), sha256_concat(&l[0], &l[1]));
+        assert_eq!(t.build_hash_ops, 1);
+    }
+
+    #[test]
+    fn odd_leaf_promotion_matches_manual_construction() {
+        // 3 leaves: layer1 = [H(0|1), leaf2]; root = H(H(0|1) | leaf2)
+        let l = leaves(3);
+        let t = MerkleTree::build(l.clone());
+        let expected = sha256_concat(&sha256_concat(&l[0], &l[1]), &l[2]);
+        assert_eq!(t.root(), expected);
+    }
+
+    #[test]
+    fn build_is_deterministic_and_sensitive() {
+        let t1 = MerkleTree::build(leaves(10));
+        let t2 = MerkleTree::build(leaves(10));
+        assert_eq!(t1.root(), t2.root());
+        let mut changed = leaves(10);
+        changed[3][0] ^= 1;
+        let t3 = MerkleTree::build(changed);
+        assert_ne!(t1.root(), t3.root());
+    }
+
+    #[test]
+    fn prove_and_verify_full_range() {
+        for n in [1usize, 2, 3, 4, 5, 8, 13, 16, 31] {
+            let l = leaves(n);
+            let t = MerkleTree::build(l.clone());
+            let proof = t.prove_range(0, n - 1);
+            let out = verify_range(0, &l, &proof).unwrap();
+            assert_eq!(out.root, t.root(), "n = {n}");
+            assert!(proof.nodes.is_empty(), "full range needs no siblings");
+        }
+    }
+
+    #[test]
+    fn prove_and_verify_every_subrange_small_trees() {
+        for n in [1usize, 2, 3, 5, 7, 9, 12] {
+            let l = leaves(n);
+            let t = MerkleTree::build(l.clone());
+            for lo in 0..n {
+                for hi in lo..n {
+                    let proof = t.prove_range(lo, hi);
+                    let out = verify_range(lo, &l[lo..=hi], &proof).unwrap();
+                    assert_eq!(out.root, t.root(), "n={n} lo={lo} hi={hi}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_leaf_proofs() {
+        let n = 20;
+        let l = leaves(n);
+        let t = MerkleTree::build(l.clone());
+        for i in 0..n {
+            let proof = t.prove_leaf(i);
+            let out = verify_range(i, &l[i..=i], &proof).unwrap();
+            assert_eq!(out.root, t.root());
+            // A single-leaf path in a 20-leaf tree needs ~log2(20) siblings.
+            assert!(proof.nodes.len() <= 6);
+        }
+    }
+
+    #[test]
+    fn verify_detects_tampered_leaf() {
+        let l = leaves(16);
+        let t = MerkleTree::build(l.clone());
+        let proof = t.prove_range(4, 7);
+        let mut bad = l[4..=7].to_vec();
+        bad[1][0] ^= 0xff;
+        let out = verify_range(4, &bad, &proof).unwrap();
+        assert_ne!(out.root, t.root());
+    }
+
+    #[test]
+    fn verify_detects_wrong_position() {
+        let l = leaves(16);
+        let t = MerkleTree::build(l.clone());
+        let proof = t.prove_range(4, 7);
+        // Present the same leaves shifted by one position: either an error or
+        // a root mismatch, never a silent pass.
+        match verify_range(5, &l[4..=7], &proof) {
+            Ok(out) => assert_ne!(out.root, t.root()),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn verify_rejects_out_of_range_and_empty() {
+        let l = leaves(8);
+        let t = MerkleTree::build(l.clone());
+        let proof = t.prove_range(2, 5);
+        assert_eq!(
+            verify_range(6, &l[2..=5], &proof),
+            Err(VerifyError::LeafOutOfRange)
+        );
+        assert_eq!(verify_range(0, &[], &proof), Err(VerifyError::BadLeafRange));
+    }
+
+    #[test]
+    fn verify_missing_proof_node_reported() {
+        let l = leaves(16);
+        let t = MerkleTree::build(l.clone());
+        let mut proof = t.prove_range(4, 7);
+        proof.nodes.pop();
+        let err = verify_range(4, &l[4..=7], &proof).unwrap_err();
+        assert!(matches!(err, VerifyError::MissingNode { .. }));
+    }
+
+    #[test]
+    fn hash_ops_scale_logarithmically_for_single_leaf() {
+        let l = leaves(1024);
+        let t = MerkleTree::build(l.clone());
+        let proof = t.prove_leaf(512);
+        let out = verify_range(512, &l[512..=512], &proof).unwrap();
+        assert_eq!(out.root, t.root());
+        assert!(out.hash_ops <= 11, "hash_ops = {}", out.hash_ops);
+    }
+
+    #[test]
+    fn proof_sizes_are_reported() {
+        let l = leaves(64);
+        let t = MerkleTree::build(l.clone());
+        let proof = t.prove_range(10, 20);
+        assert_eq!(proof.byte_size(), 4 + proof.nodes.len() * 40);
+        assert!(t.byte_size() >= 64 * 32);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_any_subrange_verifies(n in 1usize..80, seed in 0u64..1000) {
+            let l: Vec<Digest> = (0..n).map(|i| sha256(&(i as u64 ^ seed).to_be_bytes())).collect();
+            let t = MerkleTree::build(l.clone());
+            let lo = (seed as usize) % n;
+            let hi = lo + ((seed as usize / 7) % (n - lo));
+            let proof = t.prove_range(lo, hi);
+            let out = verify_range(lo, &l[lo..=hi], &proof).unwrap();
+            proptest::prop_assert_eq!(out.root, t.root());
+        }
+
+        #[test]
+        fn prop_tampering_any_leaf_changes_root(n in 2usize..60, which in 0usize..60) {
+            let which = which % n;
+            let l = (0..n).map(|i| sha256(&(i as u64).to_be_bytes())).collect::<Vec<_>>();
+            let t = MerkleTree::build(l.clone());
+            let mut tampered = l.clone();
+            tampered[which][5] ^= 0x80;
+            let t2 = MerkleTree::build(tampered);
+            proptest::prop_assert_ne!(t.root(), t2.root());
+        }
+    }
+}

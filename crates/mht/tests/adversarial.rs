@@ -1,0 +1,126 @@
+//! Adversarial tests for the Merkle range proofs: an attacker who controls
+//! the proof bytes (but not the signed root) must never get a wrong leaf set
+//! accepted.
+
+use vaq_crypto::sha256::{sha256, Digest};
+use vaq_mht::{verify_range, MerkleTree, ProofNode, RangeProof};
+
+fn leaves(n: usize, salt: u64) -> Vec<Digest> {
+    (0..n)
+        .map(|i| sha256(&(i as u64 ^ (salt << 32)).to_be_bytes()))
+        .collect()
+}
+
+#[test]
+fn swapping_two_leaves_changes_the_root() {
+    let mut l = leaves(9, 1);
+    let t1 = MerkleTree::build(l.clone());
+    l.swap(2, 6);
+    let t2 = MerkleTree::build(l);
+    assert_ne!(t1.root(), t2.root());
+}
+
+#[test]
+fn proof_for_one_tree_does_not_verify_leaves_of_another() {
+    let la = leaves(12, 2);
+    let lb = leaves(12, 3);
+    let ta = MerkleTree::build(la.clone());
+    let tb = MerkleTree::build(lb.clone());
+    let proof_a = ta.prove_range(3, 6);
+    // Presenting tree B's leaves with tree A's proof must not reproduce
+    // tree A's root (nor B's, except by negligible-probability collision).
+    let out = verify_range(3, &lb[3..=6], &proof_a).unwrap();
+    assert_ne!(out.root, ta.root());
+    assert_ne!(out.root, tb.root());
+}
+
+#[test]
+fn inserting_an_extra_leaf_into_the_claimed_range_fails() {
+    let l = leaves(16, 4);
+    let t = MerkleTree::build(l.clone());
+    let proof = t.prove_range(5, 8);
+    // The adversary claims a 5-leaf range using the 4-leaf proof.
+    let mut claimed = l[5..=8].to_vec();
+    claimed.push(sha256(b"smuggled"));
+    match verify_range(5, &claimed, &proof) {
+        Ok(out) => assert_ne!(out.root, t.root()),
+        Err(_) => {}
+    }
+}
+
+#[test]
+fn omitting_a_leaf_from_the_claimed_range_fails() {
+    let l = leaves(16, 5);
+    let t = MerkleTree::build(l.clone());
+    let proof = t.prove_range(5, 8);
+    let claimed = l[5..=7].to_vec(); // one leaf short
+    match verify_range(5, &claimed, &proof) {
+        Ok(out) => assert_ne!(out.root, t.root()),
+        Err(_) => {}
+    }
+}
+
+#[test]
+fn extra_bogus_proof_nodes_cannot_override_derived_hashes() {
+    let l = leaves(16, 6);
+    let t = MerkleTree::build(l.clone());
+    let mut proof = t.prove_range(4, 7);
+    // Append decoy nodes claiming different hashes for positions the
+    // verifier derives itself; the verifier must prefer its own derivation
+    // (it only consults the proof for positions it cannot derive).
+    proof.nodes.push(ProofNode {
+        layer: 1,
+        index: 2,
+        hash: sha256(b"decoy"),
+    });
+    let out = verify_range(4, &l[4..=7], &proof).unwrap();
+    assert_eq!(out.root, t.root());
+}
+
+#[test]
+fn forged_leaf_count_changes_the_reconstructed_root() {
+    let l = leaves(10, 7);
+    let t = MerkleTree::build(l.clone());
+    let honest = t.prove_range(2, 4);
+    for forged_count in [5u32, 8, 12, 64] {
+        let proof = RangeProof {
+            nodes: honest.nodes.clone(),
+            leaf_count: forged_count,
+        };
+        match verify_range(2, &l[2..=4], &proof) {
+            Ok(out) => assert_ne!(
+                out.root,
+                t.root(),
+                "forged leaf count {forged_count} must not reproduce the root"
+            ),
+            Err(_) => {}
+        }
+    }
+}
+
+#[test]
+fn single_leaf_tree_proofs_are_trivial_but_sound() {
+    let l = leaves(1, 8);
+    let t = MerkleTree::build(l.clone());
+    let proof = t.prove_leaf(0);
+    assert!(proof.nodes.is_empty());
+    let out = verify_range(0, &l, &proof).unwrap();
+    assert_eq!(out.root, t.root());
+    assert_eq!(out.hash_ops, 0);
+    // A different leaf value cannot reproduce the root.
+    let out = verify_range(0, &[sha256(b"other")], &proof).unwrap();
+    assert_ne!(out.root, t.root());
+}
+
+#[test]
+fn large_tree_full_and_partial_consistency() {
+    let n = 1000;
+    let l = leaves(n, 9);
+    let t = MerkleTree::build(l.clone());
+    // Several windows across the tree all reconstruct the same root.
+    for (lo, hi) in [(0, 0), (0, 999), (500, 503), (990, 999), (1, 998)] {
+        let proof = t.prove_range(lo, hi);
+        let out = verify_range(lo, &l[lo..=hi], &proof).unwrap();
+        assert_eq!(out.root, t.root(), "window [{lo}, {hi}]");
+    }
+}

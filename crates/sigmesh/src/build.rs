@@ -1,0 +1,203 @@
+//! Signature-mesh construction and server-side query processing.
+
+use crate::vo::{pair_digest, MeshBoundary, MeshResponse, MeshVo};
+use vaq_authquery::cost::{OwnerStats, ServerCost};
+use vaq_authquery::Query;
+use vaq_crypto::sha256::Digest;
+use vaq_crypto::{Signature, Signer};
+use vaq_funcdb::{Dataset, FuncId, LpSplitOracle, SubdomainConstraints};
+use vaq_itree::ITreeBuilder;
+
+/// One cell (subdomain) of the signature mesh.
+#[derive(Clone, Debug)]
+pub struct MeshCell {
+    /// The subdomain's constraint system.
+    pub constraints: SubdomainConstraints,
+    /// A point inside the subdomain.
+    pub witness: Vec<f64>,
+    /// Function ids sorted ascending by score inside this subdomain.
+    pub sorted: Vec<FuncId>,
+}
+
+/// The signature mesh: every subdomain's sorted list with one signature per
+/// consecutive pair.
+#[derive(Debug)]
+pub struct SignatureMesh {
+    cells: Vec<MeshCell>,
+    /// `signatures[c][p]` signs pair `p` of cell `c`; pair 0 is
+    /// `(min, first)`, pair `n` is `(last, max)`.
+    signatures: Vec<Vec<Signature>>,
+    stats: OwnerStats,
+}
+
+impl SignatureMesh {
+    /// Builds the mesh for a dataset: enumerates the subdomain arrangement
+    /// (using the same exact split oracle as the IFMH-tree so the two
+    /// schemes index identical subdomains) and signs every consecutive pair
+    /// in every subdomain.
+    pub fn build(dataset: &Dataset, signer: &dyn Signer) -> Self {
+        // Enumerate subdomains with the shared I-tree machinery; the mesh
+        // itself keeps only the flat cell list (it has no search tree — that
+        // is precisely its weakness).
+        let itree =
+            ITreeBuilder::new(LpSplitOracle::new()).build(&dataset.functions, dataset.domain.clone());
+
+        let record_digests: Vec<Digest> = dataset.records.iter().map(|r| r.digest()).collect();
+        let mut hash_ops = record_digests.len();
+        let min_d = MeshBoundary::MinToken.digest();
+        let max_d = MeshBoundary::MaxToken.digest();
+        hash_ops += 2;
+
+        let mut cells = Vec::with_capacity(itree.subdomain_count());
+        let mut signatures = Vec::with_capacity(itree.subdomain_count());
+        let mut structure_bytes = 0usize;
+        let sig_size = signer.verifier().signature_size();
+
+        for &leaf in itree.leaf_ids() {
+            let constraints = itree.constraints(leaf).clone();
+            let sorted = itree.sorted_list(leaf).to_vec();
+            let witness = constraints
+                .witness_point()
+                .unwrap_or_else(|| constraints.domain.center());
+
+            // Leaf digests with the min/max tokens at the ends.
+            let mut chain: Vec<Digest> = Vec::with_capacity(sorted.len() + 2);
+            chain.push(min_d);
+            for id in &sorted {
+                chain.push(record_digests[id.index()]);
+            }
+            chain.push(max_d);
+
+            let cell_digest = constraints.digest();
+            hash_ops += 1;
+
+            let mut cell_sigs = Vec::with_capacity(chain.len() - 1);
+            for pair in chain.windows(2) {
+                let digest = pair_digest(&pair[0], &pair[1], &cell_digest);
+                hash_ops += 1;
+                cell_sigs.push(signer.sign_digest(&digest));
+            }
+            structure_bytes += constraints.canonical_bytes().len()
+                + sorted.len() * 4
+                + cell_sigs.len() * sig_size;
+
+            cells.push(MeshCell {
+                constraints,
+                witness,
+                sorted,
+            });
+            signatures.push(cell_sigs);
+        }
+
+        let total_signatures: usize = signatures.iter().map(Vec::len).sum();
+        let stats = OwnerStats {
+            records: dataset.len(),
+            subdomains: cells.len(),
+            imh_nodes: 0,
+            fmh_nodes: 0,
+            hash_ops,
+            signatures: total_signatures,
+            structure_bytes,
+        };
+
+        SignatureMesh {
+            cells,
+            signatures,
+            stats,
+        }
+    }
+
+    /// Number of mesh cells (subdomains).
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Read access to the cells.
+    pub fn cells(&self) -> &[MeshCell] {
+        &self.cells
+    }
+
+    /// Owner-side statistics (Fig. 5 metrics).
+    pub fn stats(&self) -> &OwnerStats {
+        &self.stats
+    }
+
+    /// Processes an analytic query: linear search for the containing cell,
+    /// window selection on its sorted list, and assembly of the signature
+    /// chain covering the window.
+    pub fn process(&self, dataset: &Dataset, query: &Query) -> MeshResponse {
+        let x = query.weights();
+
+        // Linear search over the cells — the cost the paper criticises.
+        let mut scanned = 0usize;
+        let mut found: Option<usize> = None;
+        for (idx, cell) in self.cells.iter().enumerate() {
+            scanned += 1;
+            if cell.constraints.contains(x) {
+                found = Some(idx);
+                break;
+            }
+        }
+        let cell_idx = found.expect("query weights outside the declared domain");
+        let cell = &self.cells[cell_idx];
+        let n = cell.sorted.len();
+
+        let scores: Vec<f64> = cell.sorted.iter().map(|id| dataset.score(*id, x)).collect();
+        let window = query.select_window(&scores);
+
+        // Positions in the token-extended chain: token 0 = min, records at
+        // 1..=n, token n+1 = max. Pair p sits between chain positions p and
+        // p+1.
+        let (records, first_chain, last_chain): (Vec<_>, usize, usize) = match window {
+            Some((s, e)) => (
+                cell.sorted[s..=e]
+                    .iter()
+                    .map(|id| dataset.record(*id).clone())
+                    .collect(),
+                s,
+                e + 2,
+            ),
+            None => {
+                let p = match query {
+                    Query::Range { lower, .. } => scores.partition_point(|v| *v < *lower),
+                    _ => n,
+                };
+                (Vec::new(), p, p + 1)
+            }
+        };
+
+        let left_boundary = if first_chain == 0 {
+            MeshBoundary::MinToken
+        } else {
+            MeshBoundary::Record(dataset.record(cell.sorted[first_chain - 1]).clone())
+        };
+        let right_boundary = if last_chain == n + 1 {
+            MeshBoundary::MaxToken
+        } else {
+            MeshBoundary::Record(dataset.record(cell.sorted[last_chain - 1]).clone())
+        };
+
+        // Pair signatures covering chain positions first_chain..last_chain.
+        let pair_signatures: Vec<Signature> = (first_chain..last_chain)
+            .map(|p| self.signatures[cell_idx][p].clone())
+            .collect();
+
+        let cost = ServerCost {
+            imh_nodes_visited: scanned,
+            fmh_nodes_visited: (last_chain - first_chain + 1) + pair_signatures.len(),
+            vo_nodes_collected: pair_signatures.len(),
+            result_len: records.len(),
+        };
+
+        MeshResponse {
+            records,
+            vo: MeshVo {
+                subdomain: cell.constraints.clone(),
+                left_boundary,
+                right_boundary,
+                pair_signatures,
+            },
+            cost,
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Client-side verification of signature-mesh responses.
+
+use crate::vo::{pair_digest, MeshBoundary, MeshResponse};
+use vaq_authquery::cost::ClientCost;
+use vaq_authquery::{Query, VerifyError};
+use vaq_crypto::sha256::Digest;
+use vaq_crypto::Verifier;
+use vaq_funcdb::{FuncId, FunctionTemplate, Record};
+
+/// Tolerance for boundary score comparisons.
+const SCORE_EPS: f64 = 1e-9;
+
+/// Outcome of a successful mesh verification.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MeshVerified {
+    /// Client cost counters (hashes and signature verifications).
+    pub cost: ClientCost,
+}
+
+/// Verifies a signature-mesh query response.
+///
+/// The client checks that (1) the query's weight vector lies in the
+/// subdomain the server answered from, (2) every consecutive pair across
+/// `[left, result…, right]` carries a valid owner signature bound to that
+/// subdomain — which proves soundness and adjacency — and (3) the boundary
+/// entries prove completeness for the specific query type.
+pub fn verify(
+    query: &Query,
+    response: &MeshResponse,
+    template: &FunctionTemplate,
+    verifier: &dyn Verifier,
+) -> Result<MeshVerified, VerifyError> {
+    let mut cost = ClientCost::default();
+    let x = query.weights();
+    let vo = &response.vo;
+    let records = &response.records;
+
+    if x.len() != template.dims() {
+        return Err(VerifyError::BadRecord(
+            "query weight vector does not match the template arity".into(),
+        ));
+    }
+
+    // (1) Subdomain containment.
+    if vo.subdomain.dims() != x.len() || !vo.subdomain.contains(x) {
+        return Err(VerifyError::WrongSubdomain);
+    }
+    let cell_digest = vo.subdomain.digest();
+    cost.hash_ops += 1;
+
+    // (2) Signature chain over consecutive pairs.
+    let mut chain: Vec<Digest> = Vec::with_capacity(records.len() + 2);
+    chain.push(vo.left_boundary.digest());
+    cost.hash_ops += 1;
+    for r in records {
+        chain.push(r.digest());
+        cost.hash_ops += 1;
+    }
+    chain.push(vo.right_boundary.digest());
+    cost.hash_ops += 1;
+
+    if vo.pair_signatures.len() != chain.len() - 1 {
+        return Err(VerifyError::MalformedVo(format!(
+            "expected {} pair signatures, got {}",
+            chain.len() - 1,
+            vo.pair_signatures.len()
+        )));
+    }
+    for (pair, signature) in chain.windows(2).zip(vo.pair_signatures.iter()) {
+        let digest = pair_digest(&pair[0], &pair[1], &cell_digest);
+        cost.hash_ops += 1;
+        cost.signature_verifications += 1;
+        if !verifier.verify_digest(&digest, signature) {
+            return Err(VerifyError::SignatureMismatch);
+        }
+    }
+
+    // (3) Query semantics.
+    let score_of = |record: &Record| -> Result<f64, VerifyError> {
+        if record.arity() != template.dims() {
+            return Err(VerifyError::BadRecord(format!(
+                "record {} has arity {}, template needs {}",
+                record.id,
+                record.arity(),
+                template.dims()
+            )));
+        }
+        Ok(template.to_function(FuncId(0), record).eval(x))
+    };
+    let scores: Vec<f64> = records.iter().map(&score_of).collect::<Result<_, _>>()?;
+    for w in scores.windows(2) {
+        if w[0] > w[1] + SCORE_EPS {
+            return Err(VerifyError::InconsistentResultOrder);
+        }
+    }
+    let left_score = match &vo.left_boundary {
+        MeshBoundary::Record(r) => Some(score_of(r)?),
+        _ => None,
+    };
+    let right_score = match &vo.right_boundary {
+        MeshBoundary::Record(r) => Some(score_of(r)?),
+        _ => None,
+    };
+
+    match query {
+        Query::Range { lower, upper, .. } => {
+            for (i, s) in scores.iter().enumerate() {
+                if *s < lower - SCORE_EPS || *s > upper + SCORE_EPS {
+                    return Err(VerifyError::UnsoundRecord { position: i });
+                }
+            }
+            if let Some(ls) = left_score {
+                if ls >= *lower - SCORE_EPS {
+                    return Err(VerifyError::Incomplete(
+                        "left boundary record also satisfies the range".into(),
+                    ));
+                }
+            }
+            if let Some(rs) = right_score {
+                if rs <= *upper + SCORE_EPS {
+                    return Err(VerifyError::Incomplete(
+                        "right boundary record also satisfies the range".into(),
+                    ));
+                }
+            }
+        }
+        Query::TopK { k, .. } => {
+            if !records.is_empty() || *k > 0 {
+                // The window must end at the max token unless the database is
+                // smaller than k (in which case it must start at the min
+                // token as well and include everything).
+                if !matches!(vo.right_boundary, MeshBoundary::MaxToken) {
+                    return Err(VerifyError::Incomplete(
+                        "top-k result does not end at the maximum of the list".into(),
+                    ));
+                }
+                if records.len() < *k && !matches!(vo.left_boundary, MeshBoundary::MinToken) {
+                    return Err(VerifyError::WrongResultLength {
+                        expected: *k,
+                        got: records.len(),
+                    });
+                }
+                if records.len() > *k {
+                    return Err(VerifyError::WrongResultLength {
+                        expected: *k,
+                        got: records.len(),
+                    });
+                }
+                if let (Some(ls), Some(min_included)) = (
+                    left_score,
+                    scores.iter().cloned().reduce(f64::min),
+                ) {
+                    if ls > min_included + SCORE_EPS {
+                        return Err(VerifyError::Incomplete(
+                            "a record outside the top-k result scores higher than a returned one"
+                                .into(),
+                        ));
+                    }
+                }
+            }
+        }
+        Query::Knn { k, target, .. } => {
+            if records.len() > *k {
+                return Err(VerifyError::WrongResultLength {
+                    expected: *k,
+                    got: records.len(),
+                });
+            }
+            if records.len() < *k
+                && !(matches!(vo.left_boundary, MeshBoundary::MinToken)
+                    && matches!(vo.right_boundary, MeshBoundary::MaxToken))
+            {
+                return Err(VerifyError::WrongResultLength {
+                    expected: *k,
+                    got: records.len(),
+                });
+            }
+            if !records.is_empty() {
+                let worst_included = scores
+                    .iter()
+                    .map(|s| (s - target).abs())
+                    .fold(0.0f64, f64::max);
+                if let Some(ls) = left_score {
+                    if (ls - target).abs() + SCORE_EPS < worst_included {
+                        return Err(VerifyError::Incomplete(
+                            "an excluded record is closer to the target than a returned one".into(),
+                        ));
+                    }
+                }
+                if let Some(rs) = right_score {
+                    if (rs - target).abs() + SCORE_EPS < worst_included {
+                        return Err(VerifyError::Incomplete(
+                            "an excluded record is closer to the target than a returned one".into(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(MeshVerified { cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SignatureMesh;
+    use vaq_crypto::{SignatureScheme, Signer};
+    use vaq_workload::uniform_dataset;
+
+    #[test]
+    fn mesh_client_cost_has_many_signature_verifications() {
+        let ds = uniform_dataset(15, 1, 31);
+        let scheme = SignatureScheme::test_rsa(31);
+        let mesh = SignatureMesh::build(&ds, &scheme);
+        let verifier = scheme.verifier();
+        let query = Query::top_k(vec![0.5], 6);
+        let resp = mesh.process(&ds, &query);
+        let verified = verify(&query, &resp, &ds.template, verifier.as_ref()).unwrap();
+        // |q| + 1 signature verifications — the defining cost of the mesh.
+        assert_eq!(verified.cost.signature_verifications, resp.records.len() + 1);
+        assert!(verified.cost.hash_ops >= resp.records.len());
+    }
+
+    #[test]
+    fn mesh_rejects_wrong_subdomain_weights() {
+        let ds = uniform_dataset(6, 2, 32);
+        let scheme = SignatureScheme::test_rsa(32);
+        let mesh = SignatureMesh::build(&ds, &scheme);
+        if mesh.cell_count() < 2 {
+            return;
+        }
+        let verifier = scheme.verifier();
+        // Answer honestly for one weight vector, verify against another that
+        // lives in a different cell.
+        let probes: Vec<Vec<f64>> = (1..40)
+            .map(|i| vec![i as f64 / 40.0, 1.0 - i as f64 / 40.0])
+            .collect();
+        let base_cell = mesh
+            .cells()
+            .iter()
+            .position(|c| c.constraints.contains(&probes[0]))
+            .unwrap();
+        let other = probes[1..]
+            .iter()
+            .find(|w| {
+                mesh.cells()
+                    .iter()
+                    .position(|c| c.constraints.contains(w))
+                    .unwrap()
+                    != base_cell
+            })
+            .cloned();
+        let Some(other) = other else { return };
+        let resp = mesh.process(&ds, &Query::top_k(probes[0].clone(), 2));
+        let replay_query = Query::top_k(other, 2);
+        let out = verify(&replay_query, &resp, &ds.template, verifier.as_ref());
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn mesh_rejects_mismatched_signature_count() {
+        let ds = uniform_dataset(10, 1, 33);
+        let scheme = SignatureScheme::test_rsa(33);
+        let mesh = SignatureMesh::build(&ds, &scheme);
+        let verifier = scheme.verifier();
+        let query = Query::range(vec![0.5], 0.2, 0.8);
+        let mut resp = mesh.process(&ds, &query);
+        resp.vo.pair_signatures.pop();
+        let out = verify(&query, &resp, &ds.template, verifier.as_ref());
+        assert!(matches!(out, Err(VerifyError::MalformedVo(_))));
+    }
+}

@@ -1,0 +1,123 @@
+//! Verification objects for the signature-mesh baseline.
+
+use vaq_authquery::cost::ServerCost;
+use vaq_crypto::sha256::{sha256, Digest, Sha256};
+use vaq_crypto::Signature;
+use vaq_funcdb::{Record, SubdomainConstraints};
+
+/// A boundary entry flanking a mesh query result.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MeshBoundary {
+    /// The `min` token of the sorted list.
+    MinToken,
+    /// The `max` token of the sorted list.
+    MaxToken,
+    /// A real record adjacent to the result window.
+    Record(Record),
+}
+
+impl MeshBoundary {
+    /// Digest of the entry as it appears inside pair digests.
+    pub fn digest(&self) -> Digest {
+        match self {
+            MeshBoundary::MinToken => sha256(b"vaq-sigmesh:min-token"),
+            MeshBoundary::MaxToken => sha256(b"vaq-sigmesh:max-token"),
+            MeshBoundary::Record(r) => r.digest(),
+        }
+    }
+
+    /// Approximate serialized size.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            MeshBoundary::MinToken | MeshBoundary::MaxToken => 1,
+            MeshBoundary::Record(r) => 1 + r.canonical_bytes().len(),
+        }
+    }
+}
+
+/// The digest signed for one consecutive pair inside one subdomain:
+/// `H( H(left) | H(right) | B_i )` where `B_i` is the digest of the
+/// subdomain's defining constraint system.
+pub fn pair_digest(left: &Digest, right: &Digest, subdomain: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(left);
+    h.update(right);
+    h.update(subdomain);
+    h.finalize()
+}
+
+/// The verification object returned with a mesh query result.
+#[derive(Clone, Debug)]
+pub struct MeshVo {
+    /// The constraint system of the subdomain that contains the query's
+    /// weight vector (the client checks containment and hashes it into the
+    /// pair digests).
+    pub subdomain: SubdomainConstraints,
+    /// Record (or token) immediately left of the result window.
+    pub left_boundary: MeshBoundary,
+    /// Record (or token) immediately right of the result window.
+    pub right_boundary: MeshBoundary,
+    /// One signature per consecutive pair across
+    /// `[left, r_a, …, r_b, right]` — that is `|q| + 1` signatures.
+    pub pair_signatures: Vec<Signature>,
+}
+
+impl MeshVo {
+    /// Approximate size in bytes (Fig. 8 metric).
+    pub fn byte_size(&self) -> usize {
+        let constraints_bytes = self.subdomain.canonical_bytes().len();
+        constraints_bytes
+            + self.left_boundary.byte_size()
+            + self.right_boundary.byte_size()
+            + self
+                .pair_signatures
+                .iter()
+                .map(Signature::byte_len)
+                .sum::<usize>()
+    }
+
+    /// Number of signatures carried.
+    pub fn signature_count(&self) -> usize {
+        self.pair_signatures.len()
+    }
+}
+
+/// A mesh query response: result records, verification object and server
+/// cost counters (shared [`ServerCost`] type so the harness can compare the
+/// schemes directly).
+#[derive(Clone, Debug)]
+pub struct MeshResponse {
+    /// Result records in ascending score order.
+    pub records: Vec<Record>,
+    /// The verification object.
+    pub vo: MeshVo,
+    /// Server cost; `imh_nodes_visited` holds the number of mesh cells
+    /// scanned by the linear subdomain search.
+    pub cost: ServerCost,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_digests_are_distinct() {
+        let r = Record::new(1, vec![0.4]);
+        let d1 = MeshBoundary::MinToken.digest();
+        let d2 = MeshBoundary::MaxToken.digest();
+        let d3 = MeshBoundary::Record(r).digest();
+        assert_ne!(d1, d2);
+        assert_ne!(d1, d3);
+        assert_ne!(d2, d3);
+    }
+
+    #[test]
+    fn pair_digest_binds_all_parts() {
+        let a = sha256(b"a");
+        let b = sha256(b"b");
+        let s1 = sha256(b"cell-1");
+        let s2 = sha256(b"cell-2");
+        assert_ne!(pair_digest(&a, &b, &s1), pair_digest(&b, &a, &s1));
+        assert_ne!(pair_digest(&a, &b, &s1), pair_digest(&a, &b, &s2));
+    }
+}

@@ -1,0 +1,281 @@
+//! Low-level writer and reader over byte buffers.
+
+use crate::error::WireError;
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Maximum number of elements a length-prefixed collection may declare.
+///
+/// Protects decoders from allocating unbounded memory when fed garbage; the
+/// largest legitimate collections in this protocol are result sets, which at
+/// paper scale top out at 10,000 records.
+pub const MAX_COLLECTION_LEN: usize = 4_000_000;
+
+/// An append-only byte writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer { buf: BytesMut::new() }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer and returns the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Writes a boolean as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.put_u8(v as u8);
+    }
+
+    /// Writes a little-endian u16.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.put_u16_le(v);
+    }
+
+    /// Writes a little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Writes a little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Writes an IEEE-754 double.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.put_slice(v);
+    }
+
+    /// Writes a fixed-size 32-byte digest (no length prefix).
+    pub fn put_digest(&mut self, v: &[u8; 32]) {
+        self.buf.put_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_string(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Writes a length prefix for a collection of `n` elements.
+    pub fn put_len(&mut self, n: usize) {
+        self.put_u32(n as u32);
+    }
+
+    /// Writes a length-prefixed list of f64.
+    pub fn put_f64_slice(&mut self, v: &[f64]) {
+        self.put_len(v.len());
+        for x in v {
+            self.put_f64(*x);
+        }
+    }
+}
+
+/// A cursor-style byte reader.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    /// Errors unless every byte has been consumed.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.remaining()))
+        }
+    }
+
+    fn need(&self, n: usize) -> Result<(), WireError> {
+        if self.remaining() < n {
+            Err(WireError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a boolean.
+    pub fn get_bool(&mut self) -> Result<bool, WireError> {
+        Ok(self.get_u8()? != 0)
+    }
+
+    /// Reads a little-endian u16.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        self.need(2)?;
+        Ok(self.buf.get_u16_le())
+    }
+
+    /// Reads a little-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Reads a little-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Reads an IEEE-754 double.
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.get_len()?;
+        self.need(len)?;
+        let mut out = vec![0u8; len];
+        self.buf.copy_to_slice(&mut out);
+        Ok(out)
+    }
+
+    /// Reads a fixed-size 32-byte digest.
+    pub fn get_digest(&mut self) -> Result<[u8; 32], WireError> {
+        self.need(32)?;
+        let mut out = [0u8; 32];
+        self.buf.copy_to_slice(&mut out);
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_string(&mut self) -> Result<String, WireError> {
+        String::from_utf8(self.get_bytes()?).map_err(|_| WireError::InvalidUtf8)
+    }
+
+    /// Reads a collection length prefix, enforcing [`MAX_COLLECTION_LEN`].
+    pub fn get_len(&mut self) -> Result<usize, WireError> {
+        let len = self.get_u32()? as usize;
+        if len > MAX_COLLECTION_LEN {
+            return Err(WireError::LengthLimitExceeded(len));
+        }
+        Ok(len)
+    }
+
+    /// Reads a length-prefixed list of f64.
+    pub fn get_f64_vec(&mut self) -> Result<Vec<f64>, WireError> {
+        let len = self.get_len()?;
+        let mut out = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            out.push(self.get_f64()?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u16(65_000);
+        w.put_u32(4_000_000_000);
+        w.put_u64(u64::MAX - 3);
+        w.put_f64(-1.25e17);
+        w.put_bytes(b"hello");
+        w.put_string("wörld");
+        w.put_digest(&[9u8; 32]);
+        w.put_f64_slice(&[1.0, 2.0, 3.5]);
+        assert!(!w.is_empty());
+
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u16().unwrap(), 65_000);
+        assert_eq!(r.get_u32().unwrap(), 4_000_000_000);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_f64().unwrap(), -1.25e17);
+        assert_eq!(r.get_bytes().unwrap(), b"hello");
+        assert_eq!(r.get_string().unwrap(), "wörld");
+        assert_eq!(r.get_digest().unwrap(), [9u8; 32]);
+        assert_eq!(r.get_f64_vec().unwrap(), vec![1.0, 2.0, 3.5]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_detected_for_every_primitive() {
+        let mut w = Writer::new();
+        w.put_u64(1);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..3]);
+        assert_eq!(r.get_u64(), Err(WireError::Truncated));
+
+        let mut r = Reader::new(&[]);
+        assert_eq!(r.get_u8(), Err(WireError::Truncated));
+        assert_eq!(Reader::new(&[]).get_digest(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn collection_length_limit_enforced() {
+        let mut w = Writer::new();
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.get_len(), Err(WireError::LengthLimitExceeded(_))));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut w = Writer::new();
+        w.put_bytes(&[0xff, 0xfe, 0xfd]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_string(), Err(WireError::InvalidUtf8));
+    }
+
+    #[test]
+    fn trailing_bytes_reported() {
+        let r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.expect_end(), Err(WireError::TrailingBytes(3)));
+    }
+}

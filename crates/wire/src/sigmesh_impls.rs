@@ -1,0 +1,145 @@
+//! Wire encodings for the signature-mesh baseline's messages.
+
+use crate::error::WireError;
+use crate::io::{Reader, Writer};
+use crate::{WireDecode, WireEncode};
+use vaq_authquery::cost::ServerCost;
+use vaq_crypto::Signature;
+use vaq_funcdb::{Record, SubdomainConstraints};
+use vaq_sigmesh::{MeshBoundary, MeshResponse, MeshVo};
+
+const MESH_BOUNDARY_MIN: u8 = 1;
+const MESH_BOUNDARY_MAX: u8 = 2;
+const MESH_BOUNDARY_RECORD: u8 = 3;
+
+impl WireEncode for MeshBoundary {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            MeshBoundary::MinToken => w.put_u8(MESH_BOUNDARY_MIN),
+            MeshBoundary::MaxToken => w.put_u8(MESH_BOUNDARY_MAX),
+            MeshBoundary::Record(r) => {
+                w.put_u8(MESH_BOUNDARY_RECORD);
+                r.encode(w);
+            }
+        }
+    }
+}
+
+impl WireDecode for MeshBoundary {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            MESH_BOUNDARY_MIN => Ok(MeshBoundary::MinToken),
+            MESH_BOUNDARY_MAX => Ok(MeshBoundary::MaxToken),
+            MESH_BOUNDARY_RECORD => Ok(MeshBoundary::Record(Record::decode(r)?)),
+            tag => Err(WireError::InvalidTag {
+                type_name: "MeshBoundary",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WireEncode for MeshVo {
+    fn encode(&self, w: &mut Writer) {
+        self.subdomain.encode(w);
+        self.left_boundary.encode(w);
+        self.right_boundary.encode(w);
+        w.put_len(self.pair_signatures.len());
+        for sig in &self.pair_signatures {
+            sig.encode(w);
+        }
+    }
+}
+
+impl WireDecode for MeshVo {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let subdomain = SubdomainConstraints::decode(r)?;
+        let left_boundary = MeshBoundary::decode(r)?;
+        let right_boundary = MeshBoundary::decode(r)?;
+        let len = r.get_len()?;
+        let mut pair_signatures = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            pair_signatures.push(Signature::decode(r)?);
+        }
+        Ok(MeshVo {
+            subdomain,
+            left_boundary,
+            right_boundary,
+            pair_signatures,
+        })
+    }
+}
+
+impl WireEncode for MeshResponse {
+    fn encode(&self, w: &mut Writer) {
+        w.put_len(self.records.len());
+        for record in &self.records {
+            record.encode(w);
+        }
+        self.vo.encode(w);
+        self.cost.encode(w);
+    }
+}
+
+impl WireDecode for MeshResponse {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.get_len()?;
+        let mut records = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            records.push(Record::decode(r)?);
+        }
+        Ok(MeshResponse {
+            records,
+            vo: MeshVo::decode(r)?,
+            cost: ServerCost::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaq_authquery::Query;
+    use vaq_crypto::{SignatureScheme, Signer};
+    use vaq_sigmesh::{verify_mesh_response, SignatureMesh};
+    use vaq_workload::uniform_dataset;
+
+    #[test]
+    fn mesh_response_roundtrip_still_verifies() {
+        let dataset = uniform_dataset(10, 1, 61);
+        let scheme = SignatureScheme::test_rsa(61);
+        let mesh = SignatureMesh::build(&dataset, &scheme);
+        let verifier = scheme.verifier();
+        for query in [
+            Query::top_k(vec![0.4], 3),
+            Query::range(vec![0.6], 0.2, 0.7),
+        ] {
+            let resp = mesh.process(&dataset, &query);
+            let bytes = resp.to_framed_bytes();
+            let back = MeshResponse::from_framed_bytes(&bytes).unwrap();
+            assert_eq!(resp.records, back.records);
+            assert_eq!(resp.vo.pair_signatures, back.vo.pair_signatures);
+            assert!(verify_mesh_response(&query, &back, &dataset.template, verifier.as_ref()).is_ok());
+        }
+    }
+
+    #[test]
+    fn mesh_vo_wire_size_scales_with_result_length() {
+        let dataset = uniform_dataset(40, 1, 62);
+        let scheme = SignatureScheme::test_rsa(62);
+        let mesh = SignatureMesh::build(&dataset, &scheme);
+        let small = mesh.process(&dataset, &Query::top_k(vec![0.5], 2));
+        let large = mesh.process(&dataset, &Query::top_k(vec![0.5], 30));
+        assert!(large.vo.to_wire_bytes().len() > small.vo.to_wire_bytes().len() * 5);
+    }
+
+    #[test]
+    fn mesh_boundary_invalid_tag() {
+        let mut w = Writer::new();
+        w.put_u8(77);
+        assert!(matches!(
+            MeshBoundary::from_wire_bytes(&w.into_bytes()),
+            Err(WireError::InvalidTag { .. })
+        ));
+    }
+}

@@ -1,0 +1,204 @@
+//! Random query generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vaq_funcdb::{Dataset, Domain};
+
+/// A query specification, independent of any particular index structure.
+///
+/// The three variants mirror the paper's three representative analytic
+/// query types (Sec. 2.1).
+#[derive(Clone, Debug, PartialEq)]
+pub enum QuerySpec {
+    /// `q = (X, k)`: the k records with the highest scores under weights `X`.
+    TopK {
+        /// Query weight vector.
+        weights: Vec<f64>,
+        /// Number of results.
+        k: usize,
+    },
+    /// `q = (X, l, u)`: the records whose score lies in `[l, u]`.
+    Range {
+        /// Query weight vector.
+        weights: Vec<f64>,
+        /// Lower score bound (inclusive).
+        lower: f64,
+        /// Upper score bound (inclusive).
+        upper: f64,
+    },
+    /// `q = (X, k, y)`: the k records whose scores are nearest to `y`.
+    Knn {
+        /// Query weight vector.
+        weights: Vec<f64>,
+        /// Number of neighbours.
+        k: usize,
+        /// The target score value.
+        target: f64,
+    },
+}
+
+impl QuerySpec {
+    /// The weight vector of the query.
+    pub fn weights(&self) -> &[f64] {
+        match self {
+            QuerySpec::TopK { weights, .. }
+            | QuerySpec::Range { weights, .. }
+            | QuerySpec::Knn { weights, .. } => weights,
+        }
+    }
+}
+
+/// Seeded generator of random queries against a dataset.
+#[derive(Debug)]
+pub struct QueryGenerator {
+    rng: StdRng,
+    domain: Domain,
+    /// Score range observed over a sample of weight vectors, used to pick
+    /// meaningful range-query boundaries.
+    score_lo: f64,
+    score_hi: f64,
+}
+
+impl QueryGenerator {
+    /// Creates a generator for the dataset.
+    pub fn new(dataset: &Dataset, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Probe a few random weight vectors to learn the plausible score range.
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..8 {
+            let w = dataset.domain.sample(&mut rng);
+            for f in &dataset.functions {
+                let s = f.eval(&w);
+                lo = lo.min(s);
+                hi = hi.max(s);
+            }
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            lo = 0.0;
+            hi = 1.0;
+        }
+        QueryGenerator {
+            rng,
+            domain: dataset.domain.clone(),
+            score_lo: lo,
+            score_hi: hi,
+        }
+    }
+
+    /// A random weight vector inside the domain.
+    pub fn weights(&mut self) -> Vec<f64> {
+        self.domain.sample(&mut self.rng)
+    }
+
+    /// A random top-k query with `k` results.
+    pub fn top_k(&mut self, k: usize) -> QuerySpec {
+        QuerySpec::TopK {
+            weights: self.weights(),
+            k,
+        }
+    }
+
+    /// A random KNN query with `k` neighbours around a random target score.
+    pub fn knn(&mut self, k: usize) -> QuerySpec {
+        let target = self.rng.gen_range(self.score_lo..=self.score_hi);
+        QuerySpec::Knn {
+            weights: self.weights(),
+            k,
+            target,
+        }
+    }
+
+    /// A random range query whose width is `width_fraction` of the observed
+    /// score spread.
+    pub fn range(&mut self, width_fraction: f64) -> QuerySpec {
+        let spread = (self.score_hi - self.score_lo).max(1e-9);
+        let width = spread * width_fraction.clamp(0.0, 1.0);
+        let start = self
+            .rng
+            .gen_range(self.score_lo..=(self.score_hi - width).max(self.score_lo));
+        QuerySpec::Range {
+            weights: self.weights(),
+            lower: start,
+            upper: start + width,
+        }
+    }
+
+    /// A mixed batch of queries (round-robin top-k, range, KNN), handy for
+    /// integration tests.
+    pub fn mixed_batch(&mut self, count: usize, k: usize) -> Vec<QuerySpec> {
+        (0..count)
+            .map(|i| match i % 3 {
+                0 => self.top_k(k),
+                1 => self.range(0.2),
+                _ => self.knn(k),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::uniform_dataset;
+
+    #[test]
+    fn weights_stay_in_domain() {
+        let ds = uniform_dataset(20, 2, 1);
+        let mut gen = QueryGenerator::new(&ds, 5);
+        for _ in 0..50 {
+            let w = gen.weights();
+            assert!(ds.domain.contains(&w));
+        }
+    }
+
+    #[test]
+    fn range_queries_are_well_formed() {
+        let ds = uniform_dataset(30, 1, 2);
+        let mut gen = QueryGenerator::new(&ds, 6);
+        for _ in 0..20 {
+            if let QuerySpec::Range { lower, upper, .. } = gen.range(0.3) {
+                assert!(lower <= upper);
+            } else {
+                panic!("range() must produce a Range spec");
+            }
+        }
+    }
+
+    #[test]
+    fn topk_and_knn_carry_k() {
+        let ds = uniform_dataset(10, 2, 3);
+        let mut gen = QueryGenerator::new(&ds, 7);
+        assert!(matches!(gen.top_k(3), QuerySpec::TopK { k: 3, .. }));
+        assert!(matches!(gen.knn(5), QuerySpec::Knn { k: 5, .. }));
+    }
+
+    #[test]
+    fn mixed_batch_contains_all_kinds() {
+        let ds = uniform_dataset(10, 2, 4);
+        let mut gen = QueryGenerator::new(&ds, 8);
+        let batch = gen.mixed_batch(9, 2);
+        assert_eq!(batch.len(), 9);
+        assert!(batch.iter().any(|q| matches!(q, QuerySpec::TopK { .. })));
+        assert!(batch.iter().any(|q| matches!(q, QuerySpec::Range { .. })));
+        assert!(batch.iter().any(|q| matches!(q, QuerySpec::Knn { .. })));
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let ds = uniform_dataset(10, 2, 5);
+        let mut g1 = QueryGenerator::new(&ds, 11);
+        let mut g2 = QueryGenerator::new(&ds, 11);
+        assert_eq!(g1.top_k(3), g2.top_k(3));
+        assert_eq!(g1.range(0.5), g2.range(0.5));
+    }
+
+    #[test]
+    fn query_spec_weights_accessor() {
+        let ds = uniform_dataset(10, 3, 6);
+        let mut gen = QueryGenerator::new(&ds, 12);
+        for q in gen.mixed_batch(6, 2) {
+            assert_eq!(q.weights().len(), 3);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Synthetic table generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vaq_funcdb::{Dataset, Domain, FunctionTemplate, Record};
+
+/// The synthetic table families used by the examples and experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TableKind {
+    /// Graduate-admission applicants: GPA, awards, papers (paper's Fig. 1).
+    Applicants,
+    /// Patients scored for disease risk: age factor, biomarker, history.
+    PatientRisk,
+    /// Credit applicants: income, debt ratio, delinquencies (negated), tenure.
+    FinancialRisk,
+    /// Uniform attributes in `[0, 1]` with a configurable dimensionality.
+    Uniform,
+}
+
+/// A university-admission style table (paper Fig. 1): GPA in `[2, 4]`,
+/// awards in `[0, 8]`, papers in `[0, 12]`. Attributes are scaled to `[0, 1]`
+/// so all weight dimensions are comparable.
+pub fn applicant_table(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let template = FunctionTemplate::new(vec!["gpa", "awards", "papers"]);
+    let records = (0..n)
+        .map(|i| {
+            let gpa = rng.gen_range(2.0..4.0) / 4.0;
+            let awards = rng.gen_range(0.0..8.0) / 8.0;
+            let papers = rng.gen_range(0.0..12.0) / 12.0;
+            Record::with_label(i as u64, vec![gpa, awards, papers], format!("applicant-{i}"))
+        })
+        .collect();
+    Dataset::new(records, template, Domain::unit(3))
+}
+
+/// A patient-risk table (two attributes so the arrangement stays tractable
+/// at larger n): normalized age factor and a biomarker level, both `[0, 1]`.
+pub fn patient_risk_table(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let template = FunctionTemplate::new(vec!["age_factor", "biomarker"]);
+    let records = (0..n)
+        .map(|i| {
+            // A correlated Gaussian-ish mixture: older patients tend to have
+            // higher biomarker values, which produces realistic clusters of
+            // nearly-parallel scoring functions.
+            let age: f64 = rng.gen_range(0.0..1.0);
+            let noise: f64 = rng.gen_range(-0.2..0.2);
+            let biomarker = (0.6 * age + 0.4 * rng.gen_range(0.0..1.0) + noise).clamp(0.0, 1.0);
+            Record::with_label(i as u64, vec![age, biomarker], format!("patient-{i}"))
+        })
+        .collect();
+    Dataset::new(records, template, Domain::unit(2))
+}
+
+/// A financial-risk table: income, inverse debt ratio and account tenure,
+/// all normalized to `[0, 1]` (higher is better under every weighting).
+pub fn financial_risk_table(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let template = FunctionTemplate::new(vec!["income", "inv_debt_ratio", "tenure"]);
+    let records = (0..n)
+        .map(|i| {
+            let income = rng.gen_range(0.0f64..1.0).powf(1.5); // skewed
+            let inv_debt = rng.gen_range(0.0..1.0);
+            let tenure = rng.gen_range(0.0..1.0);
+            Record::with_label(i as u64, vec![income, inv_debt, tenure], format!("customer-{i}"))
+        })
+        .collect();
+    Dataset::new(records, template, Domain::unit(3))
+}
+
+/// A generic dataset with `dims` uniform attributes in `[0, 1]`.
+///
+/// This is the workhorse for the figure reproductions: `dims = 1` keeps the
+/// number of subdomains `O(n²)` (the univariate case the paper's Fig. 2
+/// illustrates), `dims = 2` exercises the multi-dimensional machinery.
+pub fn uniform_dataset(n: usize, dims: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let template = FunctionTemplate::anonymous(dims);
+    let records = (0..n)
+        .map(|i| {
+            let attrs = (0..dims).map(|_| rng.gen_range(0.0..1.0)).collect();
+            Record::new(i as u64, attrs)
+        })
+        .collect();
+    Dataset::new(records, template, Domain::unit(dims))
+}
+
+/// Generates a dataset of the given kind. `dims` is only used for
+/// [`TableKind::Uniform`].
+pub fn generate(kind: TableKind, n: usize, dims: usize, seed: u64) -> Dataset {
+    match kind {
+        TableKind::Applicants => applicant_table(n, seed),
+        TableKind::PatientRisk => patient_risk_table(n, seed),
+        TableKind::FinancialRisk => financial_risk_table(n, seed),
+        TableKind::Uniform => uniform_dataset(n, dims, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applicant_table_shape() {
+        let ds = applicant_table(50, 1);
+        assert_eq!(ds.len(), 50);
+        assert_eq!(ds.dims(), 3);
+        for r in &ds.records {
+            assert!(r.attrs.iter().all(|v| (0.0..=1.0).contains(v)));
+            assert!(r.label.as_deref().unwrap().starts_with("applicant-"));
+        }
+    }
+
+    #[test]
+    fn patient_table_attributes_in_range() {
+        let ds = patient_risk_table(100, 2);
+        assert_eq!(ds.dims(), 2);
+        for r in &ds.records {
+            assert!(r.attrs.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn financial_table_shape() {
+        let ds = financial_risk_table(30, 3);
+        assert_eq!(ds.dims(), 3);
+        assert_eq!(ds.len(), 30);
+    }
+
+    #[test]
+    fn uniform_dataset_dims() {
+        for d in 1..=3 {
+            let ds = uniform_dataset(20, d, 7);
+            assert_eq!(ds.dims(), d);
+            assert_eq!(ds.len(), 20);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = uniform_dataset(10, 2, 42);
+        let b = uniform_dataset(10, 2, 42);
+        let c = uniform_dataset(10, 2, 43);
+        assert_eq!(a.records, b.records);
+        assert_ne!(a.records, c.records);
+    }
+
+    #[test]
+    fn generate_dispatches_all_kinds() {
+        for kind in [
+            TableKind::Applicants,
+            TableKind::PatientRisk,
+            TableKind::FinancialRisk,
+            TableKind::Uniform,
+        ] {
+            let ds = generate(kind, 5, 2, 3);
+            assert_eq!(ds.len(), 5);
+        }
+    }
+
+    #[test]
+    fn record_ids_are_unique_and_sequential() {
+        let ds = applicant_table(25, 9);
+        for (i, r) in ds.records.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+        }
+    }
+}

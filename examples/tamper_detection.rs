@@ -1,0 +1,75 @@
+//! A rogue's gallery of server misbehaviour, and how the client catches each
+//! one. Also runs the same attacks against the signature-mesh baseline to
+//! show both schemes achieve the security goal — the difference is cost, not
+//! detection power.
+//!
+//! ```text
+//! cargo run --release --example tamper_detection
+//! ```
+
+use verified_analytics::authquery::{client, IfmhTree, Query, Server, SigningMode};
+use verified_analytics::crypto::SignatureScheme;
+use verified_analytics::funcdb::Record;
+use verified_analytics::sigmesh::{verify_mesh_response, SignatureMesh};
+use verified_analytics::workload::uniform_dataset;
+
+fn main() {
+    let dataset = uniform_dataset(30, 1, 123);
+    let scheme = SignatureScheme::new_rsa(512, 123);
+    let tree = IfmhTree::build(&dataset, SigningMode::OneSignature, &scheme);
+    let server = Server::new(dataset.clone(), tree);
+    let mesh = SignatureMesh::build(&dataset, &scheme);
+    let public_key = scheme.public_key();
+
+    let query = Query::range(vec![0.5], 0.2, 0.8);
+
+    println!("=== IFMH-tree (one-signature) ===");
+    {
+        let honest = server.process(&query);
+        let ok = client::verify(&query, &honest.records, &honest.vo, &dataset.template, &public_key);
+        println!("honest answer ({} records): {}", honest.records.len(), verdict(ok.err()));
+
+        let mut drop_one = server.process(&query);
+        drop_one.records.remove(drop_one.records.len() / 2);
+        let out = client::verify(&query, &drop_one.records, &drop_one.vo, &dataset.template, &public_key);
+        println!("drop a middle record:        {}", verdict(out.err()));
+
+        let mut tampered = server.process(&query);
+        tampered.records[0].attrs[0] += 0.01;
+        let out = client::verify(&query, &tampered.records, &tampered.vo, &dataset.template, &public_key);
+        println!("tamper with an attribute:    {}", verdict(out.err()));
+
+        let mut forged = server.process(&query);
+        forged.records[0] = Record::new(4242, vec![0.5]);
+        let out = client::verify(&query, &forged.records, &forged.vo, &dataset.template, &public_key);
+        println!("inject a forged record:      {}", verdict(out.err()));
+
+        let narrow = server.process(&Query::range(vec![0.5], 0.3, 0.6));
+        let out = client::verify(&query, &narrow.records, &narrow.vo, &dataset.template, &public_key);
+        println!("answer a narrower range:     {}", verdict(out.err()));
+    }
+
+    println!("\n=== Signature mesh (baseline) ===");
+    {
+        let honest = mesh.process(&dataset, &query);
+        let ok = verify_mesh_response(&query, &honest, &dataset.template, &public_key);
+        println!("honest answer ({} records): {}", honest.records.len(), verdict(ok.err()));
+
+        let mut drop_one = mesh.process(&dataset, &query);
+        drop_one.records.remove(drop_one.records.len() / 2);
+        let out = verify_mesh_response(&query, &drop_one, &dataset.template, &public_key);
+        println!("drop a middle record:        {}", verdict(out.err()));
+
+        let mut tampered = mesh.process(&dataset, &query);
+        tampered.records[0].attrs[0] += 0.01;
+        let out = verify_mesh_response(&query, &tampered, &dataset.template, &public_key);
+        println!("tamper with an attribute:    {}", verdict(out.err()));
+    }
+}
+
+fn verdict<E: std::fmt::Display>(err: Option<E>) -> String {
+    match err {
+        None => "ACCEPTED (verification passed)".to_string(),
+        Some(e) => format!("REJECTED — {e}"),
+    }
+}

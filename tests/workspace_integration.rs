@@ -1,0 +1,163 @@
+//! Workspace-level integration tests: the umbrella crate re-exports, the
+//! IFMH schemes and the signature-mesh baseline must all agree on query
+//! answers, and the comparative cost relationships the paper reports must
+//! hold on real (small) instances.
+
+use verified_analytics::authquery::{client, IfmhTree, Query, Server, SigningMode};
+use verified_analytics::crypto::{SignatureScheme, Signer};
+use verified_analytics::sigmesh::{verify_mesh_response, SignatureMesh};
+use verified_analytics::workload::{applicant_table, uniform_dataset, QueryGenerator, QuerySpec};
+
+/// Converts a workload query spec into an authquery query.
+fn to_query(spec: &QuerySpec) -> Query {
+    match spec {
+        QuerySpec::TopK { weights, k } => Query::top_k(weights.clone(), *k),
+        QuerySpec::Range { weights, lower, upper } => {
+            Query::range(weights.clone(), *lower, *upper)
+        }
+        QuerySpec::Knn { weights, k, target } => Query::knn(weights.clone(), *k, *target),
+    }
+}
+
+#[test]
+fn all_three_schemes_agree_on_answers_and_verify() {
+    let dataset = uniform_dataset(16, 2, 71);
+    let scheme = SignatureScheme::test_rsa(71);
+    let one = Server::new(
+        dataset.clone(),
+        IfmhTree::build(&dataset, SigningMode::OneSignature, &scheme),
+    );
+    let multi = Server::new(
+        dataset.clone(),
+        IfmhTree::build(&dataset, SigningMode::MultiSignature, &scheme),
+    );
+    let mesh = SignatureMesh::build(&dataset, &scheme);
+    let verifier = scheme.verifier();
+
+    let mut generator = QueryGenerator::new(&dataset, 7);
+    for spec in generator.mixed_batch(9, 3) {
+        let query = to_query(&spec);
+
+        let r1 = one.process(&query);
+        let r2 = multi.process(&query);
+        let r3 = mesh.process(&dataset, &query);
+
+        // Same answers from every scheme.
+        let ids = |records: &[verified_analytics::funcdb::Record]| {
+            let mut v: Vec<u64> = records.iter().map(|r| r.id).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(ids(&r1.records), ids(&r2.records), "query {query}");
+        assert_eq!(ids(&r1.records), ids(&r3.records), "query {query}");
+
+        // Every scheme's response verifies.
+        assert!(client::verify(&query, &r1.records, &r1.vo, &dataset.template, verifier.as_ref()).is_ok());
+        assert!(client::verify(&query, &r2.records, &r2.vo, &dataset.template, verifier.as_ref()).is_ok());
+        assert!(verify_mesh_response(&query, &r3, &dataset.template, verifier.as_ref()).is_ok());
+    }
+}
+
+#[test]
+fn paper_cost_relationships_hold() {
+    // The qualitative claims of the evaluation, checked end-to-end:
+    let dataset = uniform_dataset(14, 2, 72);
+    let scheme = SignatureScheme::test_rsa(72);
+    let one_tree = IfmhTree::build(&dataset, SigningMode::OneSignature, &scheme);
+    let multi_tree = IfmhTree::build(&dataset, SigningMode::MultiSignature, &scheme);
+    let mesh = SignatureMesh::build(&dataset, &scheme);
+
+    // Fig. 5a: 1 signature vs #subdomains vs #subdomains × (n + 1).
+    assert_eq!(one_tree.stats().signatures, 1);
+    assert_eq!(multi_tree.stats().signatures, multi_tree.subdomain_count());
+    assert_eq!(
+        mesh.stats().signatures,
+        mesh.cell_count() * (dataset.len() + 1)
+    );
+    assert!(mesh.stats().signatures > multi_tree.stats().signatures);
+
+    let one = Server::new(dataset.clone(), one_tree);
+    let multi = Server::new(dataset.clone(), multi_tree);
+    let verifier = scheme.verifier();
+
+    let query = Query::top_k(vec![0.45, 0.55], 3);
+    let r1 = one.process(&query);
+    let r2 = multi.process(&query);
+    let r3 = mesh.process(&dataset, &query);
+
+    // Fig. 6: the mesh's linear subdomain search dominates the tree search
+    // once the arrangement is non-trivial.
+    if mesh.cell_count() > 8 {
+        assert!(
+            r3.cost.imh_nodes_visited as f64 >= r1.cost.imh_nodes_visited as f64 / 2.0,
+            "mesh linear scan ({}) should not be far below tree search ({})",
+            r3.cost.imh_nodes_visited,
+            r1.cost.imh_nodes_visited
+        );
+    }
+    // Fig. 6: one-signature collects extra path siblings compared to
+    // multi-signature.
+    assert!(r1.cost.vo_nodes_collected >= r2.cost.vo_nodes_collected);
+
+    // Fig. 7: the mesh verifies |q| + 1 signatures, the IFMH schemes one.
+    let v1 = client::verify(&query, &r1.records, &r1.vo, &dataset.template, verifier.as_ref()).unwrap();
+    let v2 = client::verify(&query, &r2.records, &r2.vo, &dataset.template, verifier.as_ref()).unwrap();
+    let v3 = verify_mesh_response(&query, &r3, &dataset.template, verifier.as_ref()).unwrap();
+    assert_eq!(v1.cost.signature_verifications, 1);
+    assert_eq!(v2.cost.signature_verifications, 1);
+    assert_eq!(v3.cost.signature_verifications, r3.records.len() + 1);
+    // Fig. 7a: the mesh needs fewer hash operations than the tree schemes.
+    assert!(v3.cost.hash_ops <= v1.cost.hash_ops);
+
+    // Fig. 8: the mesh VO carries |q| + 1 signatures and grows linearly; for
+    // a 3-record result it is already at least as large as the multi-sig VO
+    // signature-wise.
+    assert_eq!(r1.vo.signature_count(), 1);
+    assert_eq!(r2.vo.signature_count(), 1);
+    assert_eq!(r3.vo.signature_count(), r3.records.len() + 1);
+}
+
+#[test]
+fn applicant_workflow_with_umbrella_reexports() {
+    // Exercise the umbrella crate paths end to end (what a downstream user
+    // would write after `cargo add verified-analytics`).
+    let dataset = applicant_table(12, 9);
+    let scheme = SignatureScheme::test_rsa(9);
+    let tree = IfmhTree::build(&dataset, SigningMode::MultiSignature, &scheme);
+    let server = Server::new(dataset.clone(), tree);
+    let public_key = scheme.public_key();
+
+    let query = Query::top_k(vec![1.0, 0.3, 0.6], 4);
+    let response = server.process(&query);
+    let verified =
+        client::verify(&query, &response.records, &response.vo, &dataset.template, &public_key)
+            .expect("verification must pass");
+    assert_eq!(response.records.len(), 4);
+    assert_eq!(verified.scores.len(), 4);
+    // Scores are ascending in result order.
+    for w in verified.scores.windows(2) {
+        assert!(w[0] <= w[1] + 1e-9);
+    }
+}
+
+#[test]
+fn cross_scheme_tamper_detection() {
+    // A record dropped from a result must be caught by both the IFMH client
+    // and the mesh client.
+    let dataset = uniform_dataset(18, 1, 73);
+    let scheme = SignatureScheme::test_rsa(73);
+    let tree = IfmhTree::build(&dataset, SigningMode::OneSignature, &scheme);
+    let server = Server::new(dataset.clone(), tree);
+    let mesh = SignatureMesh::build(&dataset, &scheme);
+    let verifier = scheme.verifier();
+    let query = Query::range(vec![0.5], 0.1, 0.9);
+
+    let mut r1 = server.process(&query);
+    assert!(r1.records.len() >= 3);
+    r1.records.remove(1);
+    assert!(client::verify(&query, &r1.records, &r1.vo, &dataset.template, verifier.as_ref()).is_err());
+
+    let mut r3 = mesh.process(&dataset, &query);
+    r3.records.remove(1);
+    assert!(verify_mesh_response(&query, &r3, &dataset.template, verifier.as_ref()).is_err());
+}
