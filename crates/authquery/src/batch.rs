@@ -143,7 +143,12 @@ mod tests {
         assert!(batch.total_server_cost().total_nodes() > 0);
 
         let verifier = scheme.verifier();
-        let verification = verify_batch(&queries, &batch.responses, &dataset.template, verifier.as_ref());
+        let verification = verify_batch(
+            &queries,
+            &batch.responses,
+            &dataset.template,
+            verifier.as_ref(),
+        );
         assert!(verification.all_ok());
         assert!(verification.failed_indices().is_empty());
         assert_eq!(verification.total_client_cost().signature_verifications, 3);
@@ -157,7 +162,12 @@ mod tests {
         // Tamper with the second response only.
         batch.responses[1].records.clear();
         let verifier = scheme.verifier();
-        let verification = verify_batch(&queries, &batch.responses, &dataset.template, verifier.as_ref());
+        let verification = verify_batch(
+            &queries,
+            &batch.responses,
+            &dataset.template,
+            verifier.as_ref(),
+        );
         assert!(!verification.all_ok());
         assert_eq!(verification.failed_indices(), vec![1]);
         // Costs still aggregate over the passing queries.
@@ -171,6 +181,11 @@ mod tests {
         let queries = sample_queries();
         let batch = process_batch(&server, &queries);
         let verifier = scheme.verifier();
-        let _ = verify_batch(&queries[..2], &batch.responses, &dataset.template, verifier.as_ref());
+        let _ = verify_batch(
+            &queries[..2],
+            &batch.responses,
+            &dataset.template,
+            verifier.as_ref(),
+        );
     }
 }

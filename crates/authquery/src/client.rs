@@ -98,7 +98,9 @@ pub fn verify(
             ))
         }
         BoundaryEntry::MaxSentinel => {
-            return Err(VerifyError::MalformedVo("left boundary cannot be the max sentinel".into()))
+            return Err(VerifyError::MalformedVo(
+                "left boundary cannot be the max sentinel".into(),
+            ))
         }
         _ => {}
     }
@@ -114,7 +116,9 @@ pub fn verify(
             ))
         }
         BoundaryEntry::MinSentinel => {
-            return Err(VerifyError::MalformedVo("right boundary cannot be the min sentinel".into()))
+            return Err(VerifyError::MalformedVo(
+                "right boundary cannot be the min sentinel".into(),
+            ))
         }
         _ => {}
     }
@@ -254,10 +258,7 @@ pub fn verify(
                 }
                 // The record just below the window must not beat anything in it.
                 if let Some(ls) = left_score {
-                    let min_included = scores
-                        .iter()
-                        .cloned()
-                        .fold(f64::INFINITY, f64::min);
+                    let min_included = scores.iter().cloned().fold(f64::INFINITY, f64::min);
                     if ls > min_included + SCORE_EPS {
                         return Err(VerifyError::Incomplete(
                             "a record outside the top-k result scores higher than a returned one"

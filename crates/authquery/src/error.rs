@@ -53,10 +53,16 @@ impl std::fmt::Display for VerifyError {
                 write!(f, "query input does not belong to the proven subdomain")
             }
             VerifyError::InconsistentResultOrder => {
-                write!(f, "result records are inconsistent with the authenticated order")
+                write!(
+                    f,
+                    "result records are inconsistent with the authenticated order"
+                )
             }
             VerifyError::UnsoundRecord { position } => {
-                write!(f, "record at position {position} does not satisfy the query condition")
+                write!(
+                    f,
+                    "record at position {position} does not satisfy the query condition"
+                )
             }
             VerifyError::Incomplete(m) => write!(f, "result is incomplete: {m}"),
             VerifyError::WrongResultLength { expected, got } => {
@@ -81,7 +87,10 @@ mod tests {
             (VerifyError::WrongSubdomain, "subdomain"),
             (VerifyError::UnsoundRecord { position: 3 }, "position 3"),
             (
-                VerifyError::WrongResultLength { expected: 5, got: 2 },
+                VerifyError::WrongResultLength {
+                    expected: 5,
+                    got: 2,
+                },
                 "expected 5",
             ),
             (VerifyError::Incomplete("gap".into()), "gap"),

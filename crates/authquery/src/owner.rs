@@ -11,7 +11,7 @@
 use crate::ifmh::IfmhTree;
 use crate::signing::SigningMode;
 use vaq_crypto::signer::PublicKey;
-use vaq_crypto::{SignatureScheme, Signer};
+use vaq_crypto::SignatureScheme;
 use vaq_funcdb::{Dataset, Domain, FunctionTemplate};
 
 /// Everything a data user needs in order to verify query results.
@@ -50,7 +50,12 @@ impl DataOwner {
     }
 
     /// Creates an owner with a freshly generated RSA key of `modulus_bits`.
-    pub fn with_rsa_key(dataset: Dataset, modulus_bits: usize, seed: u64, mode: SigningMode) -> Self {
+    pub fn with_rsa_key(
+        dataset: Dataset,
+        modulus_bits: usize,
+        seed: u64,
+        mode: SigningMode,
+    ) -> Self {
         Self::new(dataset, SignatureScheme::new_rsa(modulus_bits, seed), mode)
     }
 
@@ -62,7 +67,11 @@ impl DataOwner {
         seed: u64,
         mode: SigningMode,
     ) -> Self {
-        Self::new(dataset, SignatureScheme::new_dsa(p_bits, q_bits, seed), mode)
+        Self::new(
+            dataset,
+            SignatureScheme::new_dsa(p_bits, q_bits, seed),
+            mode,
+        )
     }
 
     /// The owner's dataset.

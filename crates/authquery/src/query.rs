@@ -50,7 +50,11 @@ impl Query {
     /// Builds a range query. Panics if `lower > upper`.
     pub fn range(weights: Vec<f64>, lower: f64, upper: f64) -> Self {
         assert!(lower <= upper, "range query with lower > upper");
-        Query::Range { weights, lower, upper }
+        Query::Range {
+            weights,
+            lower,
+            upper,
+        }
     }
 
     /// Builds a KNN query.
@@ -143,7 +147,11 @@ impl std::fmt::Display for Query {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Query::TopK { weights, k } => write!(f, "top-{k} @ {weights:?}"),
-            Query::Range { weights, lower, upper } => {
+            Query::Range {
+                weights,
+                lower,
+                upper,
+            } => {
                 write!(f, "range [{lower}, {upper}] @ {weights:?}")
             }
             Query::Knn { weights, k, target } => write!(f, "{k}-NN of {target} @ {weights:?}"),
@@ -258,8 +266,8 @@ mod tests {
                             proptest::prop_assert_eq!(e - s + 1, (*k).min(scores.len()));
                         }
                         Query::Range { lower, upper, .. } => {
-                            for i in s..=e {
-                                proptest::prop_assert!(scores[i] >= *lower && scores[i] <= *upper);
+                            for score in scores.iter().take(e + 1).skip(s) {
+                                proptest::prop_assert!(score >= lower && score <= upper);
                             }
                             if s > 0 { proptest::prop_assert!(scores[s - 1] < *lower); }
                             if e + 1 < scores.len() { proptest::prop_assert!(scores[e + 1] > *upper); }

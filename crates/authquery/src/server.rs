@@ -57,10 +57,7 @@ impl Server {
         let located = self.tree.itree.locate(x);
         let leaf = located.leaf;
         let sorted = self.tree.itree.sorted_list(leaf);
-        let scores: Vec<f64> = sorted
-            .iter()
-            .map(|id| self.dataset.score(*id, x))
-            .collect();
+        let scores: Vec<f64> = sorted.iter().map(|id| self.dataset.score(*id, x)).collect();
         let n = sorted.len();
 
         // 2. Select the result window on the sorted list.

@@ -103,10 +103,9 @@ impl IntersectionVerification {
             IntersectionVerification::OneSignature { path } => {
                 path.iter().map(IvStep::byte_size).sum()
             }
-            IntersectionVerification::MultiSignature { halfspaces } => halfspaces
-                .iter()
-                .map(|h| h.canonical_bytes().len())
-                .sum(),
+            IntersectionVerification::MultiSignature { halfspaces } => {
+                halfspaces.iter().map(|h| h.canonical_bytes().len()).sum()
+            }
         }
     }
 }
@@ -207,8 +206,14 @@ mod tests {
     #[test]
     fn boundary_leaf_digests() {
         let r = Record::new(9, vec![0.5, 0.5]);
-        assert_eq!(BoundaryEntry::MinSentinel.leaf_digest(), min_sentinel_digest());
-        assert_eq!(BoundaryEntry::MaxSentinel.leaf_digest(), max_sentinel_digest());
+        assert_eq!(
+            BoundaryEntry::MinSentinel.leaf_digest(),
+            min_sentinel_digest()
+        );
+        assert_eq!(
+            BoundaryEntry::MaxSentinel.leaf_digest(),
+            max_sentinel_digest()
+        );
         assert_eq!(BoundaryEntry::Record(r.clone()).leaf_digest(), r.digest());
         assert!(BoundaryEntry::Record(r).byte_size() > BoundaryEntry::MinSentinel.byte_size());
     }
@@ -240,8 +245,14 @@ mod tests {
         let a = sha256(b"a");
         let b = sha256(b"b");
         let p = sha256(b"p");
-        assert_ne!(intersection_node_hash(&p, &a, &b), intersection_node_hash(&p, &b, &a));
+        assert_ne!(
+            intersection_node_hash(&p, &a, &b),
+            intersection_node_hash(&p, &b, &a)
+        );
         assert_ne!(subdomain_node_hash(&a, 3), subdomain_node_hash(&a, 4));
-        assert_ne!(multi_signature_digest(&a, &b), multi_signature_digest(&b, &a));
+        assert_ne!(
+            multi_signature_digest(&a, &b),
+            multi_signature_digest(&b, &a)
+        );
     }
 }

@@ -20,7 +20,10 @@ fn reference_answer(dataset: &Dataset, query: &Query) -> Vec<u64> {
     match query {
         Query::TopK { k, .. } => {
             let k = (*k).min(scored.len());
-            scored[scored.len() - k..].iter().map(|(_, id)| *id).collect()
+            scored[scored.len() - k..]
+                .iter()
+                .map(|(_, id)| *id)
+                .collect()
         }
         Query::Range { lower, upper, .. } => scored
             .iter()
@@ -143,7 +146,10 @@ fn two_dimensional_dataset_verifies_across_subdomains() {
     let scheme = SignatureScheme::test_rsa(0xBEEF);
     for mode in [SigningMode::OneSignature, SigningMode::MultiSignature] {
         let tree = IfmhTree::build(&ds, mode, &scheme);
-        assert!(tree.subdomain_count() >= 2, "expected a non-trivial arrangement");
+        assert!(
+            tree.subdomain_count() >= 2,
+            "expected a non-trivial arrangement"
+        );
         let server = Server::new(ds.clone(), tree);
         let verifier = scheme.verifier();
         for wx in [0.05, 0.35, 0.65, 0.95] {
@@ -157,7 +163,11 @@ fn two_dimensional_dataset_verifies_across_subdomains() {
                     &ds.template,
                     verifier.as_ref(),
                 );
-                assert!(out.is_ok(), "mode {mode}, weights ({wx}, {wy}): {:?}", out.err());
+                assert!(
+                    out.is_ok(),
+                    "mode {mode}, weights ({wx}, {wy}): {:?}",
+                    out.err()
+                );
                 let mut got: Vec<u64> = response.records.iter().map(|r| r.id).collect();
                 let mut expected = reference_answer(&ds, &query);
                 got.sort_unstable();

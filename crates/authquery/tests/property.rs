@@ -66,10 +66,7 @@ fn distance_profile(dataset: &Dataset, ids: &[u64], x: &[f64], target: f64) -> V
 fn rows_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
     // 1-dimensional rows keep the subdomain arrangement small enough that a
     // full owner/server/client round-trip stays fast inside proptest.
-    prop::collection::vec(
-        prop::collection::vec(0.01f64..0.99, 1..=1),
-        2..14,
-    )
+    prop::collection::vec(prop::collection::vec(0.01f64..0.99, 1..=1), 2..14)
 }
 
 proptest! {

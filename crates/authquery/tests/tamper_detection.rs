@@ -45,7 +45,13 @@ fn dropping_a_middle_record_is_detected() {
         // The server drops one record from the middle of the result but keeps
         // the verification object untouched.
         resp.records.remove(resp.records.len() / 2);
-        let out = client::verify(&query, &resp.records, &resp.vo, &s.dataset.template, s.verifier.as_ref());
+        let out = client::verify(
+            &query,
+            &resp.records,
+            &resp.vo,
+            &s.dataset.template,
+            s.verifier.as_ref(),
+        );
         assert!(out.is_err(), "mode {mode}: dropped record must be detected");
     }
 }
@@ -57,8 +63,17 @@ fn modifying_a_record_attribute_is_detected() {
         let query = Query::top_k(vec![0.4], 5);
         let mut resp = s.server.process(&query);
         resp.records[0].attrs[0] += 0.05;
-        let out = client::verify(&query, &resp.records, &resp.vo, &s.dataset.template, s.verifier.as_ref());
-        assert!(out.is_err(), "mode {mode}: modified record must be detected");
+        let out = client::verify(
+            &query,
+            &resp.records,
+            &resp.vo,
+            &s.dataset.template,
+            s.verifier.as_ref(),
+        );
+        assert!(
+            out.is_err(),
+            "mode {mode}: modified record must be detected"
+        );
     }
 }
 
@@ -71,7 +86,13 @@ fn substituting_a_foreign_record_is_detected() {
         // Replace one result record with a fabricated one that would score
         // plausibly but never existed in the database.
         resp.records[1] = Record::new(999, vec![0.77]);
-        let out = client::verify(&query, &resp.records, &resp.vo, &s.dataset.template, s.verifier.as_ref());
+        let out = client::verify(
+            &query,
+            &resp.records,
+            &resp.vo,
+            &s.dataset.template,
+            s.verifier.as_ref(),
+        );
         assert!(out.is_err(), "mode {mode}: forged record must be detected");
     }
 }
@@ -84,8 +105,17 @@ fn truncating_the_top_k_result_is_detected() {
         let mut resp = s.server.process(&query);
         // Return only 4 of the requested 6 (e.g. to save work).
         resp.records.truncate(4);
-        let out = client::verify(&query, &resp.records, &resp.vo, &s.dataset.template, s.verifier.as_ref());
-        assert!(out.is_err(), "mode {mode}: truncated top-k must be detected");
+        let out = client::verify(
+            &query,
+            &resp.records,
+            &resp.vo,
+            &s.dataset.template,
+            s.verifier.as_ref(),
+        );
+        assert!(
+            out.is_err(),
+            "mode {mode}: truncated top-k must be detected"
+        );
     }
 }
 
@@ -100,7 +130,13 @@ fn answering_top_k_with_lower_ranked_records_is_detected() {
         let top6 = s.server.process(&Query::top_k(vec![0.6], 6));
         let lower_half: Vec<Record> = top6.records[..3].to_vec();
         let query = Query::top_k(vec![0.6], 3);
-        let out = client::verify(&query, &lower_half, &top6.vo, &s.dataset.template, s.verifier.as_ref());
+        let out = client::verify(
+            &query,
+            &lower_half,
+            &top6.vo,
+            &s.dataset.template,
+            s.verifier.as_ref(),
+        );
         assert!(out.is_err(), "mode {mode}: wrong window must be detected");
         // Sanity: the honest top-3 verifies.
         let ok = client::verify(
@@ -122,7 +158,13 @@ fn narrowing_a_range_result_is_detected() {
         // The server answers honestly for a narrower range and presents it
         // for the original query (classic "save work" incompleteness).
         let narrow = s.server.process(&Query::range(vec![0.3], 0.3, 0.6));
-        let out = client::verify(&query, &narrow.records, &narrow.vo, &s.dataset.template, s.verifier.as_ref());
+        let out = client::verify(
+            &query,
+            &narrow.records,
+            &narrow.vo,
+            &s.dataset.template,
+            s.verifier.as_ref(),
+        );
         assert!(out.is_err(), "mode {mode}: narrowed range must be detected");
     }
 }
@@ -161,7 +203,13 @@ fn vo_from_a_different_weight_vector_is_detected() {
         // Answer computed (honestly) for w2 but presented for the query at w1.
         let q1 = Query::top_k(w1, 3);
         let r2 = server.process(&Query::top_k(w2, 3));
-        let out = client::verify(&q1, &r2.records, &r2.vo, &dataset.template, verifier.as_ref());
+        let out = client::verify(
+            &q1,
+            &r2.records,
+            &r2.vo,
+            &dataset.template,
+            verifier.as_ref(),
+        );
         assert!(
             matches!(out, Err(VerifyError::WrongSubdomain) | Err(_)),
             "mode {mode}: wrong-subdomain replay must be detected"
@@ -183,8 +231,18 @@ fn tampered_signature_is_detected() {
                 sig.r = sig.r.add(&vaq_crypto::BigUint::one());
             }
         }
-        let out = client::verify(&query, &resp.records, &resp.vo, &s.dataset.template, s.verifier.as_ref());
-        assert_eq!(out.unwrap_err(), VerifyError::SignatureMismatch, "mode {mode}");
+        let out = client::verify(
+            &query,
+            &resp.records,
+            &resp.vo,
+            &s.dataset.template,
+            s.verifier.as_ref(),
+        );
+        assert_eq!(
+            out.unwrap_err(),
+            VerifyError::SignatureMismatch,
+            "mode {mode}"
+        );
     }
 }
 
@@ -206,7 +264,11 @@ fn signature_from_a_different_owner_is_detected() {
             &dataset.template,
             owner.verifier().as_ref(),
         );
-        assert_eq!(out.unwrap_err(), VerifyError::SignatureMismatch, "mode {mode}");
+        assert_eq!(
+            out.unwrap_err(),
+            VerifyError::SignatureMismatch,
+            "mode {mode}"
+        );
     }
 }
 
@@ -221,8 +283,17 @@ fn tampered_boundary_record_is_detected() {
             // Pretend the record just below the range actually scores lower
             // than it does (to hide an omission).
             r.attrs[0] = 0.0;
-            let out = client::verify(&query, &resp.records, &resp.vo, &s.dataset.template, s.verifier.as_ref());
-            assert!(out.is_err(), "mode {mode}: tampered boundary must be detected");
+            let out = client::verify(
+                &query,
+                &resp.records,
+                &resp.vo,
+                &s.dataset.template,
+                s.verifier.as_ref(),
+            );
+            assert!(
+                out.is_err(),
+                "mode {mode}: tampered boundary must be detected"
+            );
         }
     }
 }
@@ -236,7 +307,13 @@ fn fake_sentinel_in_place_of_boundary_is_detected() {
         if matches!(resp.vo.left_boundary, BoundaryEntry::Record(_)) {
             // Claim the result starts at the very beginning of the list.
             resp.vo.left_boundary = BoundaryEntry::MinSentinel;
-            let out = client::verify(&query, &resp.records, &resp.vo, &s.dataset.template, s.verifier.as_ref());
+            let out = client::verify(
+                &query,
+                &resp.records,
+                &resp.vo,
+                &s.dataset.template,
+                s.verifier.as_ref(),
+            );
             assert!(out.is_err(), "mode {mode}: fake sentinel must be detected");
         }
     }
@@ -250,7 +327,13 @@ fn tampered_range_proof_is_detected() {
         let mut resp = s.server.process(&query);
         if let Some(node) = resp.vo.range_proof.nodes.first_mut() {
             node.hash[0] ^= 0xff;
-            let out = client::verify(&query, &resp.records, &resp.vo, &s.dataset.template, s.verifier.as_ref());
+            let out = client::verify(
+                &query,
+                &resp.records,
+                &resp.vo,
+                &s.dataset.template,
+                s.verifier.as_ref(),
+            );
             assert!(out.is_err(), "mode {mode}: tampered proof must be detected");
         }
     }
@@ -268,8 +351,17 @@ fn lying_about_leaf_count_is_detected() {
         resp.vo.range_proof.leaf_count = 4 + 2; // claim n = 4
         resp.vo.first_leaf = 1;
         resp.vo.left_boundary = BoundaryEntry::MinSentinel;
-        let out = client::verify(&query, &resp.records, &resp.vo, &s.dataset.template, s.verifier.as_ref());
-        assert!(out.is_err(), "mode {mode}: forged leaf count must be detected");
+        let out = client::verify(
+            &query,
+            &resp.records,
+            &resp.vo,
+            &s.dataset.template,
+            s.verifier.as_ref(),
+        );
+        assert!(
+            out.is_err(),
+            "mode {mode}: forged leaf count must be detected"
+        );
     }
 }
 
@@ -282,8 +374,17 @@ fn reordering_result_records_is_detected() {
         assert!(resp.records.len() >= 2);
         let last = resp.records.len() - 1;
         resp.records.swap(0, last);
-        let out = client::verify(&query, &resp.records, &resp.vo, &s.dataset.template, s.verifier.as_ref());
-        assert!(out.is_err(), "mode {mode}: reordered result must be detected");
+        let out = client::verify(
+            &query,
+            &resp.records,
+            &resp.vo,
+            &s.dataset.template,
+            s.verifier.as_ref(),
+        );
+        assert!(
+            out.is_err(),
+            "mode {mode}: reordered result must be detected"
+        );
     }
 }
 
@@ -307,7 +408,13 @@ fn multi_signature_inequalities_cannot_be_swapped() {
     {
         halfspaces.clear();
     }
-    let out = client::verify(&query, &resp.records, &resp.vo, &dataset.template, verifier.as_ref());
+    let out = client::verify(
+        &query,
+        &resp.records,
+        &resp.vo,
+        &dataset.template,
+        verifier.as_ref(),
+    );
     assert!(out.is_err(), "stripped inequalities must be detected");
 }
 
@@ -323,8 +430,18 @@ fn honest_responses_still_verify_after_adversarial_suite() {
             Query::knn(vec![0.4], 5, 0.5),
         ] {
             let resp = s.server.process(&query);
-            let out = client::verify(&query, &resp.records, &resp.vo, &s.dataset.template, s.verifier.as_ref());
-            assert!(out.is_ok(), "honest {query} must verify under {mode}: {:?}", out.err());
+            let out = client::verify(
+                &query,
+                &resp.records,
+                &resp.vo,
+                &s.dataset.template,
+                s.verifier.as_ref(),
+            );
+            assert!(
+                out.is_ok(),
+                "honest {query} must verify under {mode}: {:?}",
+                out.err()
+            );
         }
     }
 }

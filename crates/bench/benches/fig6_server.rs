@@ -34,7 +34,10 @@ fn bench_server_processing(c: &mut Criterion) {
     let queries = vec![
         ("top3", Query::top_k(x.clone(), 3)),
         ("knn3", Query::knn(x.clone(), 3, mid_score)),
-        ("range", Query::range(x.clone(), mid_score - 0.05, mid_score + 0.05)),
+        (
+            "range",
+            Query::range(x.clone(), mid_score - 0.05, mid_score + 0.05),
+        ),
     ];
 
     for (label, query) in &queries {

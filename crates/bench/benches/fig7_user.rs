@@ -46,18 +46,32 @@ fn bench_client_verification(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("one_signature", len), &len, |b, _| {
             b.iter(|| {
-                client::verify(&query, &r_one.records, &r_one.vo, &dataset.template, verifier.as_ref())
-                    .unwrap()
+                client::verify(
+                    &query,
+                    &r_one.records,
+                    &r_one.vo,
+                    &dataset.template,
+                    verifier.as_ref(),
+                )
+                .unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("multi_signature", len), &len, |b, _| {
             b.iter(|| {
-                client::verify(&query, &r_multi.records, &r_multi.vo, &dataset.template, verifier.as_ref())
-                    .unwrap()
+                client::verify(
+                    &query,
+                    &r_multi.records,
+                    &r_multi.vo,
+                    &dataset.template,
+                    verifier.as_ref(),
+                )
+                .unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("signature_mesh", len), &len, |b, _| {
-            b.iter(|| verify_mesh_response(&query, &r_mesh, &dataset.template, verifier.as_ref()).unwrap())
+            b.iter(|| {
+                verify_mesh_response(&query, &r_mesh, &dataset.template, verifier.as_ref()).unwrap()
+            })
         });
     }
     group.finish();
@@ -85,5 +99,9 @@ fn bench_rsa_vs_dsa_verification(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_client_verification, bench_rsa_vs_dsa_verification);
+criterion_group!(
+    benches,
+    bench_client_verification,
+    bench_rsa_vs_dsa_verification
+);
 criterion_main!(benches);

@@ -10,9 +10,9 @@
 
 use vaq_bench::report::{fmt_ms, print_table, to_json};
 use vaq_bench::{
-    ablation_split_oracle, fig5_owner, fig6_server_vs_n, fig6d_server_vs_result_len,
-    fig7_user, fig7c_rsa_vs_dsa, fig8a_vo_size_vs_result_len, fig8b_vo_size_vs_n, Scale,
-    ServerQueryKind, DEFAULT_SEED,
+    ablation_split_oracle, fig5_owner, fig6_server_vs_n, fig6d_server_vs_result_len, fig7_user,
+    fig7c_rsa_vs_dsa, fig8a_vo_size_vs_result_len, fig8b_vo_size_vs_n, Scale, ServerQueryKind,
+    DEFAULT_SEED,
 };
 
 struct Args {
@@ -156,7 +156,10 @@ fn main() {
                 println!("{}", to_json(&rows));
             } else {
                 print_table(
-                    &format!("Fig. {id} — server nodes/cells traversed, {} queries", kind.label()),
+                    &format!(
+                        "Fig. {id} — server nodes/cells traversed, {} queries",
+                        kind.label()
+                    ),
                     &["n", "one-sig", "multi-sig", "sig-mesh"],
                     &rows
                         .iter()

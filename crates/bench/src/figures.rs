@@ -278,14 +278,26 @@ pub fn fig7_user(scale: Scale, seed: u64) -> Vec<Fig7Row> {
 
             let r1 = one_server.process(&query);
             let t0 = Instant::now();
-            let v1 = client::verify(&query, &r1.records, &r1.vo, &set.dataset.template, verifier.as_ref())
-                .expect("one-signature verification must succeed");
+            let v1 = client::verify(
+                &query,
+                &r1.records,
+                &r1.vo,
+                &set.dataset.template,
+                verifier.as_ref(),
+            )
+            .expect("one-signature verification must succeed");
             let one_total = t0.elapsed().as_secs_f64() * 1e3;
 
             let r2 = multi_server.process(&query);
             let t0 = Instant::now();
-            let v2 = client::verify(&query, &r2.records, &r2.vo, &set.dataset.template, verifier.as_ref())
-                .expect("multi-signature verification must succeed");
+            let v2 = client::verify(
+                &query,
+                &r2.records,
+                &r2.vo,
+                &set.dataset.template,
+                verifier.as_ref(),
+            )
+            .expect("multi-signature verification must succeed");
             let multi_total = t0.elapsed().as_secs_f64() * 1e3;
 
             let r3 = set.mesh.process(&set.dataset, &query);
@@ -456,8 +468,8 @@ pub fn ablation_split_oracle(scale: Scale, samples: usize, seed: u64) -> Vec<Abl
             let dataset = uniform_dataset(n, scale.arrangement_dims(), seed);
 
             let t0 = Instant::now();
-            let lp_tree =
-                ITreeBuilder::new(LpSplitOracle::new()).build(&dataset.functions, dataset.domain.clone());
+            let lp_tree = ITreeBuilder::new(LpSplitOracle::new())
+                .build(&dataset.functions, dataset.domain.clone());
             let lp_ms = t0.elapsed().as_secs_f64() * 1e3;
 
             let t0 = Instant::now();
@@ -526,7 +538,12 @@ pub fn measure_ms(mut f: impl FnMut()) -> f64 {
 
 /// Builds a one-signature IFMH-tree over a small uniform dataset (used by
 /// the Criterion benches so they do not repeat the full SchemeSet setup).
-pub fn quick_tree(n: usize, dims: usize, mode: SigningMode, seed: u64) -> (vaq_funcdb::Dataset, IfmhTree, SignatureScheme) {
+pub fn quick_tree(
+    n: usize,
+    dims: usize,
+    mode: SigningMode,
+    seed: u64,
+) -> (vaq_funcdb::Dataset, IfmhTree, SignatureScheme) {
     let dataset = uniform_dataset(n, dims, seed);
     let scheme = SignatureScheme::new_rsa(256, seed);
     let tree = IfmhTree::build(&dataset, mode, &scheme);
@@ -534,7 +551,11 @@ pub fn quick_tree(n: usize, dims: usize, mode: SigningMode, seed: u64) -> (vaq_f
 }
 
 /// Builds a signature mesh over a small uniform dataset.
-pub fn quick_mesh(n: usize, dims: usize, seed: u64) -> (vaq_funcdb::Dataset, SignatureMesh, SignatureScheme) {
+pub fn quick_mesh(
+    n: usize,
+    dims: usize,
+    seed: u64,
+) -> (vaq_funcdb::Dataset, SignatureMesh, SignatureScheme) {
     let dataset = uniform_dataset(n, dims, seed);
     let scheme = SignatureScheme::new_rsa(256, seed);
     let mesh = SignatureMesh::build(&dataset, &scheme);
@@ -599,6 +620,9 @@ mod tests {
     fn per_hash_measurement_is_positive_and_small() {
         let ms = measure_per_hash_ms();
         assert!(ms > 0.0);
-        assert!(ms < 1.0, "a single SHA-256 should be far below 1 ms, got {ms}");
+        assert!(
+            ms < 1.0,
+            "a single SHA-256 should be far below 1 ms, got {ms}"
+        );
     }
 }

@@ -1,0 +1,188 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors a
+//! minimal wall-clock benchmark harness with the same user-facing surface:
+//! [`Criterion::benchmark_group`], `bench_with_input` / `bench_function`,
+//! [`BenchmarkId`], [`Bencher::iter`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. It reports mean / min / max per benchmark to
+//! stdout; there is no statistical analysis, warm-up tuning or HTML output.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a benchmarked value away.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Identifier of one benchmark within a group: function name + parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times the closure `samples` times (after one untimed warm-up call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std_black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            durations: Vec::new(),
+        };
+        routine(&mut bencher, input);
+        self.report(&id.name, &bencher.durations);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            durations: Vec::new(),
+        };
+        routine(&mut bencher);
+        let name = name.into();
+        self.report(&name, &bencher.durations);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+
+    fn report(&self, bench_name: &str, durations: &[Duration]) {
+        if durations.is_empty() {
+            println!("{}/{bench_name}: no samples recorded", self.name);
+            return;
+        }
+        let total: Duration = durations.iter().sum();
+        let mean = total / durations.len() as u32;
+        let min = durations.iter().min().copied().unwrap_or_default();
+        let max = durations.iter().max().copied().unwrap_or_default();
+        println!(
+            "{}/{bench_name}: mean {mean:?} (min {min:?}, max {max:?}, {} samples)",
+            self.name,
+            durations.len(),
+        );
+    }
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        pub fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_every_sample() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("demo");
+        group.sample_size(5);
+        let mut calls = 0usize;
+        group.bench_with_input(BenchmarkId::new("count", 1), &1, |b, _| {
+            b.iter(|| calls += 1)
+        });
+        group.finish();
+        // One warm-up call plus five timed samples.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn bench_function_works_without_input() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("demo2");
+        group.sample_size(2);
+        let mut calls = 0usize;
+        group.bench_function("plain", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 3);
+    }
+}

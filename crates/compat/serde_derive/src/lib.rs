@@ -1,0 +1,146 @@
+//! Dependency-free `#[derive(Serialize)]` backing the workspace's offline
+//! `serde` stand-in.
+//!
+//! Supports exactly what the workspace uses: non-generic structs with named
+//! fields (doc comments and other attributes on fields are skipped). Anything
+//! else produces a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stand-in `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(generated) => generated,
+        Err(message) => format!("compile_error!({message:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut index = 0usize;
+
+    // Skip outer attributes (`#[...]`) and visibility before `struct`.
+    loop {
+        match tokens.get(index) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => index += 2,
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                index += 1;
+                // `pub(crate)` and friends carry a parenthesised scope.
+                if let Some(TokenTree::Group(g)) = tokens.get(index) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        index += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "struct" => {
+                index += 1;
+                break;
+            }
+            Some(other) => {
+                return Err(format!(
+                    "derive(Serialize) stand-in only supports structs, found `{other}`"
+                ))
+            }
+            None => return Err("derive(Serialize) stand-in: unexpected end of input".into()),
+        }
+    }
+
+    let name = match tokens.get(index) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+    index += 1;
+
+    let body = match tokens.get(index) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "derive(Serialize) stand-in does not support generic struct `{name}`"
+            ))
+        }
+        other => {
+            return Err(format!(
+                "derive(Serialize) stand-in requires named fields on `{name}`, found {other:?}"
+            ))
+        }
+    };
+
+    let fields = parse_field_names(body)?;
+    let mut entries = String::new();
+    for field in &fields {
+        entries.push_str(&format!(
+            "(::std::string::String::from({field:?}), ::serde::Serialize::to_value(&self.{field})),"
+        ));
+    }
+
+    let generated = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    );
+    generated
+        .parse()
+        .map_err(|e| format!("derive(Serialize) stand-in generated invalid code: {e:?}"))
+}
+
+/// Extracts field names from the brace body of a named-field struct.
+fn parse_field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut index = 0usize;
+    while index < tokens.len() {
+        // Skip field attributes (doc comments arrive as `#[doc = "..."]`).
+        while let Some(TokenTree::Punct(p)) = tokens.get(index) {
+            if p.as_char() == '#' {
+                index += 2;
+            } else {
+                break;
+            }
+        }
+        if index >= tokens.len() {
+            break;
+        }
+        if let Some(TokenTree::Ident(ident)) = tokens.get(index) {
+            if ident.to_string() == "pub" {
+                index += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(index) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        index += 1;
+                    }
+                }
+            }
+        }
+        let name = match tokens.get(index) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        index += 1;
+        match tokens.get(index) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => index += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0i32;
+        while let Some(token) = tokens.get(index) {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth <= 0 => {
+                    index += 1;
+                    break;
+                }
+                _ => {}
+            }
+            index += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}

@@ -1,0 +1,176 @@
+//! Offline stand-in for the subset of the `serde_json` API this workspace
+//! uses: pretty-printed serialization of the stand-in `serde::Value` tree.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error (the stand-in never actually fails, but the signature
+/// matches the real crate so call sites keep their error handling).
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes a value as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => out.push_str(&format_float(*f)),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => write_seq(out, items.iter(), indent, level, |out, item, lvl| {
+            write_value(out, item, indent, lvl)
+        }),
+        Value::Object(entries) => write_seq_delim(
+            out,
+            entries.iter(),
+            indent,
+            level,
+            '{',
+            '}',
+            |out, (k, v), lvl| {
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, lvl);
+            },
+        ),
+    }
+}
+
+fn write_seq<'a, T: 'a>(
+    out: &mut String,
+    items: impl ExactSizeIterator<Item = &'a T>,
+    indent: Option<usize>,
+    level: usize,
+    write_item: impl Fn(&mut String, &T, usize),
+) {
+    write_seq_delim(out, items, indent, level, '[', ']', write_item)
+}
+
+fn write_seq_delim<'a, T: 'a>(
+    out: &mut String,
+    items: impl ExactSizeIterator<Item = &'a T>,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    write_item: impl Fn(&mut String, &T, usize),
+) {
+    out.push(open);
+    let count = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (level + 1)));
+        }
+        write_item(out, item, level + 1);
+        if i + 1 < count {
+            out.push(',');
+        }
+    }
+    if count > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * level));
+        }
+    }
+    out.push(close);
+}
+
+/// Formats a float the way serde_json does: integral values keep a `.0`.
+fn format_float(f: f64) -> String {
+    if !f.is_finite() {
+        // JSON has no Inf/NaN; the real crate errors, reports never hit this.
+        return "null".to_string();
+    }
+    if f == f.trunc() && f.abs() < 1e15 {
+        format!("{f:.1}")
+    } else {
+        format!("{f}")
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Row {
+        a: usize,
+        b: f64,
+    }
+
+    impl Serialize for Row {
+        fn to_value(&self) -> Value {
+            Value::Object(vec![
+                ("a".to_string(), self.a.to_value()),
+                ("b".to_string(), self.b.to_value()),
+            ])
+        }
+    }
+
+    #[test]
+    fn pretty_prints_like_serde_json() {
+        let rows = vec![Row { a: 1, b: 2.5 }, Row { a: 2, b: 3.5 }];
+        let s = to_string_pretty(rows.as_slice()).unwrap();
+        assert!(s.contains("\"a\": 1"), "{s}");
+        assert!(s.contains("\"b\": 3.5"), "{s}");
+        assert!(s.starts_with("[\n"), "{s}");
+    }
+
+    #[test]
+    fn compact_output_has_no_spaces() {
+        let row = Row { a: 7, b: 1.0 };
+        assert_eq!(to_string(&row).unwrap(), "{\"a\":7,\"b\":1.0}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = to_string(&"a\"b\n").unwrap();
+        assert_eq!(s, "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string_pretty(&Vec::<u8>::new()).unwrap(), "[]");
+    }
+}

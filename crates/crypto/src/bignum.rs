@@ -58,7 +58,9 @@ impl BigUint {
     /// Constructs from a `u64`.
     pub fn from_u64(v: u64) -> Self {
         let mut limbs = vec![(v & 0xffff_ffff) as u32, (v >> 32) as u32];
-        let mut out = BigUint { limbs: std::mem::take(&mut limbs) };
+        let mut out = BigUint {
+            limbs: std::mem::take(&mut limbs),
+        };
         out.normalize();
         out
     }
@@ -153,7 +155,7 @@ impl BigUint {
 
     /// True if the value is even.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits.
@@ -168,7 +170,7 @@ impl BigUint {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 32;
         let off = i % 32;
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     fn normalize(&mut self) {
@@ -259,7 +261,7 @@ impl BigUint {
             let mut carry = 0u32;
             for &l in &self.limbs {
                 out.push((l << bit_shift) | carry);
-                carry = (l >> (32 - bit_shift)) as u32;
+                carry = l >> (32 - bit_shift);
             }
             if carry > 0 {
                 out.push(carry);
@@ -511,7 +513,7 @@ impl BigUint {
 
 impl PartialOrd for BigUint {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp_to(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -571,7 +573,10 @@ mod tests {
     #[test]
     fn roundtrip_bytes() {
         let v = BigUint::from_bytes_be(&[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
-        assert_eq!(v.to_bytes_be(), vec![0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
+        assert_eq!(
+            v.to_bytes_be(),
+            vec![0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]
+        );
         // Leading zeros are stripped.
         let v2 = BigUint::from_bytes_be(&[0x00, 0x00, 0xff]);
         assert_eq!(v2.to_bytes_be(), vec![0xff]);

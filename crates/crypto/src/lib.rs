@@ -47,4 +47,4 @@ pub use bignum::BigUint;
 pub use dsa::{DsaKeyPair, DsaPublicKey, DsaSignature};
 pub use rsa::{RsaKeyPair, RsaPublicKey, RsaSignature};
 pub use sha256::{sha256, Digest, Sha256};
-pub use signer::{Signature, SignatureScheme, Signer, Verifier};
+pub use signer::{PublicKey, Signature, SignatureScheme, Signer, Verifier};

@@ -106,7 +106,11 @@ pub fn generate_dsa_primes<R: Rng + ?Sized>(
         // Choose k with p_bits - q_bits bits so p = q*k + 1 has ~p_bits bits.
         let k = BigUint::random_exact_bits(rng, p_bits - q_bits);
         // Force k even so p is odd (q odd, k even => q*k even => p odd).
-        let k = if k.is_even() { k } else { k.add(&BigUint::one()) };
+        let k = if k.is_even() {
+            k
+        } else {
+            k.add(&BigUint::one())
+        };
         let p = q.mul(&k).add(&BigUint::one());
         if p.bits() < p_bits - 1 || p.bits() > p_bits + 1 {
             continue;

@@ -194,7 +194,9 @@ mod tests {
         let digest = sha256(b"message");
         // A "signature" numerically >= n must be rejected outright.
         let huge = kp.public.n.add(&BigUint::one());
-        let sig = RsaSignature { bytes: huge.to_bytes_be() };
+        let sig = RsaSignature {
+            bytes: huge.to_bytes_be(),
+        };
         assert!(!kp.public.verify(&digest, &sig));
     }
 

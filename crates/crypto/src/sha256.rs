@@ -119,7 +119,7 @@ impl Sha256 {
             120 - self.buffer_len
         };
         pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
-        self.update_no_count(&pad[..pad_len + 8].to_vec());
+        self.update_no_count(&pad[..pad_len + 8]);
 
         let mut out = [0u8; 32];
         for (i, word) in self.state.iter().enumerate() {

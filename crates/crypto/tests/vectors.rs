@@ -1,7 +1,7 @@
 //! Known-answer and cross-consistency tests for the cryptographic substrate.
 
 use vaq_crypto::sha256::{sha256, to_hex, Sha256};
-use vaq_crypto::{BigUint, SignatureScheme, Signer, Verifier};
+use vaq_crypto::{BigUint, SignatureScheme, Signer};
 
 /// NIST / de-facto standard SHA-256 vectors beyond the ones in the unit
 /// tests (covering multi-block messages and byte-at-a-time feeding).

@@ -36,7 +36,12 @@ pub enum SplitDecision {
 /// Decides whether a linear form's zero set splits a region.
 pub trait SplitOracle {
     /// Classifies the hyperplane `coeffs·x + constant = 0` against `region`.
-    fn classify(&self, region: &SubdomainConstraints, coeffs: &[f64], constant: f64) -> SplitDecision;
+    fn classify(
+        &self,
+        region: &SubdomainConstraints,
+        coeffs: &[f64],
+        constant: f64,
+    ) -> SplitDecision;
 
     /// Convenience: true if the hyperplane splits the region.
     fn splits(&self, region: &SubdomainConstraints, coeffs: &[f64], constant: f64) -> bool {
@@ -63,7 +68,12 @@ impl LpSplitOracle {
 }
 
 impl SplitOracle for LpSplitOracle {
-    fn classify(&self, region: &SubdomainConstraints, coeffs: &[f64], constant: f64) -> SplitDecision {
+    fn classify(
+        &self,
+        region: &SubdomainConstraints,
+        coeffs: &[f64],
+        constant: f64,
+    ) -> SplitDecision {
         match region.linear_range(coeffs, constant) {
             None => SplitDecision::EmptyRegion,
             Some((min, max)) => {
@@ -103,7 +113,12 @@ impl SamplingSplitOracle {
 }
 
 impl SplitOracle for SamplingSplitOracle {
-    fn classify(&self, region: &SubdomainConstraints, coeffs: &[f64], constant: f64) -> SplitDecision {
+    fn classify(
+        &self,
+        region: &SubdomainConstraints,
+        coeffs: &[f64],
+        constant: f64,
+    ) -> SplitDecision {
         let mut rng = self.rng.borrow_mut();
         let mut seen_above = false;
         let mut seen_below = false;
@@ -178,7 +193,10 @@ mod tests {
             SplitDecision::AllAbove
         );
         // But x - 0.9 = 0 still splits [0.8, 1].
-        assert_eq!(oracle.classify(&region, &[1.0], -0.9), SplitDecision::Splits);
+        assert_eq!(
+            oracle.classify(&region, &[1.0], -0.9),
+            SplitDecision::Splits
+        );
     }
 
     #[test]
@@ -228,7 +246,10 @@ mod tests {
         let mc = SamplingSplitOracle::new(64, 7);
         let coeffs = vec![1.0, 1.0];
         let c = -1.999_999;
-        assert_eq!(lp.classify(&unit_region(2), &coeffs, c), SplitDecision::Splits);
+        assert_eq!(
+            lp.classify(&unit_region(2), &coeffs, c),
+            SplitDecision::Splits
+        );
         let d = mc.classify(&unit_region(2), &coeffs, c);
         assert!(matches!(d, SplitDecision::AllBelow | SplitDecision::Splits));
     }

@@ -43,7 +43,11 @@ pub struct LinearFunction {
 impl LinearFunction {
     /// Creates a linear function.
     pub fn new(id: FuncId, coeffs: Vec<f64>, constant: f64) -> Self {
-        LinearFunction { id, coeffs, constant }
+        LinearFunction {
+            id,
+            coeffs,
+            constant,
+        }
     }
 
     /// Number of variables.
@@ -68,7 +72,11 @@ impl LinearFunction {
     /// vectors (`g(X) = self(X) − other(X)`); the zero set of `g` is the
     /// intersection hyperplane `I_{i,j}` of the paper.
     pub fn difference(&self, other: &LinearFunction) -> (Vec<f64>, f64) {
-        assert_eq!(self.dims(), other.dims(), "dimension mismatch in difference");
+        assert_eq!(
+            self.dims(),
+            other.dims(),
+            "dimension mismatch in difference"
+        );
         let coeffs = self
             .coeffs
             .iter()

@@ -21,7 +21,11 @@ pub struct Record {
 impl Record {
     /// Creates a record without a label.
     pub fn new(id: u64, attrs: Vec<f64>) -> Self {
-        Record { id, attrs, label: None }
+        Record {
+            id,
+            attrs,
+            label: None,
+        }
     }
 
     /// Creates a record with a label.

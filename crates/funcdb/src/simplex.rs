@@ -235,12 +235,7 @@ fn simplex_standard(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> StandardOutcome {
 }
 
 /// Builds the reduced-cost row for an objective, given the current basis.
-fn build_objective_row(
-    obj: &[f64],
-    t: &[Vec<f64>],
-    basis: &[usize],
-    rhs_col: usize,
-) -> Vec<f64> {
+fn build_objective_row(obj: &[f64], t: &[Vec<f64>], basis: &[usize], rhs_col: usize) -> Vec<f64> {
     // z_j - c_j form: start with -c_j and add back the basic contributions.
     let total_cols = rhs_col + 1;
     let mut z = vec![0.0; total_cols];
@@ -286,7 +281,7 @@ fn run_simplex(
                 let ratio = row[rhs_col] / row[entering];
                 if ratio < best_ratio - TOL
                     || ((ratio - best_ratio).abs() <= TOL
-                        && leaving.map_or(true, |l| basis[i] < basis[l]))
+                        && leaving.is_none_or(|l| basis[i] < basis[l]))
                 {
                     best_ratio = ratio;
                     leaving = Some(i);
@@ -316,21 +311,24 @@ fn pivot(
     let total_cols = rhs_col + 1;
     let pivot_val = t[row][col];
     debug_assert!(pivot_val.abs() > 1e-12, "pivot on (near-)zero element");
-    for j in 0..total_cols {
-        t[row][j] /= pivot_val;
+    for cell in t[row].iter_mut().take(total_cols) {
+        *cell /= pivot_val;
     }
-    for i in 0..t.len() {
-        if i != row && t[i][col].abs() > 0.0 {
-            let factor = t[i][col];
-            for j in 0..total_cols {
-                t[i][j] -= factor * t[row][j];
+    // Snapshot the normalised pivot row so eliminating the other rows does
+    // not alias the mutable borrow of the tableau.
+    let pivot_row: Vec<f64> = t[row][..total_cols].to_vec();
+    for (i, current) in t.iter_mut().enumerate() {
+        if i != row && current[col].abs() > 0.0 {
+            let factor = current[col];
+            for (cell, pivot_cell) in current.iter_mut().zip(pivot_row.iter()) {
+                *cell -= factor * pivot_cell;
             }
         }
     }
     if z[col].abs() > 0.0 {
         let factor = z[col];
-        for j in 0..total_cols {
-            z[j] -= factor * t[row][j];
+        for (cell, pivot_cell) in z.iter_mut().zip(t[row].iter()).take(total_cols) {
+            *cell -= factor * pivot_cell;
         }
     }
     basis[row] = col;

@@ -96,7 +96,11 @@ impl SubdomainConstraints {
             let b = hs.constant;
             // Constraint: a*x + b >= 0 (non_negative) or a*x + b <= 0 (closure of < 0).
             if a.abs() < crate::EPS {
-                let ok = if hs.non_negative { b >= -crate::EPS } else { b <= crate::EPS };
+                let ok = if hs.non_negative {
+                    b >= -crate::EPS
+                } else {
+                    b <= crate::EPS
+                };
                 if !ok {
                     return None;
                 }
@@ -286,7 +290,9 @@ mod tests {
     fn digests_depend_on_constraints_and_order() {
         let a = HalfSpace::raw(vec![1.0], -0.2, true);
         let b = HalfSpace::raw(vec![1.0], -0.7, false);
-        let s1 = SubdomainConstraints::whole(Domain::unit(1)).with(a.clone()).with(b.clone());
+        let s1 = SubdomainConstraints::whole(Domain::unit(1))
+            .with(a.clone())
+            .with(b.clone());
         let s2 = SubdomainConstraints::whole(Domain::unit(1)).with(b).with(a);
         assert_ne!(s1.digest(), s2.digest());
         assert_ne!(s1.inequality_digest(), s2.inequality_digest());
@@ -296,8 +302,11 @@ mod tests {
     #[test]
     fn empty_intersection_of_box_detected() {
         // Domain [0,1], constraint x >= 2 is infeasible inside the box.
-        let s = SubdomainConstraints::whole(Domain::unit(1))
-            .with(HalfSpace::raw(vec![1.0], -2.0, true));
+        let s = SubdomainConstraints::whole(Domain::unit(1)).with(HalfSpace::raw(
+            vec![1.0],
+            -2.0,
+            true,
+        ));
         assert!(!s.is_feasible());
     }
 }

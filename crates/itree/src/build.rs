@@ -58,9 +58,7 @@ impl<O: SplitOracle> ITreeBuilder<O> {
 
         // Root: a single subdomain covering the whole domain.
         let whole = SubdomainConstraints::whole(domain.clone());
-        let witness = whole
-            .witness_point()
-            .unwrap_or_else(|| domain.center());
+        let witness = whole.witness_point().unwrap_or_else(|| domain.center());
         let root_node = Node::Subdomain {
             constraints: whole,
             sorted: Vec::new(),
@@ -122,10 +120,7 @@ impl<O: SplitOracle> ITreeBuilder<O> {
         stats: &mut BuildStats,
     ) {
         let mut queue: VecDeque<(NodeId, SubdomainConstraints)> = VecDeque::new();
-        queue.push_back((
-            tree.root,
-            SubdomainConstraints::whole(tree.domain.clone()),
-        ));
+        queue.push_back((tree.root, SubdomainConstraints::whole(tree.domain.clone())));
 
         while let Some((id, region)) = queue.pop_front() {
             stats.nodes_visited += 1;

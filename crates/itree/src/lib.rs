@@ -35,10 +35,10 @@ mod tests {
     fn paper_like_dataset() -> Dataset {
         let template = FunctionTemplate::new(vec!["x"]);
         let records = vec![
-            Record::new(1, vec![1.0]),   // f1(x) = x        (as 1-attr linear form)
-            Record::new(2, vec![0.6]),   // f2(x) = 0.6x
-            Record::new(3, vec![0.25]),  // f3(x) = 0.25x
-            Record::new(4, vec![-0.5]),  // f4(x) = -0.5x
+            Record::new(1, vec![1.0]),  // f1(x) = x        (as 1-attr linear form)
+            Record::new(2, vec![0.6]),  // f2(x) = 0.6x
+            Record::new(3, vec![0.25]), // f3(x) = 0.25x
+            Record::new(4, vec![-0.5]), // f4(x) = -0.5x
         ];
         Dataset::new(records, template, Domain::unit(1))
     }
@@ -48,10 +48,10 @@ mod tests {
     fn affine_dataset() -> (Vec<vaq_funcdb::LinearFunction>, Domain) {
         use vaq_funcdb::LinearFunction;
         let fs = vec![
-            LinearFunction::new(FuncId(0), vec![1.0], 0.0),   // x
-            LinearFunction::new(FuncId(1), vec![-1.0], 1.0),  // 1 - x
-            LinearFunction::new(FuncId(2), vec![0.0], 0.3),   // 0.3
-            LinearFunction::new(FuncId(3), vec![2.0], -0.4),  // 2x - 0.4
+            LinearFunction::new(FuncId(0), vec![1.0], 0.0),  // x
+            LinearFunction::new(FuncId(1), vec![-1.0], 1.0), // 1 - x
+            LinearFunction::new(FuncId(2), vec![0.0], 0.3),  // 0.3
+            LinearFunction::new(FuncId(3), vec![2.0], -0.4), // 2x - 0.4
         ];
         (fs, Domain::unit(1))
     }
@@ -93,7 +93,12 @@ mod tests {
         let tree = ITreeBuilder::new(LpSplitOracle::new()).build(&fs, domain);
         for &leaf in tree.leaf_ids() {
             let node = tree.node(leaf);
-            if let Node::Subdomain { constraints, witness, .. } = node {
+            if let Node::Subdomain {
+                constraints,
+                witness,
+                ..
+            } = node
+            {
                 assert!(constraints.contains(witness), "witness not in subdomain");
             } else {
                 panic!("leaf id does not point at a subdomain node");

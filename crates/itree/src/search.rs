@@ -55,12 +55,8 @@ impl ITree {
                     below,
                     ..
                 } => {
-                    let g: f64 = coeffs
-                        .iter()
-                        .zip(x.iter())
-                        .map(|(c, v)| c * v)
-                        .sum::<f64>()
-                        + constant;
+                    let g: f64 =
+                        coeffs.iter().zip(x.iter()).map(|(c, v)| c * v).sum::<f64>() + constant;
                     let went_above = g >= 0.0;
                     let (taken, sibling) = if went_above {
                         (*above, *below)
@@ -102,11 +98,7 @@ mod tests {
         assert!(tree.node(res.leaf).is_leaf());
         // Each taken child of a step must be the next step's node or the leaf.
         for (i, step) in res.path.iter().enumerate() {
-            let next = res
-                .path
-                .get(i + 1)
-                .map(|s| s.node)
-                .unwrap_or(res.leaf);
+            let next = res.path.get(i + 1).map(|s| s.node).unwrap_or(res.leaf);
             assert_eq!(step.taken, next);
             assert_ne!(step.taken, step.sibling);
         }

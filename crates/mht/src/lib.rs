@@ -20,7 +20,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use vaq_crypto::sha256::{sha256_concat, Digest};
+use vaq_crypto::sha256::{sha256, sha256_concat, Digest};
+
+/// Binds a root digest to its tree's leaf count.
+///
+/// With the paper's odd-node promotion rule, the *raw* Merkle root does not
+/// commit to the number of leaves: a proof generated from an `n`-leaf tree
+/// can reconstruct the identical root under a forged leaf count whose layer
+/// shapes happen to agree on the proven window (e.g. 10 vs 12 leaves). Any
+/// digest that gets signed must therefore bind the count explicitly — this is
+/// exactly what the IFMH scheme's `subdomain_node_hash(root, leaf_count)`
+/// does, and [`committed_root`] is the reusable mht-level form of it.
+pub fn committed_root(root: &Digest, leaf_count: u32) -> Digest {
+    let mut bytes = Vec::with_capacity(4 + 32 + 4);
+    bytes.extend_from_slice(b"MHTC");
+    bytes.extend_from_slice(root);
+    bytes.extend_from_slice(&leaf_count.to_be_bytes());
+    sha256(&bytes)
+}
 
 /// A Merkle hash tree stored layer by layer.
 ///
@@ -69,6 +86,17 @@ pub struct VerifyOutcome {
     pub root: Digest,
     /// Number of hash invocations performed during reconstruction.
     pub hash_ops: usize,
+    /// The leaf count the proof claimed (echoed from [`RangeProof`]).
+    pub leaf_count: u32,
+}
+
+impl VerifyOutcome {
+    /// The count-binding commitment for the reconstructed root; compare this
+    /// (not the raw root) against a trusted value when the leaf count itself
+    /// must be authenticated. See [`committed_root`].
+    pub fn committed_root(&self) -> Digest {
+        committed_root(&self.root, self.leaf_count)
+    }
 }
 
 /// Error cases for range-proof verification.
@@ -146,6 +174,12 @@ impl MerkleTree {
         self.layers[0].len()
     }
 
+    /// The count-binding commitment over this tree's root; see
+    /// [`committed_root`].
+    pub fn committed_root(&self) -> Digest {
+        committed_root(&self.root(), self.leaf_count() as u32)
+    }
+
     /// Leaf digest at `index`.
     pub fn leaf(&self, index: usize) -> Digest {
         self.layers[0][index]
@@ -184,20 +218,12 @@ impl MerkleTree {
             // 2*floor(lo/2) ..= 2*floor(hi/2)+1 (clipped to the layer).
             let need_lo = (lo / 2) * 2;
             let need_hi = ((hi / 2) * 2 + 1).min(layer.len() - 1);
-            for idx in need_lo..lo {
-                nodes.push(ProofNode {
-                    layer: layer_idx as u32,
-                    index: idx as u32,
-                    hash: layer[idx],
-                });
-            }
-            for idx in (hi + 1)..=need_hi {
-                nodes.push(ProofNode {
-                    layer: layer_idx as u32,
-                    index: idx as u32,
-                    hash: layer[idx],
-                });
-            }
+            let siblings = (need_lo..lo).chain((hi + 1)..=need_hi);
+            nodes.extend(siblings.map(|idx| ProofNode {
+                layer: layer_idx as u32,
+                index: idx as u32,
+                hash: layer[idx],
+            }));
             lo /= 2;
             hi /= 2;
         }
@@ -296,6 +322,7 @@ pub fn verify_range(
     Ok(VerifyOutcome {
         root: known[0],
         hash_ops,
+        leaf_count: proof.leaf_count,
     })
 }
 
@@ -405,9 +432,8 @@ mod tests {
         let proof = t.prove_range(4, 7);
         // Present the same leaves shifted by one position: either an error or
         // a root mismatch, never a silent pass.
-        match verify_range(5, &l[4..=7], &proof) {
-            Ok(out) => assert_ne!(out.root, t.root()),
-            Err(_) => {}
+        if let Ok(out) = verify_range(5, &l[4..=7], &proof) {
+            assert_ne!(out.root, t.root())
         }
     }
 

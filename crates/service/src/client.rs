@@ -1,0 +1,150 @@
+//! Blocking client for the VAQ1 query service.
+
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use vaq_authquery::{client, Query, QueryResponse, VerifiedResult};
+use vaq_crypto::Verifier;
+use vaq_funcdb::FunctionTemplate;
+use vaq_wire::{Request, Response, StatsSnapshot};
+
+use crate::error::ServiceError;
+use crate::frame::{read_message, write_message};
+
+/// Default frame-size limit accepted by a client.
+const DEFAULT_MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// A blocking connection to a [`crate::QueryService`].
+///
+/// One connection carries any number of requests, answered in order. The
+/// verification entry point [`ServiceClient::query_verified`] feeds the
+/// remote response straight into [`vaq_authquery::client::verify`], so a
+/// network round-trip gives the same soundness/completeness guarantees as a
+/// local call — the service is untrusted, exactly like the paper's server.
+#[derive(Debug)]
+pub struct ServiceClient {
+    stream: TcpStream,
+    max_frame_bytes: usize,
+    /// Set once a response read fails (timeout or I/O error): the stream may
+    /// still carry the late response, so pairing a new request with the next
+    /// frame would silently return the wrong response. Desynced connections
+    /// refuse further calls; reconnect instead.
+    desynced: bool,
+}
+
+impl ServiceClient {
+    /// Connects to a service.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ServiceClient {
+            stream,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            desynced: false,
+        })
+    }
+
+    /// Connects with a timeout on the TCP handshake.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> Result<Self, ServiceError> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(ServiceClient {
+            stream,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            desynced: false,
+        })
+    }
+
+    /// Sets a read timeout for responses.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ServiceError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Round-trips a liveness probe, returning its latency.
+    pub fn ping(&mut self) -> Result<Duration, ServiceError> {
+        let start = Instant::now();
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(start.elapsed()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the service's counter snapshot.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ServiceError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Sends one query and returns the raw (unverified) response.
+    pub fn query(&mut self, query: &Query) -> Result<QueryResponse, ServiceError> {
+        match self.call(&Request::Query(query.clone()))? {
+            Response::Query(response) => Ok(response),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Sends one query and verifies the response against the owner's
+    /// published template and public key before returning it.
+    pub fn query_verified(
+        &mut self,
+        query: &Query,
+        template: &FunctionTemplate,
+        verifier: &dyn Verifier,
+    ) -> Result<(QueryResponse, VerifiedResult), ServiceError> {
+        let response = self.query(query)?;
+        let verified = client::verify(query, &response.records, &response.vo, template, verifier)?;
+        Ok((response, verified))
+    }
+
+    /// Sends a batch of queries, answered in order.
+    pub fn batch(&mut self, queries: &[Query]) -> Result<Vec<QueryResponse>, ServiceError> {
+        match self.call(&Request::Batch(queries.to_vec()))? {
+            Response::Batch(responses) => Ok(responses),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Sends one request frame and reads one response frame.
+    ///
+    /// After a failed response read (timeout or I/O error) the connection is
+    /// marked desynced — the late response could still arrive and would be
+    /// mis-paired with the next request — and every further call errors.
+    /// Reconnect to recover.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        if self.desynced {
+            return Err(ServiceError::Io(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "connection desynced by an earlier failed read; reconnect",
+            )));
+        }
+        write_message(&mut self.stream, request)?;
+        match read_message::<Response>(&mut self.stream, self.max_frame_bytes) {
+            Ok(Some(Response::Error(reply))) => Err(ServiceError::Remote(reply)),
+            Ok(Some(response)) => Ok(response),
+            Ok(None) => {
+                self.desynced = true;
+                Err(ServiceError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "service closed the connection",
+                )))
+            }
+            Err(e) => {
+                self.desynced = true;
+                Err(e)
+            }
+        }
+    }
+}
+
+fn unexpected(response: &Response) -> ServiceError {
+    ServiceError::UnexpectedResponse(match response {
+        Response::Pong => "pong",
+        Response::Stats(_) => "stats",
+        Response::Query(_) => "query",
+        Response::Batch(_) => "batch",
+        Response::Error(_) => "error",
+    })
+}

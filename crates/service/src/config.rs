@@ -1,0 +1,103 @@
+//! Service configuration.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Configuration of a [`crate::QueryService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Address to bind; use port 0 for an ephemeral port.
+    pub bind_addr: SocketAddr,
+    /// Worker threads serving connections (at least 1). Each worker owns
+    /// one connection at a time, so this is also the number of concurrent
+    /// persistent connections served without queueing.
+    pub workers: usize,
+    /// Response-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Response-cache byte budget: total bytes of cached response frames.
+    pub cache_max_bytes: usize,
+    /// Largest accepted (and produced) frame payload, in bytes.
+    pub max_frame_bytes: usize,
+    /// Per-connection read timeout, so a dead peer cannot pin a worker
+    /// forever; `None` blocks indefinitely.
+    pub read_timeout: Option<Duration>,
+    /// Largest accepted batch size; larger batches get a `BadQuery` reply.
+    pub max_batch_len: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            bind_addr: "127.0.0.1:0".parse().expect("static addr parses"),
+            workers: 4,
+            cache_capacity: 1024,
+            cache_max_bytes: crate::cache::LruCache::DEFAULT_MAX_BYTES,
+            max_frame_bytes: 16 << 20,
+            read_timeout: Some(Duration::from_secs(30)),
+            max_batch_len: 256,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Starts from defaults binding an ephemeral localhost port.
+    pub fn ephemeral() -> Self {
+        Self::default()
+    }
+
+    /// Sets the bind address.
+    pub fn bind(mut self, addr: SocketAddr) -> Self {
+        self.bind_addr = addr;
+        self
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the response-cache capacity (0 disables the cache).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the frame-size limit.
+    pub fn max_frame_bytes(mut self, bytes: usize) -> Self {
+        self.max_frame_bytes = bytes;
+        self
+    }
+
+    /// Sets the per-connection read timeout.
+    pub fn read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let config = ServiceConfig::default();
+        assert_eq!(config.bind_addr.port(), 0);
+        assert!(config.workers >= 1);
+        assert!(config.max_frame_bytes >= 1 << 20);
+    }
+
+    #[test]
+    fn builder_methods_apply() {
+        let config = ServiceConfig::ephemeral()
+            .workers(0)
+            .cache_capacity(7)
+            .max_frame_bytes(4096)
+            .read_timeout(None);
+        assert_eq!(config.workers, 1, "worker count clamps to 1");
+        assert_eq!(config.cache_capacity, 7);
+        assert_eq!(config.max_frame_bytes, 4096);
+        assert!(config.read_timeout.is_none());
+    }
+}

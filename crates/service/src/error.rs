@@ -1,0 +1,68 @@
+//! Error type shared by the service client and server.
+
+use vaq_authquery::VerifyError;
+use vaq_wire::{ErrorReply, WireError};
+
+/// Why a service operation failed.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// A socket operation failed.
+    Io(std::io::Error),
+    /// A frame or message could not be encoded/decoded.
+    Wire(WireError),
+    /// The peer sent a frame larger than the configured limit.
+    FrameTooLarge {
+        /// Declared payload length.
+        declared: usize,
+        /// Configured maximum.
+        limit: usize,
+    },
+    /// The server answered with a typed error reply.
+    Remote(ErrorReply),
+    /// The server answered with a response of the wrong kind.
+    UnexpectedResponse(&'static str),
+    /// A remote response failed client-side cryptographic verification.
+    Verification(VerifyError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "socket error: {e}"),
+            ServiceError::Wire(e) => write!(f, "wire error: {e}"),
+            ServiceError::FrameTooLarge { declared, limit } => {
+                write!(
+                    f,
+                    "frame of {declared} bytes exceeds the {limit}-byte limit"
+                )
+            }
+            ServiceError::Remote(reply) => {
+                write!(f, "server error ({:?}): {}", reply.code, reply.message)
+            }
+            ServiceError::UnexpectedResponse(kind) => {
+                write!(f, "unexpected response kind: {kind}")
+            }
+            ServiceError::Verification(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+impl From<WireError> for ServiceError {
+    fn from(e: WireError) -> Self {
+        ServiceError::Wire(e)
+    }
+}
+
+impl From<VerifyError> for ServiceError {
+    fn from(e: VerifyError) -> Self {
+        ServiceError::Verification(e)
+    }
+}

@@ -1,0 +1,255 @@
+//! Socket-level VAQ1 frame reading and writing.
+//!
+//! A frame is the on-disk format of `vaq_wire` put on a stream: 4-byte
+//! magic, 2-byte version, 4-byte little-endian payload length, payload.
+//! The reader enforces a caller-supplied payload limit **before** allocating,
+//! so a hostile peer cannot make the service reserve gigabytes with a 10-byte
+//! header.
+
+use std::io::{ErrorKind, Read, Write};
+use std::time::{Duration, Instant};
+use vaq_wire::{WireDecode, WireEncode, WireError, MAGIC, VERSION};
+
+use crate::error::ServiceError;
+
+/// How long a partially received frame may keep trickling in before the
+/// reader gives up. Streams with a short poll-style read timeout (the
+/// server sets 100ms to stay responsive to shutdown) would otherwise drop
+/// any client whose frame spans more than one timeout window — a TCP
+/// retransmit or a slow link must not kill the connection mid-frame.
+const MID_FRAME_PATIENCE: Duration = Duration::from_secs(10);
+
+/// Outcome of trying to read one frame from a stream.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame payload.
+    Payload(Vec<u8>),
+    /// The peer closed the connection cleanly before a new frame started.
+    Closed,
+    /// A read timeout fired before any byte of a new frame arrived; the
+    /// connection is idle but intact (only possible with a read timeout
+    /// set on the stream).
+    Idle,
+}
+
+/// Reads one frame payload, enforcing `max_payload` before allocation.
+pub fn read_frame(stream: &mut impl Read, max_payload: usize) -> Result<FrameRead, ServiceError> {
+    let mut header = [0u8; 10];
+    let (filled, error) = read_all(stream, &mut header, false);
+    if let Some(e) = error {
+        let timed_out = matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut);
+        if filled == 0 && timed_out {
+            return Ok(FrameRead::Idle);
+        }
+        return Err(ServiceError::Io(e));
+    }
+    match filled {
+        0 => return Ok(FrameRead::Closed),
+        n if n < header.len() => return Err(ServiceError::Wire(WireError::Truncated)),
+        _ => {}
+    }
+    if header[..4] != MAGIC {
+        return Err(ServiceError::Wire(WireError::BadMagic));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(ServiceError::Wire(WireError::UnsupportedVersion(version)));
+    }
+    let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]) as usize;
+    if len > max_payload {
+        return Err(ServiceError::FrameTooLarge {
+            declared: len,
+            limit: max_payload,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    // The header already arrived, so the stream is mid-frame: payload bytes
+    // get the same patience even before the first one shows up.
+    let (filled, error) = read_all(stream, &mut payload, true);
+    if let Some(e) = error {
+        return Err(ServiceError::Io(e));
+    }
+    if filled < len {
+        return Err(ServiceError::Wire(WireError::Truncated));
+    }
+    Ok(FrameRead::Payload(payload))
+}
+
+/// Reads one framed message and decodes it. An idle timeout surfaces as a
+/// `TimedOut` I/O error — callers wanting to poll should use [`read_frame`].
+pub fn read_message<T: WireDecode>(
+    stream: &mut impl Read,
+    max_payload: usize,
+) -> Result<Option<T>, ServiceError> {
+    match read_frame(stream, max_payload)? {
+        FrameRead::Closed => Ok(None),
+        FrameRead::Idle => Err(ServiceError::Io(std::io::Error::new(
+            ErrorKind::TimedOut,
+            "timed out waiting for a response frame",
+        ))),
+        FrameRead::Payload(payload) => Ok(Some(T::from_wire_bytes(&payload)?)),
+    }
+}
+
+/// Encodes a message and writes it as one frame; returns the frame length.
+pub fn write_message<T: WireEncode>(
+    stream: &mut impl Write,
+    message: &T,
+) -> Result<usize, ServiceError> {
+    let frame = message.to_framed_bytes();
+    stream.write_all(&frame)?;
+    Ok(frame.len())
+}
+
+/// Like `read_exact` but reports how many bytes arrived before EOF or an
+/// error instead of failing outright, so a clean close between frames (and
+/// a timeout on a fully idle connection) is distinguishable from a frame
+/// truncated mid-flight.
+fn read_all(
+    stream: &mut impl Read,
+    buf: &mut [u8],
+    mid_frame: bool,
+) -> (usize, Option<std::io::Error>) {
+    let mut filled = 0usize;
+    // Patience is measured from the last byte of progress, not the start of
+    // the frame, so a large frame trickling in steadily is never dropped —
+    // only a stalled one.
+    let mut last_progress = Instant::now();
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                filled += n;
+                last_progress = Instant::now();
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            // A poll-style timeout mid-frame is not an error: the frame has
+            // started arriving, so keep waiting (bounded) for the rest.
+            Err(e)
+                if (mid_frame || filled > 0)
+                    && matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+                    && last_progress.elapsed() < MID_FRAME_PATIENCE =>
+            {
+                continue
+            }
+            Err(e) => return (filled, Some(e)),
+        }
+    }
+    (filled, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+    use vaq_wire::Request;
+
+    #[test]
+    fn frame_roundtrips_through_a_stream() {
+        let request = Request::Ping;
+        let mut buffer = Vec::new();
+        let written = write_message(&mut buffer, &request).unwrap();
+        assert_eq!(written, buffer.len());
+        let mut cursor = Cursor::new(buffer);
+        let decoded: Request = read_message(&mut cursor, 1024).unwrap().unwrap();
+        assert_eq!(decoded, request);
+        // The stream is now empty: the next read reports a clean close.
+        assert!(matches!(
+            read_frame(&mut cursor, 1024).unwrap(),
+            FrameRead::Closed
+        ));
+    }
+
+    #[test]
+    fn oversized_frames_rejected_before_allocation() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC);
+        frame.extend_from_slice(&VERSION.to_le_bytes());
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut Cursor::new(frame), 4096).unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::FrameTooLarge { limit: 4096, .. }
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_rejected() {
+        let mut frame = Request::Ping.to_framed_bytes();
+        frame[0] = b'X';
+        let err = read_frame(&mut Cursor::new(&frame), 1024).unwrap_err();
+        assert!(matches!(err, ServiceError::Wire(WireError::BadMagic)));
+
+        let frame = Request::Ping.to_framed_bytes();
+        for cut in 1..frame.len() {
+            let err = read_frame(&mut Cursor::new(&frame[..cut]), 1024).unwrap_err();
+            assert!(
+                matches!(err, ServiceError::Wire(WireError::Truncated)),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    /// A stream yielding one byte per read with a poll timeout in between,
+    /// like a slow link under the server's 100ms poll read-timeout.
+    struct Trickle {
+        bytes: Vec<u8>,
+        position: usize,
+        parched: bool,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.position >= self.bytes.len() {
+                return Ok(0);
+            }
+            self.parched = !self.parched;
+            if self.parched {
+                return Err(std::io::Error::new(ErrorKind::WouldBlock, "poll timeout"));
+            }
+            buf[0] = self.bytes[self.position];
+            self.position += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn frames_survive_poll_timeouts_mid_frame() {
+        let request = Request::Ping;
+        // `parched: true` so the first read yields a byte and every
+        // subsequent read alternates timeout/byte — the timeout-before-
+        // any-byte case is the separate Idle test below.
+        let mut stream = Trickle {
+            bytes: request.to_framed_bytes(),
+            position: 0,
+            parched: true,
+        };
+        let decoded: Request = read_message(&mut stream, 1024).unwrap().unwrap();
+        assert_eq!(decoded, request);
+    }
+
+    #[test]
+    fn timeout_before_any_byte_reports_idle() {
+        struct AlwaysTimeout;
+        impl Read for AlwaysTimeout {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(ErrorKind::WouldBlock, "poll timeout"))
+            }
+        }
+        assert!(matches!(
+            read_frame(&mut AlwaysTimeout, 1024).unwrap(),
+            FrameRead::Idle
+        ));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut frame = Request::Ping.to_framed_bytes();
+        frame[4] = 9;
+        let err = read_frame(&mut Cursor::new(frame), 1024).unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Wire(WireError::UnsupportedVersion(9))
+        ));
+    }
+}

@@ -1,0 +1,75 @@
+//! A concurrent networked query service over the VAQ1 wire protocol.
+//!
+//! The paper's system model is three-party: a data **owner** outsources a
+//! function database to an untrusted **server**, and data **users** issue
+//! analytic queries whose results they verify cryptographically. The other
+//! crates implement that protocol in-process; this crate puts the real
+//! network boundary in, std-only:
+//!
+//! * [`QueryService`] — binds a TCP listener, accepts connections on a fixed
+//!   worker thread pool (`std::thread` + `mpsc`), shares one
+//!   [`vaq_authquery::Server`] behind an `Arc`, answers framed
+//!   [`vaq_wire::Request`]s with framed [`vaq_wire::Response`]s, keeps a
+//!   bounded LRU cache of encoded responses keyed by canonical query bytes,
+//!   tracks counters + fixed-bucket latency histograms, and shuts down
+//!   gracefully via a flag plus a connect-to-self wakeup.
+//! * [`ServiceClient`] — a blocking connector whose
+//!   [`ServiceClient::query_verified`] feeds remote responses straight into
+//!   [`vaq_authquery::client::verify`], so a network round-trip carries the
+//!   same soundness and completeness guarantees as a local call.
+//! * [`LoadGenerator`] — a closed-loop driver running N client threads over
+//!   seeded [`vaq_workload::QueryMix`] streams and reporting aggregate
+//!   throughput and latency quantiles.
+//!
+//! # Quick example
+//!
+//! ```
+//! use vaq_authquery::{IfmhTree, Query, Server, SigningMode};
+//! use vaq_crypto::SignatureScheme;
+//! use vaq_service::{QueryService, ServiceClient, ServiceConfig};
+//! use vaq_workload::uniform_dataset;
+//!
+//! // Owner builds, server hosts.
+//! let dataset = uniform_dataset(12, 1, 7);
+//! let scheme = SignatureScheme::test_rsa(7);
+//! let tree = IfmhTree::build(&dataset, SigningMode::OneSignature, &scheme);
+//! let service = QueryService::bind(
+//!     ServiceConfig::ephemeral(),
+//!     Server::new(dataset.clone(), tree),
+//! )
+//! .unwrap();
+//!
+//! // A remote data user queries over TCP and verifies the response.
+//! let mut client = ServiceClient::connect(service.local_addr()).unwrap();
+//! let public_key = scheme.public_key();
+//! let (response, verified) = client
+//!     .query_verified(&Query::top_k(vec![0.6], 3), &dataset.template, &public_key)
+//!     .unwrap();
+//! assert_eq!(response.records.len(), 3);
+//! assert_eq!(verified.scores.len(), 3);
+//!
+//! let stats = service.shutdown();
+//! assert_eq!(stats.requests_served, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod config;
+pub mod error;
+pub mod frame;
+pub mod loadgen;
+pub mod metrics;
+pub mod pool;
+pub mod server;
+
+pub use cache::LruCache;
+pub use client::ServiceClient;
+pub use config::ServiceConfig;
+pub use error::ServiceError;
+pub use loadgen::{spec_to_query, LoadGenerator, LoadReport};
+pub use metrics::{Histogram, Metrics, RequestKind};
+pub use pool::WorkerPool;
+pub use server::QueryService;

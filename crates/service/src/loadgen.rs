@@ -1,0 +1,248 @@
+//! Closed-loop load generator: N client threads driving a query service
+//! with seeded workload mixes, verifying every response.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use vaq_authquery::Query;
+use vaq_crypto::{PublicKey, Verifier};
+use vaq_funcdb::{Dataset, FunctionTemplate};
+use vaq_workload::{QueryGenerator, QueryMix, QuerySpec};
+
+use crate::client::ServiceClient;
+use crate::error::ServiceError;
+
+/// Converts a workload query spec into a protocol query.
+pub fn spec_to_query(spec: &QuerySpec) -> Query {
+    match spec {
+        QuerySpec::TopK { weights, k } => Query::top_k(weights.clone(), *k),
+        QuerySpec::Range {
+            weights,
+            lower,
+            upper,
+        } => Query::range(weights.clone(), *lower, *upper),
+        QuerySpec::Knn { weights, k, target } => Query::knn(weights.clone(), *k, *target),
+    }
+}
+
+/// Configuration of a load-generation run.
+#[derive(Clone, Debug)]
+pub struct LoadGenerator {
+    /// Service address to drive.
+    pub addr: SocketAddr,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Queries each client issues.
+    pub requests_per_client: usize,
+    /// The query-kind mix every client draws from.
+    pub mix: QueryMix,
+    /// Base RNG seed; client `i` uses `seed + i`.
+    pub seed: u64,
+    /// When set, every response is cryptographically verified against the
+    /// owner's template and public key.
+    pub verify: Option<(FunctionTemplate, PublicKey)>,
+}
+
+impl LoadGenerator {
+    /// A generator with the balanced default mix and verification enabled.
+    pub fn new(
+        addr: SocketAddr,
+        clients: usize,
+        requests_per_client: usize,
+        template: FunctionTemplate,
+        public_key: PublicKey,
+    ) -> Self {
+        LoadGenerator {
+            addr,
+            clients: clients.max(1),
+            requests_per_client,
+            mix: QueryMix::default(),
+            seed: 0x10ad,
+            verify: Some((template, public_key)),
+        }
+    }
+
+    /// Runs the closed loop to completion and aggregates the results.
+    ///
+    /// `dataset` seeds the per-client [`QueryGenerator`]s with realistic
+    /// weight vectors and score ranges — the same knowledge a data user has
+    /// from the owner's published metadata.
+    pub fn run(&self, dataset: &Dataset) -> Result<LoadReport, ServiceError> {
+        let started = Instant::now();
+        let threads: Vec<_> = (0..self.clients)
+            .map(|i| {
+                let config = self.clone();
+                let dataset = dataset.clone();
+                std::thread::Builder::new()
+                    .name(format!("vaq-loadgen-{i}"))
+                    .spawn(move || config.drive_one_client(i as u64, &dataset))
+                    .expect("spawning a load-generator thread")
+            })
+            .collect();
+
+        // Join every thread before propagating any error, so a failed client
+        // never leaves the others running detached against the service.
+        let outcomes: Vec<Result<ClientOutcome, ServiceError>> = threads
+            .into_iter()
+            .map(|thread| thread.join().expect("load-generator thread panicked"))
+            .collect();
+        let mut latencies_micros: Vec<u64> = Vec::new();
+        let mut verified = 0usize;
+        let mut failures = 0usize;
+        for outcome in outcomes {
+            let outcome = outcome?;
+            latencies_micros.extend(outcome.latencies_micros);
+            verified += outcome.verified;
+            failures += outcome.failures;
+        }
+        let elapsed = started.elapsed();
+        latencies_micros.sort_unstable();
+        Ok(LoadReport {
+            clients: self.clients,
+            total_requests: latencies_micros.len(),
+            verified,
+            failures,
+            elapsed,
+            latencies_micros,
+        })
+    }
+
+    fn drive_one_client(
+        &self,
+        index: u64,
+        dataset: &Dataset,
+    ) -> Result<ClientOutcome, ServiceError> {
+        let mut generator = QueryGenerator::new(dataset, self.seed + index);
+        let mut client = ServiceClient::connect(self.addr)?;
+        let mut outcome = ClientOutcome::default();
+        for request_index in 0..self.requests_per_client {
+            let spec = self.mix.generate(&mut generator, request_index as u64);
+            let query = spec_to_query(&spec);
+            let start = Instant::now();
+            let response = client.query(&query)?;
+            outcome
+                .latencies_micros
+                .push(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
+            if let Some((template, public_key)) = &self.verify {
+                match vaq_authquery::client::verify(
+                    &query,
+                    &response.records,
+                    &response.vo,
+                    template,
+                    public_key as &dyn Verifier,
+                ) {
+                    Ok(_) => outcome.verified += 1,
+                    Err(_) => outcome.failures += 1,
+                }
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+#[derive(Default)]
+struct ClientOutcome {
+    latencies_micros: Vec<u64>,
+    verified: usize,
+    failures: usize,
+}
+
+/// Aggregate results of one load-generation run.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Client threads that ran.
+    pub clients: usize,
+    /// Total queries issued.
+    pub total_requests: usize,
+    /// Responses that passed cryptographic verification.
+    pub verified: usize,
+    /// Responses that failed verification.
+    pub failures: usize,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Sorted per-request latencies in microseconds.
+    pub latencies_micros: Vec<u64>,
+}
+
+impl LoadReport {
+    /// Aggregate throughput in queries per second.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.total_requests as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// The latency at a quantile in `[0, 1]`, in microseconds.
+    pub fn latency_quantile_micros(&self, quantile: f64) -> u64 {
+        if self.latencies_micros.is_empty() {
+            return 0;
+        }
+        let quantile = quantile.clamp(0.0, 1.0);
+        let rank = ((self.latencies_micros.len() - 1) as f64 * quantile).round() as usize;
+        self.latencies_micros[rank]
+    }
+
+    /// A one-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} clients x {} reqs: {:.0} qps, p50 {}us, p95 {}us, p99 {}us, max {}us, {}/{} verified",
+            self.clients,
+            self.total_requests.checked_div(self.clients).unwrap_or(0),
+            self.throughput_qps(),
+            self.latency_quantile_micros(0.50),
+            self.latency_quantile_micros(0.95),
+            self.latency_quantile_micros(0.99),
+            self.latencies_micros.last().copied().unwrap_or(0),
+            self.verified,
+            self.total_requests,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_and_throughput_from_known_latencies() {
+        let report = LoadReport {
+            clients: 2,
+            total_requests: 4,
+            verified: 4,
+            failures: 0,
+            elapsed: Duration::from_secs(2),
+            latencies_micros: vec![10, 20, 30, 40],
+        };
+        assert_eq!(report.throughput_qps(), 2.0);
+        assert_eq!(report.latency_quantile_micros(0.0), 10);
+        assert_eq!(report.latency_quantile_micros(1.0), 40);
+        assert_eq!(report.latency_quantile_micros(0.5), 30);
+        assert!(report.summary().contains("verified"));
+    }
+
+    #[test]
+    fn empty_report_is_harmless() {
+        let report = LoadReport {
+            clients: 1,
+            total_requests: 0,
+            verified: 0,
+            failures: 0,
+            elapsed: Duration::ZERO,
+            latencies_micros: vec![],
+        };
+        assert_eq!(report.throughput_qps(), 0.0);
+        assert_eq!(report.latency_quantile_micros(0.99), 0);
+    }
+
+    #[test]
+    fn spec_conversion_preserves_parameters() {
+        let spec = QuerySpec::Range {
+            weights: vec![0.25, 0.75],
+            lower: 0.1,
+            upper: 0.6,
+        };
+        let query = spec_to_query(&spec);
+        assert_eq!(query, Query::range(vec![0.25, 0.75], 0.1, 0.6));
+    }
+}

@@ -1,0 +1,183 @@
+//! Lock-free service metrics: counters plus fixed-bucket latency histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use vaq_wire::{KindLatency, LatencyHistogram, StatsSnapshot, LATENCY_BUCKET_BOUNDS_MICROS};
+
+/// Number of histogram buckets: one per bound plus an overflow bucket.
+pub const BUCKETS: usize = LATENCY_BUCKET_BOUNDS_MICROS.len() + 1;
+
+/// A fixed-bucket latency histogram updated with relaxed atomics.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one latency observation.
+    pub fn observe(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = LATENCY_BUCKET_BOUNDS_MICROS
+            .iter()
+            .position(|bound| micros <= *bound)
+            .unwrap_or(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the histogram as a wire message.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        LatencyHistogram {
+            bucket_counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Request kinds the service tracks latency for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Top-k query.
+    TopK,
+    /// Range query.
+    Range,
+    /// KNN query.
+    Knn,
+    /// Batch of queries.
+    Batch,
+}
+
+impl RequestKind {
+    const ALL: [RequestKind; 4] = [
+        RequestKind::TopK,
+        RequestKind::Range,
+        RequestKind::Knn,
+        RequestKind::Batch,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            RequestKind::TopK => 0,
+            RequestKind::Range => 1,
+            RequestKind::Knn => 2,
+            RequestKind::Batch => 3,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            RequestKind::TopK => "topk",
+            RequestKind::Range => "range",
+            RequestKind::Knn => "knn",
+            RequestKind::Batch => "batch",
+        }
+    }
+}
+
+/// All counters of one running service.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests fully served (including error replies).
+    pub requests_served: AtomicU64,
+    /// Query responses served from the cache.
+    pub cache_hits: AtomicU64,
+    /// Query responses that were computed.
+    pub cache_misses: AtomicU64,
+    /// Request-frame bytes read.
+    pub bytes_in: AtomicU64,
+    /// Response-frame bytes written.
+    pub bytes_out: AtomicU64,
+    /// Error replies sent.
+    pub errors: AtomicU64,
+    latency: [Histogram; 4],
+}
+
+impl Metrics {
+    /// Records one served query/batch latency under its kind.
+    pub fn observe_latency(&self, kind: RequestKind, latency: Duration) {
+        self.latency[kind.index()].observe(latency);
+    }
+
+    /// Adds to a counter.
+    pub fn add(counter: &AtomicU64, value: u64) {
+        counter.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Current value of a counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of every counter as a wire message.
+    pub fn snapshot(&self, workers: usize) -> StatsSnapshot {
+        StatsSnapshot {
+            requests_served: Self::get(&self.requests_served),
+            cache_hits: Self::get(&self.cache_hits),
+            cache_misses: Self::get(&self.cache_misses),
+            bytes_in: Self::get(&self.bytes_in),
+            bytes_out: Self::get(&self.bytes_out),
+            errors: Self::get(&self.errors),
+            workers: workers as u32,
+            per_kind: RequestKind::ALL
+                .iter()
+                .map(|kind| KindLatency {
+                    kind: kind.label().to_string(),
+                    histogram: self.latency[kind.index()].snapshot(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_land_in_the_right_bucket() {
+        let h = Histogram::default();
+        h.observe(Duration::from_micros(40)); // <= 50: bucket 0
+        h.observe(Duration::from_micros(50)); // <= 50: bucket 0
+        h.observe(Duration::from_micros(51)); // <= 100: bucket 1
+        h.observe(Duration::from_secs(10)); // overflow bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.bucket_counts[0], 2);
+        assert_eq!(snap.bucket_counts[1], 1);
+        assert_eq!(snap.bucket_counts[BUCKETS - 1], 1);
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.max_micros, 10_000_000);
+        assert_eq!(snap.bucket_counts.iter().sum::<u64>(), snap.count);
+    }
+
+    #[test]
+    fn metrics_snapshot_carries_all_kinds() {
+        let m = Metrics::default();
+        m.observe_latency(RequestKind::TopK, Duration::from_micros(10));
+        m.observe_latency(RequestKind::Batch, Duration::from_micros(20));
+        Metrics::add(&m.requests_served, 2);
+        let snap = m.snapshot(8);
+        assert_eq!(snap.workers, 8);
+        assert_eq!(snap.requests_served, 2);
+        assert_eq!(snap.per_kind.len(), 4);
+        let labels: Vec<&str> = snap.per_kind.iter().map(|k| k.kind.as_str()).collect();
+        assert_eq!(labels, ["topk", "range", "knn", "batch"]);
+        assert_eq!(snap.per_kind[0].histogram.count, 1);
+        assert_eq!(snap.per_kind[3].histogram.count, 1);
+    }
+}

@@ -1,0 +1,384 @@
+//! The running query service: TCP accept loop, worker pool, request
+//! dispatch, response cache and graceful shutdown.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use vaq_authquery::Server;
+use vaq_wire::{ErrorCode, ErrorReply, Request, Response, StatsSnapshot, WireDecode, WireEncode};
+
+use crate::cache::LruCache;
+use crate::config::ServiceConfig;
+use crate::error::ServiceError;
+use crate::frame::{read_frame, FrameRead};
+use crate::metrics::{Metrics, RequestKind};
+use crate::pool::WorkerPool;
+
+/// State shared between the accept loop and every worker.
+struct Shared {
+    server: Server,
+    config: ServiceConfig,
+    metrics: Metrics,
+    cache: Mutex<LruCache>,
+    shutdown: AtomicBool,
+}
+
+/// A running networked query service over one [`Server`].
+///
+/// Binds a TCP listener, accepts connections on an accept thread and serves
+/// them on a fixed-size worker pool. Each connection carries any number of
+/// framed [`Request`]s, answered in order with framed [`Response`]s.
+/// Dropping the service (or calling [`QueryService::shutdown`]) stops the
+/// listener, drains the workers and joins every thread.
+pub struct QueryService {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    pool: Option<WorkerPool>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for QueryService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryService")
+            .field("local_addr", &self.local_addr)
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl QueryService {
+    /// Binds the configured address and starts serving `server`'s dataset.
+    ///
+    /// Each worker thread owns one connection at a time, so size
+    /// [`ServiceConfig::workers`] to the number of concurrent persistent
+    /// connections expected. Up to `2 * workers` further connections queue
+    /// for a free worker; beyond that the accept loop sheds new connections
+    /// (closing them immediately) rather than buffering without bound.
+    pub fn bind(mut config: ServiceConfig, server: Server) -> Result<QueryService, ServiceError> {
+        let listener = TcpListener::bind(config.bind_addr)?;
+        let local_addr = listener.local_addr()?;
+        // Clamp once so every consumer (pool sizing, stats) agrees.
+        config.workers = config.workers.max(1);
+        let workers = config.workers;
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(LruCache::with_byte_budget(
+                config.cache_capacity,
+                config.cache_max_bytes,
+            )),
+            metrics: Metrics::default(),
+            shutdown: AtomicBool::new(false),
+            server,
+            config,
+        });
+
+        let worker_shared = Arc::clone(&shared);
+        let (pool, sender) = WorkerPool::spawn(workers, move |stream: TcpStream| {
+            handle_connection(&worker_shared, stream);
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("vaq-service-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared, sender))
+            .expect("spawning the accept thread");
+
+        Ok(QueryService {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            pool: Some(pool),
+            workers,
+        })
+    }
+
+    /// The address the service actually listens on (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A point-in-time snapshot of the service counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.metrics.snapshot(self.workers)
+    }
+
+    /// Stops accepting connections, drains in-flight work, joins every
+    /// thread and returns the final counter snapshot.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shutdown_inner();
+        self.shared.metrics.snapshot(self.workers)
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept thread blocks inside `accept`; a connect-to-self wakes
+        // it so it can observe the flag. The connection is dropped
+        // immediately — workers see a clean close and move on.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+        // The accept thread owned the only work sender, so once it exits the
+        // workers drain the queue and stop.
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, sender: SyncSender<TcpStream>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                // Bounded hand-off: when every worker is busy and the queue
+                // is full, shed the connection instead of buffering
+                // unboundedly (the drop closes the socket — an immediate,
+                // unambiguous signal to the client). `try_send` also keeps
+                // this loop non-blocking so the connect-to-self shutdown
+                // wakeup always gets through.
+                match sender.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(rejected)) => drop(rejected),
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            // Transient accept errors (e.g. a peer resetting mid-handshake)
+            // must not kill the service; back off briefly so a persistent
+            // error (fd exhaustion) cannot pin this thread in a hot loop.
+            Err(_) => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+        }
+    }
+    // `sender` drops here; workers exit after draining the queue.
+}
+
+/// How often a worker wakes from a blocking read to check the shutdown
+/// flag and the connection's idle budget.
+const POLL_INTERVAL: std::time::Duration = std::time::Duration::from_millis(100);
+
+/// Serves one connection: a loop of framed requests answered in order.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // A short poll timeout (instead of one long read timeout) keeps
+    // graceful shutdown prompt even while a client holds its connection
+    // open; the configured read timeout becomes an idle budget.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut idle = std::time::Duration::ZERO;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let reply = error_response(
+                shared,
+                ErrorCode::ShuttingDown,
+                "service is shutting down".into(),
+            );
+            let _ = write_frame_counted(shared, &mut stream, &reply);
+            break;
+        }
+        let payload = match read_frame(&mut stream, shared.config.max_frame_bytes) {
+            Ok(FrameRead::Payload(payload)) => {
+                idle = std::time::Duration::ZERO;
+                payload
+            }
+            Ok(FrameRead::Closed) => break,
+            Ok(FrameRead::Idle) => {
+                idle += POLL_INTERVAL;
+                match shared.config.read_timeout {
+                    Some(limit) if idle >= limit => break,
+                    _ => continue,
+                }
+            }
+            Err(ServiceError::FrameTooLarge { declared, limit }) => {
+                let reply = error_response(
+                    shared,
+                    ErrorCode::FrameTooLarge,
+                    format!("frame of {declared} bytes exceeds the {limit}-byte limit"),
+                );
+                // These error replies answer a received (if unusable) request,
+                // so they count as served — the documented contract is that
+                // `requests_served` includes error replies.
+                if write_frame_counted(shared, &mut stream, &reply).is_ok() {
+                    Metrics::add(&shared.metrics.requests_served, 1);
+                }
+                break;
+            }
+            Err(ServiceError::Wire(e)) => {
+                // After a corrupt header the stream offset is unknown; reply
+                // if possible, then drop the connection.
+                let reply = error_response(shared, ErrorCode::Malformed, format!("bad frame: {e}"));
+                if write_frame_counted(shared, &mut stream, &reply).is_ok() {
+                    Metrics::add(&shared.metrics.requests_served, 1);
+                }
+                break;
+            }
+            Err(_) => break,
+        };
+        Metrics::add(&shared.metrics.bytes_in, (10 + payload.len()) as u64);
+
+        let response_frame = handle_request(shared, &payload);
+        if write_raw_counted(shared, &mut stream, &response_frame).is_err() {
+            break;
+        }
+        Metrics::add(&shared.metrics.requests_served, 1);
+    }
+}
+
+/// Decodes and dispatches one request, returning the framed response bytes.
+fn handle_request(shared: &Shared, payload: &[u8]) -> Vec<u8> {
+    let request = match Request::from_wire_bytes(payload) {
+        Ok(request) => request,
+        Err(e) => {
+            return error_response(shared, ErrorCode::Malformed, format!("bad request: {e}"))
+                .to_framed_bytes()
+        }
+    };
+
+    match request {
+        Request::Ping => Response::Pong.to_framed_bytes(),
+        Request::Stats => {
+            Response::Stats(shared.metrics.snapshot(shared.config.workers)).to_framed_bytes()
+        }
+        Request::Query(query) => {
+            // The decoded payload *is* the canonical encoding (decoding
+            // consumes every byte and the format is bijective), so it serves
+            // as the cache key without a re-encode.
+            let key = payload.to_vec();
+            if let Some(frame) = shared.cache.lock().expect("cache lock").get(&key) {
+                Metrics::add(&shared.metrics.cache_hits, 1);
+                return frame.as_ref().clone();
+            }
+            let kind = match query.kind() {
+                vaq_authquery::QueryKind::TopK => RequestKind::TopK,
+                vaq_authquery::QueryKind::Range => RequestKind::Range,
+                vaq_authquery::QueryKind::Knn => RequestKind::Knn,
+            };
+            let frame = match process_queries(shared, std::slice::from_ref(&query), kind) {
+                Ok(mut responses) => {
+                    let response = responses.pop().expect("one response per query");
+                    Response::Query(response).to_framed_bytes()
+                }
+                Err(reply) => return Response::Error(reply).to_framed_bytes(),
+            };
+            Metrics::add(&shared.metrics.cache_misses, 1);
+            shared
+                .cache
+                .lock()
+                .expect("cache lock")
+                .insert(key, Arc::new(frame.clone()));
+            frame
+        }
+        Request::Batch(queries) => {
+            if queries.len() > shared.config.max_batch_len {
+                return error_response(
+                    shared,
+                    ErrorCode::BadQuery,
+                    format!(
+                        "batch of {} queries exceeds the limit of {}",
+                        queries.len(),
+                        shared.config.max_batch_len
+                    ),
+                )
+                .to_framed_bytes();
+            }
+            let key = payload.to_vec();
+            if let Some(frame) = shared.cache.lock().expect("cache lock").get(&key) {
+                Metrics::add(&shared.metrics.cache_hits, 1);
+                return frame.as_ref().clone();
+            }
+            let frame = match process_queries(shared, &queries, RequestKind::Batch) {
+                Ok(responses) => Response::Batch(responses).to_framed_bytes(),
+                Err(reply) => return Response::Error(reply).to_framed_bytes(),
+            };
+            Metrics::add(&shared.metrics.cache_misses, 1);
+            shared
+                .cache
+                .lock()
+                .expect("cache lock")
+                .insert(key, Arc::new(frame.clone()));
+            frame
+        }
+    }
+}
+
+/// Validates and processes queries, timing the whole run under `kind`.
+fn process_queries(
+    shared: &Shared,
+    queries: &[vaq_authquery::Query],
+    kind: RequestKind,
+) -> Result<Vec<vaq_authquery::QueryResponse>, ErrorReply> {
+    let dims = shared.server.dataset().dims();
+    for query in queries {
+        if query.weights().len() != dims {
+            return Err(error_reply(
+                shared,
+                ErrorCode::BadQuery,
+                format!(
+                    "query weight vector has {} dims, dataset has {dims}",
+                    query.weights().len()
+                ),
+            ));
+        }
+    }
+    let start = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        queries
+            .iter()
+            .map(|query| shared.server.process(query))
+            .collect::<Vec<_>>()
+    }));
+    shared.metrics.observe_latency(kind, start.elapsed());
+    result.map_err(|_| {
+        error_reply(
+            shared,
+            ErrorCode::Internal,
+            "query processing failed".into(),
+        )
+    })
+}
+
+/// Builds a typed error reply, bumping the error counter.
+fn error_reply(shared: &Shared, code: ErrorCode, message: String) -> ErrorReply {
+    Metrics::add(&shared.metrics.errors, 1);
+    ErrorReply { code, message }
+}
+
+/// Builds a typed error response, bumping the error counter.
+fn error_response(shared: &Shared, code: ErrorCode, message: String) -> Response {
+    Response::Error(error_reply(shared, code, message))
+}
+
+fn write_frame_counted(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    response: &Response,
+) -> Result<(), ServiceError> {
+    write_raw_counted(shared, stream, &response.to_framed_bytes())
+}
+
+fn write_raw_counted(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    frame: &[u8],
+) -> Result<(), ServiceError> {
+    use std::io::Write;
+    stream.write_all(frame)?;
+    Metrics::add(&shared.metrics.bytes_out, frame.len() as u64);
+    Ok(())
+}

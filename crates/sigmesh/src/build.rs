@@ -39,8 +39,8 @@ impl SignatureMesh {
         // Enumerate subdomains with the shared I-tree machinery; the mesh
         // itself keeps only the flat cell list (it has no search tree — that
         // is precisely its weakness).
-        let itree =
-            ITreeBuilder::new(LpSplitOracle::new()).build(&dataset.functions, dataset.domain.clone());
+        let itree = ITreeBuilder::new(LpSplitOracle::new())
+            .build(&dataset.functions, dataset.domain.clone());
 
         let record_digests: Vec<Digest> = dataset.records.iter().map(|r| r.digest()).collect();
         let mut hash_ops = record_digests.len();
@@ -77,9 +77,8 @@ impl SignatureMesh {
                 hash_ops += 1;
                 cell_sigs.push(signer.sign_digest(&digest));
             }
-            structure_bytes += constraints.canonical_bytes().len()
-                + sorted.len() * 4
-                + cell_sigs.len() * sig_size;
+            structure_bytes +=
+                constraints.canonical_bytes().len() + sorted.len() * 4 + cell_sigs.len() * sig_size;
 
             cells.push(MeshCell {
                 constraints,

@@ -146,10 +146,9 @@ pub fn verify(
                         got: records.len(),
                     });
                 }
-                if let (Some(ls), Some(min_included)) = (
-                    left_score,
-                    scores.iter().cloned().reduce(f64::min),
-                ) {
+                if let (Some(ls), Some(min_included)) =
+                    (left_score, scores.iter().cloned().reduce(f64::min))
+                {
                     if ls > min_included + SCORE_EPS {
                         return Err(VerifyError::Incomplete(
                             "a record outside the top-k result scores higher than a returned one"
@@ -218,7 +217,10 @@ mod tests {
         let resp = mesh.process(&ds, &query);
         let verified = verify(&query, &resp, &ds.template, verifier.as_ref()).unwrap();
         // |q| + 1 signature verifications — the defining cost of the mesh.
-        assert_eq!(verified.cost.signature_verifications, resp.records.len() + 1);
+        assert_eq!(
+            verified.cost.signature_verifications,
+            resp.records.len() + 1
+        );
         assert!(verified.cost.hash_ops >= resp.records.len());
     }
 

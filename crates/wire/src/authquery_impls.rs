@@ -24,7 +24,11 @@ impl WireEncode for Query {
                 w.put_f64_slice(weights);
                 w.put_u32(*k as u32);
             }
-            Query::Range { weights, lower, upper } => {
+            Query::Range {
+                weights,
+                lower,
+                upper,
+            } => {
                 w.put_u8(QUERY_TAG_RANGE);
                 w.put_f64_slice(weights);
                 w.put_f64(*lower);
@@ -54,7 +58,11 @@ impl WireDecode for Query {
                 if lower.is_nan() || upper.is_nan() || lower > upper {
                     return Err(WireError::InvalidFloat);
                 }
-                Ok(Query::Range { weights, lower, upper })
+                Ok(Query::Range {
+                    weights,
+                    lower,
+                    upper,
+                })
             }
             QUERY_TAG_KNN => Ok(Query::Knn {
                 weights: r.get_f64_vec()?,
@@ -308,7 +316,13 @@ mod tests {
 
         // ...and the decoded response still verifies against the owner key.
         let verifier = scheme.verifier();
-        let out = client::verify(&q2, &r2.records, &r2.vo, &dataset.template, verifier.as_ref());
+        let out = client::verify(
+            &q2,
+            &r2.records,
+            &r2.vo,
+            &dataset.template,
+            verifier.as_ref(),
+        );
         assert!(out.is_ok(), "{mode}: {:?}", out.err());
     }
 
@@ -365,8 +379,10 @@ mod tests {
         let resp = server.process(&Query::range(vec![0.5], 0.2, 0.7));
         let estimate = resp.vo.byte_size();
         let actual = resp.vo.to_wire_bytes().len();
-        assert!(actual >= estimate / 2 && actual <= estimate * 2,
-            "estimate {estimate} vs encoded {actual}");
+        assert!(
+            actual >= estimate / 2 && actual <= estimate * 2,
+            "estimate {estimate} vs encoded {actual}"
+        );
     }
 
     #[test]
@@ -385,7 +401,13 @@ mod tests {
             let mut corrupted = bytes.clone();
             corrupted[i] ^= 0x55;
             if let Ok(vo) = VerificationObject::from_wire_bytes(&corrupted) {
-                let _ = client::verify(&query, &resp.records, &vo, &dataset.template, verifier.as_ref());
+                let _ = client::verify(
+                    &query,
+                    &resp.records,
+                    &vo,
+                    &dataset.template,
+                    verifier.as_ref(),
+                );
             }
         }
     }

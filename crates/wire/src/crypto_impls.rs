@@ -28,7 +28,9 @@ impl WireEncode for RsaSignature {
 
 impl WireDecode for RsaSignature {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(RsaSignature { bytes: r.get_bytes()? })
+        Ok(RsaSignature {
+            bytes: r.get_bytes()?,
+        })
     }
 }
 

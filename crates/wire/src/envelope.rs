@@ -1,0 +1,462 @@
+//! Service envelope messages: the request/response protocol of `vaq-service`.
+//!
+//! The paper's system model has queries travel from data users to the cloud
+//! server and results plus verification objects travel back. This module
+//! pins down the byte-level shape of that exchange: a [`Request`] /
+//! [`Response`] pair of tagged unions, each sent as one `VAQ1` frame
+//! (see [`crate::WireEncode::to_framed_bytes`]). Everything a response needs
+//! for client-side verification rides inside the existing
+//! [`QueryResponse`] encoding, so a remote round-trip verifies exactly like
+//! a local call.
+//!
+//! Service health telemetry ([`StatsSnapshot`]) is part of the protocol so
+//! operators can scrape a running service with nothing but a socket.
+
+use crate::error::WireError;
+use crate::io::{Reader, Writer};
+use crate::{WireDecode, WireEncode};
+use vaq_authquery::{Query, QueryResponse};
+
+/// Upper bounds of the fixed latency histogram buckets, in microseconds.
+///
+/// A histogram carries one count per bound plus a final overflow bucket, so
+/// `bucket_counts.len() == LATENCY_BUCKET_BOUNDS_MICROS.len() + 1`. The
+/// bounds are part of the wire contract: clients interpret scraped
+/// histograms against this table.
+pub const LATENCY_BUCKET_BOUNDS_MICROS: [u64; 12] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 500_000,
+];
+
+/// A request from a data user (or operator) to the query service.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Telemetry scrape; answered with [`Response::Stats`].
+    Stats,
+    /// One analytic query (top-k, range or KNN); answered with
+    /// [`Response::Query`].
+    Query(Query),
+    /// A batch of queries answered in order with [`Response::Batch`].
+    Batch(Vec<Query>),
+}
+
+impl Request {
+    /// Canonical bytes of this request.
+    ///
+    /// The encoding is bijective and decoding consumes every byte, so these
+    /// bytes equal the payload a decoder accepted — which is why the
+    /// service's response cache can key on received payload bytes directly.
+    /// Clients that want to precompute a cache key (or deduplicate requests)
+    /// use this method to obtain the same bytes.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        self.to_wire_bytes()
+    }
+}
+
+/// A response from the query service.
+///
+/// The size skew between variants is inherent (a query response carries
+/// records plus a verification object); responses are transient values on
+/// the wire path, so boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Stats`].
+    Stats(StatsSnapshot),
+    /// Answer to [`Request::Query`]: result records + verification object.
+    Query(QueryResponse),
+    /// Answer to [`Request::Batch`], in query order.
+    Batch(Vec<QueryResponse>),
+    /// Typed failure; the connection stays usable unless the frame itself
+    /// was unreadable.
+    Error(ErrorReply),
+}
+
+/// Machine-readable error category of an [`ErrorReply`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The request frame decoded but the request was not understood.
+    Malformed,
+    /// The query was understood but invalid for the hosted dataset (e.g.
+    /// wrong weight-vector dimensionality).
+    BadQuery,
+    /// The request or response exceeded the service's frame-size limit.
+    FrameTooLarge,
+    /// The service failed internally while processing the request.
+    Internal,
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+/// A typed error response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorReply {
+    /// Error category.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// One query kind's latency histogram with fixed buckets
+/// ([`LATENCY_BUCKET_BOUNDS_MICROS`] plus an overflow bucket).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct LatencyHistogram {
+    /// Per-bucket observation counts; one entry per bound plus overflow.
+    pub bucket_counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed latencies in microseconds.
+    pub sum_micros: u64,
+    /// Largest observed latency in microseconds.
+    pub max_micros: u64,
+}
+
+/// Latency histogram of one request kind, labelled for self-description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KindLatency {
+    /// Request-kind label (`"topk"`, `"range"`, `"knn"`, `"batch"`).
+    pub kind: String,
+    /// The kind's latency histogram.
+    pub histogram: LatencyHistogram,
+}
+
+/// A point-in-time snapshot of service counters, served over the wire.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Requests fully served (including error replies).
+    pub requests_served: u64,
+    /// Query responses served straight from the response cache.
+    pub cache_hits: u64,
+    /// Query responses that had to be computed.
+    pub cache_misses: u64,
+    /// Total request-frame bytes read.
+    pub bytes_in: u64,
+    /// Total response-frame bytes written.
+    pub bytes_out: u64,
+    /// Error replies sent.
+    pub errors: u64,
+    /// Worker threads serving connections.
+    pub workers: u32,
+    /// Per-request-kind latency histograms.
+    pub per_kind: Vec<KindLatency>,
+}
+
+const REQUEST_TAG_PING: u8 = 1;
+const REQUEST_TAG_STATS: u8 = 2;
+const REQUEST_TAG_QUERY: u8 = 3;
+const REQUEST_TAG_BATCH: u8 = 4;
+
+impl WireEncode for Request {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Request::Ping => w.put_u8(REQUEST_TAG_PING),
+            Request::Stats => w.put_u8(REQUEST_TAG_STATS),
+            Request::Query(query) => {
+                w.put_u8(REQUEST_TAG_QUERY);
+                query.encode(w);
+            }
+            Request::Batch(queries) => {
+                w.put_u8(REQUEST_TAG_BATCH);
+                w.put_len(queries.len());
+                for query in queries {
+                    query.encode(w);
+                }
+            }
+        }
+    }
+}
+
+impl WireDecode for Request {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            REQUEST_TAG_PING => Ok(Request::Ping),
+            REQUEST_TAG_STATS => Ok(Request::Stats),
+            REQUEST_TAG_QUERY => Ok(Request::Query(Query::decode(r)?)),
+            REQUEST_TAG_BATCH => {
+                let len = r.get_len()?;
+                let mut queries = Vec::with_capacity(len.min(1024));
+                for _ in 0..len {
+                    queries.push(Query::decode(r)?);
+                }
+                Ok(Request::Batch(queries))
+            }
+            tag => Err(WireError::InvalidTag {
+                type_name: "Request",
+                tag,
+            }),
+        }
+    }
+}
+
+const RESPONSE_TAG_PONG: u8 = 1;
+const RESPONSE_TAG_STATS: u8 = 2;
+const RESPONSE_TAG_QUERY: u8 = 3;
+const RESPONSE_TAG_BATCH: u8 = 4;
+const RESPONSE_TAG_ERROR: u8 = 5;
+
+impl WireEncode for Response {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Response::Pong => w.put_u8(RESPONSE_TAG_PONG),
+            Response::Stats(stats) => {
+                w.put_u8(RESPONSE_TAG_STATS);
+                stats.encode(w);
+            }
+            Response::Query(response) => {
+                w.put_u8(RESPONSE_TAG_QUERY);
+                response.encode(w);
+            }
+            Response::Batch(responses) => {
+                w.put_u8(RESPONSE_TAG_BATCH);
+                w.put_len(responses.len());
+                for response in responses {
+                    response.encode(w);
+                }
+            }
+            Response::Error(reply) => {
+                w.put_u8(RESPONSE_TAG_ERROR);
+                reply.encode(w);
+            }
+        }
+    }
+}
+
+impl WireDecode for Response {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            RESPONSE_TAG_PONG => Ok(Response::Pong),
+            RESPONSE_TAG_STATS => Ok(Response::Stats(StatsSnapshot::decode(r)?)),
+            RESPONSE_TAG_QUERY => Ok(Response::Query(QueryResponse::decode(r)?)),
+            RESPONSE_TAG_BATCH => {
+                let len = r.get_len()?;
+                let mut responses = Vec::with_capacity(len.min(1024));
+                for _ in 0..len {
+                    responses.push(QueryResponse::decode(r)?);
+                }
+                Ok(Response::Batch(responses))
+            }
+            RESPONSE_TAG_ERROR => Ok(Response::Error(ErrorReply::decode(r)?)),
+            tag => Err(WireError::InvalidTag {
+                type_name: "Response",
+                tag,
+            }),
+        }
+    }
+}
+
+impl ErrorCode {
+    fn tag(self) -> u8 {
+        match self {
+            ErrorCode::Malformed => 1,
+            ErrorCode::BadQuery => 2,
+            ErrorCode::FrameTooLarge => 3,
+            ErrorCode::Internal => 4,
+            ErrorCode::ShuttingDown => 5,
+        }
+    }
+}
+
+impl WireEncode for ErrorCode {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.tag());
+    }
+}
+
+impl WireDecode for ErrorCode {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            1 => Ok(ErrorCode::Malformed),
+            2 => Ok(ErrorCode::BadQuery),
+            3 => Ok(ErrorCode::FrameTooLarge),
+            4 => Ok(ErrorCode::Internal),
+            5 => Ok(ErrorCode::ShuttingDown),
+            tag => Err(WireError::InvalidTag {
+                type_name: "ErrorCode",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WireEncode for ErrorReply {
+    fn encode(&self, w: &mut Writer) {
+        self.code.encode(w);
+        w.put_string(&self.message);
+    }
+}
+
+impl WireDecode for ErrorReply {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ErrorReply {
+            code: ErrorCode::decode(r)?,
+            message: r.get_string()?,
+        })
+    }
+}
+
+impl WireEncode for LatencyHistogram {
+    fn encode(&self, w: &mut Writer) {
+        w.put_len(self.bucket_counts.len());
+        for count in &self.bucket_counts {
+            w.put_u64(*count);
+        }
+        w.put_u64(self.count);
+        w.put_u64(self.sum_micros);
+        w.put_u64(self.max_micros);
+    }
+}
+
+impl WireDecode for LatencyHistogram {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.get_len()?;
+        let mut bucket_counts = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            bucket_counts.push(r.get_u64()?);
+        }
+        Ok(LatencyHistogram {
+            bucket_counts,
+            count: r.get_u64()?,
+            sum_micros: r.get_u64()?,
+            max_micros: r.get_u64()?,
+        })
+    }
+}
+
+impl WireEncode for KindLatency {
+    fn encode(&self, w: &mut Writer) {
+        w.put_string(&self.kind);
+        self.histogram.encode(w);
+    }
+}
+
+impl WireDecode for KindLatency {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(KindLatency {
+            kind: r.get_string()?,
+            histogram: LatencyHistogram::decode(r)?,
+        })
+    }
+}
+
+impl WireEncode for StatsSnapshot {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.requests_served);
+        w.put_u64(self.cache_hits);
+        w.put_u64(self.cache_misses);
+        w.put_u64(self.bytes_in);
+        w.put_u64(self.bytes_out);
+        w.put_u64(self.errors);
+        w.put_u32(self.workers);
+        w.put_len(self.per_kind.len());
+        for kind in &self.per_kind {
+            kind.encode(w);
+        }
+    }
+}
+
+impl WireDecode for StatsSnapshot {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let requests_served = r.get_u64()?;
+        let cache_hits = r.get_u64()?;
+        let cache_misses = r.get_u64()?;
+        let bytes_in = r.get_u64()?;
+        let bytes_out = r.get_u64()?;
+        let errors = r.get_u64()?;
+        let workers = r.get_u32()?;
+        let len = r.get_len()?;
+        let mut per_kind = Vec::with_capacity(len.min(64));
+        for _ in 0..len {
+            per_kind.push(KindLatency::decode(r)?);
+        }
+        Ok(StatsSnapshot {
+            requests_served,
+            cache_hits,
+            cache_misses,
+            bytes_in,
+            bytes_out,
+            errors,
+            workers,
+            per_kind,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_variants_roundtrip() {
+        let requests = vec![
+            Request::Ping,
+            Request::Stats,
+            Request::Query(Query::top_k(vec![0.2, 0.8], 3)),
+            Request::Batch(vec![
+                Query::range(vec![0.5], 0.1, 0.9),
+                Query::knn(vec![0.3, 0.7], 2, 0.4),
+            ]),
+        ];
+        for request in requests {
+            let bytes = request.to_framed_bytes();
+            assert_eq!(Request::from_framed_bytes(&bytes).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn error_and_stats_roundtrip() {
+        let reply = ErrorReply {
+            code: ErrorCode::BadQuery,
+            message: "weight vector has 3 dims, dataset has 2".into(),
+        };
+        let bytes = reply.to_wire_bytes();
+        assert_eq!(ErrorReply::from_wire_bytes(&bytes).unwrap(), reply);
+
+        let stats = StatsSnapshot {
+            requests_served: 10,
+            cache_hits: 4,
+            cache_misses: 6,
+            bytes_in: 1234,
+            bytes_out: 99999,
+            errors: 1,
+            workers: 8,
+            per_kind: vec![KindLatency {
+                kind: "topk".into(),
+                histogram: LatencyHistogram {
+                    bucket_counts: vec![0; LATENCY_BUCKET_BOUNDS_MICROS.len() + 1],
+                    count: 7,
+                    sum_micros: 4200,
+                    max_micros: 900,
+                },
+            }],
+        };
+        let bytes = stats.to_wire_bytes();
+        assert_eq!(StatsSnapshot::from_wire_bytes(&bytes).unwrap(), stats);
+    }
+
+    #[test]
+    fn canonical_bytes_distinguish_queries() {
+        let a = Request::Query(Query::top_k(vec![0.5], 3));
+        let b = Request::Query(Query::top_k(vec![0.5], 4));
+        assert_ne!(a.canonical_bytes(), b.canonical_bytes());
+        assert_eq!(a.canonical_bytes(), a.canonical_bytes());
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        assert!(matches!(
+            Request::from_wire_bytes(&[0xEE]),
+            Err(WireError::InvalidTag { .. })
+        ));
+        assert!(matches!(
+            Response::from_wire_bytes(&[0xEE]),
+            Err(WireError::InvalidTag { .. })
+        ));
+        assert!(matches!(
+            ErrorCode::from_wire_bytes(&[0x00]),
+            Err(WireError::InvalidTag { .. })
+        ));
+    }
+}

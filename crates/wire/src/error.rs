@@ -41,7 +41,10 @@ impl std::fmt::Display for WireError {
             WireError::BadMagic => write!(f, "bad frame magic"),
             WireError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
             WireError::LengthMismatch { declared, actual } => {
-                write!(f, "frame length mismatch: declared {declared}, actual {actual}")
+                write!(
+                    f,
+                    "frame length mismatch: declared {declared}, actual {actual}"
+                )
             }
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
             WireError::InvalidTag { type_name, tag } => {
@@ -65,11 +68,17 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(WireError::Truncated.to_string().contains("truncated"));
-        assert!(WireError::InvalidTag { type_name: "Query", tag: 9 }
-            .to_string()
-            .contains("Query"));
-        assert!(WireError::LengthMismatch { declared: 5, actual: 3 }
-            .to_string()
-            .contains("5"));
+        assert!(WireError::InvalidTag {
+            type_name: "Query",
+            tag: 9
+        }
+        .to_string()
+        .contains("Query"));
+        assert!(WireError::LengthMismatch {
+            declared: 5,
+            actual: 3
+        }
+        .to_string()
+        .contains("5"));
     }
 }

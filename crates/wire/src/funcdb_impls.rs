@@ -3,7 +3,9 @@
 use crate::error::WireError;
 use crate::io::{Reader, Writer};
 use crate::{WireDecode, WireEncode};
-use vaq_funcdb::{Domain, FuncId, FunctionTemplate, HalfSpace, LinearFunction, Record, SubdomainConstraints};
+use vaq_funcdb::{
+    Domain, FuncId, FunctionTemplate, HalfSpace, LinearFunction, Record, SubdomainConstraints,
+};
 
 impl WireEncode for Record {
     fn encode(&self, w: &mut Writer) {
@@ -193,7 +195,10 @@ mod tests {
     #[test]
     fn template_and_domain_roundtrip() {
         let t = FunctionTemplate::new(vec!["gpa", "awards", "papers"]);
-        assert_eq!(FunctionTemplate::from_wire_bytes(&t.to_wire_bytes()).unwrap(), t);
+        assert_eq!(
+            FunctionTemplate::from_wire_bytes(&t.to_wire_bytes()).unwrap(),
+            t
+        );
         let d = Domain::new(vec![0.0, -1.0], vec![1.0, 2.0]);
         assert_eq!(Domain::from_wire_bytes(&d.to_wire_bytes()).unwrap(), d);
     }
@@ -201,7 +206,10 @@ mod tests {
     #[test]
     fn malformed_domain_rejected() {
         // lower > upper must not decode into a panic-later Domain.
-        let bad = Domain { lower: vec![2.0], upper: vec![1.0] };
+        let bad = Domain {
+            lower: vec![2.0],
+            upper: vec![1.0],
+        };
         let bytes = bad.to_wire_bytes();
         assert!(Domain::from_wire_bytes(&bytes).is_err());
     }

@@ -1,7 +1,6 @@
 //! Low-level writer and reader over byte buffers.
 
 use crate::error::WireError;
-use bytes::{Buf, BufMut, BytesMut};
 
 /// Maximum number of elements a length-prefixed collection may declare.
 ///
@@ -13,13 +12,13 @@ pub const MAX_COLLECTION_LEN: usize = 4_000_000;
 /// An append-only byte writer.
 #[derive(Debug, Default)]
 pub struct Writer {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Writer {
     /// Creates an empty writer.
     pub fn new() -> Self {
-        Writer { buf: BytesMut::new() }
+        Writer { buf: Vec::new() }
     }
 
     /// Bytes written so far.
@@ -34,48 +33,48 @@ impl Writer {
 
     /// Consumes the writer and returns the bytes.
     pub fn into_bytes(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf
     }
 
     /// Writes one byte.
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Writes a boolean as one byte.
     pub fn put_bool(&mut self, v: bool) {
-        self.buf.put_u8(v as u8);
+        self.buf.push(v as u8);
     }
 
     /// Writes a little-endian u16.
     pub fn put_u16(&mut self, v: u16) {
-        self.buf.put_u16_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Writes a little-endian u32.
     pub fn put_u32(&mut self, v: u32) {
-        self.buf.put_u32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Writes a little-endian u64.
     pub fn put_u64(&mut self, v: u64) {
-        self.buf.put_u64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Writes an IEEE-754 double.
     pub fn put_f64(&mut self, v: f64) {
-        self.buf.put_f64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Writes a length-prefixed byte string.
     pub fn put_bytes(&mut self, v: &[u8]) {
         self.put_u32(v.len() as u32);
-        self.buf.put_slice(v);
+        self.buf.extend_from_slice(v);
     }
 
     /// Writes a fixed-size 32-byte digest (no length prefix).
     pub fn put_digest(&mut self, v: &[u8; 32]) {
-        self.buf.put_slice(v);
+        self.buf.extend_from_slice(v);
     }
 
     /// Writes a length-prefixed UTF-8 string.
@@ -111,7 +110,14 @@ impl<'a> Reader<'a> {
 
     /// Remaining unread bytes.
     pub fn remaining(&self) -> usize {
-        self.buf.remaining()
+        self.buf.len()
+    }
+
+    /// Consumes and returns the next `n` bytes (caller must `need` first).
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        head
     }
 
     /// Errors unless every byte has been consumed.
@@ -134,7 +140,7 @@ impl<'a> Reader<'a> {
     /// Reads one byte.
     pub fn get_u8(&mut self) -> Result<u8, WireError> {
         self.need(1)?;
-        Ok(self.buf.get_u8())
+        Ok(self.take(1)[0])
     }
 
     /// Reads a boolean.
@@ -145,42 +151,38 @@ impl<'a> Reader<'a> {
     /// Reads a little-endian u16.
     pub fn get_u16(&mut self) -> Result<u16, WireError> {
         self.need(2)?;
-        Ok(self.buf.get_u16_le())
+        Ok(u16::from_le_bytes(self.take(2).try_into().unwrap()))
     }
 
     /// Reads a little-endian u32.
     pub fn get_u32(&mut self) -> Result<u32, WireError> {
         self.need(4)?;
-        Ok(self.buf.get_u32_le())
+        Ok(u32::from_le_bytes(self.take(4).try_into().unwrap()))
     }
 
     /// Reads a little-endian u64.
     pub fn get_u64(&mut self) -> Result<u64, WireError> {
         self.need(8)?;
-        Ok(self.buf.get_u64_le())
+        Ok(u64::from_le_bytes(self.take(8).try_into().unwrap()))
     }
 
     /// Reads an IEEE-754 double.
     pub fn get_f64(&mut self) -> Result<f64, WireError> {
         self.need(8)?;
-        Ok(self.buf.get_f64_le())
+        Ok(f64::from_le_bytes(self.take(8).try_into().unwrap()))
     }
 
     /// Reads a length-prefixed byte string.
     pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
         let len = self.get_len()?;
         self.need(len)?;
-        let mut out = vec![0u8; len];
-        self.buf.copy_to_slice(&mut out);
-        Ok(out)
+        Ok(self.take(len).to_vec())
     }
 
     /// Reads a fixed-size 32-byte digest.
     pub fn get_digest(&mut self) -> Result<[u8; 32], WireError> {
         self.need(32)?;
-        let mut out = [0u8; 32];
-        self.buf.copy_to_slice(&mut out);
-        Ok(out)
+        Ok(self.take(32).try_into().unwrap())
     }
 
     /// Reads a length-prefixed UTF-8 string.
@@ -261,7 +263,10 @@ mod tests {
         w.put_u32(u32::MAX);
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
-        assert!(matches!(r.get_len(), Err(WireError::LengthLimitExceeded(_))));
+        assert!(matches!(
+            r.get_len(),
+            Err(WireError::LengthLimitExceeded(_))
+        ));
     }
 
     #[test]

@@ -25,11 +25,16 @@
 
 pub mod authquery_impls;
 pub mod crypto_impls;
+pub mod envelope;
 pub mod error;
 pub mod funcdb_impls;
 pub mod io;
 pub mod sigmesh_impls;
 
+pub use envelope::{
+    ErrorCode, ErrorReply, KindLatency, LatencyHistogram, Request, Response, StatsSnapshot,
+    LATENCY_BUCKET_BOUNDS_MICROS,
+};
 pub use error::WireError;
 pub use io::{Reader, Writer};
 
@@ -152,7 +157,10 @@ mod tests {
             Pair::from_framed_bytes(&bytes),
             Err(WireError::LengthMismatch { .. })
         ));
-        assert_eq!(Pair::from_framed_bytes(&bytes[..5]), Err(WireError::Truncated));
+        assert_eq!(
+            Pair::from_framed_bytes(&bytes[..5]),
+            Err(WireError::Truncated)
+        );
     }
 
     #[test]

@@ -119,7 +119,9 @@ mod tests {
             let back = MeshResponse::from_framed_bytes(&bytes).unwrap();
             assert_eq!(resp.records, back.records);
             assert_eq!(resp.vo.pair_signatures, back.vo.pair_signatures);
-            assert!(verify_mesh_response(&query, &back, &dataset.template, verifier.as_ref()).is_ok());
+            assert!(
+                verify_mesh_response(&query, &back, &dataset.template, verifier.as_ref()).is_ok()
+            );
         }
     }
 

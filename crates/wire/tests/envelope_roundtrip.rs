@@ -1,0 +1,160 @@
+//! Property tests for the service envelope messages: random requests and
+//! stats round-trip bit-exactly, and corrupted frames (truncation, bad
+//! magic, forged length) are always rejected, never mis-decoded.
+
+use proptest::prelude::*;
+use vaq_authquery::Query;
+use vaq_wire::{
+    ErrorCode, ErrorReply, KindLatency, LatencyHistogram, Request, Response, StatsSnapshot,
+    WireDecode, WireEncode, WireError, LATENCY_BUCKET_BOUNDS_MICROS,
+};
+
+/// Strategy for one random (always well-formed) query.
+fn query_from(parts: &(u8, Vec<f64>, usize, f64, f64)) -> Query {
+    let (kind, weights, k, a, b) = parts;
+    let weights = if weights.is_empty() {
+        vec![0.5]
+    } else {
+        weights.clone()
+    };
+    match kind % 3 {
+        0 => Query::top_k(weights, *k),
+        1 => {
+            let (lower, upper) = if a <= b { (*a, *b) } else { (*b, *a) };
+            Query::range(weights, lower, upper)
+        }
+        _ => Query::knn(weights, *k, *a),
+    }
+}
+
+fn query_parts() -> impl Strategy<Value = (u8, Vec<f64>, usize, f64, f64)> {
+    (
+        0u8..=255,
+        prop::collection::vec(-1e3f64..1e3, 1..5),
+        0usize..20,
+        -10.0f64..10.0,
+        -10.0f64..10.0,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn requests_roundtrip_framed(parts in query_parts(), selector in 0u8..4) {
+        let request = match selector {
+            0 => Request::Ping,
+            1 => Request::Stats,
+            2 => Request::Query(query_from(&parts)),
+            _ => Request::Batch(vec![query_from(&parts), query_from(&parts)]),
+        };
+        let bytes = request.to_framed_bytes();
+        let back = Request::from_framed_bytes(&bytes);
+        prop_assert_eq!(back.as_ref().ok(), Some(&request));
+    }
+
+    #[test]
+    fn truncated_frames_never_decode(parts in query_parts(), cut_fraction in 0.0f64..1.0) {
+        let request = Request::Batch(vec![query_from(&parts)]);
+        let bytes = request.to_framed_bytes();
+        // Any strict prefix must be rejected.
+        let cut = ((bytes.len() - 1) as f64 * cut_fraction) as usize;
+        let result = Request::from_framed_bytes(&bytes[..cut]);
+        prop_assert!(result.is_err(), "prefix of {} of {} decoded", cut, bytes.len());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected(parts in query_parts(), corrupt_byte in 0usize..4, xor in 1u8..=255) {
+        let request = Request::Query(query_from(&parts));
+        let mut bytes = request.to_framed_bytes();
+        bytes[corrupt_byte] ^= xor;
+        prop_assert_eq!(
+            Request::from_framed_bytes(&bytes).err(),
+            Some(WireError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn forged_length_is_rejected(parts in query_parts(), delta in 1u32..1000) {
+        let request = Request::Query(query_from(&parts));
+        let mut bytes = request.to_framed_bytes();
+        let declared = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]);
+        let forged = declared.wrapping_add(delta).to_le_bytes();
+        bytes[6..10].copy_from_slice(&forged);
+        prop_assert!(matches!(
+            Request::from_framed_bytes(&bytes),
+            Err(WireError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupting_any_payload_byte_never_panics(parts in query_parts(), position in 0usize..4096, xor in 1u8..=255) {
+        let request = Request::Batch(vec![query_from(&parts), query_from(&parts)]);
+        let mut bytes = request.to_wire_bytes();
+        let position = position % bytes.len();
+        bytes[position] ^= xor;
+        // Decoding either fails cleanly or yields a different (valid)
+        // request; both are fine — panicking or looping is not.
+        let _ = Request::from_wire_bytes(&bytes);
+    }
+
+    #[test]
+    fn stats_snapshots_roundtrip(
+        counters in prop::collection::vec(0u64.., 6..=6),
+        workers in 0u32..256,
+        counts in prop::collection::vec(0u64..1_000_000, 13..=13),
+    ) {
+        let histogram = LatencyHistogram {
+            bucket_counts: counts.clone(),
+            count: counts.iter().sum(),
+            sum_micros: counters[0],
+            max_micros: counters[1],
+        };
+        let stats = StatsSnapshot {
+            requests_served: counters[0],
+            cache_hits: counters[1],
+            cache_misses: counters[2],
+            bytes_in: counters[3],
+            bytes_out: counters[4],
+            errors: counters[5],
+            workers,
+            per_kind: vec![
+                KindLatency { kind: "topk".into(), histogram: histogram.clone() },
+                KindLatency { kind: "batch".into(), histogram },
+            ],
+        };
+        let response = Response::Stats(stats.clone());
+        let bytes = response.to_framed_bytes();
+        match Response::from_framed_bytes(&bytes) {
+            Ok(Response::Stats(back)) => prop_assert_eq!(back, stats),
+            other => prop_assert!(false, "wrong decode: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn error_replies_roundtrip(code_selector in 0u8..5, message in prop::collection::vec(32u8..127, 0..64)) {
+        let code = [
+            ErrorCode::Malformed,
+            ErrorCode::BadQuery,
+            ErrorCode::FrameTooLarge,
+            ErrorCode::Internal,
+            ErrorCode::ShuttingDown,
+        ][code_selector as usize];
+        let reply = ErrorReply {
+            code,
+            message: String::from_utf8(message).unwrap(),
+        };
+        let bytes = Response::Error(reply.clone()).to_framed_bytes();
+        match Response::from_framed_bytes(&bytes) {
+            Ok(Response::Error(back)) => prop_assert_eq!(back, reply),
+            other => prop_assert!(false, "wrong decode: {:?}", other),
+        }
+    }
+}
+
+#[test]
+fn bucket_bounds_are_strictly_increasing() {
+    for pair in LATENCY_BUCKET_BOUNDS_MICROS.windows(2) {
+        assert!(pair[0] < pair[1]);
+    }
+}

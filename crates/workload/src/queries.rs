@@ -137,6 +137,73 @@ impl QueryGenerator {
     }
 }
 
+/// A weighted query-kind mix for load generation.
+///
+/// The mix is deterministic: query `index` gets its kind from the index's
+/// position in the repeating `topk : range : knn` proportion cycle, so two
+/// runs with equal seeds issue identical query streams — which is what makes
+/// load-test results and cache-hit counts reproducible.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryMix {
+    /// Parts of top-k queries in the cycle.
+    pub topk: u32,
+    /// Parts of range queries in the cycle.
+    pub range: u32,
+    /// Parts of KNN queries in the cycle.
+    pub knn: u32,
+    /// `k` used for top-k and KNN queries.
+    pub k: usize,
+    /// Range-query width as a fraction of the observed score spread.
+    pub range_width: f64,
+}
+
+impl Default for QueryMix {
+    /// A balanced 1:1:1 mix with `k = 3` and 20% range width.
+    fn default() -> Self {
+        QueryMix {
+            topk: 1,
+            range: 1,
+            knn: 1,
+            k: 3,
+            range_width: 0.2,
+        }
+    }
+}
+
+impl QueryMix {
+    /// A mix weighted towards one kind, e.g. `QueryMix::weighted(8, 1, 1)`
+    /// for a read-mostly top-k dashboard workload.
+    pub fn weighted(topk: u32, range: u32, knn: u32) -> Self {
+        QueryMix {
+            topk,
+            range,
+            knn,
+            ..QueryMix::default()
+        }
+    }
+
+    /// Total parts in one proportion cycle (at least 1).
+    pub fn cycle_len(&self) -> u64 {
+        u64::from(self.topk) + u64::from(self.range) + u64::from(self.knn)
+    }
+
+    /// Draws the query at `index` of the deterministic mix stream.
+    ///
+    /// Panics if every weight is zero.
+    pub fn generate(&self, generator: &mut QueryGenerator, index: u64) -> QuerySpec {
+        let cycle = self.cycle_len();
+        assert!(cycle > 0, "query mix needs at least one non-zero weight");
+        let slot = index % cycle;
+        if slot < u64::from(self.topk) {
+            generator.top_k(self.k)
+        } else if slot < u64::from(self.topk) + u64::from(self.range) {
+            generator.range(self.range_width)
+        } else {
+            generator.knn(self.k)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,7 +28,11 @@ pub fn applicant_table(n: usize, seed: u64) -> Dataset {
             let gpa = rng.gen_range(2.0..4.0) / 4.0;
             let awards = rng.gen_range(0.0..8.0) / 8.0;
             let papers = rng.gen_range(0.0..12.0) / 12.0;
-            Record::with_label(i as u64, vec![gpa, awards, papers], format!("applicant-{i}"))
+            Record::with_label(
+                i as u64,
+                vec![gpa, awards, papers],
+                format!("applicant-{i}"),
+            )
         })
         .collect();
     Dataset::new(records, template, Domain::unit(3))
@@ -63,7 +67,11 @@ pub fn financial_risk_table(n: usize, seed: u64) -> Dataset {
             let income = rng.gen_range(0.0f64..1.0).powf(1.5); // skewed
             let inv_debt = rng.gen_range(0.0..1.0);
             let tenure = rng.gen_range(0.0..1.0);
-            Record::with_label(i as u64, vec![income, inv_debt, tenure], format!("customer-{i}"))
+            Record::with_label(
+                i as u64,
+                vec![income, inv_debt, tenure],
+                format!("customer-{i}"),
+            )
         })
         .collect();
     Dataset::new(records, template, Domain::unit(3))

@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ----------------------------------------------------------- auditor
     // The auditor reads the archived files back and verifies each one using
     // only the owner's published metadata (template + public key).
-    println!("\nauditor: re-verifying archived responses from {}", dir.display());
+    println!(
+        "\nauditor: re-verifying archived responses from {}",
+        dir.display()
+    );
     for (i, (q_path, r_path)) in files.iter().enumerate() {
         let query = Query::from_framed_bytes(&fs::read(q_path)?)?;
         let response =

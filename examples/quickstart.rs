@@ -48,7 +48,13 @@ fn main() {
     );
 
     let public_key = scheme.public_key();
-    match client::verify(&query, &response.records, &response.vo, &template, &public_key) {
+    match client::verify(
+        &query,
+        &response.records,
+        &response.vo,
+        &template,
+        &public_key,
+    ) {
         Ok(verified) => {
             println!("client: verification PASSED (soundness + completeness)");
             for (record, score) in response.records.iter().zip(verified.scores.iter()).rev() {

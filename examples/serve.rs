@@ -1,0 +1,50 @@
+//! Stands up a networked query service over a synthetic dataset.
+//!
+//! ```text
+//! cargo run --release --example serve -- [port] [records] [dims] [seed]
+//! ```
+//!
+//! Prints the bound address and the owner's published verification material
+//! (template arity + key size), then serves until the process is killed.
+//! Pair it with the `remote_verify` example or `vaq_service::ServiceClient`
+//! from another process.
+
+use verified_analytics::authquery::{IfmhTree, Server, SigningMode};
+use verified_analytics::crypto::SignatureScheme;
+use verified_analytics::service::{QueryService, ServiceConfig};
+use verified_analytics::workload::uniform_dataset;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let port: u16 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
+    let records: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(64);
+    let dims: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+
+    println!("building dataset: {records} records, {dims} dims, seed {seed}");
+    let dataset = uniform_dataset(records, dims, seed);
+    let scheme = SignatureScheme::test_rsa(seed);
+    let tree = IfmhTree::build(&dataset, SigningMode::MultiSignature, &scheme);
+    let server = Server::new(dataset.clone(), tree);
+
+    let config = ServiceConfig::ephemeral()
+        .bind(format!("127.0.0.1:{port}").parse().expect("bind address"))
+        .workers(4);
+    let service = QueryService::bind(config, server).expect("bind service");
+    println!("serving on {}", service.local_addr());
+    println!(
+        "publish to users out of band: template arity {} and the owner public key (seed {seed})",
+        dataset.template.dims()
+    );
+    println!("press Ctrl-C to stop");
+
+    // Serve until killed; report stats periodically so progress is visible.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(10));
+        let stats = service.stats();
+        println!(
+            "served {} requests ({} cache hits, {} errors, {} bytes out)",
+            stats.requests_served, stats.cache_hits, stats.errors, stats.bytes_out
+        );
+    }
+}

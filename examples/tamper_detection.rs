@@ -26,26 +26,60 @@ fn main() {
     println!("=== IFMH-tree (one-signature) ===");
     {
         let honest = server.process(&query);
-        let ok = client::verify(&query, &honest.records, &honest.vo, &dataset.template, &public_key);
-        println!("honest answer ({} records): {}", honest.records.len(), verdict(ok.err()));
+        let ok = client::verify(
+            &query,
+            &honest.records,
+            &honest.vo,
+            &dataset.template,
+            &public_key,
+        );
+        println!(
+            "honest answer ({} records): {}",
+            honest.records.len(),
+            verdict(ok.err())
+        );
 
         let mut drop_one = server.process(&query);
         drop_one.records.remove(drop_one.records.len() / 2);
-        let out = client::verify(&query, &drop_one.records, &drop_one.vo, &dataset.template, &public_key);
+        let out = client::verify(
+            &query,
+            &drop_one.records,
+            &drop_one.vo,
+            &dataset.template,
+            &public_key,
+        );
         println!("drop a middle record:        {}", verdict(out.err()));
 
         let mut tampered = server.process(&query);
         tampered.records[0].attrs[0] += 0.01;
-        let out = client::verify(&query, &tampered.records, &tampered.vo, &dataset.template, &public_key);
+        let out = client::verify(
+            &query,
+            &tampered.records,
+            &tampered.vo,
+            &dataset.template,
+            &public_key,
+        );
         println!("tamper with an attribute:    {}", verdict(out.err()));
 
         let mut forged = server.process(&query);
         forged.records[0] = Record::new(4242, vec![0.5]);
-        let out = client::verify(&query, &forged.records, &forged.vo, &dataset.template, &public_key);
+        let out = client::verify(
+            &query,
+            &forged.records,
+            &forged.vo,
+            &dataset.template,
+            &public_key,
+        );
         println!("inject a forged record:      {}", verdict(out.err()));
 
         let narrow = server.process(&Query::range(vec![0.5], 0.3, 0.6));
-        let out = client::verify(&query, &narrow.records, &narrow.vo, &dataset.template, &public_key);
+        let out = client::verify(
+            &query,
+            &narrow.records,
+            &narrow.vo,
+            &dataset.template,
+            &public_key,
+        );
         println!("answer a narrower range:     {}", verdict(out.err()));
     }
 
@@ -53,7 +87,11 @@ fn main() {
     {
         let honest = mesh.process(&dataset, &query);
         let ok = verify_mesh_response(&query, &honest, &dataset.template, &public_key);
-        println!("honest answer ({} records): {}", honest.records.len(), verdict(ok.err()));
+        println!(
+            "honest answer ({} records): {}",
+            honest.records.len(),
+            verdict(ok.err())
+        );
 
         let mut drop_one = mesh.process(&dataset, &query);
         drop_one.records.remove(drop_one.records.len() / 2);

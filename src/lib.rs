@@ -4,6 +4,7 @@ pub use vaq_crypto as crypto;
 pub use vaq_funcdb as funcdb;
 pub use vaq_itree as itree;
 pub use vaq_mht as mht;
+pub use vaq_service as service;
 pub use vaq_sigmesh as sigmesh;
 pub use vaq_wire as wire;
 pub use vaq_workload as workload;

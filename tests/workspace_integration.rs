@@ -5,19 +5,9 @@
 
 use verified_analytics::authquery::{client, IfmhTree, Query, Server, SigningMode};
 use verified_analytics::crypto::{SignatureScheme, Signer};
+use verified_analytics::service::spec_to_query as to_query;
 use verified_analytics::sigmesh::{verify_mesh_response, SignatureMesh};
-use verified_analytics::workload::{applicant_table, uniform_dataset, QueryGenerator, QuerySpec};
-
-/// Converts a workload query spec into an authquery query.
-fn to_query(spec: &QuerySpec) -> Query {
-    match spec {
-        QuerySpec::TopK { weights, k } => Query::top_k(weights.clone(), *k),
-        QuerySpec::Range { weights, lower, upper } => {
-            Query::range(weights.clone(), *lower, *upper)
-        }
-        QuerySpec::Knn { weights, k, target } => Query::knn(weights.clone(), *k, *target),
-    }
-}
+use verified_analytics::workload::{applicant_table, uniform_dataset, QueryGenerator};
 
 #[test]
 fn all_three_schemes_agree_on_answers_and_verify() {
@@ -52,8 +42,22 @@ fn all_three_schemes_agree_on_answers_and_verify() {
         assert_eq!(ids(&r1.records), ids(&r3.records), "query {query}");
 
         // Every scheme's response verifies.
-        assert!(client::verify(&query, &r1.records, &r1.vo, &dataset.template, verifier.as_ref()).is_ok());
-        assert!(client::verify(&query, &r2.records, &r2.vo, &dataset.template, verifier.as_ref()).is_ok());
+        assert!(client::verify(
+            &query,
+            &r1.records,
+            &r1.vo,
+            &dataset.template,
+            verifier.as_ref()
+        )
+        .is_ok());
+        assert!(client::verify(
+            &query,
+            &r2.records,
+            &r2.vo,
+            &dataset.template,
+            verifier.as_ref()
+        )
+        .is_ok());
         assert!(verify_mesh_response(&query, &r3, &dataset.template, verifier.as_ref()).is_ok());
     }
 }
@@ -100,8 +104,22 @@ fn paper_cost_relationships_hold() {
     assert!(r1.cost.vo_nodes_collected >= r2.cost.vo_nodes_collected);
 
     // Fig. 7: the mesh verifies |q| + 1 signatures, the IFMH schemes one.
-    let v1 = client::verify(&query, &r1.records, &r1.vo, &dataset.template, verifier.as_ref()).unwrap();
-    let v2 = client::verify(&query, &r2.records, &r2.vo, &dataset.template, verifier.as_ref()).unwrap();
+    let v1 = client::verify(
+        &query,
+        &r1.records,
+        &r1.vo,
+        &dataset.template,
+        verifier.as_ref(),
+    )
+    .unwrap();
+    let v2 = client::verify(
+        &query,
+        &r2.records,
+        &r2.vo,
+        &dataset.template,
+        verifier.as_ref(),
+    )
+    .unwrap();
     let v3 = verify_mesh_response(&query, &r3, &dataset.template, verifier.as_ref()).unwrap();
     assert_eq!(v1.cost.signature_verifications, 1);
     assert_eq!(v2.cost.signature_verifications, 1);
@@ -129,9 +147,14 @@ fn applicant_workflow_with_umbrella_reexports() {
 
     let query = Query::top_k(vec![1.0, 0.3, 0.6], 4);
     let response = server.process(&query);
-    let verified =
-        client::verify(&query, &response.records, &response.vo, &dataset.template, &public_key)
-            .expect("verification must pass");
+    let verified = client::verify(
+        &query,
+        &response.records,
+        &response.vo,
+        &dataset.template,
+        &public_key,
+    )
+    .expect("verification must pass");
     assert_eq!(response.records.len(), 4);
     assert_eq!(verified.scores.len(), 4);
     // Scores are ascending in result order.
@@ -155,7 +178,14 @@ fn cross_scheme_tamper_detection() {
     let mut r1 = server.process(&query);
     assert!(r1.records.len() >= 3);
     r1.records.remove(1);
-    assert!(client::verify(&query, &r1.records, &r1.vo, &dataset.template, verifier.as_ref()).is_err());
+    assert!(client::verify(
+        &query,
+        &r1.records,
+        &r1.vo,
+        &dataset.template,
+        verifier.as_ref()
+    )
+    .is_err());
 
     let mut r3 = mesh.process(&dataset, &query);
     r3.records.remove(1);
