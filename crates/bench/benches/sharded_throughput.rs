@@ -1,0 +1,63 @@
+//! Scatter-gather throughput across shard counts: one logical dataset
+//! partitioned into S = 1..8 shards, each behind its own `QueryService`,
+//! driven by a closed-loop generator whose every answer is merged from all
+//! shards and fully verified (per-shard keys + attested shard map).
+//!
+//! The interesting trade-off: more shards shrink each shard's authenticated
+//! structure (faster per-shard processing, smaller proofs) but multiply the
+//! per-query network round-trips and signature verifications by S.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vaq_authquery::SigningMode;
+use vaq_service::{LoadGenerator, ServiceConfig, ShardedDeployment};
+use vaq_workload::{uniform_dataset, QueryMix};
+
+fn bench_sharded_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_throughput");
+    group.sample_size(10);
+
+    let dataset = uniform_dataset(32, 1, 2026);
+
+    for shards in 1..=8usize {
+        let deployment = ShardedDeployment::launch(
+            &dataset,
+            shards,
+            SigningMode::MultiSignature,
+            2026 + shards as u64,
+            ServiceConfig::ephemeral().workers(2),
+        )
+        .expect("launch sharded deployment");
+
+        group.bench_with_input(
+            BenchmarkId::new("scatter_gather_verified", shards),
+            &shards,
+            |b, _| {
+                b.iter(|| {
+                    let generator = LoadGenerator {
+                        mix: QueryMix::weighted(2, 1, 1),
+                        ..LoadGenerator::sharded(
+                            deployment.addrs().to_vec(),
+                            deployment.publication().clone(),
+                            2,
+                            10,
+                        )
+                    };
+                    let report = generator.run(&dataset).expect("sharded load run");
+                    assert_eq!(report.failures, 0);
+                    report
+                })
+            },
+        );
+
+        let served: u64 = deployment
+            .shutdown()
+            .iter()
+            .map(|s| s.requests_served)
+            .sum();
+        println!("S={shards}: {served} shard-requests served");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_throughput);
+criterion_main!(benches);

@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 use vaq_authquery::{client, Query, QueryResponse, VerifiedResult};
 use vaq_crypto::Verifier;
 use vaq_funcdb::FunctionTemplate;
-use vaq_wire::{Request, Response, StatsSnapshot};
+use vaq_wire::{ErrorCode, Request, Response, ShardInfo, StatsSnapshot};
 
 use crate::error::ServiceError;
 use crate::frame::{read_message, write_message};
@@ -107,22 +107,60 @@ impl ServiceClient {
         }
     }
 
-    /// Sends one request frame and reads one response frame.
+    /// Asks which shard of a sharded deployment the service hosts.
     ///
-    /// After a failed response read (timeout or I/O error) the connection is
-    /// marked desynced — the late response could still arrive and would be
-    /// mis-paired with the next request — and every further call errors.
-    /// Reconnect to recover.
-    pub fn call(&mut self, request: &Request) -> Result<Response, ServiceError> {
-        if self.desynced {
-            return Err(ServiceError::Io(std::io::Error::new(
-                std::io::ErrorKind::BrokenPipe,
-                "connection desynced by an earlier failed read; reconnect",
-            )));
+    /// A standalone service answers with a typed
+    /// [`ErrorCode::NotSharded`] error.
+    pub fn shard_info(&mut self) -> Result<ShardInfo, ServiceError> {
+        match self.call(&Request::ShardInfo)? {
+            Response::ShardInfo(info) => Ok(info),
+            other => Err(unexpected(&other)),
         }
-        write_message(&mut self.stream, request)?;
+    }
+
+    /// Sends one request frame without reading the response.
+    ///
+    /// Pair every `send` with exactly one [`ServiceClient::receive`]; the
+    /// split exists so a scatter-gather front-end can put one request in
+    /// flight on every shard connection before blocking on the first
+    /// response. A failed write leaves the stream offset unknown, so it
+    /// marks the connection desynced.
+    pub fn send(&mut self, request: &Request) -> Result<(), ServiceError> {
+        if self.desynced {
+            return Err(desynced_error());
+        }
+        if let Err(e) = write_message(&mut self.stream, request) {
+            self.desynced = true;
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Reads one response frame for a previously [`ServiceClient::send`]-sent
+    /// request, with the same desync bookkeeping as [`ServiceClient::call`].
+    pub fn receive(&mut self) -> Result<Response, ServiceError> {
+        if self.desynced {
+            return Err(desynced_error());
+        }
         match read_message::<Response>(&mut self.stream, self.max_frame_bytes) {
-            Ok(Some(Response::Error(reply))) => Err(ServiceError::Remote(reply)),
+            Ok(Some(Response::Error(reply))) => {
+                // The server closes the connection after a frame-level
+                // FrameTooLarge/Malformed reply (the stream offset is
+                // unknown) and after ShuttingDown, so pairing another
+                // request with this socket would fail confusingly — or
+                // worse, mis-pair a late frame. Refuse further calls and
+                // make the caller reconnect. (A Malformed reply to a
+                // well-framed-but-undecodable payload keeps the server-side
+                // connection; this client never produces such payloads, and
+                // desyncing is the safe conservative reading either way.)
+                if matches!(
+                    reply.code,
+                    ErrorCode::FrameTooLarge | ErrorCode::Malformed | ErrorCode::ShuttingDown
+                ) {
+                    self.desynced = true;
+                }
+                Err(ServiceError::Remote(reply))
+            }
             Ok(Some(response)) => Ok(response),
             Ok(None) => {
                 self.desynced = true;
@@ -137,14 +175,36 @@ impl ServiceClient {
             }
         }
     }
+
+    /// Sends one request frame and reads one response frame.
+    ///
+    /// After a failed response read (timeout or I/O error) — or a remote
+    /// error reply after which the server closes the connection
+    /// ([`ErrorCode::FrameTooLarge`], [`ErrorCode::Malformed`],
+    /// [`ErrorCode::ShuttingDown`]) — the connection is marked desynced and
+    /// every further call errors. Reconnect to recover.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        self.send(request)?;
+        self.receive()
+    }
 }
 
-fn unexpected(response: &Response) -> ServiceError {
+fn desynced_error() -> ServiceError {
+    ServiceError::Io(std::io::Error::new(
+        std::io::ErrorKind::BrokenPipe,
+        "connection desynced by an earlier failure; reconnect",
+    ))
+}
+
+/// Maps a response of the wrong kind to a typed error (shared with the
+/// sharded scatter-gather client).
+pub(crate) fn unexpected(response: &Response) -> ServiceError {
     ServiceError::UnexpectedResponse(match response {
         Response::Pong => "pong",
         Response::Stats(_) => "stats",
         Response::Query(_) => "query",
         Response::Batch(_) => "batch",
+        Response::ShardInfo(_) => "shard-info",
         Response::Error(_) => "error",
     })
 }

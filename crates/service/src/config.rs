@@ -3,6 +3,20 @@
 use std::net::SocketAddr;
 use std::time::Duration;
 
+/// Which shard of a sharded deployment a service instance hosts.
+///
+/// Attached to [`ServiceConfig::shard`] by the owner-side partitioner; the
+/// service reports it in reply to [`vaq_wire::Request::ShardInfo`] so a
+/// scatter-gather client can check it connected each socket to the shard the
+/// attested shard map says lives there.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardRole {
+    /// This shard's index in `0..shard_count`.
+    pub shard_id: u32,
+    /// Total shards in the deployment.
+    pub shard_count: u32,
+}
+
 /// Configuration of a [`crate::QueryService`].
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
@@ -23,6 +37,10 @@ pub struct ServiceConfig {
     pub read_timeout: Option<Duration>,
     /// Largest accepted batch size; larger batches get a `BadQuery` reply.
     pub max_batch_len: usize,
+    /// The shard this instance hosts, when part of a sharded deployment;
+    /// `None` makes the service answer `ShardInfo` requests with a typed
+    /// `NotSharded` error.
+    pub shard: Option<ShardRole>,
 }
 
 impl Default for ServiceConfig {
@@ -35,6 +53,7 @@ impl Default for ServiceConfig {
             max_frame_bytes: 16 << 20,
             read_timeout: Some(Duration::from_secs(30)),
             max_batch_len: 256,
+            shard: None,
         }
     }
 }
@@ -72,6 +91,12 @@ impl ServiceConfig {
     /// Sets the per-connection read timeout.
     pub fn read_timeout(mut self, timeout: Option<Duration>) -> Self {
         self.read_timeout = timeout;
+        self
+    }
+
+    /// Declares which shard of a sharded deployment this instance hosts.
+    pub fn shard_role(mut self, role: ShardRole) -> Self {
+        self.shard = Some(role);
         self
     }
 }

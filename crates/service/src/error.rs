@@ -23,6 +23,20 @@ pub enum ServiceError {
     UnexpectedResponse(&'static str),
     /// A remote response failed client-side cryptographic verification.
     Verification(VerifyError),
+    /// The shard map (or a shard's handshake against it) failed validation:
+    /// bad master signature, wrong shard count, or a shard reporting an
+    /// identity that contradicts the attested map.
+    ShardMap(String),
+    /// One shard of a scatter-gather query failed — connection down, remote
+    /// error reply, or a per-shard verification failure. A sharded query
+    /// never silently drops a shard's contribution: the whole query fails
+    /// with this typed error instead.
+    ShardFailed {
+        /// Which shard failed.
+        shard_id: u32,
+        /// What went wrong on that shard.
+        error: Box<ServiceError>,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -43,6 +57,10 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "unexpected response kind: {kind}")
             }
             ServiceError::Verification(e) => write!(f, "verification failed: {e}"),
+            ServiceError::ShardMap(reason) => write!(f, "shard map rejected: {reason}"),
+            ServiceError::ShardFailed { shard_id, error } => {
+                write!(f, "shard {shard_id} failed: {error}")
+            }
         }
     }
 }

@@ -34,8 +34,22 @@ pub enum FrameRead {
 
 /// Reads one frame payload, enforcing `max_payload` before allocation.
 pub fn read_frame(stream: &mut impl Read, max_payload: usize) -> Result<FrameRead, ServiceError> {
+    let mut consumed = 0u64;
+    read_frame_counted(stream, max_payload, &mut consumed)
+}
+
+/// Like [`read_frame`], but also adds every byte actually consumed off the
+/// stream to `consumed` — **including** on error paths (a rejected header, a
+/// truncated payload). Metrics that account inbound traffic must use this
+/// variant: an oversized or malformed frame still crossed the wire.
+pub fn read_frame_counted(
+    stream: &mut impl Read,
+    max_payload: usize,
+    consumed: &mut u64,
+) -> Result<FrameRead, ServiceError> {
     let mut header = [0u8; 10];
     let (filled, error) = read_all(stream, &mut header, false);
+    *consumed += filled as u64;
     if let Some(e) = error {
         let timed_out = matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut);
         if filled == 0 && timed_out {
@@ -66,6 +80,7 @@ pub fn read_frame(stream: &mut impl Read, max_payload: usize) -> Result<FrameRea
     // The header already arrived, so the stream is mid-frame: payload bytes
     // get the same patience even before the first one shows up.
     let (filled, error) = read_all(stream, &mut payload, true);
+    *consumed += filled as u64;
     if let Some(e) = error {
         return Err(ServiceError::Io(e));
     }
@@ -240,6 +255,58 @@ mod tests {
             read_frame(&mut AlwaysTimeout, 1024).unwrap(),
             FrameRead::Idle
         ));
+    }
+
+    #[test]
+    fn consumed_bytes_counted_on_success_and_error_paths() {
+        // Success: header + payload.
+        let frame = Request::Ping.to_framed_bytes();
+        let mut consumed = 0u64;
+        let read = read_frame_counted(&mut Cursor::new(&frame), 1024, &mut consumed).unwrap();
+        assert!(matches!(read, FrameRead::Payload(_)));
+        assert_eq!(consumed, frame.len() as u64);
+
+        // Oversized frame: the 10 header bytes were still consumed.
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&MAGIC);
+        oversized.extend_from_slice(&VERSION.to_le_bytes());
+        oversized.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut consumed = 0u64;
+        let err = read_frame_counted(&mut Cursor::new(&oversized), 16, &mut consumed).unwrap_err();
+        assert!(matches!(err, ServiceError::FrameTooLarge { .. }));
+        assert_eq!(consumed, 10);
+
+        // Bad magic: the header was consumed before rejection.
+        let mut bad = frame.clone();
+        bad[0] = b'X';
+        let mut consumed = 0u64;
+        let err = read_frame_counted(&mut Cursor::new(&bad), 1024, &mut consumed).unwrap_err();
+        assert!(matches!(err, ServiceError::Wire(WireError::BadMagic)));
+        assert!(consumed >= 10);
+
+        // Truncated mid-payload: every byte that did arrive is counted.
+        let request = Request::Query(vaq_authquery::Query::top_k(vec![0.25, 0.75], 3));
+        let frame = request.to_framed_bytes();
+        let cut = frame.len() - 2;
+        let mut consumed = 0u64;
+        let err =
+            read_frame_counted(&mut Cursor::new(&frame[..cut]), 1024, &mut consumed).unwrap_err();
+        assert!(matches!(err, ServiceError::Wire(WireError::Truncated)));
+        assert_eq!(consumed, cut as u64);
+
+        // Idle: nothing arrived, nothing is counted.
+        struct AlwaysTimeout;
+        impl Read for AlwaysTimeout {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(ErrorKind::WouldBlock, "poll timeout"))
+            }
+        }
+        let mut consumed = 0u64;
+        assert!(matches!(
+            read_frame_counted(&mut AlwaysTimeout, 1024, &mut consumed).unwrap(),
+            FrameRead::Idle
+        ));
+        assert_eq!(consumed, 0);
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //!   [`vaq_authquery::Server`] behind an `Arc`, answers framed
 //!   [`vaq_wire::Request`]s with framed [`vaq_wire::Response`]s, keeps a
 //!   bounded LRU cache of encoded responses keyed by canonical query bytes,
-//!   tracks counters + fixed-bucket latency histograms, and shuts down
-//!   gracefully via a flag plus a connect-to-self wakeup.
+//!   tracks counters + fixed-bucket latency histograms, deduplicates
+//!   concurrent identical queries (single-flight), and shuts down
+//!   gracefully via a flag plus a best-effort loopback wakeup over a
+//!   polling accept loop.
 //! * [`ServiceClient`] — a blocking connector whose
 //!   [`ServiceClient::query_verified`] feeds remote responses straight into
 //!   [`vaq_authquery::client::verify`], so a network round-trip carries the
@@ -20,6 +22,13 @@
 //! * [`LoadGenerator`] — a closed-loop driver running N client threads over
 //!   seeded [`vaq_workload::QueryMix`] streams and reporting aggregate
 //!   throughput and latency quantiles.
+//! * [`ShardedDeployment`] / [`ShardedClient`] — the horizontal scale tier:
+//!   the owner partitions one logical dataset into disjoint shards (each
+//!   with its own authenticated structure and per-shard signing key, the
+//!   partition attested by a master-signed shard map), and the client
+//!   scatter-gathers every query across all shards, verifies each response
+//!   under its shard's key, and merges the answers so the logical result is
+//!   as sound and complete as a single server's.
 //!
 //! # Quick example
 //!
@@ -62,14 +71,18 @@ pub mod error;
 pub mod frame;
 pub mod loadgen;
 pub mod metrics;
+pub mod partition;
 pub mod pool;
 pub mod server;
+pub mod shard;
 
 pub use cache::LruCache;
 pub use client::ServiceClient;
-pub use config::ServiceConfig;
+pub use config::{ServiceConfig, ShardRole};
 pub use error::ServiceError;
-pub use loadgen::{spec_to_query, LoadGenerator, LoadReport};
+pub use loadgen::{spec_to_query, LoadGenerator, LoadReport, LoadTarget};
 pub use metrics::{Histogram, Metrics, RequestKind};
+pub use partition::{attest_shard_map, partition_dataset, verify_shard_map, PartitionStrategy};
 pub use pool::WorkerPool;
 pub use server::QueryService;
+pub use shard::{ShardedClient, ShardedDeployment, ShardedPublication, ShardedResponse};

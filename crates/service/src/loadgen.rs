@@ -6,11 +6,12 @@ use std::time::{Duration, Instant};
 
 use vaq_authquery::Query;
 use vaq_crypto::{PublicKey, Verifier};
-use vaq_funcdb::{Dataset, FunctionTemplate};
+use vaq_funcdb::{Dataset, Domain, FunctionTemplate};
 use vaq_workload::{QueryGenerator, QueryMix, QuerySpec};
 
 use crate::client::ServiceClient;
 use crate::error::ServiceError;
+use crate::shard::{ShardedClient, ShardedPublication};
 
 /// Converts a workload query spec into a protocol query.
 pub fn spec_to_query(spec: &QuerySpec) -> Query {
@@ -25,11 +26,29 @@ pub fn spec_to_query(spec: &QuerySpec) -> Query {
     }
 }
 
+/// What a load-generation run drives.
+#[derive(Clone, Debug)]
+pub enum LoadTarget {
+    /// One standalone service; responses are verified when
+    /// [`LoadGenerator::verify`] is set.
+    Single(SocketAddr),
+    /// A sharded deployment: every query scatter-gathers across all shards
+    /// and is always fully verified against the publication (per-shard keys
+    /// plus the attested shard map), so [`LoadGenerator::verify`] is
+    /// ignored.
+    Sharded {
+        /// Shard addresses, in shard-id order.
+        addrs: Vec<SocketAddr>,
+        /// The owner's published verification material.
+        publication: ShardedPublication,
+    },
+}
+
 /// Configuration of a load-generation run.
 #[derive(Clone, Debug)]
 pub struct LoadGenerator {
-    /// Service address to drive.
-    pub addr: SocketAddr,
+    /// What to drive: one service or a sharded deployment.
+    pub target: LoadTarget,
     /// Concurrent client threads.
     pub clients: usize,
     /// Queries each client issues.
@@ -38,13 +57,15 @@ pub struct LoadGenerator {
     pub mix: QueryMix,
     /// Base RNG seed; client `i` uses `seed + i`.
     pub seed: u64,
-    /// When set, every response is cryptographically verified against the
-    /// owner's template and public key.
+    /// When set, every response from a [`LoadTarget::Single`] service is
+    /// cryptographically verified against the owner's template and public
+    /// key.
     pub verify: Option<(FunctionTemplate, PublicKey)>,
 }
 
 impl LoadGenerator {
-    /// A generator with the balanced default mix and verification enabled.
+    /// A single-service generator with the balanced default mix and
+    /// verification enabled.
     pub fn new(
         addr: SocketAddr,
         clients: usize,
@@ -53,7 +74,7 @@ impl LoadGenerator {
         public_key: PublicKey,
     ) -> Self {
         LoadGenerator {
-            addr,
+            target: LoadTarget::Single(addr),
             clients: clients.max(1),
             requests_per_client,
             mix: QueryMix::default(),
@@ -62,20 +83,43 @@ impl LoadGenerator {
         }
     }
 
+    /// A generator driving a sharded deployment with the balanced default
+    /// mix; every response is scatter-gathered and fully verified.
+    pub fn sharded(
+        addrs: Vec<SocketAddr>,
+        publication: ShardedPublication,
+        clients: usize,
+        requests_per_client: usize,
+    ) -> Self {
+        LoadGenerator {
+            target: LoadTarget::Sharded { addrs, publication },
+            clients: clients.max(1),
+            requests_per_client,
+            mix: QueryMix::default(),
+            seed: 0x10ad,
+            verify: None,
+        }
+    }
+
     /// Runs the closed loop to completion and aggregates the results.
     ///
     /// `dataset` seeds the per-client [`QueryGenerator`]s with realistic
     /// weight vectors and score ranges — the same knowledge a data user has
-    /// from the owner's published metadata.
+    /// from the owner's published metadata. The records themselves never
+    /// cross into the client threads: one probe samples the score range,
+    /// and each thread generates from the (domain, score range) pair alone.
     pub fn run(&self, dataset: &Dataset) -> Result<LoadReport, ServiceError> {
         let started = Instant::now();
+        let probe = QueryGenerator::new(dataset, self.seed);
+        let domain = probe.domain().clone();
+        let score_range = probe.score_range();
         let threads: Vec<_> = (0..self.clients)
             .map(|i| {
                 let config = self.clone();
-                let dataset = dataset.clone();
+                let domain = domain.clone();
                 std::thread::Builder::new()
                     .name(format!("vaq-loadgen-{i}"))
-                    .spawn(move || config.drive_one_client(i as u64, &dataset))
+                    .spawn(move || config.drive_one_client(i as u64, domain, score_range))
                     .expect("spawning a load-generator thread")
             })
             .collect();
@@ -110,33 +154,55 @@ impl LoadGenerator {
     fn drive_one_client(
         &self,
         index: u64,
-        dataset: &Dataset,
+        domain: Domain,
+        score_range: (f64, f64),
     ) -> Result<ClientOutcome, ServiceError> {
-        let mut generator = QueryGenerator::new(dataset, self.seed + index);
-        let mut client = ServiceClient::connect(self.addr)?;
-        let mut outcome = ClientOutcome::default();
-        for request_index in 0..self.requests_per_client {
-            let spec = self.mix.generate(&mut generator, request_index as u64);
-            let query = spec_to_query(&spec);
-            let start = Instant::now();
-            let response = client.query(&query)?;
-            outcome
-                .latencies_micros
-                .push(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
-            if let Some((template, public_key)) = &self.verify {
-                match vaq_authquery::client::verify(
-                    &query,
-                    &response.records,
-                    &response.vo,
-                    template,
-                    public_key as &dyn Verifier,
-                ) {
-                    Ok(_) => outcome.verified += 1,
-                    Err(_) => outcome.failures += 1,
+        let mut generator = QueryGenerator::from_published(domain, score_range, self.seed + index);
+        match &self.target {
+            LoadTarget::Single(addr) => {
+                let mut client = ServiceClient::connect(addr)?;
+                let mut outcome = ClientOutcome::default();
+                for request_index in 0..self.requests_per_client {
+                    let spec = self.mix.generate(&mut generator, request_index as u64);
+                    let query = spec_to_query(&spec);
+                    let start = Instant::now();
+                    let response = client.query(&query)?;
+                    outcome
+                        .latencies_micros
+                        .push(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                    if let Some((template, public_key)) = &self.verify {
+                        match vaq_authquery::client::verify(
+                            &query,
+                            &response.records,
+                            &response.vo,
+                            template,
+                            public_key as &dyn Verifier,
+                        ) {
+                            Ok(_) => outcome.verified += 1,
+                            Err(_) => outcome.failures += 1,
+                        }
+                    }
                 }
+                Ok(outcome)
+            }
+            LoadTarget::Sharded { addrs, publication } => {
+                let mut client = ShardedClient::connect(addrs, publication)?;
+                let mut outcome = ClientOutcome::default();
+                for request_index in 0..self.requests_per_client {
+                    let spec = self.mix.generate(&mut generator, request_index as u64);
+                    let query = spec_to_query(&spec);
+                    let start = Instant::now();
+                    // A sharded query is verified end to end or it errors;
+                    // there is no unverified sharded read to time.
+                    client.query_verified(&query)?;
+                    outcome
+                        .latencies_micros
+                        .push(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                    outcome.verified += 1;
+                }
+                Ok(outcome)
             }
         }
-        Ok(outcome)
     }
 }
 
@@ -174,13 +240,19 @@ impl LoadReport {
     }
 
     /// The latency at a quantile in `[0, 1]`, in microseconds.
+    ///
+    /// Uses the standard nearest-rank definition: the value at 1-based rank
+    /// `ceil(q * n)`, so p50 of `[10, 20, 30, 40]` is 20 (the smallest value
+    /// at or above which at least 50% of the observations lie), and p100 is
+    /// the maximum.
     pub fn latency_quantile_micros(&self, quantile: f64) -> u64 {
-        if self.latencies_micros.is_empty() {
+        let n = self.latencies_micros.len();
+        if n == 0 {
             return 0;
         }
         let quantile = quantile.clamp(0.0, 1.0);
-        let rank = ((self.latencies_micros.len() - 1) as f64 * quantile).round() as usize;
-        self.latencies_micros[rank]
+        let rank = (quantile * n as f64).ceil() as usize;
+        self.latencies_micros[rank.clamp(1, n) - 1]
     }
 
     /// A one-line human-readable summary.
@@ -217,7 +289,11 @@ mod tests {
         assert_eq!(report.throughput_qps(), 2.0);
         assert_eq!(report.latency_quantile_micros(0.0), 10);
         assert_eq!(report.latency_quantile_micros(1.0), 40);
-        assert_eq!(report.latency_quantile_micros(0.5), 30);
+        // Standard nearest-rank: p50 of 4 observations is the value at
+        // 1-based rank ceil(0.5 * 4) = 2.
+        assert_eq!(report.latency_quantile_micros(0.5), 20);
+        assert_eq!(report.latency_quantile_micros(0.75), 30);
+        assert_eq!(report.latency_quantile_micros(0.76), 40);
         assert!(report.summary().contains("verified"));
     }
 

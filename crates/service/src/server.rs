@@ -1,21 +1,24 @@
 //! The running query service: TCP accept loop, worker pool, request
 //! dispatch, response cache and graceful shutdown.
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use vaq_authquery::Server;
-use vaq_wire::{ErrorCode, ErrorReply, Request, Response, StatsSnapshot, WireDecode, WireEncode};
+use vaq_wire::{
+    ErrorCode, ErrorReply, Request, Response, ShardInfo, StatsSnapshot, WireDecode, WireEncode,
+};
 
 use crate::cache::LruCache;
 use crate::config::ServiceConfig;
 use crate::error::ServiceError;
-use crate::frame::{read_frame, FrameRead};
+use crate::frame::{read_frame_counted, FrameRead};
 use crate::metrics::{Metrics, RequestKind};
 use crate::pool::WorkerPool;
 
@@ -25,6 +28,7 @@ struct Shared {
     config: ServiceConfig,
     metrics: Metrics,
     cache: Mutex<LruCache>,
+    flight: SingleFlight,
     shutdown: AtomicBool,
 }
 
@@ -63,6 +67,11 @@ impl QueryService {
     pub fn bind(mut config: ServiceConfig, server: Server) -> Result<QueryService, ServiceError> {
         let listener = TcpListener::bind(config.bind_addr)?;
         let local_addr = listener.local_addr()?;
+        // The accept loop polls a non-blocking listener so it can observe the
+        // shutdown flag even when the best-effort loopback wakeup connect
+        // cannot reach the socket — a blocking `accept` has no portable,
+        // std-only interruption mechanism.
+        listener.set_nonblocking(true)?;
         // Clamp once so every consumer (pool sizing, stats) agrees.
         config.workers = config.workers.max(1);
         let workers = config.workers;
@@ -71,6 +80,7 @@ impl QueryService {
                 config.cache_capacity,
                 config.cache_max_bytes,
             )),
+            flight: SingleFlight::default(),
             metrics: Metrics::default(),
             shutdown: AtomicBool::new(false),
             server,
@@ -118,10 +128,15 @@ impl QueryService {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // The accept thread blocks inside `accept`; a connect-to-self wakes
-        // it so it can observe the flag. The connection is dropped
-        // immediately — workers see a clean close and move on.
-        let _ = TcpStream::connect(self.local_addr);
+        // Wake the accept thread promptly with a connect-to-self. The
+        // connect must target a *loopback* address with the bound port:
+        // when the service is bound to a wildcard address (`0.0.0.0`/`::`),
+        // connecting to the unspecified address itself is platform-dependent
+        // and can fail outright — which used to leave `accept` blocked and
+        // this join deadlocked. The connect stays best-effort (hence the
+        // ignored result): the accept loop also polls the shutdown flag, so
+        // a failed wakeup only delays shutdown by one poll interval.
+        let _ = TcpStream::connect_timeout(&wake_addr(self.local_addr), Duration::from_millis(250));
         if let Some(thread) = self.accept_thread.take() {
             let _ = thread.join();
         }
@@ -139,32 +154,48 @@ impl Drop for QueryService {
     }
 }
 
+/// The address the shutdown wakeup connects to: the bound port on loopback
+/// when the service listens on a wildcard address, the bound address itself
+/// otherwise.
+fn wake_addr(bound: SocketAddr) -> SocketAddr {
+    match bound {
+        SocketAddr::V4(a) if a.ip().is_unspecified() => (Ipv4Addr::LOCALHOST, a.port()).into(),
+        SocketAddr::V6(a) if a.ip().is_unspecified() => (Ipv6Addr::LOCALHOST, a.port()).into(),
+        other => other,
+    }
+}
+
+/// How long the accept loop sleeps when no connection is pending. Bounds
+/// both shutdown latency (when the loopback wakeup cannot connect) and the
+/// worst-case accept delay for a connection arriving on an idle listener.
+const ACCEPT_POLL: Duration = Duration::from_millis(15);
+
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>, sender: SyncSender<TcpStream>) {
-    for stream in listener.incoming() {
+    loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        match stream {
-            Ok(stream) => {
+        match listener.accept() {
+            Ok((stream, _)) => {
                 // Bounded hand-off: when every worker is busy and the queue
                 // is full, shed the connection instead of buffering
                 // unboundedly (the drop closes the socket — an immediate,
                 // unambiguous signal to the client). `try_send` also keeps
-                // this loop non-blocking so the connect-to-self shutdown
-                // wakeup always gets through.
+                // this loop non-blocking so shutdown is never delayed behind
+                // a full queue.
                 match sender.try_send(stream) {
                     Ok(()) => {}
                     Err(TrySendError::Full(rejected)) => drop(rejected),
                     Err(TrySendError::Disconnected(_)) => break,
                 }
             }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
             // Transient accept errors (e.g. a peer resetting mid-handshake)
             // must not kill the service; back off briefly so a persistent
             // error (fd exhaustion) cannot pin this thread in a hot loop.
-            Err(_) => {
-                std::thread::sleep(std::time::Duration::from_millis(10));
-                continue;
-            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
         }
     }
     // `sender` drops here; workers exit after draining the queue.
@@ -172,16 +203,21 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, sender: SyncSender<Tc
 
 /// How often a worker wakes from a blocking read to check the shutdown
 /// flag and the connection's idle budget.
-const POLL_INTERVAL: std::time::Duration = std::time::Duration::from_millis(100);
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
 
 /// Serves one connection: a loop of framed requests answered in order.
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    // On BSD-derived platforms an accepted socket inherits the listener's
+    // non-blocking flag (the listener polls non-blocking for shutdown);
+    // reads on this connection must block up to the poll timeout below, not
+    // spin through the idle budget in microseconds.
+    let _ = stream.set_nonblocking(false);
     let _ = stream.set_nodelay(true);
     // A short poll timeout (instead of one long read timeout) keeps
     // graceful shutdown prompt even while a client holds its connection
     // open; the configured read timeout becomes an idle budget.
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let mut idle = std::time::Duration::ZERO;
+    let mut idle = Duration::ZERO;
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             let reply = error_response(
@@ -192,9 +228,17 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             let _ = write_frame_counted(shared, &mut stream, &reply);
             break;
         }
-        let payload = match read_frame(&mut stream, shared.config.max_frame_bytes) {
+        // Count every byte consumed off the wire — including the header and
+        // partial payload of frames that are then rejected as oversized,
+        // malformed or truncated. Error paths are still inbound traffic.
+        let mut consumed = 0u64;
+        let outcome = read_frame_counted(&mut stream, shared.config.max_frame_bytes, &mut consumed);
+        if consumed > 0 {
+            Metrics::add(&shared.metrics.bytes_in, consumed);
+        }
+        let payload = match outcome {
             Ok(FrameRead::Payload(payload)) => {
-                idle = std::time::Duration::ZERO;
+                idle = Duration::ZERO;
                 payload
             }
             Ok(FrameRead::Closed) => break,
@@ -230,7 +274,6 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             }
             Err(_) => break,
         };
-        Metrics::add(&shared.metrics.bytes_in, (10 + payload.len()) as u64);
 
         let response_frame = handle_request(shared, &payload);
         if write_raw_counted(shared, &mut stream, &response_frame).is_err() {
@@ -255,34 +298,35 @@ fn handle_request(shared: &Shared, payload: &[u8]) -> Vec<u8> {
         Request::Stats => {
             Response::Stats(shared.metrics.snapshot(shared.config.workers)).to_framed_bytes()
         }
+        Request::ShardInfo => match shared.config.shard {
+            Some(role) => Response::ShardInfo(ShardInfo {
+                shard_id: role.shard_id,
+                shard_count: role.shard_count,
+                records: shared.server.dataset().len() as u64,
+            })
+            .to_framed_bytes(),
+            None => error_response(
+                shared,
+                ErrorCode::NotSharded,
+                "service is not part of a sharded deployment".into(),
+            )
+            .to_framed_bytes(),
+        },
+        // The decoded payload *is* the canonical encoding (decoding consumes
+        // every byte and the format is bijective), so it serves as the cache
+        // and single-flight key without a re-encode.
         Request::Query(query) => {
-            // The decoded payload *is* the canonical encoding (decoding
-            // consumes every byte and the format is bijective), so it serves
-            // as the cache key without a re-encode.
-            let key = payload.to_vec();
-            if let Some(frame) = shared.cache.lock().expect("cache lock").get(&key) {
-                Metrics::add(&shared.metrics.cache_hits, 1);
-                return frame.as_ref().clone();
-            }
             let kind = match query.kind() {
                 vaq_authquery::QueryKind::TopK => RequestKind::TopK,
                 vaq_authquery::QueryKind::Range => RequestKind::Range,
                 vaq_authquery::QueryKind::Knn => RequestKind::Knn,
             };
-            let frame = match process_queries(shared, std::slice::from_ref(&query), kind) {
-                Ok(mut responses) => {
+            cached_response(shared, payload, |shared| {
+                process_queries(shared, std::slice::from_ref(&query), kind).map(|mut responses| {
                     let response = responses.pop().expect("one response per query");
                     Response::Query(response).to_framed_bytes()
-                }
-                Err(reply) => return Response::Error(reply).to_framed_bytes(),
-            };
-            Metrics::add(&shared.metrics.cache_misses, 1);
-            shared
-                .cache
-                .lock()
-                .expect("cache lock")
-                .insert(key, Arc::new(frame.clone()));
-            frame
+                })
+            })
         }
         Request::Batch(queries) => {
             if queries.len() > shared.config.max_batch_len {
@@ -297,23 +341,156 @@ fn handle_request(shared: &Shared, payload: &[u8]) -> Vec<u8> {
                 )
                 .to_framed_bytes();
             }
-            let key = payload.to_vec();
-            if let Some(frame) = shared.cache.lock().expect("cache lock").get(&key) {
+            cached_response(shared, payload, |shared| {
+                process_queries(shared, &queries, RequestKind::Batch)
+                    .map(|responses| Response::Batch(responses).to_framed_bytes())
+            })
+        }
+    }
+}
+
+/// The caller's role for one single-flight key.
+enum Flight {
+    /// This worker computes; it must publish an outcome via [`FlightGuard`].
+    Leader,
+    /// Another worker was computing when we arrived; this is its published
+    /// frame (`None` when the leader failed and waiters should retry).
+    Follower(Option<Arc<Vec<u8>>>),
+}
+
+/// One in-flight computation: waiters block on `done` until the leader
+/// publishes its outcome into `result`.
+#[derive(Default)]
+struct FlightSlot {
+    /// `None` while the computation is pending; `Some(outcome)` once the
+    /// leader finished (`Some(frame)` on success, `Some(None)` on failure).
+    result: Mutex<Option<Option<Arc<Vec<u8>>>>>,
+    done: Condvar,
+}
+
+/// Single-flight deduplication of identical concurrent computations: when N
+/// workers miss the cache on the same canonical key, exactly one computes
+/// and hands the frame to the rest directly — so even responses too large
+/// for the cache's byte budget are computed once per concurrent burst
+/// instead of N times (or, worse, N times serialized).
+#[derive(Default)]
+struct SingleFlight {
+    slots: Mutex<HashMap<Vec<u8>, Arc<FlightSlot>>>,
+}
+
+impl SingleFlight {
+    /// Joins the flight for `key`: the first caller becomes the leader,
+    /// every later caller blocks until the leader publishes and receives
+    /// the published frame.
+    fn join(&self, key: &[u8]) -> Flight {
+        let slot = {
+            let mut slots = self.slots.lock().expect("single-flight lock");
+            match slots.get(key) {
+                Some(slot) => Arc::clone(slot),
+                None => {
+                    slots.insert(key.to_vec(), Arc::new(FlightSlot::default()));
+                    return Flight::Leader;
+                }
+            }
+        };
+        let mut result = slot.result.lock().expect("flight-slot lock");
+        while result.is_none() {
+            result = slot.done.wait(result).expect("flight-slot wait");
+        }
+        Flight::Follower(result.as_ref().and_then(Clone::clone))
+    }
+
+    /// Publishes the leader's outcome and wakes every waiter.
+    fn finish(&self, key: &[u8], outcome: Option<Arc<Vec<u8>>>) {
+        let slot = {
+            let mut slots = self.slots.lock().expect("single-flight lock");
+            slots.remove(key)
+        };
+        if let Some(slot) = slot {
+            *slot.result.lock().expect("flight-slot lock") = Some(outcome);
+            slot.done.notify_all();
+        }
+    }
+}
+
+/// Publishes the leader's outcome on drop, so waiters are woken (with a
+/// retry signal) even when the computation errors or panics.
+struct FlightGuard<'a> {
+    flight: &'a SingleFlight,
+    key: &'a [u8],
+    outcome: Option<Arc<Vec<u8>>>,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.flight.finish(self.key, self.outcome.take());
+    }
+}
+
+/// Serves a cacheable request through the response cache with single-flight
+/// deduplication. `compute` produces the framed response bytes to cache; an
+/// error reply is returned to the requester but never cached or shared (the
+/// next requester retries the computation).
+fn cached_response<F>(shared: &Shared, payload: &[u8], compute: F) -> Vec<u8>
+where
+    F: Fn(&Shared) -> Result<Vec<u8>, ErrorReply>,
+{
+    let caching = shared.config.cache_capacity > 0 && shared.config.cache_max_bytes > 0;
+    if !caching {
+        // With caching disabled there is no dedup contract to honour, so
+        // concurrent identical queries stay fully parallel.
+        return match compute(shared) {
+            Ok(frame) => {
+                Metrics::add(&shared.metrics.cache_misses, 1);
+                frame
+            }
+            Err(reply) => Response::Error(reply).to_framed_bytes(),
+        };
+    }
+    loop {
+        if let Some(frame) = shared.cache.lock().expect("cache lock").get(payload) {
+            Metrics::add(&shared.metrics.cache_hits, 1);
+            return frame.as_ref().clone();
+        }
+        let mut guard = match shared.flight.join(payload) {
+            Flight::Leader => FlightGuard {
+                flight: &shared.flight,
+                key: payload,
+                outcome: None,
+            },
+            Flight::Follower(Some(frame)) => {
+                // Served from the leader's shared computation — a hit for
+                // accounting purposes even when the frame itself was too
+                // large for the cache's byte budget.
                 Metrics::add(&shared.metrics.cache_hits, 1);
                 return frame.as_ref().clone();
             }
-            let frame = match process_queries(shared, &queries, RequestKind::Batch) {
-                Ok(responses) => Response::Batch(responses).to_framed_bytes(),
-                Err(reply) => return Response::Error(reply).to_framed_bytes(),
-            };
-            Metrics::add(&shared.metrics.cache_misses, 1);
-            shared
-                .cache
-                .lock()
-                .expect("cache lock")
-                .insert(key, Arc::new(frame.clone()));
-            frame
+            // The leader failed; retry (and possibly lead) after re-checking
+            // the cache.
+            Flight::Follower(None) => continue,
+        };
+        // Re-check under leadership: a previous leader may have filled the
+        // cache between this worker's miss and it winning the key.
+        if let Some(frame) = shared.cache.lock().expect("cache lock").get(payload) {
+            Metrics::add(&shared.metrics.cache_hits, 1);
+            guard.outcome = Some(frame.clone());
+            return frame.as_ref().clone();
         }
+        return match compute(shared) {
+            Ok(frame) => {
+                Metrics::add(&shared.metrics.cache_misses, 1);
+                let frame = Arc::new(frame);
+                shared
+                    .cache
+                    .lock()
+                    .expect("cache lock")
+                    .insert(payload.to_vec(), Arc::clone(&frame));
+                guard.outcome = Some(Arc::clone(&frame));
+                drop(guard);
+                frame.as_ref().clone()
+            }
+            Err(reply) => Response::Error(reply).to_framed_bytes(),
+        };
     }
 }
 
@@ -381,4 +558,61 @@ fn write_raw_counted(
     stream.write_all(frame)?;
     Metrics::add(&shared.metrics.bytes_out, frame.len() as u64);
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flight_hands_the_frame_to_waiters_directly() {
+        // The frame reaches waiters through the flight slot itself, so
+        // deduplication works even for frames the cache cannot hold.
+        let flight = Arc::new(SingleFlight::default());
+        assert!(matches!(flight.join(b"k"), Flight::Leader));
+
+        let (joined_tx, joined_rx) = std::sync::mpsc::channel();
+        let waiter = {
+            let flight = Arc::clone(&flight);
+            std::thread::spawn(move || {
+                joined_tx.send(()).unwrap();
+                match flight.join(b"k") {
+                    Flight::Follower(frame) => frame,
+                    Flight::Leader => panic!("second joiner must not lead"),
+                }
+            })
+        };
+        joined_rx.recv().unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        flight.finish(b"k", Some(Arc::new(vec![7u8; 3])));
+        let got = waiter.join().unwrap();
+        assert_eq!(got.expect("waiter gets the frame").as_slice(), &[7, 7, 7]);
+
+        // The key is free again: the next joiner leads.
+        assert!(matches!(flight.join(b"k"), Flight::Leader));
+
+        // A failing leader wakes waiters with a retry signal (None).
+        let (joined_tx, joined_rx) = std::sync::mpsc::channel();
+        let waiter = {
+            let flight = Arc::clone(&flight);
+            std::thread::spawn(move || {
+                joined_tx.send(()).unwrap();
+                matches!(flight.join(b"k"), Flight::Follower(None))
+            })
+        };
+        joined_rx.recv().unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        flight.finish(b"k", None);
+        assert!(waiter.join().unwrap(), "waiter must see the failure signal");
+    }
+
+    #[test]
+    fn wake_addr_targets_loopback_for_wildcard_binds() {
+        let v4: SocketAddr = "0.0.0.0:4070".parse().unwrap();
+        assert_eq!(wake_addr(v4), "127.0.0.1:4070".parse().unwrap());
+        let v6: SocketAddr = "[::]:4071".parse().unwrap();
+        assert_eq!(wake_addr(v6), "[::1]:4071".parse().unwrap());
+        let concrete: SocketAddr = "127.0.0.1:4072".parse().unwrap();
+        assert_eq!(wake_addr(concrete), concrete);
+    }
 }

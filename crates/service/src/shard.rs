@@ -1,0 +1,509 @@
+//! Sharded deployment tier: scatter-gather querying over disjoint shards.
+//!
+//! One logical dataset is split by the owner into `S` disjoint shards (see
+//! [`crate::partition`]), each hosted by its own [`QueryService`] over its
+//! own authenticated structure and per-shard signing key. A
+//! [`ShardedClient`] scatters every query to all shards, cryptographically
+//! verifies each per-shard response via [`vaq_authquery::client::verify`]
+//! under that shard's attested key, and merges the per-shard answers into
+//! the logical answer.
+//!
+//! # Why the merged answer is sound and complete
+//!
+//! * Every per-shard response is verified sound and complete *within its
+//!   shard* by the paper's protocol.
+//! * The owner's [`SignedShardMap`] attests the exact shard count, each
+//!   shard's record count and each shard's verification key — so no shard
+//!   can be dropped (the client refuses to answer unless all `S` shards
+//!   respond and verify) and no shard can impersonate another (its response
+//!   would not verify under the per-shard key).
+//! * The merge applies the *same* window-selection logic a single server
+//!   uses ([`Query::select_window`]) to the score-sorted union of the
+//!   per-shard results. For top-k and KNN, each shard returns its local
+//!   top-k / k-nearest, a superset of the global answer's members from that
+//!   shard; for range, each shard returns exactly its in-range records.
+//!   Hence the union contains the logical answer, and selecting over it
+//!   reproduces exactly what one server hosting all records would return.
+
+use std::collections::HashSet;
+use std::net::SocketAddr;
+
+use vaq_authquery::{client, IfmhTree, Query, Server, SigningMode};
+use vaq_crypto::{PublicKey, SignatureScheme};
+use vaq_funcdb::{Dataset, FunctionTemplate, Record};
+use vaq_wire::{Request, Response, SignedShardMap, StatsSnapshot};
+
+use crate::client::ServiceClient;
+use crate::config::{ServiceConfig, ShardRole};
+use crate::error::ServiceError;
+use crate::partition::{attest_shard_map, partition_dataset, verify_shard_map, PartitionStrategy};
+use crate::server::QueryService;
+
+/// Everything a data user needs to query and verify a sharded deployment:
+/// the attested shard map, the owner's master public key and the shared
+/// function template. Published out of band, like the paper's
+/// [`vaq_authquery::PublishedMetadata`].
+#[derive(Clone, Debug)]
+pub struct ShardedPublication {
+    /// The owner-signed partition description.
+    pub shard_map: SignedShardMap,
+    /// The owner's master public key (verifies the shard map itself).
+    pub master_key: PublicKey,
+    /// The utility-function template shared by every shard.
+    pub template: FunctionTemplate,
+}
+
+/// An owner-launched sharded deployment: `S` in-process [`QueryService`]s,
+/// each hosting one disjoint shard of one logical dataset under its own
+/// signing key, plus the attested shard map clients verify against.
+///
+/// In production the `S` services would run on separate hosts; this harness
+/// wires the same objects up in one process, which is exactly what the
+/// integration suite and the `sharded_throughput` benchmark need — the wire
+/// protocol, verification and merge paths are identical either way.
+pub struct ShardedDeployment {
+    /// `None` marks a shard stopped via [`ShardedDeployment::stop_shard`];
+    /// indices stay aligned with shard ids and [`ShardedDeployment::addrs`].
+    services: Vec<Option<QueryService>>,
+    addrs: Vec<SocketAddr>,
+    publication: ShardedPublication,
+}
+
+impl std::fmt::Debug for ShardedDeployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedDeployment")
+            .field("shards", &self.services.len())
+            .field("addrs", &self.addrs)
+            .finish()
+    }
+}
+
+impl ShardedDeployment {
+    /// Partitions `dataset` round-robin into `shard_count` shards, builds an
+    /// IFMH-tree per shard under a fresh per-shard RSA key (derived from
+    /// `seed`), signs the shard map with a fresh master key, and binds one
+    /// [`QueryService`] per shard using `base_config` (whose bind address
+    /// must carry port 0 so every shard gets its own ephemeral port).
+    pub fn launch(
+        dataset: &Dataset,
+        shard_count: usize,
+        mode: SigningMode,
+        seed: u64,
+        base_config: ServiceConfig,
+    ) -> Result<ShardedDeployment, ServiceError> {
+        if shard_count > 1 && base_config.bind_addr.port() != 0 {
+            return Err(ServiceError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a multi-shard deployment needs an ephemeral bind port (port 0)",
+            )));
+        }
+        let shards = partition_dataset(dataset, shard_count, PartitionStrategy::RoundRobin);
+        // Distinct keys per shard: a compromised shard cannot answer with
+        // another shard's validly signed data, because the client verifies
+        // shard i's responses under shard i's attested key.
+        let schemes: Vec<SignatureScheme> = (0..shard_count)
+            .map(|i| SignatureScheme::new_rsa(128, seed.wrapping_add(1 + i as u64)))
+            .collect();
+        let master = SignatureScheme::new_rsa(128, seed);
+        let keys: Vec<PublicKey> = schemes.iter().map(|s| s.public_key()).collect();
+        let shard_map = attest_shard_map(&shards, &keys, &master);
+
+        let mut services = Vec::with_capacity(shard_count);
+        let mut addrs = Vec::with_capacity(shard_count);
+        for (shard_id, (shard_dataset, scheme)) in shards.iter().zip(&schemes).enumerate() {
+            let tree = IfmhTree::build(shard_dataset, mode, scheme);
+            let config = base_config.clone().shard_role(ShardRole {
+                shard_id: shard_id as u32,
+                shard_count: shard_count as u32,
+            });
+            let service = QueryService::bind(config, Server::new(shard_dataset.clone(), tree))?;
+            addrs.push(service.local_addr());
+            services.push(Some(service));
+        }
+        Ok(ShardedDeployment {
+            services,
+            addrs,
+            publication: ShardedPublication {
+                shard_map,
+                master_key: master.public_key(),
+                template: dataset.template.clone(),
+            },
+        })
+    }
+
+    /// The addresses the shards listen on, in shard-id order.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.services.len()
+    }
+
+    /// The verification material a data user needs (shard map, master key,
+    /// template).
+    pub fn publication(&self) -> &ShardedPublication {
+        &self.publication
+    }
+
+    /// Connects a verifying scatter-gather client to this deployment.
+    pub fn client(&self) -> Result<ShardedClient, ServiceError> {
+        ShardedClient::connect(&self.addrs, &self.publication)
+    }
+
+    /// Per-shard counter snapshots for the shards still running, in
+    /// shard-id order.
+    pub fn stats(&self) -> Vec<StatsSnapshot> {
+        self.services.iter().flatten().map(|s| s.stats()).collect()
+    }
+
+    /// Shuts down one shard (simulating a shard outage) and returns its
+    /// final stats. Panics if `shard_id` is out of range or already down.
+    pub fn stop_shard(&mut self, shard_id: usize) -> StatsSnapshot {
+        self.services[shard_id]
+            .take()
+            .unwrap_or_else(|| panic!("shard {shard_id} is already down"))
+            .shutdown()
+    }
+
+    /// Stops every still-running shard and returns their final stats in
+    /// shard-id order.
+    pub fn shutdown(self) -> Vec<StatsSnapshot> {
+        self.services
+            .into_iter()
+            .flatten()
+            .map(|s| s.shutdown())
+            .collect()
+    }
+}
+
+/// One shard connection plus its attested identity.
+struct ShardConnection {
+    entry: vaq_wire::ShardEntry,
+    client: ServiceClient,
+}
+
+/// The merged, fully verified answer to one sharded query.
+#[derive(Clone, Debug)]
+pub struct ShardedResponse {
+    /// Result records in ascending score order — the same order (and for
+    /// datasets with in-order record ids, the same bytes) a single server
+    /// hosting the whole dataset would return.
+    pub records: Vec<Record>,
+    /// The verified score of each result record, in result order.
+    pub scores: Vec<f64>,
+    /// How many records each shard contributed to the candidate set (not
+    /// the final answer), in shard-id order.
+    pub per_shard_returned: Vec<usize>,
+}
+
+/// A verifying scatter-gather front-end over a sharded deployment.
+///
+/// Holds one [`ServiceClient`] per shard. Every query is sent to all shards
+/// (pipelined: all requests go out before the first response is read), each
+/// response is verified under that shard's attested key, and the verified
+/// per-shard answers are merged. Any shard failure — connection down, error
+/// reply, verification failure — fails the whole query with a typed
+/// [`ServiceError::ShardFailed`]; there are no silent partial answers.
+pub struct ShardedClient {
+    shards: Vec<ShardConnection>,
+    template: FunctionTemplate,
+    total_records: u64,
+}
+
+impl std::fmt::Debug for ShardedClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedClient")
+            .field("shards", &self.shards.len())
+            .field("total_records", &self.total_records)
+            .finish()
+    }
+}
+
+impl ShardedClient {
+    /// Verifies the published shard map, connects to every shard and
+    /// handshakes each connection's shard identity against the map.
+    ///
+    /// `addrs[i]` must host the shard the map lists as shard `i`; a
+    /// mismatch (wrong shard id, wrong deployment size, wrong record count)
+    /// is rejected with [`ServiceError::ShardMap`] before any query runs.
+    pub fn connect(
+        addrs: &[SocketAddr],
+        publication: &ShardedPublication,
+    ) -> Result<ShardedClient, ServiceError> {
+        verify_shard_map(&publication.shard_map, &publication.master_key)?;
+        let map = &publication.shard_map.map;
+        if addrs.len() != map.shards.len() {
+            return Err(ServiceError::ShardMap(format!(
+                "{} addresses for {} attested shards",
+                addrs.len(),
+                map.shards.len()
+            )));
+        }
+        let mut shards = Vec::with_capacity(addrs.len());
+        for (entry, addr) in map.shards.iter().zip(addrs) {
+            let mut client =
+                ServiceClient::connect(addr).map_err(|e| shard_failed(entry.shard_id, e))?;
+            let info = client
+                .shard_info()
+                .map_err(|e| shard_failed(entry.shard_id, e))?;
+            if info.shard_id != entry.shard_id
+                || info.shard_count != map.shard_count
+                || info.records != entry.records
+            {
+                return Err(ServiceError::ShardMap(format!(
+                    "{addr} reports shard {}/{} with {} records, map attests shard {}/{} with {}",
+                    info.shard_id,
+                    info.shard_count,
+                    info.records,
+                    entry.shard_id,
+                    map.shard_count,
+                    entry.records
+                )));
+            }
+            shards.push(ShardConnection {
+                entry: entry.clone(),
+                client,
+            });
+        }
+        Ok(ShardedClient {
+            shards,
+            template: publication.template.clone(),
+            total_records: map.total_records,
+        })
+    }
+
+    /// Number of shards this client scatters to.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Scatters `query` to every shard, verifies every per-shard response
+    /// under its attested key, and merges the results into the logical
+    /// answer (ascending score order, exactly as a single server over the
+    /// whole dataset would return).
+    pub fn query_verified(&mut self, query: &Query) -> Result<ShardedResponse, ServiceError> {
+        let request = Request::Query(query.clone());
+        let mut failure: Option<ServiceError> = None;
+
+        // Scatter: put one request in flight on every shard before reading
+        // any response, so the per-shard work overlaps.
+        let mut sent = vec![false; self.shards.len()];
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            match shard.client.send(&request) {
+                Ok(()) => sent[i] = true,
+                Err(e) => {
+                    if failure.is_none() {
+                        failure = Some(shard_failed(shard.entry.shard_id, e));
+                    }
+                }
+            }
+        }
+
+        // Gather: read every in-flight response even after a failure, so
+        // surviving connections stay request/response aligned for the next
+        // query.
+        let mut candidates: Vec<(f64, Record)> = Vec::new();
+        let mut per_shard_returned = vec![0usize; self.shards.len()];
+        let template = &self.template;
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            if !sent[i] {
+                continue;
+            }
+            let outcome = shard.client.receive().and_then(|response| match response {
+                Response::Query(response) => {
+                    let verified = client::verify(
+                        query,
+                        &response.records,
+                        &response.vo,
+                        template,
+                        &shard.entry.public_key,
+                    )?;
+                    Ok((response.records, verified.scores))
+                }
+                other => Err(crate::client::unexpected(&other)),
+            });
+            match outcome {
+                Ok((records, scores)) => {
+                    per_shard_returned[i] = records.len();
+                    candidates.extend(scores.into_iter().zip(records));
+                }
+                Err(e) => {
+                    if failure.is_none() {
+                        failure = Some(shard_failed(shard.entry.shard_id, e));
+                    }
+                }
+            }
+        }
+        if let Some(error) = failure {
+            return Err(error);
+        }
+
+        merge(query, candidates, self.total_records, per_shard_returned)
+    }
+
+    /// Fetches every shard's counter snapshot, in shard-id order.
+    pub fn stats_all(&mut self) -> Result<Vec<StatsSnapshot>, ServiceError> {
+        self.shards
+            .iter_mut()
+            .map(|shard| {
+                shard
+                    .client
+                    .stats()
+                    .map_err(|e| shard_failed(shard.entry.shard_id, e))
+            })
+            .collect()
+    }
+}
+
+fn shard_failed(shard_id: u32, error: ServiceError) -> ServiceError {
+    ServiceError::ShardFailed {
+        shard_id,
+        error: Box::new(error),
+    }
+}
+
+/// Merges verified per-shard candidates into the logical answer by sorting
+/// the union in ascending (score, record id) order — the same total order a
+/// single server's authenticated list uses — and applying the query's own
+/// window selection to it.
+fn merge(
+    query: &Query,
+    mut candidates: Vec<(f64, Record)>,
+    total_records: u64,
+    per_shard_returned: Vec<usize>,
+) -> Result<ShardedResponse, ServiceError> {
+    candidates.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.1.id.cmp(&b.1.id))
+    });
+
+    // Disjointness check: the attested map promises each record lives on
+    // exactly one shard, so a duplicate id means a shard served data that is
+    // not its own.
+    let mut seen = HashSet::with_capacity(candidates.len());
+    for (_, record) in &candidates {
+        if !seen.insert(record.id) {
+            return Err(ServiceError::ShardMap(format!(
+                "record {} returned by more than one shard — shards are not disjoint",
+                record.id
+            )));
+        }
+    }
+
+    let all_scores: Vec<f64> = candidates.iter().map(|c| c.0).collect();
+    let (records, scores) = match query.select_window(&all_scores) {
+        Some((start, end)) => (
+            candidates[start..=end]
+                .iter()
+                .map(|c| c.1.clone())
+                .collect(),
+            all_scores[start..=end].to_vec(),
+        ),
+        None => (Vec::new(), Vec::new()),
+    };
+
+    // Length sanity against the *attested* dataset size: each shard returned
+    // a verified min(k, n_shard) records, so the merged top-k/KNN answer
+    // must hold exactly min(k, n_total). Anything else means the map and the
+    // shard contents disagree.
+    let expected = match query {
+        Query::TopK { k, .. } | Query::Knn { k, .. } => (*k).min(total_records as usize),
+        Query::Range { .. } => records.len(),
+    };
+    if records.len() != expected {
+        return Err(ServiceError::ShardMap(format!(
+            "merged answer holds {} records, the attested shard map implies {expected}",
+            records.len()
+        )));
+    }
+
+    Ok(ShardedResponse {
+        records,
+        scores,
+        per_shard_returned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64) -> Record {
+        Record::new(id, vec![0.0])
+    }
+
+    #[test]
+    fn merge_topk_selects_global_best_in_ascending_order() {
+        // Shard A returned scores [0.9, 0.7], shard B [0.8, 0.2].
+        let candidates = vec![
+            (0.7, record(1)),
+            (0.9, record(3)),
+            (0.2, record(0)),
+            (0.8, record(2)),
+        ];
+        let query = Query::top_k(vec![0.0], 2);
+        let merged = merge(&query, candidates, 10, vec![2, 2]).unwrap();
+        assert_eq!(merged.scores, vec![0.8, 0.9]);
+        assert_eq!(
+            merged.records.iter().map(|r| r.id).collect::<Vec<_>>(),
+            [2, 3]
+        );
+    }
+
+    #[test]
+    fn merge_range_concatenates_in_score_order() {
+        let candidates = vec![(0.5, record(5)), (0.3, record(1)), (0.4, record(9))];
+        let query = Query::range(vec![0.0], 0.0, 1.0);
+        let merged = merge(&query, candidates, 10, vec![3]).unwrap();
+        assert_eq!(merged.scores, vec![0.3, 0.4, 0.5]);
+        assert_eq!(merged.records.len(), 3);
+    }
+
+    #[test]
+    fn merge_knn_reranks_by_distance_to_target() {
+        let candidates = vec![
+            (0.1, record(0)),
+            (0.45, record(1)),
+            (0.55, record(2)),
+            (0.95, record(3)),
+        ];
+        let query = Query::knn(vec![0.0], 2, 0.5);
+        let merged = merge(&query, candidates, 4, vec![2, 2]).unwrap();
+        assert_eq!(merged.scores, vec![0.45, 0.55]);
+    }
+
+    #[test]
+    fn merge_rejects_duplicate_records_across_shards() {
+        let candidates = vec![(0.1, record(7)), (0.2, record(7))];
+        let query = Query::range(vec![0.0], 0.0, 1.0);
+        assert!(matches!(
+            merge(&query, candidates, 4, vec![1, 1]),
+            Err(ServiceError::ShardMap(_))
+        ));
+    }
+
+    #[test]
+    fn merge_rejects_short_topk_answers() {
+        // The attested map says 10 records exist, so top-3 must return 3.
+        let candidates = vec![(0.1, record(0)), (0.2, record(1))];
+        let query = Query::top_k(vec![0.0], 3);
+        assert!(matches!(
+            merge(&query, candidates, 10, vec![1, 1]),
+            Err(ServiceError::ShardMap(_))
+        ));
+    }
+
+    #[test]
+    fn merge_breaks_score_ties_by_record_id() {
+        let candidates = vec![(0.5, record(9)), (0.5, record(2)), (0.5, record(4))];
+        let query = Query::range(vec![0.0], 0.0, 1.0);
+        let merged = merge(&query, candidates, 3, vec![3]).unwrap();
+        assert_eq!(
+            merged.records.iter().map(|r| r.id).collect::<Vec<_>>(),
+            [2, 4, 9]
+        );
+    }
+}

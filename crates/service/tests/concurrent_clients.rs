@@ -264,6 +264,148 @@ impl WireEncode for RawBytes {
 }
 
 #[test]
+fn shutdown_completes_when_bound_to_a_wildcard_address() {
+    // Regression: the shutdown wakeup used to connect to the *bound*
+    // address; for 0.0.0.0 that target is the unspecified address, which is
+    // platform-dependent and can fail — leaving accept() blocked and join()
+    // deadlocked. The wakeup must target loopback with the bound port.
+    let (_, server, _) = owner_setup(10, 1, 61);
+    let config = ServiceConfig::ephemeral().bind("0.0.0.0:0".parse().unwrap());
+    let service = QueryService::bind(config, server).unwrap();
+    let port = service.local_addr().port();
+
+    // The wildcard-bound service is reachable via loopback.
+    let mut client =
+        ServiceClient::connect(std::net::SocketAddr::from(([127, 0, 0, 1], port))).unwrap();
+    client.ping().unwrap();
+
+    // Run the shutdown on a watchdog: the regression deadlocked here.
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let stats = service.shutdown();
+        done_tx.send(stats).unwrap();
+    });
+    let stats = done_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("shutdown of a 0.0.0.0-bound service must complete");
+    assert!(stats.requests_served >= 1);
+}
+
+#[test]
+fn concurrent_identical_queries_compute_once() {
+    // Regression: N workers missing the cache on the same canonical key all
+    // ran Server::process redundantly (cache stampede). Single-flight
+    // deduplication must leave exactly one miss however the clients race.
+    const CLIENTS: usize = 6;
+    let (_, server, _) = owner_setup(30, 1, 71);
+    let service = QueryService::bind(ServiceConfig::ephemeral().workers(CLIENTS), server).unwrap();
+    let addr = service.local_addr();
+    // A wide range query keeps the computation (and response encoding)
+    // slow enough that the clients genuinely overlap.
+    let query = Query::range(vec![0.5], -1.0, 2.0);
+
+    let barrier = Arc::new(std::sync::Barrier::new(CLIENTS));
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let query = query.clone();
+            let barrier = Arc::clone(&barrier);
+            let mut client = ServiceClient::connect(addr).expect("connect");
+            std::thread::spawn(move || {
+                barrier.wait();
+                client.query(&query).expect("query").records.len()
+            })
+        })
+        .collect();
+    let result_sizes: Vec<usize> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    assert!(result_sizes.windows(2).all(|w| w[0] == w[1]));
+
+    let stats = service.shutdown();
+    assert_eq!(
+        stats.cache_misses, 1,
+        "identical concurrent queries must compute exactly once"
+    );
+    assert_eq!(stats.cache_hits, (CLIENTS - 1) as u64);
+}
+
+#[test]
+fn connection_fatal_error_reply_desyncs_the_client() {
+    // Regression: after a FrameTooLarge/Malformed/ShuttingDown reply the
+    // server closes the connection, but the client left `desynced == false`
+    // — so the next call failed confusingly on the dead socket instead of
+    // with the explicit reconnect error.
+    let (_, server, _) = owner_setup(10, 1, 81);
+    let service =
+        QueryService::bind(ServiceConfig::ephemeral().max_frame_bytes(64), server).unwrap();
+    let mut client = ServiceClient::connect(service.local_addr()).unwrap();
+
+    // 50 weights encode to well over the 64-byte frame limit.
+    let oversized = Query::top_k(vec![0.5; 50], 2);
+    match client.query(&oversized).unwrap_err() {
+        ServiceError::Remote(reply) => assert_eq!(reply.code, ErrorCode::FrameTooLarge),
+        other => panic!("expected a remote FrameTooLarge, got {other}"),
+    }
+
+    // The connection is now marked desynced: the next call fails with the
+    // explicit reconnect error before touching the socket.
+    match client.ping().unwrap_err() {
+        ServiceError::Io(e) => {
+            assert_eq!(e.kind(), std::io::ErrorKind::BrokenPipe);
+            assert!(e.to_string().contains("reconnect"), "{e}");
+        }
+        other => panic!("expected the desynced reconnect error, got {other}"),
+    }
+
+    // A fresh connection works.
+    let mut fresh = ServiceClient::connect(service.local_addr()).unwrap();
+    fresh.ping().unwrap();
+    service.shutdown();
+}
+
+#[test]
+fn rejected_frames_still_count_inbound_bytes() {
+    use std::io::Write;
+    // Regression: bytes_in was only counted for frames that decoded; the
+    // header (and any partial payload) of malformed or oversized frames was
+    // read off the wire but never accounted.
+    let (_, server, _) = owner_setup(10, 1, 91);
+    let service =
+        QueryService::bind(ServiceConfig::ephemeral().max_frame_bytes(1024), server).unwrap();
+    let addr = service.local_addr();
+    let before = service.stats().bytes_in;
+
+    // Garbage: 12 bytes of non-VAQ1 traffic.
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream.write_all(b"GARBAGEBYTES").unwrap();
+    let _: Result<Option<Response>, _> = vaq_service::frame::read_message(&mut stream, 1 << 20);
+    drop(stream);
+
+    // Oversized: an honest header declaring a payload above the limit.
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut header = Vec::new();
+    header.extend_from_slice(&vaq_wire::MAGIC);
+    header.extend_from_slice(&vaq_wire::VERSION.to_le_bytes());
+    header.extend_from_slice(&(1u32 << 30).to_le_bytes());
+    stream.write_all(&header).unwrap();
+    let _: Result<Option<Response>, _> = vaq_service::frame::read_message(&mut stream, 1 << 20);
+    drop(stream);
+
+    // Both rejected frames consumed at least their 10-byte headers.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let after = service.stats().bytes_in;
+        if after >= before + 20 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "bytes_in only grew from {before} to {after}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    service.shutdown();
+}
+
+#[test]
 fn load_generator_drives_and_verifies_a_full_run() {
     let (dataset, server, scheme) = owner_setup(14, 1, 51);
     let service = QueryService::bind(ServiceConfig::ephemeral().workers(4), server).unwrap();

@@ -1,0 +1,272 @@
+//! End-to-end suite for the sharded deployment tier: a ≥3-shard deployment
+//! over localhost TCP, every per-shard response cryptographically verified,
+//! merged answers compared byte-for-byte against a single-server deployment
+//! hosting the same logical dataset, and shard-outage behaviour.
+
+use std::time::Duration;
+
+use vaq_authquery::{IfmhTree, Query, Server, SigningMode};
+use vaq_crypto::SignatureScheme;
+use vaq_funcdb::Dataset;
+use vaq_service::{
+    LoadGenerator, QueryService, ServiceClient, ServiceConfig, ServiceError, ShardedClient,
+    ShardedDeployment,
+};
+use vaq_wire::WireEncode;
+use vaq_workload::{uniform_dataset, QueryGenerator, QueryMix};
+
+const SHARDS: usize = 3;
+
+/// A single-server deployment over the same logical dataset, for the
+/// merged-equals-unsharded comparison.
+fn single_server(dataset: &Dataset, seed: u64) -> (QueryService, SignatureScheme) {
+    let scheme = SignatureScheme::test_rsa(seed);
+    let tree = IfmhTree::build(dataset, SigningMode::MultiSignature, &scheme);
+    let service = QueryService::bind(
+        ServiceConfig::ephemeral().workers(2),
+        Server::new(dataset.clone(), tree),
+    )
+    .expect("bind single-server service");
+    (service, scheme)
+}
+
+/// Deterministic queries covering all three kinds, including edge cases
+/// (k = 1, k beyond the dataset, empty and full ranges).
+fn query_suite(dataset: &Dataset, seed: u64) -> Vec<Query> {
+    let mut generator = QueryGenerator::new(dataset, seed);
+    let mut queries: Vec<Query> = generator
+        .mixed_batch(9, 3)
+        .iter()
+        .map(vaq_service::spec_to_query)
+        .collect();
+    let (lo, hi) = generator.score_range();
+    queries.extend([
+        Query::top_k(generator.weights(), 1),
+        Query::top_k(generator.weights(), dataset.len()),
+        Query::top_k(generator.weights(), dataset.len() + 10),
+        Query::range(generator.weights(), lo - 2.0, hi + 2.0),
+        Query::range(generator.weights(), hi + 1.0, hi + 2.0), // empty
+        Query::knn(generator.weights(), 1, (lo + hi) / 2.0),
+        Query::knn(generator.weights(), 7, hi),
+        Query::knn(generator.weights(), dataset.len() + 3, lo),
+    ]);
+    queries
+}
+
+#[test]
+fn sharded_answers_match_a_single_server_byte_for_byte() {
+    let dataset = uniform_dataset(24, 1, 2026);
+    let (single, _) = single_server(&dataset, 2026);
+    let mut single_client = ServiceClient::connect(single.local_addr()).unwrap();
+
+    let deployment = ShardedDeployment::launch(
+        &dataset,
+        SHARDS,
+        SigningMode::MultiSignature,
+        0xdead,
+        ServiceConfig::ephemeral().workers(2),
+    )
+    .expect("launch sharded deployment");
+    assert_eq!(deployment.shard_count(), SHARDS);
+    let mut sharded_client = deployment.client().expect("connect sharded client");
+
+    for query in query_suite(&dataset, 555) {
+        let merged = sharded_client
+            .query_verified(&query)
+            .unwrap_or_else(|e| panic!("sharded {query}: {e}"));
+        let single_response = single_client
+            .query(&query)
+            .unwrap_or_else(|e| panic!("single {query}: {e}"));
+
+        assert_eq!(
+            merged.records, single_response.records,
+            "sharded answer diverges from the single server for {query}"
+        );
+        // Byte-identical, not just structurally equal: the canonical wire
+        // encodings of the result lists must agree.
+        let merged_bytes: Vec<Vec<u8>> = merged.records.iter().map(|r| r.to_wire_bytes()).collect();
+        let single_bytes: Vec<Vec<u8>> = single_response
+            .records
+            .iter()
+            .map(|r| r.to_wire_bytes())
+            .collect();
+        assert_eq!(merged_bytes, single_bytes, "wire bytes diverge for {query}");
+
+        // The merged scores are ascending — the single server's result
+        // order — and aligned with the records.
+        assert_eq!(merged.scores.len(), merged.records.len());
+        assert!(merged.scores.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(merged.per_shard_returned.len(), SHARDS);
+    }
+
+    // Every shard served queries (round-robin partitioning guarantees all
+    // shards hold records, and every query scatters to all of them).
+    let per_shard = sharded_client.stats_all().expect("stats from every shard");
+    assert_eq!(per_shard.len(), SHARDS);
+    for (shard_id, stats) in per_shard.iter().enumerate() {
+        assert!(
+            stats.requests_served > 0,
+            "shard {shard_id} served no requests"
+        );
+    }
+
+    single.shutdown();
+    deployment.shutdown();
+}
+
+#[test]
+fn sharded_deployment_works_in_two_dimensions() {
+    let dataset = uniform_dataset(15, 2, 31);
+    let (single, _) = single_server(&dataset, 31);
+    let mut single_client = ServiceClient::connect(single.local_addr()).unwrap();
+
+    let deployment = ShardedDeployment::launch(
+        &dataset,
+        SHARDS,
+        SigningMode::MultiSignature,
+        0xbeef,
+        ServiceConfig::ephemeral(),
+    )
+    .unwrap();
+    let mut sharded_client = deployment.client().unwrap();
+
+    for query in query_suite(&dataset, 777).into_iter().take(9) {
+        let merged = sharded_client
+            .query_verified(&query)
+            .unwrap_or_else(|e| panic!("sharded {query}: {e}"));
+        let single_response = single_client.query(&query).unwrap();
+        assert_eq!(merged.records, single_response.records, "{query}");
+    }
+    single.shutdown();
+    deployment.shutdown();
+}
+
+#[test]
+fn shard_outage_yields_a_typed_error_not_a_partial_answer() {
+    let dataset = uniform_dataset(18, 1, 47);
+    let mut deployment = ShardedDeployment::launch(
+        &dataset,
+        SHARDS,
+        SigningMode::MultiSignature,
+        0xfeed,
+        ServiceConfig::ephemeral(),
+    )
+    .unwrap();
+    let mut client = deployment.client().unwrap();
+
+    // Healthy deployment answers.
+    let query = Query::top_k(vec![0.4], 5);
+    let healthy = client.query_verified(&query).expect("healthy query");
+    assert_eq!(healthy.records.len(), 5);
+
+    // Take shard 1 down; the next query must fail with the typed per-shard
+    // error naming that shard — never a silent 2-shard "answer".
+    deployment.stop_shard(1);
+    let mut failures = 0;
+    for _ in 0..10 {
+        match client.query_verified(&query) {
+            Err(ServiceError::ShardFailed { shard_id, .. }) => {
+                assert_eq!(shard_id, 1, "the downed shard must be named");
+                failures += 1;
+                break;
+            }
+            // The shard's ShuttingDown reply can race the socket close; a
+            // retry settles onto the dead-connection path.
+            Err(other) => panic!("expected ShardFailed, got {other}"),
+            Ok(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    assert!(failures > 0, "a 2-of-3 deployment kept answering");
+
+    // A fresh connect also fails against the downed shard.
+    match ShardedClient::connect(deployment.addrs(), deployment.publication()) {
+        Err(ServiceError::ShardFailed { shard_id, .. }) => assert_eq!(shard_id, 1),
+        Err(other) => panic!("expected ShardFailed on connect, got {other}"),
+        Ok(_) => panic!("connected to a deployment with a downed shard"),
+    }
+    deployment.shutdown();
+}
+
+#[test]
+fn forged_or_mismatched_publications_are_rejected() {
+    let dataset = uniform_dataset(12, 1, 53);
+    let deployment = ShardedDeployment::launch(
+        &dataset,
+        SHARDS,
+        SigningMode::MultiSignature,
+        0xabcd,
+        ServiceConfig::ephemeral(),
+    )
+    .unwrap();
+
+    // Wrong master key: the shard map signature must not verify.
+    let mut forged = deployment.publication().clone();
+    forged.master_key = SignatureScheme::test_rsa(0x666).public_key();
+    match ShardedClient::connect(deployment.addrs(), &forged) {
+        Err(ServiceError::ShardMap(reason)) => {
+            assert!(reason.contains("signature"), "{reason}")
+        }
+        other => panic!(
+            "expected a ShardMap rejection, got {other:?}",
+            other = other.err()
+        ),
+    }
+
+    // Mis-wired addresses: shard 0's socket actually hosts shard 2, which
+    // the per-connection handshake against the attested map catches.
+    let mut swapped: Vec<_> = deployment.addrs().to_vec();
+    swapped.reverse();
+    match ShardedClient::connect(&swapped, deployment.publication()) {
+        Err(ServiceError::ShardMap(reason)) => assert!(reason.contains("shard"), "{reason}"),
+        other => panic!(
+            "expected a handshake rejection, got {other:?}",
+            other = other.err()
+        ),
+    }
+
+    // Too few addresses for the attested shard count.
+    match ShardedClient::connect(&deployment.addrs()[..SHARDS - 1], deployment.publication()) {
+        Err(ServiceError::ShardMap(_)) => {}
+        other => panic!(
+            "expected a ShardMap rejection, got {other:?}",
+            other = other.err()
+        ),
+    }
+    deployment.shutdown();
+}
+
+#[test]
+fn sharded_load_generator_verifies_a_full_run() {
+    let dataset = uniform_dataset(20, 1, 67);
+    let deployment = ShardedDeployment::launch(
+        &dataset,
+        SHARDS,
+        SigningMode::MultiSignature,
+        0x10ad,
+        ServiceConfig::ephemeral().workers(4),
+    )
+    .unwrap();
+
+    let generator = LoadGenerator {
+        mix: QueryMix::weighted(2, 1, 1),
+        ..LoadGenerator::sharded(
+            deployment.addrs().to_vec(),
+            deployment.publication().clone(),
+            3,
+            5,
+        )
+    };
+    let report = generator.run(&dataset).expect("sharded load run");
+    assert_eq!(report.total_requests, 15);
+    assert_eq!(report.verified, 15, "every sharded answer is verified");
+    assert_eq!(report.failures, 0);
+    assert!(report.throughput_qps() > 0.0);
+
+    for (shard_id, stats) in deployment.shutdown().into_iter().enumerate() {
+        assert!(
+            stats.requests_served >= 15,
+            "shard {shard_id} saw {} requests, expected one per query",
+            stats.requests_served
+        );
+    }
+}

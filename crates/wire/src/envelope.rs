@@ -16,6 +16,8 @@ use crate::error::WireError;
 use crate::io::{Reader, Writer};
 use crate::{WireDecode, WireEncode};
 use vaq_authquery::{Query, QueryResponse};
+use vaq_crypto::sha256::{sha256, Digest};
+use vaq_crypto::{PublicKey, Signature};
 
 /// Upper bounds of the fixed latency histogram buckets, in microseconds.
 ///
@@ -39,6 +41,10 @@ pub enum Request {
     Query(Query),
     /// A batch of queries answered in order with [`Response::Batch`].
     Batch(Vec<Query>),
+    /// Asks which shard of a sharded deployment this service hosts; answered
+    /// with [`Response::ShardInfo`] (or a [`ErrorCode::NotSharded`] error by
+    /// a standalone service).
+    ShardInfo,
 }
 
 impl Request {
@@ -70,6 +76,8 @@ pub enum Response {
     Query(QueryResponse),
     /// Answer to [`Request::Batch`], in query order.
     Batch(Vec<QueryResponse>),
+    /// Answer to [`Request::ShardInfo`]: the serving shard's identity.
+    ShardInfo(ShardInfo),
     /// Typed failure; the connection stays usable unless the frame itself
     /// was unreadable.
     Error(ErrorReply),
@@ -89,6 +97,9 @@ pub enum ErrorCode {
     Internal,
     /// The service is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The service is not part of a sharded deployment (reply to
+    /// [`Request::ShardInfo`] on a standalone service).
+    NotSharded,
 }
 
 /// A typed error response.
@@ -144,10 +155,75 @@ pub struct StatsSnapshot {
     pub per_kind: Vec<KindLatency>,
 }
 
+/// Identity of one shard of a sharded deployment, as reported by the shard
+/// itself (reply to [`Request::ShardInfo`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// This shard's index in `0..shard_count`.
+    pub shard_id: u32,
+    /// Total shards in the deployment this service believes it belongs to.
+    pub shard_count: u32,
+    /// Number of records this shard hosts.
+    pub records: u64,
+}
+
+/// One shard's entry in the owner's attested [`ShardMap`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardEntry {
+    /// The shard's index in `0..shard_count`.
+    pub shard_id: u32,
+    /// Number of records the owner placed on this shard.
+    pub records: u64,
+    /// The per-shard public key: every query response from this shard must
+    /// verify under this key, so one shard cannot answer with another
+    /// shard's (equally well-signed) data.
+    pub public_key: PublicKey,
+}
+
+/// The owner's description of how one logical dataset is partitioned into
+/// disjoint shards.
+///
+/// Published out of band together with the function template, and attested
+/// by the owner's master signature (see [`SignedShardMap`]): a client that
+/// checks the signature knows the exact shard count, each shard's record
+/// count and each shard's verification key — which is what makes a merged
+/// scatter-gather answer complete (no shard can be silently dropped) and
+/// sound (no shard can impersonate another).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardMap {
+    /// Number of shards `S`.
+    pub shard_count: u32,
+    /// Total records across all shards (the logical dataset size).
+    pub total_records: u64,
+    /// Weight-vector dimensionality of the logical dataset.
+    pub dims: u32,
+    /// Per-shard entries, in shard-id order.
+    pub shards: Vec<ShardEntry>,
+}
+
+impl ShardMap {
+    /// The digest the owner's master key signs: SHA-256 over the canonical
+    /// wire encoding of the map.
+    pub fn digest(&self) -> Digest {
+        sha256(&self.to_wire_bytes())
+    }
+}
+
+/// A [`ShardMap`] together with the owner's master signature over
+/// [`ShardMap::digest`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SignedShardMap {
+    /// The attested partition description.
+    pub map: ShardMap,
+    /// Master signature over [`ShardMap::digest`].
+    pub signature: Signature,
+}
+
 const REQUEST_TAG_PING: u8 = 1;
 const REQUEST_TAG_STATS: u8 = 2;
 const REQUEST_TAG_QUERY: u8 = 3;
 const REQUEST_TAG_BATCH: u8 = 4;
+const REQUEST_TAG_SHARD_INFO: u8 = 5;
 
 impl WireEncode for Request {
     fn encode(&self, w: &mut Writer) {
@@ -165,6 +241,7 @@ impl WireEncode for Request {
                     query.encode(w);
                 }
             }
+            Request::ShardInfo => w.put_u8(REQUEST_TAG_SHARD_INFO),
         }
     }
 }
@@ -183,6 +260,7 @@ impl WireDecode for Request {
                 }
                 Ok(Request::Batch(queries))
             }
+            REQUEST_TAG_SHARD_INFO => Ok(Request::ShardInfo),
             tag => Err(WireError::InvalidTag {
                 type_name: "Request",
                 tag,
@@ -196,6 +274,7 @@ const RESPONSE_TAG_STATS: u8 = 2;
 const RESPONSE_TAG_QUERY: u8 = 3;
 const RESPONSE_TAG_BATCH: u8 = 4;
 const RESPONSE_TAG_ERROR: u8 = 5;
+const RESPONSE_TAG_SHARD_INFO: u8 = 6;
 
 impl WireEncode for Response {
     fn encode(&self, w: &mut Writer) {
@@ -215,6 +294,10 @@ impl WireEncode for Response {
                 for response in responses {
                     response.encode(w);
                 }
+            }
+            Response::ShardInfo(info) => {
+                w.put_u8(RESPONSE_TAG_SHARD_INFO);
+                info.encode(w);
             }
             Response::Error(reply) => {
                 w.put_u8(RESPONSE_TAG_ERROR);
@@ -239,6 +322,7 @@ impl WireDecode for Response {
                 Ok(Response::Batch(responses))
             }
             RESPONSE_TAG_ERROR => Ok(Response::Error(ErrorReply::decode(r)?)),
+            RESPONSE_TAG_SHARD_INFO => Ok(Response::ShardInfo(ShardInfo::decode(r)?)),
             tag => Err(WireError::InvalidTag {
                 type_name: "Response",
                 tag,
@@ -255,6 +339,7 @@ impl ErrorCode {
             ErrorCode::FrameTooLarge => 3,
             ErrorCode::Internal => 4,
             ErrorCode::ShuttingDown => 5,
+            ErrorCode::NotSharded => 6,
         }
     }
 }
@@ -273,6 +358,7 @@ impl WireDecode for ErrorCode {
             3 => Ok(ErrorCode::FrameTooLarge),
             4 => Ok(ErrorCode::Internal),
             5 => Ok(ErrorCode::ShuttingDown),
+            6 => Ok(ErrorCode::NotSharded),
             tag => Err(WireError::InvalidTag {
                 type_name: "ErrorCode",
                 tag,
@@ -293,6 +379,89 @@ impl WireDecode for ErrorReply {
         Ok(ErrorReply {
             code: ErrorCode::decode(r)?,
             message: r.get_string()?,
+        })
+    }
+}
+
+impl WireEncode for ShardInfo {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.shard_id);
+        w.put_u32(self.shard_count);
+        w.put_u64(self.records);
+    }
+}
+
+impl WireDecode for ShardInfo {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ShardInfo {
+            shard_id: r.get_u32()?,
+            shard_count: r.get_u32()?,
+            records: r.get_u64()?,
+        })
+    }
+}
+
+impl WireEncode for ShardEntry {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.shard_id);
+        w.put_u64(self.records);
+        self.public_key.encode(w);
+    }
+}
+
+impl WireDecode for ShardEntry {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ShardEntry {
+            shard_id: r.get_u32()?,
+            records: r.get_u64()?,
+            public_key: PublicKey::decode(r)?,
+        })
+    }
+}
+
+impl WireEncode for ShardMap {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.shard_count);
+        w.put_u64(self.total_records);
+        w.put_u32(self.dims);
+        w.put_len(self.shards.len());
+        for shard in &self.shards {
+            shard.encode(w);
+        }
+    }
+}
+
+impl WireDecode for ShardMap {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let shard_count = r.get_u32()?;
+        let total_records = r.get_u64()?;
+        let dims = r.get_u32()?;
+        let len = r.get_len()?;
+        let mut shards = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            shards.push(ShardEntry::decode(r)?);
+        }
+        Ok(ShardMap {
+            shard_count,
+            total_records,
+            dims,
+            shards,
+        })
+    }
+}
+
+impl WireEncode for SignedShardMap {
+    fn encode(&self, w: &mut Writer) {
+        self.map.encode(w);
+        self.signature.encode(w);
+    }
+}
+
+impl WireDecode for SignedShardMap {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SignedShardMap {
+            map: ShardMap::decode(r)?,
+            signature: Signature::decode(r)?,
         })
     }
 }
@@ -398,6 +567,7 @@ mod tests {
                 Query::range(vec![0.5], 0.1, 0.9),
                 Query::knn(vec![0.3, 0.7], 2, 0.4),
             ]),
+            Request::ShardInfo,
         ];
         for request in requests {
             let bytes = request.to_framed_bytes();
@@ -434,6 +604,64 @@ mod tests {
         };
         let bytes = stats.to_wire_bytes();
         assert_eq!(StatsSnapshot::from_wire_bytes(&bytes).unwrap(), stats);
+    }
+
+    #[test]
+    fn shard_messages_roundtrip_and_digest_is_canonical() {
+        use vaq_crypto::{SignatureScheme, Signer, Verifier};
+
+        let info = ShardInfo {
+            shard_id: 2,
+            shard_count: 5,
+            records: 321,
+        };
+        let bytes = info.to_wire_bytes();
+        assert_eq!(ShardInfo::from_wire_bytes(&bytes).unwrap(), info);
+
+        let scheme = SignatureScheme::test_rsa(0x5a);
+        let map = ShardMap {
+            shard_count: 2,
+            total_records: 11,
+            dims: 1,
+            shards: vec![
+                ShardEntry {
+                    shard_id: 0,
+                    records: 6,
+                    public_key: scheme.public_key(),
+                },
+                ShardEntry {
+                    shard_id: 1,
+                    records: 5,
+                    public_key: scheme.public_key(),
+                },
+            ],
+        };
+        let bytes = map.to_wire_bytes();
+        let decoded = ShardMap::from_wire_bytes(&bytes).unwrap();
+        assert_eq!(decoded, map);
+        // The digest is a function of the canonical encoding, so a decoded
+        // copy commits to the same bytes.
+        assert_eq!(decoded.digest(), map.digest());
+
+        let signed = SignedShardMap {
+            signature: scheme.sign_digest(&map.digest()),
+            map,
+        };
+        let bytes = signed.to_wire_bytes();
+        let decoded = SignedShardMap::from_wire_bytes(&bytes).unwrap();
+        assert_eq!(decoded, signed);
+        assert!(scheme
+            .public_key()
+            .verify_digest(&decoded.map.digest(), &decoded.signature));
+
+        // Tampering with any field of the map changes the attested digest.
+        let mut tampered = signed.map.clone();
+        tampered.shards[1].records = 4;
+        assert_ne!(tampered.digest(), signed.map.digest());
+        tampered = signed.map.clone();
+        tampered.shard_count = 1;
+        tampered.shards.pop();
+        assert_ne!(tampered.digest(), signed.map.digest());
     }
 
     #[test]

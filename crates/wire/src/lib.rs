@@ -32,8 +32,8 @@ pub mod io;
 pub mod sigmesh_impls;
 
 pub use envelope::{
-    ErrorCode, ErrorReply, KindLatency, LatencyHistogram, Request, Response, StatsSnapshot,
-    LATENCY_BUCKET_BOUNDS_MICROS,
+    ErrorCode, ErrorReply, KindLatency, LatencyHistogram, Request, Response, ShardEntry, ShardInfo,
+    ShardMap, SignedShardMap, StatsSnapshot, LATENCY_BUCKET_BOUNDS_MICROS,
 };
 pub use error::WireError;
 pub use io::{Reader, Writer};

@@ -60,6 +60,37 @@ pub struct QueryGenerator {
 }
 
 impl QueryGenerator {
+    /// Creates a generator from published metadata alone: the weight domain
+    /// and a plausible score range, with no access to the records.
+    ///
+    /// This is exactly what a remote data user has — the owner publishes the
+    /// template and domain, not the table — and it lets a load driver spawn
+    /// many client threads without cloning the full dataset into each one.
+    pub fn from_published(domain: Domain, score_range: (f64, f64), seed: u64) -> Self {
+        let (mut lo, mut hi) = score_range;
+        if !lo.is_finite() || !hi.is_finite() || lo > hi {
+            lo = 0.0;
+            hi = 1.0;
+        }
+        QueryGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            domain,
+            score_lo: lo,
+            score_hi: hi,
+        }
+    }
+
+    /// The weight domain queries are drawn from.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// The score range this generator picks range boundaries and KNN
+    /// targets from.
+    pub fn score_range(&self) -> (f64, f64) {
+        (self.score_lo, self.score_hi)
+    }
+
     /// Creates a generator for the dataset.
     pub fn new(dataset: &Dataset, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -249,6 +280,26 @@ mod tests {
         assert!(batch.iter().any(|q| matches!(q, QuerySpec::TopK { .. })));
         assert!(batch.iter().any(|q| matches!(q, QuerySpec::Range { .. })));
         assert!(batch.iter().any(|q| matches!(q, QuerySpec::Knn { .. })));
+    }
+
+    #[test]
+    fn published_metadata_generator_matches_dataset_generator() {
+        let ds = uniform_dataset(12, 2, 13);
+        let probe = QueryGenerator::new(&ds, 21);
+        let mut from_published =
+            QueryGenerator::from_published(probe.domain().clone(), probe.score_range(), 77);
+        for _ in 0..20 {
+            let w = from_published.weights();
+            assert!(ds.domain.contains(&w));
+            if let QuerySpec::Range { lower, upper, .. } = from_published.range(0.3) {
+                let (lo, hi) = probe.score_range();
+                assert!(lower >= lo - 1e-9 && upper <= hi + 1e-9);
+            }
+        }
+        // A nonsensical range falls back to [0, 1] instead of panicking.
+        let mut degenerate = QueryGenerator::from_published(ds.domain.clone(), (f64::NAN, 1.0), 5);
+        assert_eq!(degenerate.score_range(), (0.0, 1.0));
+        let _ = degenerate.knn(2);
     }
 
     #[test]

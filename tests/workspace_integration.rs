@@ -6,8 +6,47 @@
 use verified_analytics::authquery::{client, IfmhTree, Query, Server, SigningMode};
 use verified_analytics::crypto::{SignatureScheme, Signer};
 use verified_analytics::service::spec_to_query as to_query;
+use verified_analytics::service::{ServiceConfig, ShardedDeployment};
 use verified_analytics::sigmesh::{verify_mesh_response, SignatureMesh};
 use verified_analytics::workload::{applicant_table, uniform_dataset, QueryGenerator};
+
+#[test]
+fn sharded_tier_through_umbrella_reexports() {
+    // The horizontal-scale tier end to end through the umbrella crate: the
+    // owner partitions the applicant table across three shard services, a
+    // data user scatter-gathers with full verification, and the merged
+    // answer matches a local single server over the whole table.
+    let dataset = applicant_table(15, 2027);
+    let scheme = SignatureScheme::test_rsa(2027);
+    let single = Server::new(
+        dataset.clone(),
+        IfmhTree::build(&dataset, SigningMode::MultiSignature, &scheme),
+    );
+
+    let deployment = ShardedDeployment::launch(
+        &dataset,
+        3,
+        SigningMode::MultiSignature,
+        2027,
+        ServiceConfig::ephemeral(),
+    )
+    .expect("launch sharded deployment");
+    let mut remote = deployment.client().expect("connect sharded client");
+
+    for query in [
+        Query::top_k(vec![1.0, 0.3, 0.6], 4),
+        Query::range(vec![0.4, 0.4, 0.2], 0.3, 0.7),
+        Query::knn(vec![0.2, 0.5, 0.3], 3, 0.5),
+    ] {
+        let merged = remote
+            .query_verified(&query)
+            .expect("verified sharded query");
+        let local = single.process(&query);
+        assert_eq!(merged.records, local.records, "{query}");
+        assert_eq!(merged.scores.len(), merged.records.len());
+    }
+    deployment.shutdown();
+}
 
 #[test]
 fn all_three_schemes_agree_on_answers_and_verify() {
