@@ -18,8 +18,8 @@ use crate::cost::ClientCost;
 use crate::error::VerifyError;
 use crate::query::Query;
 use crate::vo::{
-    intersection_node_hash, multi_signature_digest, subdomain_node_hash, BoundaryEntry,
-    IntersectionVerification, VerificationObject,
+    epoch_binding_digest, intersection_node_hash, multi_signature_digest, subdomain_node_hash,
+    BoundaryEntry, IntersectionVerification, VerificationObject,
 };
 use vaq_crypto::sha256::Digest;
 use vaq_crypto::Verifier;
@@ -54,6 +54,27 @@ pub fn verify(
     vo: &VerificationObject,
     template: &FunctionTemplate,
     verifier: &dyn Verifier,
+) -> Result<VerifiedResult, VerifyError> {
+    verify_at_epoch(query, records, vo, template, verifier, 0)
+}
+
+/// Verifies a query result against its verification object at a specific
+/// publication epoch.
+///
+/// Identical to [`verify`] except that the owner's signature is checked over
+/// the [`epoch_binding_digest`] of the structure digest: a response whose
+/// signatures were produced for any *other* epoch — e.g. an honestly signed
+/// response replayed from a superseded publication — fails with
+/// [`VerifyError::SignatureMismatch`]. The expected epoch comes from the
+/// owner's attested publication (shard map or published metadata), never
+/// from the response itself.
+pub fn verify_at_epoch(
+    query: &Query,
+    records: &[Record],
+    vo: &VerificationObject,
+    template: &FunctionTemplate,
+    verifier: &dyn Verifier,
+    epoch: u64,
 ) -> Result<VerifiedResult, VerifyError> {
     let mut cost = ClientCost::default();
     let x = query.weights();
@@ -175,7 +196,9 @@ pub fn verify(
     };
 
     cost.signature_verifications += 1;
-    if !verifier.verify_digest(&signed_digest, &vo.signature) {
+    let bound_digest = epoch_binding_digest(&signed_digest, epoch);
+    cost.hash_ops += 1;
+    if !verifier.verify_digest(&bound_digest, &vo.signature) {
         return Err(VerifyError::SignatureMismatch);
     }
 

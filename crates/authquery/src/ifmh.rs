@@ -15,8 +15,8 @@
 use crate::cost::OwnerStats;
 use crate::signing::SigningMode;
 use crate::vo::{
-    intersection_node_hash, max_sentinel_digest, min_sentinel_digest, multi_signature_digest,
-    predicate_digest, subdomain_node_hash,
+    epoch_binding_digest, intersection_node_hash, max_sentinel_digest, min_sentinel_digest,
+    multi_signature_digest, predicate_digest, subdomain_node_hash,
 };
 use std::collections::HashMap;
 use vaq_crypto::sha256::Digest;
@@ -26,7 +26,11 @@ use vaq_itree::{BuildStats, ITree, ITreeBuilder, Node, NodeId};
 use vaq_mht::MerkleTree;
 
 /// The Intersection and Function Merkle Hash tree.
-#[derive(Debug)]
+///
+/// `Clone` exists for replica deployments: signing is deterministic, so a
+/// primary and its standbys can share one build and hand out clones instead
+/// of paying the LP-oracle pass and the per-subdomain signatures again.
+#[derive(Clone, Debug)]
 pub struct IfmhTree {
     pub(crate) itree: ITree,
     /// FMH-tree per subdomain node, keyed by the I-tree node id.
@@ -38,24 +42,51 @@ pub struct IfmhTree {
     pub(crate) root_signature: Option<Signature>,
     /// Per-subdomain signatures (multi-signature mode), keyed by node id.
     pub(crate) leaf_signatures: HashMap<u32, Signature>,
+    /// The publication epoch every signature in this tree is bound to.
+    epoch: u64,
     stats: OwnerStats,
     /// I-tree construction statistics.
     pub build_stats: BuildStats,
 }
 
 impl IfmhTree {
-    /// Builds the IFMH-tree with the exact (LP-based) split oracle.
+    /// Builds the IFMH-tree with the exact (LP-based) split oracle at the
+    /// initial publication epoch 0.
     pub fn build(dataset: &Dataset, mode: SigningMode, signer: &dyn Signer) -> Self {
-        Self::build_with_oracle(dataset, mode, signer, LpSplitOracle::new())
+        Self::build_at_epoch(dataset, mode, signer, 0)
+    }
+
+    /// Builds the IFMH-tree for a republication: every signature is bound to
+    /// `epoch` (see [`epoch_binding_digest`]), so a client expecting epoch
+    /// `e` rejects responses honestly signed under any other epoch.
+    pub fn build_at_epoch(
+        dataset: &Dataset,
+        mode: SigningMode,
+        signer: &dyn Signer,
+        epoch: u64,
+    ) -> Self {
+        Self::build_with_oracle_at_epoch(dataset, mode, signer, LpSplitOracle::new(), epoch)
     }
 
     /// Builds the IFMH-tree with a caller-supplied split oracle (used by the
-    /// feasibility ablation).
+    /// feasibility ablation) at epoch 0.
     pub fn build_with_oracle<O: SplitOracle>(
         dataset: &Dataset,
         mode: SigningMode,
         signer: &dyn Signer,
         oracle: O,
+    ) -> Self {
+        Self::build_with_oracle_at_epoch(dataset, mode, signer, oracle, 0)
+    }
+
+    /// Builds the IFMH-tree with a caller-supplied split oracle, binding
+    /// every signature to `epoch`.
+    pub fn build_with_oracle_at_epoch<O: SplitOracle>(
+        dataset: &Dataset,
+        mode: SigningMode,
+        signer: &dyn Signer,
+        oracle: O,
+        epoch: u64,
     ) -> Self {
         // Step 1: the I-tree.
         let (itree, build_stats) =
@@ -139,9 +170,13 @@ impl IfmhTree {
         let mut root_signature = None;
         let mut leaf_signatures = HashMap::new();
         let signatures;
+        // Every signed digest is bound to the publication epoch first, so a
+        // signature from this publication cannot authenticate any other.
         match mode {
             SigningMode::OneSignature => {
-                root_signature = Some(signer.sign_digest(&node_hashes[itree.root().index()]));
+                let bound = epoch_binding_digest(&node_hashes[itree.root().index()], epoch);
+                hash_ops += 1;
+                root_signature = Some(signer.sign_digest(&bound));
                 signatures = 1;
             }
             SigningMode::MultiSignature => {
@@ -150,8 +185,9 @@ impl IfmhTree {
                     let ineq = constraints.inequality_digest();
                     hash_ops += 1 + constraints.halfspaces.len();
                     let digest = multi_signature_digest(&ineq, &node_hashes[leaf.index()]);
-                    hash_ops += 1;
-                    leaf_signatures.insert(leaf.0, signer.sign_digest(&digest));
+                    let bound = epoch_binding_digest(&digest, epoch);
+                    hash_ops += 2;
+                    leaf_signatures.insert(leaf.0, signer.sign_digest(&bound));
                 }
                 signatures = leaf_signatures.len();
             }
@@ -178,6 +214,7 @@ impl IfmhTree {
             mode,
             root_signature,
             leaf_signatures,
+            epoch,
             stats,
             build_stats,
         }
@@ -186,6 +223,11 @@ impl IfmhTree {
     /// The signing mode this tree was built with.
     pub fn mode(&self) -> SigningMode {
         self.mode
+    }
+
+    /// The publication epoch every signature in this tree is bound to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Owner-side construction statistics (Fig. 5).
@@ -251,9 +293,30 @@ mod tests {
         assert!(tree.root_signature.is_some());
         assert!(tree.leaf_signatures.is_empty());
         assert_eq!(tree.mode(), SigningMode::OneSignature);
-        // The signature verifies against the root hash.
+        assert_eq!(tree.epoch(), 0);
+        // The signature verifies against the epoch-bound root hash.
         let verifier = scheme.verifier();
-        assert!(verifier.verify_digest(&tree.root_hash(), tree.root_signature.as_ref().unwrap()));
+        let bound = crate::vo::epoch_binding_digest(&tree.root_hash(), 0);
+        assert!(verifier.verify_digest(&bound, tree.root_signature.as_ref().unwrap()));
+        // ...and against nothing else: neither the raw root hash nor another
+        // epoch's binding.
+        assert!(!verifier.verify_digest(&tree.root_hash(), tree.root_signature.as_ref().unwrap()));
+        let other = crate::vo::epoch_binding_digest(&tree.root_hash(), 1);
+        assert!(!verifier.verify_digest(&other, tree.root_signature.as_ref().unwrap()));
+    }
+
+    #[test]
+    fn republished_trees_bind_their_epoch() {
+        let ds = dataset(5);
+        let scheme = SignatureScheme::test_rsa(12);
+        let e1 = IfmhTree::build_at_epoch(&ds, SigningMode::OneSignature, &scheme, 1);
+        let e2 = IfmhTree::build_at_epoch(&ds, SigningMode::OneSignature, &scheme, 2);
+        assert_eq!(e1.epoch(), 1);
+        assert_eq!(e2.epoch(), 2);
+        // Same dataset, same key: the structure hashes agree but the
+        // signatures differ because each binds its own epoch.
+        assert_eq!(e1.root_hash(), e2.root_hash());
+        assert_ne!(e1.root_signature, e2.root_signature);
     }
 
     #[test]

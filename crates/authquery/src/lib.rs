@@ -73,7 +73,7 @@ pub mod signing;
 pub mod vo;
 
 pub use batch::{process_batch, verify_batch, BatchResponse, BatchVerification};
-pub use client::{verify, VerifiedResult};
+pub use client::{verify, verify_at_epoch, VerifiedResult};
 pub use cost::{ClientCost, OwnerStats, ServerCost};
 pub use error::VerifyError;
 pub use ifmh::IfmhTree;

@@ -29,6 +29,10 @@ pub struct PublishedMetadata {
     pub public_key: PublicKey,
     /// Which signing mode the outsourced structure uses.
     pub mode: SigningMode,
+    /// The publication epoch: monotonically increasing across
+    /// republications; every signature in the outsourced structure is bound
+    /// to it, so responses from a superseded publication are rejected.
+    pub epoch: u64,
 }
 
 /// The data owner: holds the dataset and the signing key, builds the
@@ -37,15 +41,18 @@ pub struct DataOwner {
     dataset: Dataset,
     scheme: SignatureScheme,
     mode: SigningMode,
+    epoch: u64,
 }
 
 impl DataOwner {
-    /// Creates an owner around an existing dataset and signature scheme.
+    /// Creates an owner around an existing dataset and signature scheme at
+    /// publication epoch 0.
     pub fn new(dataset: Dataset, scheme: SignatureScheme, mode: SigningMode) -> Self {
         DataOwner {
             dataset,
             scheme,
             mode,
+            epoch: 0,
         }
     }
 
@@ -84,10 +91,28 @@ impl DataOwner {
         self.mode
     }
 
+    /// The current publication epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Replaces the dataset and advances to the next publication epoch.
+    ///
+    /// The next [`DataOwner::outsource`] builds (and signs) the structure at
+    /// the new epoch, and [`DataOwner::publish`] announces it — which is the
+    /// signal that retires every earlier publication: clients holding the
+    /// new metadata reject responses signed under any previous epoch.
+    pub fn republish(&mut self, dataset: Dataset) -> u64 {
+        self.dataset = dataset;
+        self.epoch += 1;
+        self.epoch
+    }
+
     /// Builds the IFMH-tree — the "upload package" the owner hands to the
-    /// cloud server together with the raw records.
+    /// cloud server together with the raw records. Signatures are bound to
+    /// the current publication epoch.
     pub fn outsource(&self) -> IfmhTree {
-        IfmhTree::build(&self.dataset, self.mode, &self.scheme)
+        IfmhTree::build_at_epoch(&self.dataset, self.mode, &self.scheme, self.epoch)
     }
 
     /// The verification material the owner publishes to data users.
@@ -97,6 +122,7 @@ impl DataOwner {
             domain: self.dataset.domain.clone(),
             public_key: self.scheme.public_key(),
             mode: self.mode,
+            epoch: self.epoch,
         }
     }
 }
@@ -175,6 +201,48 @@ mod tests {
             &metadata.public_key
         )
         .is_ok());
+    }
+
+    #[test]
+    fn republication_retires_the_previous_epoch() {
+        let mut owner = DataOwner::with_rsa_key(dataset(), 128, 10, SigningMode::MultiSignature);
+        assert_eq!(owner.publish().epoch, 0);
+        let old_server = Server::new(owner.dataset().clone(), owner.outsource());
+        let query = Query::top_k(vec![0.7, 0.3], 2);
+        let old_response = old_server.process(&query);
+
+        // The owner republishes (here: the same records again); the epoch
+        // advances and the new metadata supersedes the old publication.
+        let next = owner.republish(dataset());
+        assert_eq!(next, 1);
+        let metadata = owner.publish();
+        assert_eq!(metadata.epoch, 1);
+        let server = Server::new(owner.dataset().clone(), owner.outsource());
+        let response = server.process(&query);
+
+        // A response from the current publication verifies at epoch 1...
+        client::verify_at_epoch(
+            &query,
+            &response.records,
+            &response.vo,
+            &metadata.template,
+            &metadata.public_key,
+            metadata.epoch,
+        )
+        .expect("current-epoch response verifies");
+        // ...while a replayed response signed under the superseded epoch is
+        // rejected even though its records and VO are internally honest.
+        assert!(matches!(
+            client::verify_at_epoch(
+                &query,
+                &old_response.records,
+                &old_response.vo,
+                &metadata.template,
+                &metadata.public_key,
+                metadata.epoch,
+            ),
+            Err(crate::VerifyError::SignatureMismatch)
+        ));
     }
 
     #[test]

@@ -44,6 +44,12 @@ impl Server {
         &self.tree
     }
 
+    /// The publication epoch of the hosted structure: every signature in
+    /// this server's responses is bound to it.
+    pub fn epoch(&self) -> u64 {
+        self.tree.epoch()
+    }
+
     /// Processes an analytic query and constructs the verification object.
     pub fn process(&self, query: &Query) -> QueryResponse {
         let x = query.weights();

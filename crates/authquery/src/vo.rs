@@ -193,6 +193,23 @@ pub fn multi_signature_digest(inequality_digest: &Digest, subdomain_hash: &Diges
     sha256(&bytes)
 }
 
+/// Binds a to-be-signed digest to a publication epoch:
+/// `H("VAQ-EPOCH" ‖ epoch ‖ digest)`.
+///
+/// The owner signs the epoch-bound digest instead of the raw structure
+/// digest, so a signature produced for epoch `e` can never authenticate the
+/// same (or any other) structure at a different epoch. This is what lets a
+/// client that learned the current epoch from the attested publication
+/// reject a **replayed** response that was honestly signed under a
+/// superseded publication — the replay verifies only at its own epoch.
+pub fn epoch_binding_digest(digest: &Digest, epoch: u64) -> Digest {
+    let mut bytes = Vec::with_capacity(9 + 8 + 32);
+    bytes.extend_from_slice(b"VAQ-EPOCH");
+    bytes.extend_from_slice(&epoch.to_be_bytes());
+    bytes.extend_from_slice(digest);
+    sha256(&bytes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +218,23 @@ mod tests {
     fn sentinel_digests_are_distinct_and_stable() {
         assert_ne!(min_sentinel_digest(), max_sentinel_digest());
         assert_eq!(min_sentinel_digest(), min_sentinel_digest());
+    }
+
+    #[test]
+    fn epoch_binding_separates_epochs_and_digests() {
+        let d1 = sha256(b"structure-1");
+        let d2 = sha256(b"structure-2");
+        // Deterministic per (digest, epoch)...
+        assert_eq!(epoch_binding_digest(&d1, 3), epoch_binding_digest(&d1, 3));
+        // ...but distinct across epochs (including the boundary values) and
+        // across digests, and never equal to the raw digest.
+        assert_ne!(epoch_binding_digest(&d1, 0), epoch_binding_digest(&d1, 1));
+        assert_ne!(
+            epoch_binding_digest(&d1, u64::MAX),
+            epoch_binding_digest(&d1, u64::MAX - 1)
+        );
+        assert_ne!(epoch_binding_digest(&d1, 7), epoch_binding_digest(&d2, 7));
+        assert_ne!(epoch_binding_digest(&d1, 0), d1);
     }
 
     #[test]

@@ -111,6 +111,16 @@ impl LruCache {
         }
     }
 
+    /// Drops every cached entry (used when the served dataset is
+    /// republished: all cached frames answer for a superseded epoch). The
+    /// recency tick keeps counting, so entries inserted after the flush
+    /// order correctly against any concurrent insert.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+        self.total_bytes = 0;
+    }
+
     fn next_tick(&mut self) -> u64 {
         self.tick += 1;
         self.tick
@@ -154,6 +164,20 @@ mod tests {
         cache.insert(b"a".to_vec(), frame(9));
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.get(b"a").unwrap().as_slice(), &[9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn clear_flushes_everything_and_resets_accounting() {
+        let mut cache = LruCache::new(4);
+        cache.insert(b"a".to_vec(), frame(1));
+        cache.insert(b"b".to_vec(), frame(2));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.total_bytes(), 0);
+        assert!(cache.get(b"a").is_none());
+        // The cache keeps working after a flush.
+        cache.insert(b"c".to_vec(), frame(3));
+        assert_eq!(cache.get(b"c").unwrap().as_slice(), &[3, 3, 3, 3]);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 use vaq_authquery::{client, Query, QueryResponse, VerifiedResult};
 use vaq_crypto::Verifier;
 use vaq_funcdb::FunctionTemplate;
-use vaq_wire::{ErrorCode, Request, Response, ShardInfo, StatsSnapshot};
+use vaq_wire::{ErrorCode, Request, Response, ShardInfo, SignedShardMap, StatsSnapshot};
 
 use crate::error::ServiceError;
 use crate::frame::{read_message, write_message};
@@ -80,8 +80,49 @@ impl ServiceClient {
 
     /// Sends one query and returns the raw (unverified) response.
     pub fn query(&mut self, query: &Query) -> Result<QueryResponse, ServiceError> {
+        self.query_with_epoch(query).map(|(_, response)| response)
+    }
+
+    /// Sends one query and returns the raw (unverified) response together
+    /// with the publication epoch the service served it at.
+    ///
+    /// The envelope stamp is unauthenticated; verify the response with
+    /// [`vaq_authquery::verify_at_epoch`] at the epoch the owner's attested
+    /// publication promises — the signatures bind it.
+    pub fn query_with_epoch(
+        &mut self,
+        query: &Query,
+    ) -> Result<(u64, QueryResponse), ServiceError> {
         match self.call(&Request::Query(query.clone()))? {
-            Response::Query(response) => Ok(response),
+            Response::Query { epoch, response } => Ok((epoch, response)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Sends one query pinned to a publication epoch.
+    ///
+    /// The service answers only while it serves exactly `epoch`; otherwise
+    /// it replies with a typed [`ErrorCode::StaleEpoch`] error (surfaced as
+    /// [`ServiceError::Remote`] — check [`ServiceError::is_stale_epoch`]),
+    /// which keeps the connection usable: re-fetch the signed shard map and
+    /// retry at the new epoch.
+    pub fn query_at(&mut self, epoch: u64, query: &Query) -> Result<QueryResponse, ServiceError> {
+        match self.call(&Request::QueryAt {
+            epoch,
+            query: query.clone(),
+        })? {
+            Response::Query {
+                epoch: served,
+                response,
+            } => {
+                if served != epoch {
+                    return Err(ServiceError::StaleEpoch {
+                        expected: epoch,
+                        got: served,
+                    });
+                }
+                Ok(response)
+            }
             other => Err(unexpected(&other)),
         }
     }
@@ -102,7 +143,7 @@ impl ServiceClient {
     /// Sends a batch of queries, answered in order.
     pub fn batch(&mut self, queries: &[Query]) -> Result<Vec<QueryResponse>, ServiceError> {
         match self.call(&Request::Batch(queries.to_vec()))? {
-            Response::Batch(responses) => Ok(responses),
+            Response::Batch { responses, .. } => Ok(responses),
             other => Err(unexpected(&other)),
         }
     }
@@ -114,6 +155,18 @@ impl ServiceClient {
     pub fn shard_info(&mut self) -> Result<ShardInfo, ServiceError> {
         match self.call(&Request::ShardInfo)? {
             Response::ShardInfo(info) => Ok(info),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the owner-signed shard map the service currently publishes.
+    ///
+    /// The returned map is untrusted until verified against the owner's
+    /// master key (and checked for rollback against any epoch the caller
+    /// already holds) — see [`crate::verify_shard_map`].
+    pub fn shard_map(&mut self) -> Result<SignedShardMap, ServiceError> {
+        match self.call(&Request::ShardMap)? {
+            Response::ShardMap(map) => Ok(map),
             other => Err(unexpected(&other)),
         }
     }
@@ -202,9 +255,10 @@ pub(crate) fn unexpected(response: &Response) -> ServiceError {
     ServiceError::UnexpectedResponse(match response {
         Response::Pong => "pong",
         Response::Stats(_) => "stats",
-        Response::Query(_) => "query",
-        Response::Batch(_) => "batch",
+        Response::Query { .. } => "query",
+        Response::Batch { .. } => "batch",
         Response::ShardInfo(_) => "shard-info",
+        Response::ShardMap(_) => "shard-map",
         Response::Error(_) => "error",
     })
 }

@@ -37,6 +37,33 @@ pub enum ServiceError {
         /// What went wrong on that shard.
         error: Box<ServiceError>,
     },
+    /// An epoch mismatch the client detected locally: a response stamped
+    /// with a different publication epoch than the verified map promises, or
+    /// an offered signed map that would roll the client back to an older
+    /// (superseded) publication. Server-side epoch rejections arrive as
+    /// [`ServiceError::Remote`] with [`vaq_wire::ErrorCode::StaleEpoch`];
+    /// use [`ServiceError::is_stale_epoch`] to catch both.
+    StaleEpoch {
+        /// The epoch the client expects (from its verified publication).
+        expected: u64,
+        /// The epoch actually offered or served.
+        got: u64,
+    },
+}
+
+impl ServiceError {
+    /// True when this error (or the per-shard error it wraps) reports an
+    /// epoch mismatch — locally detected or served as a typed remote
+    /// [`vaq_wire::ErrorCode::StaleEpoch`] reply. Callers react by
+    /// re-fetching the signed shard map and retrying at the new epoch.
+    pub fn is_stale_epoch(&self) -> bool {
+        match self {
+            ServiceError::StaleEpoch { .. } => true,
+            ServiceError::Remote(reply) => reply.code == vaq_wire::ErrorCode::StaleEpoch,
+            ServiceError::ShardFailed { error, .. } => error.is_stale_epoch(),
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for ServiceError {
@@ -60,6 +87,13 @@ impl std::fmt::Display for ServiceError {
             ServiceError::ShardMap(reason) => write!(f, "shard map rejected: {reason}"),
             ServiceError::ShardFailed { shard_id, error } => {
                 write!(f, "shard {shard_id} failed: {error}")
+            }
+            ServiceError::StaleEpoch { expected, got } => {
+                write!(
+                    f,
+                    "stale epoch: expected publication epoch {expected}, got {got}; \
+                     re-fetch the signed shard map"
+                )
             }
         }
     }

@@ -29,6 +29,18 @@
 //!   scatter-gathers every query across all shards, verifies each response
 //!   under its shard's key, and merges the answers so the logical result is
 //!   as sound and complete as a single server's.
+//! * **Live updates** — every publication carries a monotonically
+//!   increasing, master-signed epoch bound into every signature.
+//!   [`QueryService::republish`] hot-swaps the served structure under an
+//!   `Arc` (cache flushed, cache keys epoch-prefixed, rollback refused);
+//!   clients pin queries to their verified epoch and converge through
+//!   typed stale-epoch rejections plus a signed-map re-fetch
+//!   ([`ShardedClient::refresh`]) that rejects replayed older maps.
+//! * **Failover** — [`ShardedDeployment::launch_with_standbys`] binds
+//!   standby replicas per shard (same data, same attested key; every
+//!   serving address listed in the signed map), and [`ShardedClient`]
+//!   retries a dead scatter leg against the attested standby addresses,
+//!   preserving the byte-identical-to-unsharded merge guarantee.
 //!
 //! # Quick example
 //!

@@ -27,6 +27,12 @@ pub fn spec_to_query(spec: &QuerySpec) -> Query {
 }
 
 /// What a load-generation run drives.
+///
+/// The sharded variant carries the full publication (shard map with
+/// per-shard keys and address lists); the size skew against the bare
+/// single-service address is inherent, and a `LoadTarget` is a run-level
+/// config value cloned once per client thread, never a hot-path payload.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum LoadTarget {
     /// One standalone service; responses are verified when
@@ -133,11 +139,13 @@ impl LoadGenerator {
         let mut latencies_micros: Vec<u64> = Vec::new();
         let mut verified = 0usize;
         let mut failures = 0usize;
+        let mut epoch_refreshes = 0usize;
         for outcome in outcomes {
             let outcome = outcome?;
             latencies_micros.extend(outcome.latencies_micros);
             verified += outcome.verified;
             failures += outcome.failures;
+            epoch_refreshes += outcome.epoch_refreshes;
         }
         let elapsed = started.elapsed();
         latencies_micros.sort_unstable();
@@ -146,6 +154,7 @@ impl LoadGenerator {
             total_requests: latencies_micros.len(),
             verified,
             failures,
+            epoch_refreshes,
             elapsed,
             latencies_micros,
         })
@@ -193,8 +202,26 @@ impl LoadGenerator {
                     let query = spec_to_query(&spec);
                     let start = Instant::now();
                     // A sharded query is verified end to end or it errors;
-                    // there is no unverified sharded read to time.
-                    client.query_verified(&query)?;
+                    // there is no unverified sharded read to time. Update
+                    // churn (the owner republishing mid-run) surfaces as
+                    // typed stale-epoch rejections: re-fetch the signed map
+                    // and retry at the new epoch until the rollout settles.
+                    let mut stale_retries = 0usize;
+                    loop {
+                        match client.query_verified(&query) {
+                            Ok(_) => break,
+                            Err(e) if e.is_stale_epoch() && stale_retries < STALE_RETRY_LIMIT => {
+                                stale_retries += 1;
+                                if client.refresh().is_ok() {
+                                    outcome.epoch_refreshes += 1;
+                                }
+                                // A rollout flips shards one at a time; give
+                                // it a moment before re-pinning.
+                                std::thread::sleep(Duration::from_millis(10));
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
                     outcome
                         .latencies_micros
                         .push(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
@@ -206,11 +233,18 @@ impl LoadGenerator {
     }
 }
 
+/// How many consecutive stale-epoch rejections one query tolerates before
+/// the run fails. A rollout flips each shard once, so convergence needs at
+/// most a handful of refresh cycles; a bound keeps a wedged deployment from
+/// spinning forever.
+const STALE_RETRY_LIMIT: usize = 200;
+
 #[derive(Default)]
 struct ClientOutcome {
     latencies_micros: Vec<u64>,
     verified: usize,
     failures: usize,
+    epoch_refreshes: usize,
 }
 
 /// Aggregate results of one load-generation run.
@@ -224,6 +258,9 @@ pub struct LoadReport {
     pub verified: usize,
     /// Responses that failed verification.
     pub failures: usize,
+    /// Shard-map refreshes performed after stale-epoch rejections (update
+    /// churn observed and survived mid-run).
+    pub epoch_refreshes: usize,
     /// Wall-clock duration of the whole run.
     pub elapsed: Duration,
     /// Sorted per-request latencies in microseconds.
@@ -283,6 +320,7 @@ mod tests {
             total_requests: 4,
             verified: 4,
             failures: 0,
+            epoch_refreshes: 0,
             elapsed: Duration::from_secs(2),
             latencies_micros: vec![10, 20, 30, 40],
         };
@@ -304,6 +342,7 @@ mod tests {
             total_requests: 0,
             verified: 0,
             failures: 0,
+            epoch_refreshes: 0,
             elapsed: Duration::ZERO,
             latencies_micros: vec![],
         };

@@ -124,8 +124,9 @@ impl Metrics {
         counter.load(Ordering::Relaxed)
     }
 
-    /// Snapshot of every counter as a wire message.
-    pub fn snapshot(&self, workers: usize) -> StatsSnapshot {
+    /// Snapshot of every counter as a wire message, stamped with the
+    /// publication epoch the service currently serves.
+    pub fn snapshot(&self, workers: usize, epoch: u64) -> StatsSnapshot {
         StatsSnapshot {
             requests_served: Self::get(&self.requests_served),
             cache_hits: Self::get(&self.cache_hits),
@@ -134,6 +135,7 @@ impl Metrics {
             bytes_out: Self::get(&self.bytes_out),
             errors: Self::get(&self.errors),
             workers: workers as u32,
+            epoch,
             per_kind: RequestKind::ALL
                 .iter()
                 .map(|kind| KindLatency {
@@ -171,8 +173,9 @@ mod tests {
         m.observe_latency(RequestKind::TopK, Duration::from_micros(10));
         m.observe_latency(RequestKind::Batch, Duration::from_micros(20));
         Metrics::add(&m.requests_served, 2);
-        let snap = m.snapshot(8);
+        let snap = m.snapshot(8, 5);
         assert_eq!(snap.workers, 8);
+        assert_eq!(snap.epoch, 5);
         assert_eq!(snap.requests_served, 2);
         assert_eq!(snap.per_kind.len(), 4);
         let labels: Vec<&str> = snap.per_kind.iter().map(|k| k.kind.as_str()).collect();

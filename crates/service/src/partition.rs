@@ -94,21 +94,35 @@ pub fn partition_dataset(
 }
 
 /// Builds the owner's attested shard map over already partitioned shards:
-/// one [`ShardEntry`] per shard carrying its record count and per-shard
-/// public key, the whole map signed by the owner's master key.
+/// one [`ShardEntry`] per shard carrying its record count, per-shard public
+/// key and serving addresses (primary first, standbys after), the whole map
+/// — including the publication `epoch` — signed by the owner's master key.
+///
+/// `addrs` holds one address list per shard; pass an empty slice when the
+/// deployment topology is distributed out of band. The epoch is what makes
+/// republication safe: clients never replace a verified map with one whose
+/// epoch is not strictly greater, so a replayed older signed map cannot
+/// roll anyone back.
 pub fn attest_shard_map(
     shards: &[Dataset],
     shard_keys: &[PublicKey],
     master: &dyn Signer,
+    epoch: u64,
+    addrs: &[Vec<std::net::SocketAddr>],
 ) -> SignedShardMap {
     assert_eq!(
         shards.len(),
         shard_keys.len(),
         "one public key per shard is required"
     );
+    assert!(
+        addrs.is_empty() || addrs.len() == shards.len(),
+        "one address list per shard (or none at all) is required"
+    );
     assert!(!shards.is_empty(), "a shard map needs at least one shard");
     let dims = shards[0].dims();
     let map = ShardMap {
+        epoch,
         shard_count: shards.len() as u32,
         total_records: shards.iter().map(|s| s.len() as u64).sum(),
         dims: dims as u32,
@@ -120,6 +134,10 @@ pub fn attest_shard_map(
                 shard_id: shard_id as u32,
                 records: dataset.len() as u64,
                 public_key: public_key.clone(),
+                addrs: addrs
+                    .get(shard_id)
+                    .map(|list| list.iter().map(|a| a.to_string()).collect())
+                    .unwrap_or_default(),
             })
             .collect(),
     };
@@ -251,9 +269,19 @@ mod tests {
             .map(|i| SignatureScheme::test_rsa(100 + i).public_key())
             .collect();
         let master = SignatureScheme::test_rsa(99);
-        let signed = attest_shard_map(&shards, &keys, &master);
+        let addrs: Vec<Vec<std::net::SocketAddr>> = (0..3)
+            .map(|i| {
+                vec![
+                    format!("127.0.0.1:{}", 4200 + 2 * i).parse().unwrap(),
+                    format!("127.0.0.1:{}", 4201 + 2 * i).parse().unwrap(),
+                ]
+            })
+            .collect();
+        let signed = attest_shard_map(&shards, &keys, &master, 5, &addrs);
         assert_eq!(signed.map.shard_count, 3);
         assert_eq!(signed.map.total_records, 10);
+        assert_eq!(signed.map.epoch, 5);
+        assert_eq!(signed.map.shards[1].addrs.len(), 2);
         verify_shard_map(&signed, &master.public_key()).expect("honest map verifies");
 
         // A different master key must reject the map.

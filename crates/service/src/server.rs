@@ -12,7 +12,8 @@ use std::time::{Duration, Instant};
 
 use vaq_authquery::Server;
 use vaq_wire::{
-    ErrorCode, ErrorReply, Request, Response, ShardInfo, StatsSnapshot, WireDecode, WireEncode,
+    ErrorCode, ErrorReply, Request, Response, ShardInfo, SignedShardMap, StatsSnapshot, WireDecode,
+    WireEncode,
 };
 
 use crate::cache::LruCache;
@@ -24,12 +25,38 @@ use crate::pool::WorkerPool;
 
 /// State shared between the accept loop and every worker.
 struct Shared {
-    server: Server,
+    /// The currently serving dataset + authenticated structure. Swapped
+    /// atomically by [`QueryService::republish`]: every request resolves
+    /// this `Arc` exactly once, so a single response can never mix records
+    /// from one epoch with signatures (or an envelope stamp) from another.
+    serving: Mutex<Arc<Server>>,
+    /// The owner-signed shard map this service publishes to clients (reply
+    /// to [`Request::ShardMap`]); `None` on a standalone service.
+    shard_map: Mutex<Option<Arc<SignedShardMap>>>,
     config: ServiceConfig,
     metrics: Metrics,
     cache: Mutex<LruCache>,
     flight: SingleFlight,
     shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// The serving snapshot: one clone of the `Arc`, taken once per request.
+    fn serving(&self) -> Arc<Server> {
+        Arc::clone(&self.serving.lock().expect("serving lock"))
+    }
+}
+
+/// The response-cache (and single-flight) key: the serving epoch prepended
+/// to the canonical query bytes. Keys from superseded epochs can never
+/// collide with current ones, so an in-flight computation started before a
+/// republication publishes under its own epoch's key and cannot poison the
+/// new epoch's cache.
+fn epoch_cache_key(epoch: u64, canonical: &[u8]) -> Vec<u8> {
+    let mut key = Vec::with_capacity(8 + canonical.len());
+    key.extend_from_slice(&epoch.to_be_bytes());
+    key.extend_from_slice(canonical);
+    key
 }
 
 /// A running networked query service over one [`Server`].
@@ -83,7 +110,8 @@ impl QueryService {
             flight: SingleFlight::default(),
             metrics: Metrics::default(),
             shutdown: AtomicBool::new(false),
-            server,
+            serving: Mutex::new(Arc::new(server)),
+            shard_map: Mutex::new(None),
             config,
         });
 
@@ -112,16 +140,74 @@ impl QueryService {
         self.local_addr
     }
 
+    /// The publication epoch the service currently serves.
+    pub fn epoch(&self) -> u64 {
+        self.shared.serving().epoch()
+    }
+
+    /// Hot-swaps the served dataset + authenticated structure for a
+    /// republication, without dropping a single connection.
+    ///
+    /// The new [`Server`]'s epoch (bound into its signatures by
+    /// [`vaq_authquery::IfmhTree::build_at_epoch`]) must be strictly greater
+    /// than the currently served epoch — a republication can never roll the
+    /// service back. On success the response cache is flushed; in-flight
+    /// requests that already resolved the old structure finish against it
+    /// (and stamp their envelope with the *old* epoch, which their
+    /// signatures also bind), while every request arriving after the swap
+    /// sees only the new epoch. Epoch-prefixed cache keys keep the two
+    /// generations apart even while both are briefly in flight.
+    pub fn republish(&self, server: Server) -> Result<u64, ServiceError> {
+        let new_epoch = server.epoch();
+        {
+            let mut serving = self.shared.serving.lock().expect("serving lock");
+            let current = serving.epoch();
+            if new_epoch <= current {
+                return Err(ServiceError::StaleEpoch {
+                    expected: current + 1,
+                    got: new_epoch,
+                });
+            }
+            *serving = Arc::new(server);
+        }
+        // Flush after the swap: every response cached from here on belongs
+        // to a visible epoch. Old-epoch in-flight leaders may still insert
+        // under their epoch-prefixed keys, which no new request can hit.
+        self.shared.cache.lock().expect("cache lock").clear();
+        Ok(new_epoch)
+    }
+
+    /// Publishes (or replaces) the owner-signed shard map this service
+    /// serves in reply to [`Request::ShardMap`].
+    ///
+    /// Rejects rollback: once a map with epoch `e` is published, only maps
+    /// with a strictly greater epoch are accepted — a replayed older signed
+    /// map cannot displace the current one.
+    pub fn set_shard_map(&self, map: SignedShardMap) -> Result<(), ServiceError> {
+        let mut slot = self.shared.shard_map.lock().expect("shard-map lock");
+        if let Some(current) = slot.as_ref() {
+            if map.map.epoch <= current.map.epoch {
+                return Err(ServiceError::StaleEpoch {
+                    expected: current.map.epoch + 1,
+                    got: map.map.epoch,
+                });
+            }
+        }
+        *slot = Some(Arc::new(map));
+        Ok(())
+    }
+
     /// A point-in-time snapshot of the service counters.
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.metrics.snapshot(self.workers)
+        self.shared.metrics.snapshot(self.workers, self.epoch())
     }
 
     /// Stops accepting connections, drains in-flight work, joins every
     /// thread and returns the final counter snapshot.
     pub fn shutdown(mut self) -> StatsSnapshot {
+        let epoch = self.epoch();
         self.shutdown_inner();
-        self.shared.metrics.snapshot(self.workers)
+        self.shared.metrics.snapshot(self.workers, epoch)
     }
 
     fn shutdown_inner(&mut self) {
@@ -293,16 +379,24 @@ fn handle_request(shared: &Shared, payload: &[u8]) -> Vec<u8> {
         }
     };
 
+    // Resolve the serving snapshot exactly once per request: records,
+    // signatures and the envelope epoch stamp all come from this one `Arc`,
+    // so a republication racing this request can never produce a
+    // mixed-epoch response.
+    let serving = shared.serving();
+    let epoch = serving.epoch();
+
     match request {
         Request::Ping => Response::Pong.to_framed_bytes(),
         Request::Stats => {
-            Response::Stats(shared.metrics.snapshot(shared.config.workers)).to_framed_bytes()
+            Response::Stats(shared.metrics.snapshot(shared.config.workers, epoch)).to_framed_bytes()
         }
         Request::ShardInfo => match shared.config.shard {
             Some(role) => Response::ShardInfo(ShardInfo {
                 shard_id: role.shard_id,
                 shard_count: role.shard_count,
-                records: shared.server.dataset().len() as u64,
+                records: serving.dataset().len() as u64,
+                epoch,
             })
             .to_framed_bytes(),
             None => error_response(
@@ -312,21 +406,42 @@ fn handle_request(shared: &Shared, payload: &[u8]) -> Vec<u8> {
             )
             .to_framed_bytes(),
         },
+        Request::ShardMap => {
+            let map = shared.shard_map.lock().expect("shard-map lock").clone();
+            match map {
+                Some(map) => Response::ShardMap(map.as_ref().clone()).to_framed_bytes(),
+                None => error_response(
+                    shared,
+                    ErrorCode::NotSharded,
+                    "service has no published shard map".into(),
+                )
+                .to_framed_bytes(),
+            }
+        }
         // The decoded payload *is* the canonical encoding (decoding consumes
-        // every byte and the format is bijective), so it serves as the cache
-        // and single-flight key without a re-encode.
+        // every byte and the format is bijective), so — prefixed with the
+        // serving epoch — it serves as the cache and single-flight key
+        // without a re-encode.
         Request::Query(query) => {
-            let kind = match query.kind() {
-                vaq_authquery::QueryKind::TopK => RequestKind::TopK,
-                vaq_authquery::QueryKind::Range => RequestKind::Range,
-                vaq_authquery::QueryKind::Knn => RequestKind::Knn,
-            };
-            cached_response(shared, payload, |shared| {
-                process_queries(shared, std::slice::from_ref(&query), kind).map(|mut responses| {
-                    let response = responses.pop().expect("one response per query");
-                    Response::Query(response).to_framed_bytes()
-                })
-            })
+            query_response(shared, &serving, epoch_cache_key(epoch, payload), query)
+        }
+        Request::QueryAt {
+            epoch: pinned,
+            query,
+        } => {
+            if pinned != epoch {
+                return error_response(
+                    shared,
+                    ErrorCode::StaleEpoch,
+                    format!("service serves publication epoch {epoch}, request pinned {pinned}"),
+                )
+                .to_framed_bytes();
+            }
+            // Key on the canonical bytes of the *equivalent plain query*,
+            // so pinned and unpinned requests for the same query at the
+            // same epoch share one cache entry and one flight.
+            let canonical = Request::Query(query.clone()).canonical_bytes();
+            query_response(shared, &serving, epoch_cache_key(epoch, &canonical), query)
         }
         Request::Batch(queries) => {
             if queries.len() > shared.config.max_batch_len {
@@ -341,12 +456,34 @@ fn handle_request(shared: &Shared, payload: &[u8]) -> Vec<u8> {
                 )
                 .to_framed_bytes();
             }
-            cached_response(shared, payload, |shared| {
-                process_queries(shared, &queries, RequestKind::Batch)
-                    .map(|responses| Response::Batch(responses).to_framed_bytes())
+            cached_response(shared, &epoch_cache_key(epoch, payload), |shared| {
+                process_queries(shared, &serving, &queries, RequestKind::Batch)
+                    .map(|responses| Response::Batch { epoch, responses }.to_framed_bytes())
             })
         }
     }
+}
+
+/// Serves one analytic query against a resolved serving snapshot through
+/// the epoch-keyed cache.
+fn query_response(
+    shared: &Shared,
+    serving: &Arc<Server>,
+    key: Vec<u8>,
+    query: vaq_authquery::Query,
+) -> Vec<u8> {
+    let kind = match query.kind() {
+        vaq_authquery::QueryKind::TopK => RequestKind::TopK,
+        vaq_authquery::QueryKind::Range => RequestKind::Range,
+        vaq_authquery::QueryKind::Knn => RequestKind::Knn,
+    };
+    let epoch = serving.epoch();
+    cached_response(shared, &key, |shared| {
+        process_queries(shared, serving, std::slice::from_ref(&query), kind).map(|mut responses| {
+            let response = responses.pop().expect("one response per query");
+            Response::Query { epoch, response }.to_framed_bytes()
+        })
+    })
 }
 
 /// The caller's role for one single-flight key.
@@ -428,10 +565,11 @@ impl Drop for FlightGuard<'_> {
 }
 
 /// Serves a cacheable request through the response cache with single-flight
-/// deduplication. `compute` produces the framed response bytes to cache; an
-/// error reply is returned to the requester but never cached or shared (the
-/// next requester retries the computation).
-fn cached_response<F>(shared: &Shared, payload: &[u8], compute: F) -> Vec<u8>
+/// deduplication, keyed by the caller-built epoch-prefixed key. `compute`
+/// produces the framed response bytes to cache; an error reply is returned
+/// to the requester but never cached or shared (the next requester retries
+/// the computation).
+fn cached_response<F>(shared: &Shared, key: &[u8], compute: F) -> Vec<u8>
 where
     F: Fn(&Shared) -> Result<Vec<u8>, ErrorReply>,
 {
@@ -448,14 +586,14 @@ where
         };
     }
     loop {
-        if let Some(frame) = shared.cache.lock().expect("cache lock").get(payload) {
+        if let Some(frame) = shared.cache.lock().expect("cache lock").get(key) {
             Metrics::add(&shared.metrics.cache_hits, 1);
             return frame.as_ref().clone();
         }
-        let mut guard = match shared.flight.join(payload) {
+        let mut guard = match shared.flight.join(key) {
             Flight::Leader => FlightGuard {
                 flight: &shared.flight,
-                key: payload,
+                key,
                 outcome: None,
             },
             Flight::Follower(Some(frame)) => {
@@ -471,7 +609,7 @@ where
         };
         // Re-check under leadership: a previous leader may have filled the
         // cache between this worker's miss and it winning the key.
-        if let Some(frame) = shared.cache.lock().expect("cache lock").get(payload) {
+        if let Some(frame) = shared.cache.lock().expect("cache lock").get(key) {
             Metrics::add(&shared.metrics.cache_hits, 1);
             guard.outcome = Some(frame.clone());
             return frame.as_ref().clone();
@@ -484,7 +622,7 @@ where
                     .cache
                     .lock()
                     .expect("cache lock")
-                    .insert(payload.to_vec(), Arc::clone(&frame));
+                    .insert(key.to_vec(), Arc::clone(&frame));
                 guard.outcome = Some(Arc::clone(&frame));
                 drop(guard);
                 frame.as_ref().clone()
@@ -494,13 +632,15 @@ where
     }
 }
 
-/// Validates and processes queries, timing the whole run under `kind`.
+/// Validates and processes queries against one resolved serving snapshot,
+/// timing the whole run under `kind`.
 fn process_queries(
     shared: &Shared,
+    serving: &Arc<Server>,
     queries: &[vaq_authquery::Query],
     kind: RequestKind,
 ) -> Result<Vec<vaq_authquery::QueryResponse>, ErrorReply> {
-    let dims = shared.server.dataset().dims();
+    let dims = serving.dataset().dims();
     for query in queries {
         if query.weights().len() != dims {
             return Err(error_reply(
@@ -517,7 +657,7 @@ fn process_queries(
     let result = catch_unwind(AssertUnwindSafe(|| {
         queries
             .iter()
-            .map(|query| shared.server.process(query))
+            .map(|query| serving.process(query))
             .collect::<Vec<_>>()
     }));
     shared.metrics.observe_latency(kind, start.elapsed());

@@ -1,4 +1,5 @@
-//! Sharded deployment tier: scatter-gather querying over disjoint shards.
+//! Sharded deployment tier: scatter-gather querying over disjoint shards,
+//! with epoch-versioned live republication and standby failover.
 //!
 //! One logical dataset is split by the owner into `S` disjoint shards (see
 //! [`crate::partition`]), each hosted by its own [`QueryService`] over its
@@ -24,14 +25,38 @@
 //!   shard; for range, each shard returns exactly its in-range records.
 //!   Hence the union contains the logical answer, and selecting over it
 //!   reproduces exactly what one server hosting all records would return.
+//!
+//! # Live updates: epochs
+//!
+//! The attested map carries a monotonically increasing **publication
+//! epoch**, and every signature in every shard's authenticated structure is
+//! bound to that epoch (see [`vaq_authquery::verify_at_epoch`]). A client
+//! pins every scatter leg to its map's epoch
+//! ([`vaq_wire::Request::QueryAt`]), so a merged answer can never mix
+//! epochs across shards: a shard serving a different epoch answers with a
+//! typed [`vaq_wire::ErrorCode::StaleEpoch`] error, the client re-fetches
+//! the signed map over the wire ([`ShardedClient::refresh`]) and retries.
+//! Refresh rejects rollback — a replayed older signed map can never replace
+//! a newer one — and a replayed *response* from a superseded epoch fails
+//! signature verification because its signatures bind the old epoch.
+//!
+//! # Failover: standbys
+//!
+//! Each map entry lists every address serving that shard (primary first,
+//! standbys after); all of them hold the same shard data under the same
+//! attested per-shard key. When a scatter leg dies mid-query, the client
+//! retries that leg against the remaining attested addresses — the standby
+//! handshake and response verify against the very same map entry, so the
+//! takeover cannot weaken the completeness argument.
 
 use std::collections::HashSet;
 use std::net::SocketAddr;
+use std::time::Duration;
 
 use vaq_authquery::{client, IfmhTree, Query, Server, SigningMode};
 use vaq_crypto::{PublicKey, SignatureScheme};
 use vaq_funcdb::{Dataset, FunctionTemplate, Record};
-use vaq_wire::{Request, Response, SignedShardMap, StatsSnapshot};
+use vaq_wire::{ErrorCode, Request, Response, ShardEntry, SignedShardMap, StatsSnapshot};
 
 use crate::client::ServiceClient;
 use crate::config::{ServiceConfig, ShardRole};
@@ -45,7 +70,8 @@ use crate::server::QueryService;
 /// [`vaq_authquery::PublishedMetadata`].
 #[derive(Clone, Debug)]
 pub struct ShardedPublication {
-    /// The owner-signed partition description.
+    /// The owner-signed partition description (carries the epoch and every
+    /// serving address per shard).
     pub shard_map: SignedShardMap,
     /// The owner's master public key (verifies the shard map itself).
     pub master_key: PublicKey,
@@ -53,26 +79,44 @@ pub struct ShardedPublication {
     pub template: FunctionTemplate,
 }
 
-/// An owner-launched sharded deployment: `S` in-process [`QueryService`]s,
-/// each hosting one disjoint shard of one logical dataset under its own
-/// signing key, plus the attested shard map clients verify against.
+/// An owner-launched sharded deployment: `S` primary [`QueryService`]s (plus
+/// optional standby replicas per shard), each hosting one disjoint shard of
+/// one logical dataset under its own signing key, plus the attested shard
+/// map clients verify against.
 ///
-/// In production the `S` services would run on separate hosts; this harness
+/// In production the services would run on separate hosts; this harness
 /// wires the same objects up in one process, which is exactly what the
 /// integration suite and the `sharded_throughput` benchmark need — the wire
 /// protocol, verification and merge paths are identical either way.
 pub struct ShardedDeployment {
-    /// `None` marks a shard stopped via [`ShardedDeployment::stop_shard`];
+    /// `None` marks a primary stopped via [`ShardedDeployment::stop_shard`];
     /// indices stay aligned with shard ids and [`ShardedDeployment::addrs`].
-    services: Vec<Option<QueryService>>,
+    primaries: Vec<Option<QueryService>>,
+    /// Standby replicas per shard, each holding the same shard data and key
+    /// as its primary.
+    standbys: Vec<Vec<QueryService>>,
+    /// Primary addresses, in shard-id order.
     addrs: Vec<SocketAddr>,
+    /// Every address serving each shard (primary first, standbys after) —
+    /// the lists the attested map carries.
+    shard_addrs: Vec<Vec<SocketAddr>>,
+    /// Per-shard signing keys, kept so a republication re-signs each shard
+    /// under the same attested key.
+    schemes: Vec<SignatureScheme>,
+    /// The owner's master key, kept to re-sign the map at each epoch.
+    master: SignatureScheme,
+    mode: SigningMode,
+    strategy: PartitionStrategy,
+    epoch: u64,
     publication: ShardedPublication,
 }
 
 impl std::fmt::Debug for ShardedDeployment {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedDeployment")
-            .field("shards", &self.services.len())
+            .field("shards", &self.primaries.len())
+            .field("standbys_per_shard", &self.standbys.first().map(Vec::len))
+            .field("epoch", &self.epoch)
             .field("addrs", &self.addrs)
             .finish()
     }
@@ -91,13 +135,31 @@ impl ShardedDeployment {
         seed: u64,
         base_config: ServiceConfig,
     ) -> Result<ShardedDeployment, ServiceError> {
-        if shard_count > 1 && base_config.bind_addr.port() != 0 {
+        Self::launch_with_standbys(dataset, shard_count, mode, seed, base_config, 0)
+    }
+
+    /// Like [`ShardedDeployment::launch`], additionally binding
+    /// `standby_count` standby [`QueryService`]s per shard. Each standby
+    /// hosts the same shard data under the same per-shard signing key, and
+    /// every serving address is listed (primary first) in the attested map
+    /// entry — which is what lets a [`ShardedClient`] fail a dead scatter
+    /// leg over without weakening verification.
+    pub fn launch_with_standbys(
+        dataset: &Dataset,
+        shard_count: usize,
+        mode: SigningMode,
+        seed: u64,
+        base_config: ServiceConfig,
+        standby_count: usize,
+    ) -> Result<ShardedDeployment, ServiceError> {
+        if (shard_count > 1 || standby_count > 0) && base_config.bind_addr.port() != 0 {
             return Err(ServiceError::Io(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
-                "a multi-shard deployment needs an ephemeral bind port (port 0)",
+                "a multi-service deployment needs an ephemeral bind port (port 0)",
             )));
         }
-        let shards = partition_dataset(dataset, shard_count, PartitionStrategy::RoundRobin);
+        let strategy = PartitionStrategy::RoundRobin;
+        let shards = partition_dataset(dataset, shard_count, strategy);
         // Distinct keys per shard: a compromised shard cannot answer with
         // another shard's validly signed data, because the client verifies
         // shard i's responses under shard i's attested key.
@@ -105,40 +167,134 @@ impl ShardedDeployment {
             .map(|i| SignatureScheme::new_rsa(128, seed.wrapping_add(1 + i as u64)))
             .collect();
         let master = SignatureScheme::new_rsa(128, seed);
-        let keys: Vec<PublicKey> = schemes.iter().map(|s| s.public_key()).collect();
-        let shard_map = attest_shard_map(&shards, &keys, &master);
+        let epoch = 0u64;
 
-        let mut services = Vec::with_capacity(shard_count);
+        let mut primaries = Vec::with_capacity(shard_count);
+        let mut standbys: Vec<Vec<QueryService>> = Vec::with_capacity(shard_count);
         let mut addrs = Vec::with_capacity(shard_count);
+        let mut shard_addrs: Vec<Vec<SocketAddr>> = Vec::with_capacity(shard_count);
         for (shard_id, (shard_dataset, scheme)) in shards.iter().zip(&schemes).enumerate() {
-            let tree = IfmhTree::build(shard_dataset, mode, scheme);
-            let config = base_config.clone().shard_role(ShardRole {
+            let role = ShardRole {
                 shard_id: shard_id as u32,
                 shard_count: shard_count as u32,
-            });
-            let service = QueryService::bind(config, Server::new(shard_dataset.clone(), tree))?;
-            addrs.push(service.local_addr());
-            services.push(Some(service));
+            };
+            let mut replica_addrs = Vec::with_capacity(1 + standby_count);
+            let mut replicas = Vec::with_capacity(1 + standby_count);
+            // One build per shard; the replicas share clones, so every
+            // signature a client sees is identical across the primary and
+            // its standbys by construction (and the owner pays the
+            // LP-oracle pass and the signatures once, not once per
+            // replica).
+            let tree = IfmhTree::build_at_epoch(shard_dataset, mode, scheme, epoch);
+            for _replica in 0..=standby_count {
+                let config = base_config.clone().shard_role(role);
+                let service =
+                    QueryService::bind(config, Server::new(shard_dataset.clone(), tree.clone()))?;
+                replica_addrs.push(service.local_addr());
+                replicas.push(service);
+            }
+            addrs.push(replica_addrs[0]);
+            shard_addrs.push(replica_addrs);
+            let mut replicas = replicas.into_iter();
+            primaries.push(replicas.next());
+            standbys.push(replicas.collect());
         }
-        Ok(ShardedDeployment {
-            services,
+
+        let keys: Vec<PublicKey> = schemes.iter().map(|s| s.public_key()).collect();
+        let shard_map = attest_shard_map(&shards, &keys, &master, epoch, &shard_addrs);
+        let publication = ShardedPublication {
+            shard_map: shard_map.clone(),
+            master_key: master.public_key(),
+            template: dataset.template.clone(),
+        };
+        let deployment = ShardedDeployment {
+            primaries,
+            standbys,
             addrs,
-            publication: ShardedPublication {
-                shard_map,
-                master_key: master.public_key(),
-                template: dataset.template.clone(),
-            },
-        })
+            shard_addrs,
+            schemes,
+            master,
+            mode,
+            strategy,
+            epoch,
+            publication,
+        };
+        deployment.push_shard_map(&shard_map)?;
+        Ok(deployment)
     }
 
-    /// The addresses the shards listen on, in shard-id order.
+    /// Hands the current signed map to every live service so clients can
+    /// re-fetch it over the wire ([`vaq_wire::Request::ShardMap`]).
+    fn push_shard_map(&self, map: &SignedShardMap) -> Result<(), ServiceError> {
+        for service in self.live_services() {
+            service.set_shard_map(map.clone())?;
+        }
+        Ok(())
+    }
+
+    fn live_services(&self) -> impl Iterator<Item = &QueryService> {
+        self.primaries
+            .iter()
+            .flatten()
+            .chain(self.standbys.iter().flatten())
+    }
+
+    /// Republishes the logical dataset: re-partitions `dataset`, rebuilds
+    /// every shard's authenticated structure **at the next epoch** under
+    /// the same per-shard keys, re-signs the shard map with the master key,
+    /// and hot-swaps every live service (primaries and standbys) without
+    /// dropping a connection.
+    ///
+    /// Services flip one at a time, so a scatter pinned to either epoch can
+    /// transiently observe a mix of old- and new-epoch shards; the
+    /// epoch-pinned protocol turns that into typed
+    /// [`vaq_wire::ErrorCode::StaleEpoch`] rejections (never a mixed-epoch
+    /// merge), and clients converge by re-fetching the map. Returns the new
+    /// epoch.
+    pub fn republish(&mut self, dataset: &Dataset) -> Result<u64, ServiceError> {
+        let epoch = self.epoch + 1;
+        let shard_count = self.primaries.len();
+        let shards = partition_dataset(dataset, shard_count, self.strategy);
+        let keys: Vec<PublicKey> = self.schemes.iter().map(|s| s.public_key()).collect();
+        let shard_map = attest_shard_map(&shards, &keys, &self.master, epoch, &self.shard_addrs);
+
+        for (shard_id, shard_dataset) in shards.iter().enumerate() {
+            let scheme = &self.schemes[shard_id];
+            let primary = self.primaries[shard_id].iter();
+            let replicas = primary.chain(self.standbys[shard_id].iter());
+            // One rebuild per shard, cloned into every replica — this keeps
+            // the rollout window (during which stale-epoch rejections are
+            // served) as short as the owner can make it.
+            let tree = IfmhTree::build_at_epoch(shard_dataset, self.mode, scheme, epoch);
+            for service in replicas {
+                service.republish(Server::new(shard_dataset.clone(), tree.clone()))?;
+            }
+        }
+        self.push_shard_map(&shard_map)?;
+        self.epoch = epoch;
+        self.publication.shard_map = shard_map;
+        self.publication.template = dataset.template.clone();
+        Ok(epoch)
+    }
+
+    /// The primary addresses the shards listen on, in shard-id order.
     pub fn addrs(&self) -> &[SocketAddr] {
         &self.addrs
     }
 
+    /// Every address serving each shard (primary first, standbys after).
+    pub fn shard_addrs(&self) -> &[Vec<SocketAddr>] {
+        &self.shard_addrs
+    }
+
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.services.len()
+        self.primaries.len()
+    }
+
+    /// The current publication epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The verification material a data user needs (shard map, master key,
@@ -147,41 +303,49 @@ impl ShardedDeployment {
         &self.publication
     }
 
-    /// Connects a verifying scatter-gather client to this deployment.
+    /// Connects a verifying scatter-gather client to this deployment's
+    /// primaries.
     pub fn client(&self) -> Result<ShardedClient, ServiceError> {
         ShardedClient::connect(&self.addrs, &self.publication)
     }
 
-    /// Per-shard counter snapshots for the shards still running, in
+    /// Per-shard counter snapshots for the primaries still running, in
     /// shard-id order.
     pub fn stats(&self) -> Vec<StatsSnapshot> {
-        self.services.iter().flatten().map(|s| s.stats()).collect()
+        self.primaries.iter().flatten().map(|s| s.stats()).collect()
     }
 
-    /// Shuts down one shard (simulating a shard outage) and returns its
-    /// final stats. Panics if `shard_id` is out of range or already down.
+    /// Shuts down one shard's primary (simulating a shard outage; any
+    /// standbys keep serving) and returns its final stats. Panics if
+    /// `shard_id` is out of range or the primary is already down.
     pub fn stop_shard(&mut self, shard_id: usize) -> StatsSnapshot {
-        self.services[shard_id]
+        self.primaries[shard_id]
             .take()
-            .unwrap_or_else(|| panic!("shard {shard_id} is already down"))
+            .unwrap_or_else(|| panic!("shard {shard_id} primary is already down"))
             .shutdown()
     }
 
-    /// Stops every still-running shard and returns their final stats in
-    /// shard-id order.
+    /// Stops every still-running service (primaries, then standbys) and
+    /// returns the primaries' final stats in shard-id order.
     pub fn shutdown(self) -> Vec<StatsSnapshot> {
-        self.services
+        let stats = self
+            .primaries
             .into_iter()
             .flatten()
             .map(|s| s.shutdown())
-            .collect()
+            .collect();
+        for standby in self.standbys.into_iter().flatten() {
+            standby.shutdown();
+        }
+        stats
     }
 }
 
-/// One shard connection plus its attested identity.
+/// One shard connection plus its attested identity and current address.
 struct ShardConnection {
-    entry: vaq_wire::ShardEntry,
+    entry: ShardEntry,
     client: ServiceClient,
+    addr: SocketAddr,
 }
 
 /// The merged, fully verified answer to one sharded query.
@@ -198,18 +362,27 @@ pub struct ShardedResponse {
     pub per_shard_returned: Vec<usize>,
 }
 
+/// How long a failover connect to a standby address may take.
+const FAILOVER_CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+
 /// A verifying scatter-gather front-end over a sharded deployment.
 ///
-/// Holds one [`ServiceClient`] per shard. Every query is sent to all shards
-/// (pipelined: all requests go out before the first response is read), each
-/// response is verified under that shard's attested key, and the verified
-/// per-shard answers are merged. Any shard failure — connection down, error
-/// reply, verification failure — fails the whole query with a typed
-/// [`ServiceError::ShardFailed`]; there are no silent partial answers.
+/// Holds one [`ServiceClient`] per shard. Every query is pinned to the
+/// client's verified map epoch and sent to all shards (pipelined: all
+/// requests go out before the first response is read), each response is
+/// verified under that shard's attested key **at that epoch**, and the
+/// verified per-shard answers are merged. A shard failure is retried
+/// against the shard's attested standby addresses; if no address serves the
+/// leg, the whole query fails with a typed [`ServiceError::ShardFailed`] —
+/// there are never silent partial answers. A typed stale-epoch rejection
+/// (the deployment republished) is surfaced so the caller can
+/// [`ShardedClient::refresh`] and retry at the new epoch.
 pub struct ShardedClient {
     shards: Vec<ShardConnection>,
     template: FunctionTemplate,
+    master_key: PublicKey,
     total_records: u64,
+    epoch: u64,
 }
 
 impl std::fmt::Debug for ShardedClient {
@@ -217,17 +390,79 @@ impl std::fmt::Debug for ShardedClient {
         f.debug_struct("ShardedClient")
             .field("shards", &self.shards.len())
             .field("total_records", &self.total_records)
+            .field("epoch", &self.epoch)
             .finish()
+    }
+}
+
+/// Opens one shard connection and handshakes its identity — shard id,
+/// deployment size, record count **and serving epoch** — against the
+/// verified map.
+fn open_shard_connection(
+    addr: SocketAddr,
+    entry: &ShardEntry,
+    shard_count: u32,
+    epoch: u64,
+) -> Result<ShardConnection, ServiceError> {
+    let mut client = ServiceClient::connect_timeout(&addr, FAILOVER_CONNECT_TIMEOUT)?;
+    let info = client.shard_info()?;
+    if info.shard_id != entry.shard_id
+        || info.shard_count != shard_count
+        || info.records != entry.records
+    {
+        return Err(ServiceError::ShardMap(format!(
+            "{addr} reports shard {}/{} with {} records, map attests shard {}/{} with {}",
+            info.shard_id,
+            info.shard_count,
+            info.records,
+            entry.shard_id,
+            shard_count,
+            entry.records
+        )));
+    }
+    if info.epoch != epoch {
+        return Err(ServiceError::StaleEpoch {
+            expected: epoch,
+            got: info.epoch,
+        });
+    }
+    Ok(ShardConnection {
+        entry: entry.clone(),
+        client,
+        addr,
+    })
+}
+
+/// The attested failover candidates for one map entry, excluding `current`.
+fn failover_candidates(entry: &ShardEntry, current: SocketAddr) -> Vec<SocketAddr> {
+    entry
+        .addrs
+        .iter()
+        .filter_map(|a| a.parse().ok())
+        .filter(|a| *a != current)
+        .collect()
+}
+
+/// True when a scatter-leg failure is a transport-level outage worth
+/// retrying on a standby (as opposed to a verification failure, an epoch
+/// mismatch or a protocol rejection, which a standby holding the same data
+/// would reproduce — or worse, mask).
+fn is_failover_worthy(error: &ServiceError) -> bool {
+    match error {
+        ServiceError::Io(_) => true,
+        ServiceError::Remote(reply) => reply.code == ErrorCode::ShuttingDown,
+        _ => false,
     }
 }
 
 impl ShardedClient {
     /// Verifies the published shard map, connects to every shard and
-    /// handshakes each connection's shard identity against the map.
+    /// handshakes each connection's shard identity (including the serving
+    /// epoch) against the map.
     ///
     /// `addrs[i]` must host the shard the map lists as shard `i`; a
-    /// mismatch (wrong shard id, wrong deployment size, wrong record count)
-    /// is rejected with [`ServiceError::ShardMap`] before any query runs.
+    /// mismatch (wrong shard id, wrong deployment size, wrong record count,
+    /// wrong epoch) is rejected with a typed error before any query runs.
     pub fn connect(
         addrs: &[SocketAddr],
         publication: &ShardedPublication,
@@ -243,34 +478,64 @@ impl ShardedClient {
         }
         let mut shards = Vec::with_capacity(addrs.len());
         for (entry, addr) in map.shards.iter().zip(addrs) {
-            let mut client =
-                ServiceClient::connect(addr).map_err(|e| shard_failed(entry.shard_id, e))?;
-            let info = client
-                .shard_info()
+            let connection = open_shard_connection(*addr, entry, map.shard_count, map.epoch)
                 .map_err(|e| shard_failed(entry.shard_id, e))?;
-            if info.shard_id != entry.shard_id
-                || info.shard_count != map.shard_count
-                || info.records != entry.records
-            {
-                return Err(ServiceError::ShardMap(format!(
-                    "{addr} reports shard {}/{} with {} records, map attests shard {}/{} with {}",
-                    info.shard_id,
-                    info.shard_count,
-                    info.records,
-                    entry.shard_id,
-                    map.shard_count,
-                    entry.records
-                )));
-            }
-            shards.push(ShardConnection {
-                entry: entry.clone(),
-                client,
-            });
+            shards.push(connection);
         }
         Ok(ShardedClient {
             shards,
             template: publication.template.clone(),
+            master_key: publication.master_key.clone(),
             total_records: map.total_records,
+            epoch: map.epoch,
+        })
+    }
+
+    /// Connects using the serving addresses the attested map itself lists,
+    /// trying each shard's addresses in order (primary first, standbys
+    /// after) until one handshakes.
+    pub fn connect_from_map(
+        publication: &ShardedPublication,
+    ) -> Result<ShardedClient, ServiceError> {
+        verify_shard_map(&publication.shard_map, &publication.master_key)?;
+        let map = &publication.shard_map.map;
+        let mut shards = Vec::with_capacity(map.shards.len());
+        for entry in &map.shards {
+            let candidates: Vec<SocketAddr> =
+                entry.addrs.iter().filter_map(|a| a.parse().ok()).collect();
+            if candidates.is_empty() {
+                return Err(ServiceError::ShardMap(format!(
+                    "map entry for shard {} lists no usable addresses",
+                    entry.shard_id
+                )));
+            }
+            let mut last_error = None;
+            let mut connected = None;
+            for addr in candidates {
+                match open_shard_connection(addr, entry, map.shard_count, map.epoch) {
+                    Ok(connection) => {
+                        connected = Some(connection);
+                        break;
+                    }
+                    Err(e) => last_error = Some(e),
+                }
+            }
+            match connected {
+                Some(connection) => shards.push(connection),
+                None => {
+                    return Err(shard_failed(
+                        entry.shard_id,
+                        last_error.expect("at least one candidate was tried"),
+                    ))
+                }
+            }
+        }
+        Ok(ShardedClient {
+            shards,
+            template: publication.template.clone(),
+            master_key: publication.master_key.clone(),
+            total_records: map.total_records,
+            epoch: map.epoch,
         })
     }
 
@@ -279,26 +544,128 @@ impl ShardedClient {
         self.shards.len()
     }
 
-    /// Scatters `query` to every shard, verifies every per-shard response
-    /// under its attested key, and merges the results into the logical
-    /// answer (ascending score order, exactly as a single server over the
-    /// whole dataset would return).
+    /// The publication epoch this client currently pins every query to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Re-fetches the signed shard map over the wire and adopts it.
+    ///
+    /// Called after a typed stale-epoch rejection told the client the
+    /// deployment republished. The offered map must verify under the same
+    /// master key and must carry a **strictly newer** epoch than the one
+    /// the client already verified — an older (replayed) signed map is
+    /// rejected with [`ServiceError::StaleEpoch`], so a client can never be
+    /// rolled back to a superseded publication. On success every shard
+    /// connection is re-opened against the new map's address lists; returns
+    /// the adopted epoch. A same-epoch offer leaves the client unchanged.
+    pub fn refresh(&mut self) -> Result<u64, ServiceError> {
+        let offered = self.fetch_map()?;
+        self.adopt_map(offered)
+    }
+
+    /// Fetches the current signed map from any reachable serving address.
+    fn fetch_map(&mut self) -> Result<SignedShardMap, ServiceError> {
+        let mut last_error: Option<ServiceError> = None;
+        for shard in &mut self.shards {
+            // Prefer the live connection; fall back to a fresh socket per
+            // attested address (the old connection may be desynced or dead).
+            match shard.client.shard_map() {
+                Ok(map) => return Ok(map),
+                Err(e) => last_error = Some(e),
+            }
+            for addr in shard.entry.addrs.iter().filter_map(|a| a.parse().ok()) {
+                let attempt = ServiceClient::connect_timeout(&addr, FAILOVER_CONNECT_TIMEOUT)
+                    .and_then(|mut fresh| fresh.shard_map());
+                match attempt {
+                    Ok(map) => return Ok(map),
+                    Err(e) => last_error = Some(e),
+                }
+            }
+        }
+        Err(last_error.unwrap_or_else(|| {
+            ServiceError::ShardMap("no shard connection to fetch the map from".into())
+        }))
+    }
+
+    /// Verifies an offered signed map and, when it is strictly newer than
+    /// the one this client already verified, reconnects every shard against
+    /// it. This is the rollback gate: a map carrying an *older* epoch — a
+    /// replayed earlier publication, however validly signed — is rejected
+    /// with [`ServiceError::StaleEpoch`], and a same-epoch offer is a
+    /// no-op. Used by [`ShardedClient::refresh`] for maps fetched over the
+    /// wire, and callable directly for maps distributed out of band.
+    pub fn adopt_map(&mut self, offered: SignedShardMap) -> Result<u64, ServiceError> {
+        verify_shard_map(&offered, &self.master_key)?;
+        if offered.map.epoch < self.epoch {
+            return Err(ServiceError::StaleEpoch {
+                expected: self.epoch,
+                got: offered.map.epoch,
+            });
+        }
+        if offered.map.epoch == self.epoch {
+            return Ok(self.epoch);
+        }
+        let map = &offered.map;
+        let mut shards = Vec::with_capacity(map.shards.len());
+        for entry in &map.shards {
+            let mut candidates: Vec<SocketAddr> =
+                entry.addrs.iter().filter_map(|a| a.parse().ok()).collect();
+            if candidates.is_empty() {
+                // Entries without attested addresses fall back to the
+                // address this client already used for the shard.
+                if let Some(existing) = self.shards.get(entry.shard_id as usize) {
+                    candidates.push(existing.addr);
+                }
+            }
+            let mut last_error = None;
+            let mut connected = None;
+            for addr in candidates {
+                match open_shard_connection(addr, entry, map.shard_count, map.epoch) {
+                    Ok(connection) => {
+                        connected = Some(connection);
+                        break;
+                    }
+                    Err(e) => last_error = Some(e),
+                }
+            }
+            match connected {
+                Some(connection) => shards.push(connection),
+                None => {
+                    return Err(shard_failed(
+                        entry.shard_id,
+                        last_error.unwrap_or_else(|| {
+                            ServiceError::ShardMap("no usable address for shard".into())
+                        }),
+                    ))
+                }
+            }
+        }
+        self.shards = shards;
+        self.total_records = map.total_records;
+        self.epoch = map.epoch;
+        Ok(self.epoch)
+    }
+
+    /// Scatters `query` to every shard pinned to the client's map epoch,
+    /// verifies every per-shard response under its attested key at that
+    /// epoch, and merges the results into the logical answer (ascending
+    /// score order, exactly as a single server over the whole dataset would
+    /// return). A dead scatter leg is retried against the shard's attested
+    /// standby addresses before the query is failed.
     pub fn query_verified(&mut self, query: &Query) -> Result<ShardedResponse, ServiceError> {
-        let request = Request::Query(query.clone());
+        let request = Request::QueryAt {
+            epoch: self.epoch,
+            query: query.clone(),
+        };
         let mut failure: Option<ServiceError> = None;
 
         // Scatter: put one request in flight on every shard before reading
-        // any response, so the per-shard work overlaps.
+        // any response, so the per-shard work overlaps. A failed send is
+        // retried on a standby during the gather phase.
         let mut sent = vec![false; self.shards.len()];
         for (i, shard) in self.shards.iter_mut().enumerate() {
-            match shard.client.send(&request) {
-                Ok(()) => sent[i] = true,
-                Err(e) => {
-                    if failure.is_none() {
-                        failure = Some(shard_failed(shard.entry.shard_id, e));
-                    }
-                }
-            }
+            sent[i] = shard.client.send(&request).is_ok();
         }
 
         // Gather: read every in-flight response even after a failure, so
@@ -306,24 +673,24 @@ impl ShardedClient {
         // query.
         let mut candidates: Vec<(f64, Record)> = Vec::new();
         let mut per_shard_returned = vec![0usize; self.shards.len()];
-        let template = &self.template;
-        for (i, shard) in self.shards.iter_mut().enumerate() {
-            if !sent[i] {
-                continue;
-            }
-            let outcome = shard.client.receive().and_then(|response| match response {
-                Response::Query(response) => {
-                    let verified = client::verify(
-                        query,
-                        &response.records,
-                        &response.vo,
-                        template,
-                        &shard.entry.public_key,
-                    )?;
-                    Ok((response.records, verified.scores))
-                }
-                other => Err(crate::client::unexpected(&other)),
-            });
+        for i in 0..self.shards.len() {
+            let outcome = if sent[i] {
+                let shard = &mut self.shards[i];
+                let epoch = self.epoch;
+                let template = &self.template;
+                shard.client.receive().and_then(|response| {
+                    interpret_leg(response, query, template, &shard.entry, epoch)
+                })
+            } else {
+                Err(ServiceError::Io(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "scatter send failed",
+                )))
+            };
+            let outcome = match outcome {
+                Err(e) if is_failover_worthy(&e) => self.failover_leg(i, &request, query, e),
+                other => other,
+            };
             match outcome {
                 Ok((records, scores)) => {
                     per_shard_returned[i] = records.len();
@@ -331,7 +698,7 @@ impl ShardedClient {
                 }
                 Err(e) => {
                     if failure.is_none() {
-                        failure = Some(shard_failed(shard.entry.shard_id, e));
+                        failure = Some(shard_failed(self.shards[i].entry.shard_id, e));
                     }
                 }
             }
@@ -341,6 +708,57 @@ impl ShardedClient {
         }
 
         merge(query, candidates, self.total_records, per_shard_returned)
+    }
+
+    /// Retries one failed scatter leg against the shard's attested standby
+    /// addresses. On success the standby connection replaces the dead one.
+    ///
+    /// Two standby-side failures are *not* smoothed over by trying further
+    /// candidates or reporting the original transport error instead:
+    ///
+    /// * a **stale-epoch** rejection (handshake or reply) — the shard moved
+    ///   to a new publication, and the caller must see a stale-epoch error
+    ///   so it refreshes the signed map and re-pins, rather than treating
+    ///   the leg as a plain outage and giving up;
+    /// * a **verification failure** — a standby serving data that does not
+    ///   verify under the attested key must surface, never be masked by a
+    ///   retry.
+    ///
+    /// Only transport-level failures fall through to the next candidate;
+    /// with no candidate left, the original error is returned.
+    fn failover_leg(
+        &mut self,
+        index: usize,
+        request: &Request,
+        query: &Query,
+        original: ServiceError,
+    ) -> Result<(Vec<Record>, Vec<f64>), ServiceError> {
+        let entry = self.shards[index].entry.clone();
+        let current = self.shards[index].addr;
+        let epoch = self.epoch;
+        let shard_count = self.shards.len() as u32;
+        for addr in failover_candidates(&entry, current) {
+            let mut connection = match open_shard_connection(addr, &entry, shard_count, epoch) {
+                Ok(connection) => connection,
+                Err(e) if e.is_stale_epoch() => return Err(e),
+                Err(_) => continue,
+            };
+            let outcome = connection
+                .client
+                .call(request)
+                .and_then(|response| interpret_leg(response, query, &self.template, &entry, epoch));
+            match outcome {
+                Ok(result) => {
+                    self.shards[index] = connection;
+                    return Ok(result);
+                }
+                Err(e) if e.is_stale_epoch() || matches!(e, ServiceError::Verification(_)) => {
+                    return Err(e)
+                }
+                Err(_) => continue,
+            }
+        }
+        Err(original)
     }
 
     /// Fetches every shard's counter snapshot, in shard-id order.
@@ -354,6 +772,44 @@ impl ShardedClient {
                     .map_err(|e| shard_failed(shard.entry.shard_id, e))
             })
             .collect()
+    }
+}
+
+/// Interprets one scatter-leg response: checks the envelope epoch stamp,
+/// verifies the records + VO under the shard's attested key at the pinned
+/// epoch, and returns the verified (records, scores).
+fn interpret_leg(
+    response: Response,
+    query: &Query,
+    template: &FunctionTemplate,
+    entry: &ShardEntry,
+    epoch: u64,
+) -> Result<(Vec<Record>, Vec<f64>), ServiceError> {
+    match response {
+        Response::Query {
+            epoch: served,
+            response,
+        } => {
+            // The envelope stamp is unauthenticated, but a mismatch is a
+            // cheap early reject; a *forged* stamp still fails below
+            // because the response's signatures bind the real epoch.
+            if served != epoch {
+                return Err(ServiceError::StaleEpoch {
+                    expected: epoch,
+                    got: served,
+                });
+            }
+            let verified = client::verify_at_epoch(
+                query,
+                &response.records,
+                &response.vo,
+                template,
+                &entry.public_key,
+                epoch,
+            )?;
+            Ok((response.records, verified.scores))
+        }
+        other => Err(crate::client::unexpected(&other)),
     }
 }
 
@@ -505,5 +961,43 @@ mod tests {
             merged.records.iter().map(|r| r.id).collect::<Vec<_>>(),
             [2, 4, 9]
         );
+    }
+
+    #[test]
+    fn failover_candidates_exclude_the_current_address_and_junk() {
+        let entry = ShardEntry {
+            shard_id: 0,
+            records: 5,
+            public_key: SignatureScheme::test_rsa(1).public_key(),
+            addrs: vec![
+                "127.0.0.1:4300".into(),
+                "not-an-address".into(),
+                "127.0.0.1:4301".into(),
+            ],
+        };
+        let current: SocketAddr = "127.0.0.1:4300".parse().unwrap();
+        let candidates = failover_candidates(&entry, current);
+        assert_eq!(candidates, vec!["127.0.0.1:4301".parse().unwrap()]);
+    }
+
+    #[test]
+    fn only_transport_outages_are_failover_worthy() {
+        let io = ServiceError::Io(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "down"));
+        assert!(is_failover_worthy(&io));
+        let shutting_down = ServiceError::Remote(vaq_wire::ErrorReply {
+            code: ErrorCode::ShuttingDown,
+            message: "bye".into(),
+        });
+        assert!(is_failover_worthy(&shutting_down));
+        // A stale epoch means "refresh the map", not "try a standby" — the
+        // standby serves the same epoch as its primary.
+        let stale = ServiceError::Remote(vaq_wire::ErrorReply {
+            code: ErrorCode::StaleEpoch,
+            message: "epoch moved".into(),
+        });
+        assert!(!is_failover_worthy(&stale));
+        // A verification failure must surface, never be masked by a retry.
+        let bad = ServiceError::ShardMap("not disjoint".into());
+        assert!(!is_failover_worthy(&bad));
     }
 }

@@ -328,6 +328,119 @@ fn concurrent_identical_queries_compute_once() {
 }
 
 #[test]
+fn republish_races_inflight_identical_queries_without_mixing_epochs() {
+    // N clients hammer the *same* query while the owner hot-swaps the
+    // dataset to the next epoch mid-run. Requirements: every response
+    // verifies at its own envelope epoch (a mixed-epoch response — new
+    // records under old signatures or vice versa — would fail), the epoch
+    // stamp only ever moves forward per connection, and the cache counters
+    // stay consistent (hits + misses == queries, with only a handful of
+    // misses thanks to epoch-keyed single-flight dedup).
+    const CLIENTS: usize = 6;
+    const QUERIES_PER_CLIENT: usize = 15;
+    let dataset = uniform_dataset(30, 1, 2025);
+    let scheme = SignatureScheme::test_rsa(2025);
+    let service = QueryService::bind(
+        ServiceConfig::ephemeral().workers(CLIENTS),
+        Server::new(
+            dataset.clone(),
+            IfmhTree::build_at_epoch(&dataset, SigningMode::MultiSignature, &scheme, 0),
+        ),
+    )
+    .unwrap();
+    let addr = service.local_addr();
+    assert_eq!(service.epoch(), 0);
+
+    // The republished dataset: same records, two attributes nudged.
+    let mut updated = dataset.clone();
+    updated.records[5].attrs[0] = (updated.records[5].attrs[0] + 0.31) % 1.0;
+    updated.records[17].attrs[0] = (updated.records[17].attrs[0] + 0.53) % 1.0;
+    let updated = Dataset::new(updated.records, updated.template, updated.domain);
+    let updated_tree = IfmhTree::build_at_epoch(&updated, SigningMode::MultiSignature, &scheme, 1);
+
+    // A wide range query keeps each computation slow enough for genuine
+    // overlap between the clients and the swap.
+    let query = Query::range(vec![0.5], -1.0, 2.0);
+    let template = Arc::new(dataset.template.clone());
+    let public_key: Arc<PublicKey> = Arc::new(scheme.public_key());
+    let barrier = Arc::new(std::sync::Barrier::new(CLIENTS + 1));
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let query = query.clone();
+            let template = Arc::clone(&template);
+            let public_key = Arc::clone(&public_key);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = ServiceClient::connect(addr).expect("connect");
+                barrier.wait();
+                let mut epochs_seen = Vec::new();
+                for round in 0..QUERIES_PER_CLIENT {
+                    let (epoch, response) = client
+                        .query_with_epoch(&query)
+                        .unwrap_or_else(|e| panic!("client {i} round {round}: {e}"));
+                    // The response must be internally consistent with its
+                    // own stamp: records, VO and signatures all from one
+                    // epoch's structure.
+                    vaq_authquery::verify_at_epoch(
+                        &query,
+                        &response.records,
+                        &response.vo,
+                        &template,
+                        public_key.as_ref(),
+                        epoch,
+                    )
+                    .unwrap_or_else(|e| {
+                        panic!("client {i} round {round}: mixed-epoch response at {epoch}: {e:?}")
+                    });
+                    epochs_seen.push(epoch);
+                }
+                epochs_seen
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    std::thread::sleep(Duration::from_millis(30));
+    service
+        .republish(Server::new(updated.clone(), updated_tree))
+        .expect("hot swap mid-load");
+
+    let mut all_epochs = Vec::new();
+    for thread in threads {
+        let epochs = thread.join().unwrap();
+        // Per connection the stamp is monotone: once a client saw the new
+        // epoch it never sees the old one again.
+        assert!(
+            epochs.windows(2).all(|w| w[0] <= w[1]),
+            "epoch went backwards: {epochs:?}"
+        );
+        all_epochs.extend(epochs);
+    }
+    assert!(
+        all_epochs.iter().all(|e| *e == 0 || *e == 1),
+        "unexpected epoch in {all_epochs:?}"
+    );
+
+    let stats = service.shutdown();
+    let total = (CLIENTS * QUERIES_PER_CLIENT) as u64;
+    assert_eq!(
+        stats.cache_hits + stats.cache_misses,
+        total,
+        "every query is accounted a hit or a miss"
+    );
+    // Identical queries compute at most once per epoch, plus at most a
+    // worker's worth of swap-window stragglers (a request that resolved the
+    // old structure just before the swap re-computes under the old epoch's
+    // key after the flush).
+    assert!(
+        stats.cache_misses >= 1 && stats.cache_misses <= 2 + CLIENTS as u64,
+        "cache_misses inconsistent under republish race: {}",
+        stats.cache_misses
+    );
+    assert_eq!(stats.epoch, 1, "final snapshot reports the new epoch");
+}
+
+#[test]
 fn connection_fatal_error_reply_desyncs_the_client() {
     // Regression: after a FrameTooLarge/Malformed/ShuttingDown reply the
     // server closes the connection, but the client left `desynced == false`

@@ -213,11 +213,15 @@ fn forged_or_mismatched_publications_are_rejected() {
     }
 
     // Mis-wired addresses: shard 0's socket actually hosts shard 2, which
-    // the per-connection handshake against the attested map catches.
+    // the per-connection handshake against the attested map catches (and
+    // names the offending shard).
     let mut swapped: Vec<_> = deployment.addrs().to_vec();
     swapped.reverse();
     match ShardedClient::connect(&swapped, deployment.publication()) {
-        Err(ServiceError::ShardMap(reason)) => assert!(reason.contains("shard"), "{reason}"),
+        Err(ServiceError::ShardFailed { shard_id: 0, error }) => match *error {
+            ServiceError::ShardMap(reason) => assert!(reason.contains("shard"), "{reason}"),
+            other => panic!("expected a ShardMap handshake rejection, got {other}"),
+        },
         other => panic!(
             "expected a handshake rejection, got {other:?}",
             other = other.err()
@@ -231,6 +235,312 @@ fn forged_or_mismatched_publications_are_rejected() {
             "expected a ShardMap rejection, got {other:?}",
             other = other.err()
         ),
+    }
+    deployment.shutdown();
+}
+
+#[test]
+fn stale_clients_detect_republication_and_refresh_to_the_new_epoch() {
+    let dataset = uniform_dataset(21, 1, 91);
+    let mut deployment = ShardedDeployment::launch(
+        &dataset,
+        SHARDS,
+        SigningMode::MultiSignature,
+        0x91,
+        ServiceConfig::ephemeral(),
+    )
+    .unwrap();
+    let mut client = deployment.client().expect("connect at epoch 0");
+    assert_eq!(client.epoch(), 0);
+    let query = Query::top_k(vec![0.6], 4);
+    client.query_verified(&query).expect("epoch-0 query");
+
+    // The owner republishes (here: one record's attributes change).
+    let mut updated = dataset.clone();
+    updated.records[3].attrs[0] = (updated.records[3].attrs[0] + 0.37) % 1.0;
+    let updated = vaq_funcdb::Dataset::new(updated.records, updated.template, updated.domain);
+    assert_eq!(deployment.republish(&updated).expect("republish"), 1);
+
+    // The stale client's next pinned query is rejected with a typed
+    // stale-epoch error — never answered quietly from the new dataset.
+    let err = client.query_verified(&query).expect_err("stale pin");
+    assert!(err.is_stale_epoch(), "expected stale-epoch, got {err}");
+
+    // Re-fetching the signed map over the wire converges the client, and
+    // its answers now match a fresh single server at the new epoch.
+    assert_eq!(client.refresh().expect("refresh"), 1);
+    assert_eq!(client.epoch(), 1);
+    let merged = client.query_verified(&query).expect("epoch-1 query");
+    let scheme = SignatureScheme::test_rsa(91);
+    let single = vaq_authquery::Server::new(
+        updated.clone(),
+        vaq_authquery::IfmhTree::build_at_epoch(&updated, SigningMode::MultiSignature, &scheme, 1),
+    );
+    assert_eq!(merged.records, single.process(&query).records);
+    deployment.shutdown();
+}
+
+#[test]
+fn replayed_older_signed_map_is_rejected_everywhere() {
+    let dataset = uniform_dataset(18, 1, 101);
+    let mut deployment = ShardedDeployment::launch(
+        &dataset,
+        SHARDS,
+        SigningMode::MultiSignature,
+        0xa1,
+        ServiceConfig::ephemeral(),
+    )
+    .unwrap();
+    let old_publication = deployment.publication().clone();
+    assert_eq!(deployment.republish(&dataset).unwrap(), 1);
+
+    // Client side, over the wire: connecting with the replayed (honestly
+    // signed, superseded) publication fails the per-connection epoch
+    // handshake with a typed stale-epoch error.
+    let err = ShardedClient::connect(deployment.addrs(), &old_publication)
+        .expect_err("old publication must not connect");
+    assert!(err.is_stale_epoch(), "expected stale-epoch, got {err}");
+
+    // Client side, out of band: a converged client refuses to adopt the
+    // replayed map — rollback is rejected with a typed error.
+    let mut client = deployment.client().expect("connect at epoch 1");
+    assert_eq!(client.epoch(), 1);
+    match client.adopt_map(old_publication.shard_map.clone()) {
+        Err(ServiceError::StaleEpoch { expected, got }) => {
+            assert_eq!((expected, got), (1, 0));
+        }
+        other => panic!("expected StaleEpoch, got {other:?}"),
+    }
+    // A same-epoch re-offer is a harmless no-op; the client keeps working.
+    assert_eq!(
+        client
+            .adopt_map(deployment.publication().shard_map.clone())
+            .unwrap(),
+        1
+    );
+    client
+        .query_verified(&Query::top_k(vec![0.5], 3))
+        .expect("client unaffected by rejected rollback");
+
+    // Server side: a service that already publishes the epoch-1 map
+    // refuses to publish the replayed epoch-0 map.
+    let scheme = SignatureScheme::test_rsa(7);
+    let tree = IfmhTree::build(&dataset, SigningMode::MultiSignature, &scheme);
+    let standalone = QueryService::bind(
+        ServiceConfig::ephemeral(),
+        Server::new(dataset.clone(), tree),
+    )
+    .unwrap();
+    standalone
+        .set_shard_map(deployment.publication().shard_map.clone())
+        .expect("newer map accepted");
+    match standalone.set_shard_map(old_publication.shard_map.clone()) {
+        Err(ServiceError::StaleEpoch { expected, got }) => {
+            assert_eq!((expected, got), (2, 0));
+        }
+        other => panic!("expected StaleEpoch, got {other:?}"),
+    }
+    standalone.shutdown();
+    deployment.shutdown();
+}
+
+#[test]
+fn response_signed_under_a_superseded_epoch_is_rejected() {
+    let dataset = uniform_dataset(16, 1, 111);
+    let scheme = SignatureScheme::test_rsa(111);
+    let query = Query::top_k(vec![0.7], 4);
+
+    // An honest response from the epoch-0 publication...
+    let old_server = Server::new(
+        dataset.clone(),
+        IfmhTree::build_at_epoch(&dataset, SigningMode::MultiSignature, &scheme, 0),
+    );
+    let replayed = old_server.process(&query);
+    // ...verifies at its own epoch...
+    vaq_authquery::verify_at_epoch(
+        &query,
+        &replayed.records,
+        &replayed.vo,
+        &dataset.template,
+        &scheme.public_key(),
+        0,
+    )
+    .expect("epoch-0 response verifies at epoch 0");
+    // ...but a client that learned epoch 1 from the attested publication
+    // rejects the replay with a typed error, because the replayed
+    // signatures bind epoch 0.
+    assert!(matches!(
+        vaq_authquery::verify_at_epoch(
+            &query,
+            &replayed.records,
+            &replayed.vo,
+            &dataset.template,
+            &scheme.public_key(),
+            1,
+        ),
+        Err(vaq_authquery::VerifyError::SignatureMismatch)
+    ));
+
+    // Full stack: a service hot-swapped to epoch 1 stamps (and signs) its
+    // answers at epoch 1, and a stale pin is refused with the typed remote
+    // error rather than answered across epochs.
+    let service = QueryService::bind(
+        ServiceConfig::ephemeral(),
+        Server::new(
+            dataset.clone(),
+            IfmhTree::build_at_epoch(&dataset, SigningMode::MultiSignature, &scheme, 0),
+        ),
+    )
+    .unwrap();
+    let mut client = ServiceClient::connect(service.local_addr()).unwrap();
+    client.query_at(0, &query).expect("pin at epoch 0 serves");
+    service
+        .republish(Server::new(
+            dataset.clone(),
+            IfmhTree::build_at_epoch(&dataset, SigningMode::MultiSignature, &scheme, 1),
+        ))
+        .expect("hot swap to epoch 1");
+    let err = client.query_at(0, &query).expect_err("stale pin refused");
+    assert!(err.is_stale_epoch(), "expected stale-epoch, got {err}");
+    let (epoch, fresh) = client.query_with_epoch(&query).expect("unpinned query");
+    assert_eq!(epoch, 1);
+    vaq_authquery::verify_at_epoch(
+        &query,
+        &fresh.records,
+        &fresh.vo,
+        &dataset.template,
+        &scheme.public_key(),
+        1,
+    )
+    .expect("epoch-1 response verifies at epoch 1");
+    service.shutdown();
+}
+
+#[test]
+fn standby_takes_over_a_killed_primary_mid_session() {
+    let dataset = uniform_dataset(24, 1, 121);
+    let mut deployment = ShardedDeployment::launch_with_standbys(
+        &dataset,
+        SHARDS,
+        SigningMode::MultiSignature,
+        0xb1,
+        ServiceConfig::ephemeral().workers(2),
+        1,
+    )
+    .unwrap();
+    // The attested map lists two addresses per shard (primary + standby).
+    for entry in &deployment.publication().shard_map.map.shards {
+        assert_eq!(entry.addrs.len(), 2, "shard {}", entry.shard_id);
+    }
+
+    let (single, _) = single_server(&dataset, 121);
+    let mut single_client = ServiceClient::connect(single.local_addr()).unwrap();
+    let mut client = deployment.client().expect("connect to primaries");
+    let query = Query::top_k(vec![0.45], 6);
+    client.query_verified(&query).expect("healthy query");
+
+    // Kill shard 1's primary under the connected client. The scatter leg
+    // dies mid-query and is retried against the attested standby address —
+    // the query completes fully verified, byte-identical to an unsharded
+    // server, with no client-visible failure.
+    deployment.stop_shard(1);
+    for round in 0..5 {
+        let merged = client
+            .query_verified(&query)
+            .unwrap_or_else(|e| panic!("failover round {round}: {e}"));
+        let expected = single_client.query(&query).unwrap();
+        assert_eq!(merged.records, expected.records, "round {round}");
+        let merged_bytes: Vec<Vec<u8>> = merged.records.iter().map(|r| r.to_wire_bytes()).collect();
+        let expected_bytes: Vec<Vec<u8>> =
+            expected.records.iter().map(|r| r.to_wire_bytes()).collect();
+        assert_eq!(merged_bytes, expected_bytes, "round {round}");
+    }
+
+    // A fresh client connecting from the map also lands on the standby.
+    let mut fresh =
+        ShardedClient::connect_from_map(deployment.publication()).expect("connect via map");
+    fresh.query_verified(&query).expect("fresh client query");
+
+    single.shutdown();
+    deployment.shutdown();
+}
+
+#[test]
+fn republish_under_live_load_converges_and_survives_a_primary_kill() {
+    // The acceptance scenario end to end: a sharded deployment with
+    // standbys takes a live verified load while the owner republishes the
+    // dataset *and* one primary is killed mid-run. Every client must
+    // converge to the new epoch with zero verification failures, and the
+    // final merged answers must be byte-identical to a fresh unsharded
+    // server hosting the republished dataset at that epoch.
+    let dataset = uniform_dataset(24, 1, 131);
+    let mut updated = dataset.clone();
+    for record in updated.records.iter_mut().take(8) {
+        record.attrs[0] = (record.attrs[0] + 0.29) % 1.0;
+    }
+    let updated = vaq_funcdb::Dataset::new(updated.records, updated.template, updated.domain);
+
+    let mut deployment = ShardedDeployment::launch_with_standbys(
+        &dataset,
+        SHARDS,
+        SigningMode::MultiSignature,
+        0xc1,
+        ServiceConfig::ephemeral().workers(4),
+        1,
+    )
+    .unwrap();
+
+    let generator = LoadGenerator {
+        mix: QueryMix::weighted(2, 1, 1),
+        ..LoadGenerator::sharded(
+            deployment.addrs().to_vec(),
+            deployment.publication().clone(),
+            3,
+            30,
+        )
+    };
+    let load = {
+        let dataset = dataset.clone();
+        std::thread::spawn(move || generator.run(&dataset))
+    };
+
+    // Republish mid-run, then kill a primary while the load keeps coming.
+    std::thread::sleep(Duration::from_millis(150));
+    assert_eq!(deployment.republish(&updated).expect("live republish"), 1);
+    std::thread::sleep(Duration::from_millis(100));
+    deployment.stop_shard(0);
+
+    let report = load
+        .join()
+        .expect("load thread")
+        .expect("live-update load run completes");
+    assert_eq!(report.total_requests, 90);
+    assert_eq!(report.verified, 90, "every answer verified");
+    assert_eq!(report.failures, 0, "zero verification failures");
+
+    // Every client converged: a fresh map-connected client pins epoch 1,
+    // and its merged answers are byte-identical to a fresh unsharded
+    // server hosting the republished dataset at epoch 1.
+    let mut converged =
+        ShardedClient::connect_from_map(deployment.publication()).expect("post-churn connect");
+    assert_eq!(converged.epoch(), 1);
+    let scheme = SignatureScheme::test_rsa(131);
+    let single = vaq_authquery::Server::new(
+        updated.clone(),
+        vaq_authquery::IfmhTree::build_at_epoch(&updated, SigningMode::MultiSignature, &scheme, 1),
+    );
+    for query in query_suite(&updated, 999) {
+        let merged = converged
+            .query_verified(&query)
+            .unwrap_or_else(|e| panic!("converged {query}: {e}"));
+        let expected = single.process(&query);
+        let merged_bytes: Vec<Vec<u8>> = merged.records.iter().map(|r| r.to_wire_bytes()).collect();
+        let expected_bytes: Vec<Vec<u8>> =
+            expected.records.iter().map(|r| r.to_wire_bytes()).collect();
+        assert_eq!(
+            merged_bytes, expected_bytes,
+            "wire bytes diverge for {query}"
+        );
     }
     deployment.shutdown();
 }

@@ -37,7 +37,7 @@ pub enum Request {
     /// Telemetry scrape; answered with [`Response::Stats`].
     Stats,
     /// One analytic query (top-k, range or KNN); answered with
-    /// [`Response::Query`].
+    /// [`Response::Query`] at whatever epoch the service currently serves.
     Query(Query),
     /// A batch of queries answered in order with [`Response::Batch`].
     Batch(Vec<Query>),
@@ -45,6 +45,23 @@ pub enum Request {
     /// with [`Response::ShardInfo`] (or a [`ErrorCode::NotSharded`] error by
     /// a standalone service).
     ShardInfo,
+    /// Asks for the current owner-signed shard map; answered with
+    /// [`Response::ShardMap`] (or a [`ErrorCode::NotSharded`] error when the
+    /// service has no published map). Clients re-fetch the map through this
+    /// message after a [`ErrorCode::StaleEpoch`] rejection.
+    ShardMap,
+    /// One analytic query pinned to a publication epoch: the service answers
+    /// with [`Response::Query`] only if it currently serves exactly `epoch`,
+    /// and with a typed [`ErrorCode::StaleEpoch`] error otherwise. This is
+    /// what lets a scatter-gather client guarantee that no merged answer
+    /// ever mixes epochs across shards.
+    QueryAt {
+        /// The publication epoch the client expects (from its verified
+        /// shard map or published metadata).
+        epoch: u64,
+        /// The query itself.
+        query: Query,
+    },
 }
 
 impl Request {
@@ -72,12 +89,30 @@ pub enum Response {
     Pong,
     /// Answer to [`Request::Stats`].
     Stats(StatsSnapshot),
-    /// Answer to [`Request::Query`]: result records + verification object.
-    Query(QueryResponse),
-    /// Answer to [`Request::Batch`], in query order.
-    Batch(Vec<QueryResponse>),
+    /// Answer to [`Request::Query`] / [`Request::QueryAt`]: result records +
+    /// verification object, stamped with the serving epoch.
+    Query {
+        /// The publication epoch the answering structure was signed at. The
+        /// stamp itself is unauthenticated — the response's signatures bind
+        /// the epoch cryptographically; the envelope copy lets clients
+        /// detect staleness before paying for verification.
+        epoch: u64,
+        /// The result + verification object.
+        response: QueryResponse,
+    },
+    /// Answer to [`Request::Batch`], in query order, stamped with the
+    /// serving epoch (every response in the batch is computed at it).
+    Batch {
+        /// The publication epoch of every response in the batch.
+        epoch: u64,
+        /// The per-query results, in request order.
+        responses: Vec<QueryResponse>,
+    },
     /// Answer to [`Request::ShardInfo`]: the serving shard's identity.
     ShardInfo(ShardInfo),
+    /// Answer to [`Request::ShardMap`]: the owner-signed map currently
+    /// published to this service.
+    ShardMap(SignedShardMap),
     /// Typed failure; the connection stays usable unless the frame itself
     /// was unreadable.
     Error(ErrorReply),
@@ -100,6 +135,11 @@ pub enum ErrorCode {
     /// The service is not part of a sharded deployment (reply to
     /// [`Request::ShardInfo`] on a standalone service).
     NotSharded,
+    /// The request was pinned to a publication epoch the service does not
+    /// currently serve ([`Request::QueryAt`] against a republished — or not
+    /// yet republished — dataset). The client should re-fetch the signed
+    /// shard map ([`Request::ShardMap`]) and retry at the new epoch.
+    StaleEpoch,
 }
 
 /// A typed error response.
@@ -151,6 +191,9 @@ pub struct StatsSnapshot {
     pub errors: u64,
     /// Worker threads serving connections.
     pub workers: u32,
+    /// The publication epoch the service currently serves (operators scrape
+    /// this to watch a fleet converge after a republication).
+    pub epoch: u64,
     /// Per-request-kind latency histograms.
     pub per_kind: Vec<KindLatency>,
 }
@@ -165,6 +208,8 @@ pub struct ShardInfo {
     pub shard_count: u32,
     /// Number of records this shard hosts.
     pub records: u64,
+    /// The publication epoch this shard currently serves.
+    pub epoch: u64,
 }
 
 /// One shard's entry in the owner's attested [`ShardMap`].
@@ -178,6 +223,12 @@ pub struct ShardEntry {
     /// verify under this key, so one shard cannot answer with another
     /// shard's (equally well-signed) data.
     pub public_key: PublicKey,
+    /// Addresses serving this shard, primary first, standbys after. Every
+    /// address hosts the same shard data under the same per-shard key, so a
+    /// client may fail a scatter leg over to any of them — the attested
+    /// entry is what makes the takeover sound (the standby's responses must
+    /// verify under the same attested key).
+    pub addrs: Vec<String>,
 }
 
 /// The owner's description of how one logical dataset is partitioned into
@@ -191,6 +242,11 @@ pub struct ShardEntry {
 /// sound (no shard can impersonate another).
 #[derive(Clone, Debug, PartialEq)]
 pub struct ShardMap {
+    /// The publication epoch of this map: monotonically increasing across
+    /// republications of the logical dataset. Clients never replace a
+    /// verified map with one carrying a lower (or equal) epoch, so a
+    /// replayed older signed map cannot roll a client back.
+    pub epoch: u64,
     /// Number of shards `S`.
     pub shard_count: u32,
     /// Total records across all shards (the logical dataset size).
@@ -224,6 +280,8 @@ const REQUEST_TAG_STATS: u8 = 2;
 const REQUEST_TAG_QUERY: u8 = 3;
 const REQUEST_TAG_BATCH: u8 = 4;
 const REQUEST_TAG_SHARD_INFO: u8 = 5;
+const REQUEST_TAG_SHARD_MAP: u8 = 6;
+const REQUEST_TAG_QUERY_AT: u8 = 7;
 
 impl WireEncode for Request {
     fn encode(&self, w: &mut Writer) {
@@ -242,6 +300,12 @@ impl WireEncode for Request {
                 }
             }
             Request::ShardInfo => w.put_u8(REQUEST_TAG_SHARD_INFO),
+            Request::ShardMap => w.put_u8(REQUEST_TAG_SHARD_MAP),
+            Request::QueryAt { epoch, query } => {
+                w.put_u8(REQUEST_TAG_QUERY_AT);
+                w.put_u64(*epoch);
+                query.encode(w);
+            }
         }
     }
 }
@@ -261,6 +325,11 @@ impl WireDecode for Request {
                 Ok(Request::Batch(queries))
             }
             REQUEST_TAG_SHARD_INFO => Ok(Request::ShardInfo),
+            REQUEST_TAG_SHARD_MAP => Ok(Request::ShardMap),
+            REQUEST_TAG_QUERY_AT => Ok(Request::QueryAt {
+                epoch: r.get_u64()?,
+                query: Query::decode(r)?,
+            }),
             tag => Err(WireError::InvalidTag {
                 type_name: "Request",
                 tag,
@@ -275,6 +344,7 @@ const RESPONSE_TAG_QUERY: u8 = 3;
 const RESPONSE_TAG_BATCH: u8 = 4;
 const RESPONSE_TAG_ERROR: u8 = 5;
 const RESPONSE_TAG_SHARD_INFO: u8 = 6;
+const RESPONSE_TAG_SHARD_MAP: u8 = 7;
 
 impl WireEncode for Response {
     fn encode(&self, w: &mut Writer) {
@@ -284,12 +354,14 @@ impl WireEncode for Response {
                 w.put_u8(RESPONSE_TAG_STATS);
                 stats.encode(w);
             }
-            Response::Query(response) => {
+            Response::Query { epoch, response } => {
                 w.put_u8(RESPONSE_TAG_QUERY);
+                w.put_u64(*epoch);
                 response.encode(w);
             }
-            Response::Batch(responses) => {
+            Response::Batch { epoch, responses } => {
                 w.put_u8(RESPONSE_TAG_BATCH);
+                w.put_u64(*epoch);
                 w.put_len(responses.len());
                 for response in responses {
                     response.encode(w);
@@ -298,6 +370,10 @@ impl WireEncode for Response {
             Response::ShardInfo(info) => {
                 w.put_u8(RESPONSE_TAG_SHARD_INFO);
                 info.encode(w);
+            }
+            Response::ShardMap(map) => {
+                w.put_u8(RESPONSE_TAG_SHARD_MAP);
+                map.encode(w);
             }
             Response::Error(reply) => {
                 w.put_u8(RESPONSE_TAG_ERROR);
@@ -312,17 +388,22 @@ impl WireDecode for Response {
         match r.get_u8()? {
             RESPONSE_TAG_PONG => Ok(Response::Pong),
             RESPONSE_TAG_STATS => Ok(Response::Stats(StatsSnapshot::decode(r)?)),
-            RESPONSE_TAG_QUERY => Ok(Response::Query(QueryResponse::decode(r)?)),
+            RESPONSE_TAG_QUERY => Ok(Response::Query {
+                epoch: r.get_u64()?,
+                response: QueryResponse::decode(r)?,
+            }),
             RESPONSE_TAG_BATCH => {
+                let epoch = r.get_u64()?;
                 let len = r.get_len()?;
                 let mut responses = Vec::with_capacity(len.min(1024));
                 for _ in 0..len {
                     responses.push(QueryResponse::decode(r)?);
                 }
-                Ok(Response::Batch(responses))
+                Ok(Response::Batch { epoch, responses })
             }
             RESPONSE_TAG_ERROR => Ok(Response::Error(ErrorReply::decode(r)?)),
             RESPONSE_TAG_SHARD_INFO => Ok(Response::ShardInfo(ShardInfo::decode(r)?)),
+            RESPONSE_TAG_SHARD_MAP => Ok(Response::ShardMap(SignedShardMap::decode(r)?)),
             tag => Err(WireError::InvalidTag {
                 type_name: "Response",
                 tag,
@@ -340,6 +421,7 @@ impl ErrorCode {
             ErrorCode::Internal => 4,
             ErrorCode::ShuttingDown => 5,
             ErrorCode::NotSharded => 6,
+            ErrorCode::StaleEpoch => 7,
         }
     }
 }
@@ -359,6 +441,7 @@ impl WireDecode for ErrorCode {
             4 => Ok(ErrorCode::Internal),
             5 => Ok(ErrorCode::ShuttingDown),
             6 => Ok(ErrorCode::NotSharded),
+            7 => Ok(ErrorCode::StaleEpoch),
             tag => Err(WireError::InvalidTag {
                 type_name: "ErrorCode",
                 tag,
@@ -388,6 +471,7 @@ impl WireEncode for ShardInfo {
         w.put_u32(self.shard_id);
         w.put_u32(self.shard_count);
         w.put_u64(self.records);
+        w.put_u64(self.epoch);
     }
 }
 
@@ -397,6 +481,7 @@ impl WireDecode for ShardInfo {
             shard_id: r.get_u32()?,
             shard_count: r.get_u32()?,
             records: r.get_u64()?,
+            epoch: r.get_u64()?,
         })
     }
 }
@@ -406,21 +491,35 @@ impl WireEncode for ShardEntry {
         w.put_u32(self.shard_id);
         w.put_u64(self.records);
         self.public_key.encode(w);
+        w.put_len(self.addrs.len());
+        for addr in &self.addrs {
+            w.put_string(addr);
+        }
     }
 }
 
 impl WireDecode for ShardEntry {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let shard_id = r.get_u32()?;
+        let records = r.get_u64()?;
+        let public_key = PublicKey::decode(r)?;
+        let len = r.get_len()?;
+        let mut addrs = Vec::with_capacity(len.min(64));
+        for _ in 0..len {
+            addrs.push(r.get_string()?);
+        }
         Ok(ShardEntry {
-            shard_id: r.get_u32()?,
-            records: r.get_u64()?,
-            public_key: PublicKey::decode(r)?,
+            shard_id,
+            records,
+            public_key,
+            addrs,
         })
     }
 }
 
 impl WireEncode for ShardMap {
     fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.epoch);
         w.put_u32(self.shard_count);
         w.put_u64(self.total_records);
         w.put_u32(self.dims);
@@ -433,6 +532,7 @@ impl WireEncode for ShardMap {
 
 impl WireDecode for ShardMap {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let epoch = r.get_u64()?;
         let shard_count = r.get_u32()?;
         let total_records = r.get_u64()?;
         let dims = r.get_u32()?;
@@ -442,6 +542,7 @@ impl WireDecode for ShardMap {
             shards.push(ShardEntry::decode(r)?);
         }
         Ok(ShardMap {
+            epoch,
             shard_count,
             total_records,
             dims,
@@ -519,6 +620,7 @@ impl WireEncode for StatsSnapshot {
         w.put_u64(self.bytes_out);
         w.put_u64(self.errors);
         w.put_u32(self.workers);
+        w.put_u64(self.epoch);
         w.put_len(self.per_kind.len());
         for kind in &self.per_kind {
             kind.encode(w);
@@ -535,6 +637,7 @@ impl WireDecode for StatsSnapshot {
         let bytes_out = r.get_u64()?;
         let errors = r.get_u64()?;
         let workers = r.get_u32()?;
+        let epoch = r.get_u64()?;
         let len = r.get_len()?;
         let mut per_kind = Vec::with_capacity(len.min(64));
         for _ in 0..len {
@@ -548,6 +651,7 @@ impl WireDecode for StatsSnapshot {
             bytes_out,
             errors,
             workers,
+            epoch,
             per_kind,
         })
     }
@@ -568,6 +672,11 @@ mod tests {
                 Query::knn(vec![0.3, 0.7], 2, 0.4),
             ]),
             Request::ShardInfo,
+            Request::ShardMap,
+            Request::QueryAt {
+                epoch: u64::MAX,
+                query: Query::top_k(vec![0.1, 0.9], 2),
+            },
         ];
         for request in requests {
             let bytes = request.to_framed_bytes();
@@ -592,6 +701,7 @@ mod tests {
             bytes_out: 99999,
             errors: 1,
             workers: 8,
+            epoch: 3,
             per_kind: vec![KindLatency {
                 kind: "topk".into(),
                 histogram: LatencyHistogram {
@@ -614,12 +724,14 @@ mod tests {
             shard_id: 2,
             shard_count: 5,
             records: 321,
+            epoch: 9,
         };
         let bytes = info.to_wire_bytes();
         assert_eq!(ShardInfo::from_wire_bytes(&bytes).unwrap(), info);
 
         let scheme = SignatureScheme::test_rsa(0x5a);
         let map = ShardMap {
+            epoch: 4,
             shard_count: 2,
             total_records: 11,
             dims: 1,
@@ -628,11 +740,13 @@ mod tests {
                     shard_id: 0,
                     records: 6,
                     public_key: scheme.public_key(),
+                    addrs: vec!["127.0.0.1:4100".into(), "127.0.0.1:4101".into()],
                 },
                 ShardEntry {
                     shard_id: 1,
                     records: 5,
                     public_key: scheme.public_key(),
+                    addrs: vec!["127.0.0.1:4102".into()],
                 },
             ],
         };
@@ -661,6 +775,14 @@ mod tests {
         tampered = signed.map.clone();
         tampered.shard_count = 1;
         tampered.shards.pop();
+        assert_ne!(tampered.digest(), signed.map.digest());
+        // The epoch and the address lists are attested too: a relabelled
+        // epoch or a redirected standby address breaks the signature.
+        tampered = signed.map.clone();
+        tampered.epoch += 1;
+        assert_ne!(tampered.digest(), signed.map.digest());
+        tampered = signed.map.clone();
+        tampered.shards[0].addrs[1] = "10.0.0.1:9999".into();
         assert_ne!(tampered.digest(), signed.map.digest());
     }
 

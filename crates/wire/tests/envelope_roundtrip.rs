@@ -5,9 +5,22 @@
 use proptest::prelude::*;
 use vaq_authquery::Query;
 use vaq_wire::{
-    ErrorCode, ErrorReply, KindLatency, LatencyHistogram, Request, Response, StatsSnapshot,
-    WireDecode, WireEncode, WireError, LATENCY_BUCKET_BOUNDS_MICROS,
+    ErrorCode, ErrorReply, KindLatency, LatencyHistogram, Request, Response, ShardEntry, ShardInfo,
+    ShardMap, SignedShardMap, StatsSnapshot, WireDecode, WireEncode, WireError,
+    LATENCY_BUCKET_BOUNDS_MICROS,
 };
+
+/// Epoch values every epoch-carrying message is exercised with: both
+/// boundaries (0, `u64::MAX`) plus interior values derived from the
+/// generated selector.
+fn epoch_from(selector: u64) -> u64 {
+    match selector % 4 {
+        0 => 0,
+        1 => u64::MAX,
+        2 => u64::MAX - (selector >> 2),
+        _ => selector,
+    }
+}
 
 /// Strategy for one random (always well-formed) query.
 fn query_from(parts: &(u8, Vec<f64>, usize, f64, f64)) -> Query {
@@ -41,11 +54,17 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn requests_roundtrip_framed(parts in query_parts(), selector in 0u8..4) {
+    fn requests_roundtrip_framed(parts in query_parts(), selector in 0u8..7, epoch_selector in 0u64..) {
         let request = match selector {
             0 => Request::Ping,
             1 => Request::Stats,
             2 => Request::Query(query_from(&parts)),
+            3 => Request::ShardInfo,
+            4 => Request::ShardMap,
+            5 => Request::QueryAt {
+                epoch: epoch_from(epoch_selector),
+                query: query_from(&parts),
+            },
             _ => Request::Batch(vec![query_from(&parts), query_from(&parts)]),
         };
         let bytes = request.to_framed_bytes();
@@ -102,6 +121,7 @@ proptest! {
     fn stats_snapshots_roundtrip(
         counters in prop::collection::vec(0u64.., 6..=6),
         workers in 0u32..256,
+        epoch_selector in 0u64..,
         counts in prop::collection::vec(0u64..1_000_000, 13..=13),
     ) {
         let histogram = LatencyHistogram {
@@ -118,6 +138,7 @@ proptest! {
             bytes_out: counters[4],
             errors: counters[5],
             workers,
+            epoch: epoch_from(epoch_selector),
             per_kind: vec![
                 KindLatency { kind: "topk".into(), histogram: histogram.clone() },
                 KindLatency { kind: "batch".into(), histogram },
@@ -132,13 +153,15 @@ proptest! {
     }
 
     #[test]
-    fn error_replies_roundtrip(code_selector in 0u8..5, message in prop::collection::vec(32u8..127, 0..64)) {
+    fn error_replies_roundtrip(code_selector in 0u8..7, message in prop::collection::vec(32u8..127, 0..64)) {
         let code = [
             ErrorCode::Malformed,
             ErrorCode::BadQuery,
             ErrorCode::FrameTooLarge,
             ErrorCode::Internal,
             ErrorCode::ShuttingDown,
+            ErrorCode::NotSharded,
+            ErrorCode::StaleEpoch,
         ][code_selector as usize];
         let reply = ErrorReply {
             code,
@@ -150,6 +173,123 @@ proptest! {
             other => prop_assert!(false, "wrong decode: {:?}", other),
         }
     }
+
+    #[test]
+    fn shard_info_roundtrips_at_epoch_boundaries(
+        shard_id in 0u32..,
+        shard_count in 0u32..,
+        records in 0u64..,
+        epoch_selector in 0u64..,
+    ) {
+        let info = ShardInfo {
+            shard_id,
+            shard_count,
+            records,
+            epoch: epoch_from(epoch_selector),
+        };
+        let bytes = Response::ShardInfo(info).to_framed_bytes();
+        match Response::from_framed_bytes(&bytes) {
+            Ok(Response::ShardInfo(back)) => prop_assert_eq!(back, info),
+            other => prop_assert!(false, "wrong decode: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn signed_shard_maps_roundtrip_and_redigest_canonically(
+        epoch_selector in 0u64..,
+        records in prop::collection::vec(1u64..1_000, 1..4),
+        addr_count in 0usize..3,
+        key_seed in 0u64..8,
+    ) {
+        use vaq_crypto::{SignatureScheme, Signer, Verifier};
+        let scheme = SignatureScheme::test_rsa(key_seed);
+        let epoch = epoch_from(epoch_selector);
+        let map = ShardMap {
+            epoch,
+            shard_count: records.len() as u32,
+            total_records: records.iter().sum(),
+            dims: 2,
+            shards: records
+                .iter()
+                .enumerate()
+                .map(|(shard_id, n)| ShardEntry {
+                    shard_id: shard_id as u32,
+                    records: *n,
+                    public_key: scheme.public_key(),
+                    addrs: (0..addr_count)
+                        .map(|r| format!("127.0.0.1:{}", 4400 + shard_id * 4 + r))
+                        .collect(),
+                })
+                .collect(),
+        };
+        let signed = SignedShardMap {
+            signature: scheme.sign_digest(&map.digest()),
+            map,
+        };
+        let bytes = Response::ShardMap(signed.clone()).to_framed_bytes();
+        match Response::from_framed_bytes(&bytes) {
+            Ok(Response::ShardMap(back)) => {
+                // The decoded copy commits to the same canonical bytes, so
+                // a signature check on the decoded map checks the same
+                // digest the owner signed.
+                prop_assert_eq!(back.map.digest(), signed.map.digest());
+                prop_assert!(scheme.public_key().verify_digest(&back.map.digest(), &back.signature));
+                prop_assert_eq!(back, signed);
+            }
+            other => prop_assert!(false, "wrong decode: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn query_responses_roundtrip_with_epoch_stamp(epoch_selector in 0u64.., k in 1usize..5) {
+        // A *real* server-produced QueryResponse (records + verification
+        // object) rides inside the epoch-stamped Query and Batch response
+        // envelopes; both the stamp (at its boundary values) and the inner
+        // payload must survive framing bit-exactly.
+        let epoch = epoch_from(epoch_selector);
+        let inner = sample_response(k);
+        let response = Response::Query { epoch, response: inner.clone() };
+        let bytes = response.to_framed_bytes();
+        match Response::from_framed_bytes(&bytes) {
+            Ok(Response::Query { epoch: back, response: payload }) => {
+                prop_assert_eq!(back, epoch);
+                prop_assert_eq!(&payload.records, &inner.records);
+                prop_assert_eq!(&payload.vo, &inner.vo);
+            }
+            other => prop_assert!(false, "wrong decode: {:?}", other),
+        }
+
+        let batch = Response::Batch { epoch, responses: vec![inner.clone(), inner.clone()] };
+        let bytes = batch.to_framed_bytes();
+        match Response::from_framed_bytes(&bytes) {
+            Ok(Response::Batch { epoch: back, responses }) => {
+                prop_assert_eq!(back, epoch);
+                prop_assert_eq!(responses.len(), 2);
+                prop_assert_eq!(&responses[0].records, &inner.records);
+                prop_assert_eq!(&responses[1].vo, &inner.vo);
+            }
+            other => prop_assert!(false, "wrong decode: {:?}", other),
+        }
+    }
+}
+
+/// One real server-produced response per `k`, built lazily and shared
+/// across proptest cases (the owner-side tree build is far too expensive
+/// to repeat per case).
+fn sample_response(k: usize) -> vaq_authquery::QueryResponse {
+    use std::sync::OnceLock;
+    use vaq_authquery::{IfmhTree, Server, SigningMode};
+    use vaq_crypto::SignatureScheme;
+    use vaq_workload::uniform_dataset;
+
+    static SERVER: OnceLock<Server> = OnceLock::new();
+    let server = SERVER.get_or_init(|| {
+        let dataset = uniform_dataset(8, 1, 0x77);
+        let scheme = SignatureScheme::test_rsa(0x77);
+        let tree = IfmhTree::build(&dataset, SigningMode::MultiSignature, &scheme);
+        Server::new(dataset, tree)
+    });
+    server.process(&Query::top_k(vec![0.5], k))
 }
 
 #[test]

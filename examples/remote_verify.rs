@@ -29,13 +29,19 @@ fn main() {
     );
 
     // --- Untrusted server -------------------------------------------------
+    // Port 0: the OS picks a free ephemeral port (printed below), so
+    // concurrent runs of this example never collide on a hardcoded port.
     let service = QueryService::bind(
         ServiceConfig::ephemeral().workers(4),
         Server::new(dataset.clone(), tree),
     )
     .expect("bind service");
     let addr = service.local_addr();
-    println!("server: listening on {addr}");
+    println!(
+        "server: listening on {addr} (port {}), epoch {}",
+        addr.port(),
+        service.epoch()
+    );
 
     // --- One verifying user ----------------------------------------------
     let mut user = ServiceClient::connect(addr).expect("connect");

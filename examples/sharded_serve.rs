@@ -1,16 +1,17 @@
 //! Stands up a sharded deployment: one logical dataset partitioned across S
-//! query services, plus a scatter-gather self-test.
+//! query services (each with a standby replica), plus a scatter-gather
+//! self-test, a live republication and a standby failover.
 //!
 //! ```text
 //! cargo run --release --example sharded_serve -- [shards] [records] [dims] [seed]
 //! ```
 //!
-//! Prints the owner's attested shard map (shard count, per-shard record
-//! counts), the per-shard addresses, and a verified scatter-gather
-//! round-trip of all three query kinds, then serves until killed.
+//! Every service binds port 0 — the OS picks free ephemeral ports, so
+//! concurrent runs never collide — and the chosen addresses are printed
+//! from the attested shard map itself.
 
 use verified_analytics::authquery::{Query, SigningMode};
-use verified_analytics::service::{ServiceConfig, ShardedDeployment};
+use verified_analytics::service::{ServiceConfig, ShardedClient, ShardedDeployment};
 use verified_analytics::workload::uniform_dataset;
 
 fn main() {
@@ -23,41 +24,39 @@ fn main() {
     println!("building dataset: {records} records, {dims} dims, seed {seed}");
     let dataset = uniform_dataset(records, dims, seed);
 
-    println!("partitioning into {shards} shards, one signing key per shard...");
-    let deployment = ShardedDeployment::launch(
+    println!("partitioning into {shards} shards (one signing key + one standby each)...");
+    let mut deployment = ShardedDeployment::launch_with_standbys(
         &dataset,
         shards,
         SigningMode::MultiSignature,
         seed,
         ServiceConfig::ephemeral().workers(2),
+        1,
     )
     .expect("launch sharded deployment");
 
     let publication = deployment.publication();
     println!(
-        "attested shard map: {} shards, {} records total",
-        publication.shard_map.map.shard_count, publication.shard_map.map.total_records
+        "attested shard map: epoch {}, {} shards, {} records total",
+        publication.shard_map.map.epoch,
+        publication.shard_map.map.shard_count,
+        publication.shard_map.map.total_records
     );
-    for (entry, addr) in publication
-        .shard_map
-        .map
-        .shards
-        .iter()
-        .zip(deployment.addrs())
-    {
+    for entry in &publication.shard_map.map.shards {
         println!(
-            "  shard {} @ {addr}: {} records, own verification key",
-            entry.shard_id, entry.records
+            "  shard {}: {} records, own verification key, serving at {:?}",
+            entry.shard_id, entry.records, entry.addrs
         );
     }
 
     // Self-test: a verified scatter-gather round-trip of every query kind.
-    let mut client = deployment.client().expect("connect scatter-gather client");
+    let mut client =
+        ShardedClient::connect_from_map(publication).expect("connect scatter-gather client");
     let weights = vec![1.0 / dims as f64; dims];
     for query in [
         Query::top_k(weights.clone(), 5),
         Query::range(weights.clone(), 0.2, 0.6),
-        Query::knn(weights, 3, 0.5),
+        Query::knn(weights.clone(), 3, 0.5),
     ] {
         let merged = client
             .query_verified(&query)
@@ -69,10 +68,40 @@ fn main() {
         );
     }
 
+    // Live republication: the stale client is told, refreshes, reconverges.
+    let epoch = deployment
+        .republish(&dataset)
+        .expect("hot republication under a connected client");
+    println!("owner republished: deployment now serves epoch {epoch}");
+    let query = Query::top_k(weights.clone(), 4);
+    match client.query_verified(&query) {
+        Err(e) if e.is_stale_epoch() => {
+            let adopted = client.refresh().expect("re-fetch the signed map");
+            println!("stale client detected the republication, refreshed to epoch {adopted}");
+        }
+        other => panic!("stale client should have been rejected, got {other:?}"),
+    }
+    client
+        .query_verified(&query)
+        .expect("converged client queries at the new epoch");
+
+    // Failover: kill shard 0's primary; the standby completes the leg.
+    deployment.stop_shard(0);
+    let merged = client
+        .query_verified(&query)
+        .expect("standby serves the killed primary's leg");
+    println!(
+        "killed shard 0's primary; standby answered — {} records, fully verified",
+        merged.records.len()
+    );
+
     println!("press Ctrl-C to stop");
     loop {
         std::thread::sleep(std::time::Duration::from_secs(10));
         let served: u64 = deployment.stats().iter().map(|s| s.requests_served).sum();
-        println!("{served} shard-requests served across {shards} shards");
+        println!(
+            "epoch {}: {served} primary shard-requests served across {shards} shards",
+            deployment.epoch()
+        );
     }
 }
