@@ -6,6 +6,11 @@
 //! The interesting trade-off: more shards shrink each shard's authenticated
 //! structure (faster per-shard processing, smaller proofs) but multiply the
 //! per-query network round-trips and signature verifications by S.
+//!
+//! The batched mode sends part of the workload as epoch-pinned batch frames
+//! (`Request::BatchAt`): one frame per shard carries the whole batch, so the
+//! per-request framing and scatter overhead amortises across the batch while
+//! every sub-response is still individually verified and merged.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use vaq_authquery::SigningMode;
@@ -44,6 +49,31 @@ fn bench_sharded_throughput(c: &mut Criterion) {
                     };
                     let report = generator.run(&dataset).expect("sharded load run");
                     assert_eq!(report.failures, 0);
+                    report
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("scatter_gather_verified_batched", shards),
+            &shards,
+            |b, _| {
+                b.iter(|| {
+                    // Every second request is a 3..6-query batch: one
+                    // BatchAt frame per shard per batch, merged and fully
+                    // verified per sub-query.
+                    let generator = LoadGenerator {
+                        mix: QueryMix::weighted(2, 1, 1).with_batches(4, 3, 6),
+                        ..LoadGenerator::sharded(
+                            deployment.addrs().to_vec(),
+                            deployment.publication().clone(),
+                            2,
+                            10,
+                        )
+                    };
+                    let report = generator.run(&dataset).expect("batched sharded load run");
+                    assert_eq!(report.failures, 0);
+                    assert!(report.batches > 0, "batched mode must issue batches");
                     report
                 })
             },

@@ -141,9 +141,66 @@ impl ServiceClient {
     }
 
     /// Sends a batch of queries, answered in order.
+    ///
+    /// A reply whose answer count disagrees with the query count is rejected
+    /// with a typed [`ServiceError::BatchArity`] error: zipping a short (or
+    /// long) reply against the queries would silently misattribute answers.
+    /// The connection stays usable — exactly one frame answered the batch.
     pub fn batch(&mut self, queries: &[Query]) -> Result<Vec<QueryResponse>, ServiceError> {
+        self.batch_with_epoch(queries)
+            .map(|(_, responses)| responses)
+    }
+
+    /// Sends a batch of queries and returns the responses together with the
+    /// publication epoch the service served the whole batch at.
+    ///
+    /// The envelope stamp is unauthenticated; verify each response with
+    /// [`vaq_authquery::verify_at_epoch`] at the epoch the owner's attested
+    /// publication promises — the signatures bind it.
+    pub fn batch_with_epoch(
+        &mut self,
+        queries: &[Query],
+    ) -> Result<(u64, Vec<QueryResponse>), ServiceError> {
         match self.call(&Request::Batch(queries.to_vec()))? {
-            Response::Batch { responses, .. } => Ok(responses),
+            Response::Batch { epoch, responses } => {
+                check_batch_arity(queries.len(), &responses)?;
+                Ok((epoch, responses))
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Sends a batch of queries pinned to a publication epoch, mirroring
+    /// [`ServiceClient::query_at`].
+    ///
+    /// The service answers only while it serves exactly `epoch`; otherwise
+    /// it replies with a typed [`ErrorCode::StaleEpoch`] error (surfaced as
+    /// [`ServiceError::Remote`] — check [`ServiceError::is_stale_epoch`]),
+    /// which keeps the connection usable: re-fetch the signed shard map and
+    /// retry at the new epoch. Arity mismatches are rejected like
+    /// [`ServiceClient::batch`].
+    pub fn batch_at(
+        &mut self,
+        epoch: u64,
+        queries: &[Query],
+    ) -> Result<Vec<QueryResponse>, ServiceError> {
+        match self.call(&Request::BatchAt {
+            epoch,
+            queries: queries.to_vec(),
+        })? {
+            Response::Batch {
+                epoch: served,
+                responses,
+            } => {
+                if served != epoch {
+                    return Err(ServiceError::StaleEpoch {
+                        expected: epoch,
+                        got: served,
+                    });
+                }
+                check_batch_arity(queries.len(), &responses)?;
+                Ok(responses)
+            }
             other => Err(unexpected(&other)),
         }
     }
@@ -240,6 +297,21 @@ impl ServiceClient {
         self.send(request)?;
         self.receive()
     }
+}
+
+/// Rejects a batch reply whose answer count disagrees with the query count
+/// (shared with the sharded scatter-gather client).
+pub(crate) fn check_batch_arity(
+    expected: usize,
+    responses: &[QueryResponse],
+) -> Result<(), ServiceError> {
+    if responses.len() != expected {
+        return Err(ServiceError::BatchArity {
+            expected,
+            got: responses.len(),
+        });
+    }
+    Ok(())
 }
 
 fn desynced_error() -> ServiceError {

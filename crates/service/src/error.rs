@@ -37,6 +37,18 @@ pub enum ServiceError {
         /// What went wrong on that shard.
         error: Box<ServiceError>,
     },
+    /// A batch response whose item count disagrees with the request's query
+    /// count. Silently zipping the two would misattribute responses to
+    /// queries (and a short reply could drop answers unnoticed), so the
+    /// mismatch is a typed protocol violation instead. The connection stays
+    /// request/response aligned — exactly one frame answered the batch — so
+    /// the client remains usable.
+    BatchArity {
+        /// Queries in the request.
+        expected: usize,
+        /// Responses in the reply.
+        got: usize,
+    },
     /// An epoch mismatch the client detected locally: a response stamped
     /// with a different publication epoch than the verified map promises, or
     /// an offered signed map that would roll the client back to an older
@@ -87,6 +99,12 @@ impl std::fmt::Display for ServiceError {
             ServiceError::ShardMap(reason) => write!(f, "shard map rejected: {reason}"),
             ServiceError::ShardFailed { shard_id, error } => {
                 write!(f, "shard {shard_id} failed: {error}")
+            }
+            ServiceError::BatchArity { expected, got } => {
+                write!(
+                    f,
+                    "batch response holds {got} answers for {expected} queries"
+                )
             }
             ServiceError::StaleEpoch { expected, got } => {
                 write!(

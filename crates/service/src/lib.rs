@@ -29,6 +29,13 @@
 //!   scatter-gathers every query across all shards, verifies each response
 //!   under its shard's key, and merges the answers so the logical result is
 //!   as sound and complete as a single server's.
+//! * **Batches** — [`ServiceClient::batch`] answers many queries with one
+//!   frame (arity-checked, typed errors for empty or mismatched batches);
+//!   the service resolves each batch item through the same epoch-keyed
+//!   cache entry and single-flight the equivalent single query uses; and
+//!   [`ShardedClient::batch_verified`] scatters one epoch-pinned batch
+//!   frame per shard, verifying and merging each sub-query exactly like a
+//!   single sharded query — byte-identical to an unsharded batch.
 //! * **Live updates** — every publication carries a monotonically
 //!   increasing, master-signed epoch bound into every signature.
 //!   [`QueryService::republish`] hot-swaps the served structure under an

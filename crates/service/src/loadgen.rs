@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 use vaq_authquery::Query;
 use vaq_crypto::{PublicKey, Verifier};
 use vaq_funcdb::{Dataset, Domain, FunctionTemplate};
-use vaq_workload::{QueryGenerator, QueryMix, QuerySpec};
+use vaq_workload::{QueryGenerator, QueryMix, QuerySpec, WorkItem};
 
 use crate::client::ServiceClient;
 use crate::error::ServiceError;
@@ -137,26 +137,36 @@ impl LoadGenerator {
             .map(|thread| thread.join().expect("load-generator thread panicked"))
             .collect();
         let mut latencies_micros: Vec<u64> = Vec::new();
+        let mut batch_latencies_micros: Vec<u64> = Vec::new();
         let mut verified = 0usize;
         let mut failures = 0usize;
         let mut epoch_refreshes = 0usize;
+        let mut batches = 0usize;
+        let mut batch_queries = 0usize;
         for outcome in outcomes {
             let outcome = outcome?;
             latencies_micros.extend(outcome.latencies_micros);
+            batch_latencies_micros.extend(outcome.batch_latencies_micros);
             verified += outcome.verified;
             failures += outcome.failures;
             epoch_refreshes += outcome.epoch_refreshes;
+            batches += outcome.batches;
+            batch_queries += outcome.batch_queries;
         }
         let elapsed = started.elapsed();
         latencies_micros.sort_unstable();
+        batch_latencies_micros.sort_unstable();
         Ok(LoadReport {
             clients: self.clients,
-            total_requests: latencies_micros.len(),
+            total_requests: latencies_micros.len() + batches,
             verified,
             failures,
             epoch_refreshes,
+            batches,
+            batch_queries,
             elapsed,
             latencies_micros,
+            batch_latencies_micros,
         })
     }
 
@@ -172,23 +182,24 @@ impl LoadGenerator {
                 let mut client = ServiceClient::connect(addr)?;
                 let mut outcome = ClientOutcome::default();
                 for request_index in 0..self.requests_per_client {
-                    let spec = self.mix.generate(&mut generator, request_index as u64);
-                    let query = spec_to_query(&spec);
-                    let start = Instant::now();
-                    let response = client.query(&query)?;
-                    outcome
-                        .latencies_micros
-                        .push(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
-                    if let Some((template, public_key)) = &self.verify {
-                        match vaq_authquery::client::verify(
-                            &query,
-                            &response.records,
-                            &response.vo,
-                            template,
-                            public_key as &dyn Verifier,
-                        ) {
-                            Ok(_) => outcome.verified += 1,
-                            Err(_) => outcome.failures += 1,
+                    match self.mix.generate_item(&mut generator, request_index as u64) {
+                        WorkItem::Single(spec) => {
+                            let query = spec_to_query(&spec);
+                            let start = Instant::now();
+                            let response = client.query(&query)?;
+                            outcome.latencies_micros.push(elapsed_micros(start));
+                            self.verify_one(&query, &response, &mut outcome);
+                        }
+                        WorkItem::Batch(specs) => {
+                            let queries: Vec<Query> = specs.iter().map(spec_to_query).collect();
+                            let start = Instant::now();
+                            let responses = client.batch(&queries)?;
+                            outcome.batch_latencies_micros.push(elapsed_micros(start));
+                            outcome.batches += 1;
+                            outcome.batch_queries += queries.len();
+                            for (query, response) in queries.iter().zip(&responses) {
+                                self.verify_one(query, response, &mut outcome);
+                            }
                         }
                     }
                 }
@@ -198,37 +209,89 @@ impl LoadGenerator {
                 let mut client = ShardedClient::connect(addrs, publication)?;
                 let mut outcome = ClientOutcome::default();
                 for request_index in 0..self.requests_per_client {
-                    let spec = self.mix.generate(&mut generator, request_index as u64);
-                    let query = spec_to_query(&spec);
-                    let start = Instant::now();
-                    // A sharded query is verified end to end or it errors;
+                    // A sharded request is verified end to end or it errors;
                     // there is no unverified sharded read to time. Update
                     // churn (the owner republishing mid-run) surfaces as
                     // typed stale-epoch rejections: re-fetch the signed map
                     // and retry at the new epoch until the rollout settles.
-                    let mut stale_retries = 0usize;
-                    loop {
-                        match client.query_verified(&query) {
-                            Ok(_) => break,
-                            Err(e) if e.is_stale_epoch() && stale_retries < STALE_RETRY_LIMIT => {
-                                stale_retries += 1;
-                                if client.refresh().is_ok() {
-                                    outcome.epoch_refreshes += 1;
-                                }
-                                // A rollout flips shards one at a time; give
-                                // it a moment before re-pinning.
-                                std::thread::sleep(Duration::from_millis(10));
-                            }
-                            Err(e) => return Err(e),
+                    match self.mix.generate_item(&mut generator, request_index as u64) {
+                        WorkItem::Single(spec) => {
+                            let query = spec_to_query(&spec);
+                            let start = Instant::now();
+                            sharded_with_refresh(&mut client, &mut outcome, |client| {
+                                client.query_verified(&query).map(drop)
+                            })?;
+                            outcome.latencies_micros.push(elapsed_micros(start));
+                            outcome.verified += 1;
+                        }
+                        WorkItem::Batch(specs) => {
+                            let queries: Vec<Query> = specs.iter().map(spec_to_query).collect();
+                            let start = Instant::now();
+                            sharded_with_refresh(&mut client, &mut outcome, |client| {
+                                client.batch_verified(&queries).map(drop)
+                            })?;
+                            outcome.batch_latencies_micros.push(elapsed_micros(start));
+                            outcome.batches += 1;
+                            outcome.batch_queries += queries.len();
+                            outcome.verified += queries.len();
                         }
                     }
-                    outcome
-                        .latencies_micros
-                        .push(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
-                    outcome.verified += 1;
                 }
                 Ok(outcome)
             }
+        }
+    }
+
+    /// Verifies one response against the published template and key when
+    /// verification is configured, recording the outcome.
+    fn verify_one(
+        &self,
+        query: &Query,
+        response: &vaq_authquery::QueryResponse,
+        outcome: &mut ClientOutcome,
+    ) {
+        if let Some((template, public_key)) = &self.verify {
+            match vaq_authquery::client::verify(
+                query,
+                &response.records,
+                &response.vo,
+                template,
+                public_key as &dyn Verifier,
+            ) {
+                Ok(_) => outcome.verified += 1,
+                Err(_) => outcome.failures += 1,
+            }
+        }
+    }
+}
+
+/// Elapsed wall-clock microseconds since `start`, saturated into `u64`.
+fn elapsed_micros(start: Instant) -> u64 {
+    start.elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+/// Runs one sharded call, riding update churn: typed stale-epoch rejections
+/// trigger a signed-map re-fetch and a bounded retry at the new epoch —
+/// identical machinery for single queries and batches.
+fn sharded_with_refresh(
+    client: &mut ShardedClient,
+    outcome: &mut ClientOutcome,
+    mut call: impl FnMut(&mut ShardedClient) -> Result<(), ServiceError>,
+) -> Result<(), ServiceError> {
+    let mut stale_retries = 0usize;
+    loop {
+        match call(client) {
+            Ok(()) => return Ok(()),
+            Err(e) if e.is_stale_epoch() && stale_retries < STALE_RETRY_LIMIT => {
+                stale_retries += 1;
+                if client.refresh().is_ok() {
+                    outcome.epoch_refreshes += 1;
+                }
+                // A rollout flips shards one at a time; give it a moment
+                // before re-pinning.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
         }
     }
 }
@@ -242,9 +305,12 @@ const STALE_RETRY_LIMIT: usize = 200;
 #[derive(Default)]
 struct ClientOutcome {
     latencies_micros: Vec<u64>,
+    batch_latencies_micros: Vec<u64>,
     verified: usize,
     failures: usize,
     epoch_refreshes: usize,
+    batches: usize,
+    batch_queries: usize,
 }
 
 /// Aggregate results of one load-generation run.
@@ -252,50 +318,67 @@ struct ClientOutcome {
 pub struct LoadReport {
     /// Client threads that ran.
     pub clients: usize,
-    /// Total queries issued.
+    /// Total requests issued (single queries plus batch requests — a batch
+    /// counts once however many queries it carries).
     pub total_requests: usize,
-    /// Responses that passed cryptographic verification.
+    /// Responses that passed cryptographic verification (each batch member
+    /// counts individually).
     pub verified: usize,
     /// Responses that failed verification.
     pub failures: usize,
     /// Shard-map refreshes performed after stale-epoch rejections (update
     /// churn observed and survived mid-run).
     pub epoch_refreshes: usize,
+    /// Batch requests issued.
+    pub batches: usize,
+    /// Queries carried inside batch requests.
+    pub batch_queries: usize,
     /// Wall-clock duration of the whole run.
     pub elapsed: Duration,
-    /// Sorted per-request latencies in microseconds.
+    /// Sorted single-query request latencies in microseconds.
     pub latencies_micros: Vec<u64>,
+    /// Sorted per-batch request latencies in microseconds (one observation
+    /// per batch, not per member).
+    pub batch_latencies_micros: Vec<u64>,
 }
 
 impl LoadReport {
-    /// Aggregate throughput in queries per second.
+    /// Total queries answered: single requests plus every batch member —
+    /// the unit cryptographic verification and server-side processing are
+    /// paid in, regardless of how queries were framed into requests.
+    pub fn total_queries(&self) -> usize {
+        (self.total_requests - self.batches) + self.batch_queries
+    }
+
+    /// Aggregate throughput in queries per second (batch members count
+    /// individually, so batched and unbatched runs compare like for like).
     pub fn throughput_qps(&self) -> f64 {
         if self.elapsed.is_zero() {
             return 0.0;
         }
-        self.total_requests as f64 / self.elapsed.as_secs_f64()
+        self.total_queries() as f64 / self.elapsed.as_secs_f64()
     }
 
-    /// The latency at a quantile in `[0, 1]`, in microseconds.
+    /// The single-query latency at a quantile in `[0, 1]`, in microseconds.
     ///
     /// Uses the standard nearest-rank definition: the value at 1-based rank
     /// `ceil(q * n)`, so p50 of `[10, 20, 30, 40]` is 20 (the smallest value
     /// at or above which at least 50% of the observations lie), and p100 is
     /// the maximum.
     pub fn latency_quantile_micros(&self, quantile: f64) -> u64 {
-        let n = self.latencies_micros.len();
-        if n == 0 {
-            return 0;
-        }
-        let quantile = quantile.clamp(0.0, 1.0);
-        let rank = (quantile * n as f64).ceil() as usize;
-        self.latencies_micros[rank.clamp(1, n) - 1]
+        quantile_micros(&self.latencies_micros, quantile)
+    }
+
+    /// The per-batch latency at a quantile in `[0, 1]`, in microseconds
+    /// (same nearest-rank definition over the batch observations).
+    pub fn batch_latency_quantile_micros(&self, quantile: f64) -> u64 {
+        quantile_micros(&self.batch_latencies_micros, quantile)
     }
 
     /// A one-line human-readable summary.
     pub fn summary(&self) -> String {
-        format!(
-            "{} clients x {} reqs: {:.0} qps, p50 {}us, p95 {}us, p99 {}us, max {}us, {}/{} verified",
+        let mut line = format!(
+            "{} clients x {} reqs: {:.0} qps, p50 {}us, p95 {}us, p99 {}us, max {}us, {} verified",
             self.clients,
             self.total_requests.checked_div(self.clients).unwrap_or(0),
             self.throughput_qps(),
@@ -304,9 +387,29 @@ impl LoadReport {
             self.latency_quantile_micros(0.99),
             self.latencies_micros.last().copied().unwrap_or(0),
             self.verified,
-            self.total_requests,
-        )
+        );
+        if self.batches > 0 {
+            line.push_str(&format!(
+                "; {} batches ({} queries), batch p50 {}us p99 {}us",
+                self.batches,
+                self.batch_queries,
+                self.batch_latency_quantile_micros(0.50),
+                self.batch_latency_quantile_micros(0.99),
+            ));
+        }
+        line
     }
+}
+
+/// Nearest-rank quantile over a sorted latency list (0 when empty).
+fn quantile_micros(sorted: &[u64], quantile: f64) -> u64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0;
+    }
+    let quantile = quantile.clamp(0.0, 1.0);
+    let rank = (quantile * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
 }
 
 #[cfg(test)]
@@ -321,8 +424,11 @@ mod tests {
             verified: 4,
             failures: 0,
             epoch_refreshes: 0,
+            batches: 0,
+            batch_queries: 0,
             elapsed: Duration::from_secs(2),
             latencies_micros: vec![10, 20, 30, 40],
+            batch_latencies_micros: vec![],
         };
         assert_eq!(report.throughput_qps(), 2.0);
         assert_eq!(report.latency_quantile_micros(0.0), 10);
@@ -333,6 +439,32 @@ mod tests {
         assert_eq!(report.latency_quantile_micros(0.75), 30);
         assert_eq!(report.latency_quantile_micros(0.76), 40);
         assert!(report.summary().contains("verified"));
+        // No batches in the mix: the summary stays in its historical shape.
+        assert!(!report.summary().contains("batches"));
+    }
+
+    #[test]
+    fn batch_quantiles_and_summary_report_batches() {
+        let report = LoadReport {
+            clients: 1,
+            total_requests: 6,
+            verified: 12,
+            failures: 0,
+            epoch_refreshes: 0,
+            batches: 2,
+            batch_queries: 8,
+            elapsed: Duration::from_secs(1),
+            latencies_micros: vec![10, 20, 30, 40],
+            batch_latencies_micros: vec![100, 300],
+        };
+        assert_eq!(report.batch_latency_quantile_micros(0.5), 100);
+        assert_eq!(report.batch_latency_quantile_micros(1.0), 300);
+        // Throughput counts every batch member: 4 singles + 8 batched
+        // queries over 1 second.
+        assert_eq!(report.total_queries(), 12);
+        assert_eq!(report.throughput_qps(), 12.0);
+        let summary = report.summary();
+        assert!(summary.contains("2 batches (8 queries)"), "{summary}");
     }
 
     #[test]
@@ -343,11 +475,15 @@ mod tests {
             verified: 0,
             failures: 0,
             epoch_refreshes: 0,
+            batches: 0,
+            batch_queries: 0,
             elapsed: Duration::ZERO,
             latencies_micros: vec![],
+            batch_latencies_micros: vec![],
         };
         assert_eq!(report.throughput_qps(), 0.0);
         assert_eq!(report.latency_quantile_micros(0.99), 0);
+        assert_eq!(report.batch_latency_quantile_micros(0.99), 0);
     }
 
     #[test]

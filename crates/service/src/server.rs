@@ -429,13 +429,8 @@ fn handle_request(shared: &Shared, payload: &[u8]) -> Vec<u8> {
             epoch: pinned,
             query,
         } => {
-            if pinned != epoch {
-                return error_response(
-                    shared,
-                    ErrorCode::StaleEpoch,
-                    format!("service serves publication epoch {epoch}, request pinned {pinned}"),
-                )
-                .to_framed_bytes();
+            if let Some(rejection) = reject_stale_pin(shared, epoch, pinned) {
+                return rejection;
             }
             // Key on the canonical bytes of the *equivalent plain query*,
             // so pinned and unpinned requests for the same query at the
@@ -443,25 +438,102 @@ fn handle_request(shared: &Shared, payload: &[u8]) -> Vec<u8> {
             let canonical = Request::Query(query.clone()).canonical_bytes();
             query_response(shared, &serving, epoch_cache_key(epoch, &canonical), query)
         }
-        Request::Batch(queries) => {
-            if queries.len() > shared.config.max_batch_len {
-                return error_response(
-                    shared,
-                    ErrorCode::BadQuery,
-                    format!(
-                        "batch of {} queries exceeds the limit of {}",
-                        queries.len(),
-                        shared.config.max_batch_len
-                    ),
-                )
-                .to_framed_bytes();
+        Request::Batch(queries) => batch_response(shared, &serving, epoch, &queries),
+        Request::BatchAt {
+            epoch: pinned,
+            queries,
+        } => {
+            if let Some(rejection) = reject_stale_pin(shared, epoch, pinned) {
+                return rejection;
             }
-            cached_response(shared, &epoch_cache_key(epoch, payload), |shared| {
-                process_queries(shared, &serving, &queries, RequestKind::Batch)
-                    .map(|responses| Response::Batch { epoch, responses }.to_framed_bytes())
-            })
+            batch_response(shared, &serving, epoch, &queries)
         }
     }
+}
+
+/// The framed [`ErrorCode::StaleEpoch`] rejection for a request pinned to an
+/// epoch the service does not currently serve (`None` when the pin matches)
+/// — one reply for every pinned request shape.
+fn reject_stale_pin(shared: &Shared, serving: u64, pinned: u64) -> Option<Vec<u8>> {
+    if pinned == serving {
+        return None;
+    }
+    Some(
+        error_response(
+            shared,
+            ErrorCode::StaleEpoch,
+            format!("service serves publication epoch {serving}, request pinned {pinned}"),
+        )
+        .to_framed_bytes(),
+    )
+}
+
+/// Serves a batch through **per-item** epoch-keyed cache lookups: each query
+/// resolves exactly as the equivalent single [`Request::Query`] would —
+/// same cache key, same single-flight entry — so a batch sharing items with
+/// past (or concurrent) singles and batches recomputes only the cold items,
+/// and a repeated batch with one changed query pays exactly one miss. A
+/// per-item error (bad dimensionality, internal failure) fails the whole
+/// batch with that item's typed reply, like the whole-batch path always did.
+fn batch_response(
+    shared: &Shared,
+    serving: &Arc<Server>,
+    epoch: u64,
+    queries: &[vaq_authquery::Query],
+) -> Vec<u8> {
+    if queries.is_empty() {
+        // An empty batch used to sail under the max-batch check and cache a
+        // useless empty response; it carries no work and is a client bug.
+        return error_response(shared, ErrorCode::BadQuery, "batch holds no queries".into())
+            .to_framed_bytes();
+    }
+    if queries.len() > shared.config.max_batch_len {
+        return error_response(
+            shared,
+            ErrorCode::BadQuery,
+            format!(
+                "batch of {} queries exceeds the limit of {}",
+                queries.len(),
+                shared.config.max_batch_len
+            ),
+        )
+        .to_framed_bytes();
+    }
+    let start = Instant::now();
+    let mut responses = Vec::with_capacity(queries.len());
+    for query in queries {
+        // Key every item on the canonical bytes of the equivalent plain
+        // query, so batch items, pinned batches and singles for the same
+        // query at the same epoch share one cache entry and one flight.
+        let canonical = Request::Query(query.clone()).canonical_bytes();
+        let frame = query_response(
+            shared,
+            serving,
+            epoch_cache_key(epoch, &canonical),
+            query.clone(),
+        );
+        // Decoding the cached single-query frame back into a QueryResponse
+        // costs one deserialization per item — the deliberate price of
+        // storing exactly one representation per item (the framed single
+        // response) in one unified cache; the expensive work (query
+        // processing and VO assembly) is what the shared entries dedupe.
+        match Response::from_framed_bytes(&frame) {
+            Ok(Response::Query { response, .. }) => responses.push(response),
+            Ok(Response::Error(_)) => return frame,
+            _ => {
+                return error_response(
+                    shared,
+                    ErrorCode::Internal,
+                    "batch item produced an unexpected frame".into(),
+                )
+                .to_framed_bytes()
+            }
+        }
+    }
+    shared
+        .metrics
+        .observe_latency(RequestKind::Batch, start.elapsed());
+    Response::Batch { epoch, responses }.to_framed_bytes()
 }
 
 /// Serves one analytic query against a resolved serving snapshot through

@@ -658,29 +658,113 @@ impl ShardedClient {
             epoch: self.epoch,
             query: query.clone(),
         };
-        let mut failure: Option<ServiceError> = None;
+        let per_shard = self.scatter_verified(&request, &|response, template, entry, epoch| {
+            interpret_leg(response, query, template, entry, epoch)
+        })?;
 
+        let mut candidates: Vec<(f64, Record)> = Vec::new();
+        let mut per_shard_returned = Vec::with_capacity(per_shard.len());
+        for (records, scores) in per_shard {
+            per_shard_returned.push(records.len());
+            candidates.extend(scores.into_iter().zip(records));
+        }
+        merge(query, candidates, self.total_records, per_shard_returned)
+    }
+
+    /// Scatters a batch of queries to every shard in **one pinned frame per
+    /// shard** ([`vaq_wire::Request::BatchAt`] at the client's map epoch),
+    /// verifies every per-shard sub-response under that shard's attested
+    /// key at that epoch, and merges each sub-query's candidates through
+    /// the same path a single sharded query uses — so each merged answer
+    /// is byte-identical to what an unsharded [`ServiceClient::batch`]
+    /// returns against a single server at the same epoch.
+    ///
+    /// The single-query guarantees carry over per leg: a dead scatter leg
+    /// fails over to the shard's attested standby addresses, a stale-epoch
+    /// rejection surfaces typed (refresh the map and retry), a sub-response
+    /// count that disagrees with the batch is a typed
+    /// [`ServiceError::BatchArity`] protocol violation, and any
+    /// unrecoverable leg fails the whole batch with
+    /// [`ServiceError::ShardFailed`] — never a silent partial answer.
+    ///
+    /// An empty `queries` slice errors exactly like the unsharded path:
+    /// the shards reject the empty batch frame with a typed `BadQuery`
+    /// (surfaced as [`ServiceError::ShardFailed`]), so switching a caller
+    /// between the two clients never changes whether a caller bug is
+    /// surfaced.
+    pub fn batch_verified(
+        &mut self,
+        queries: &[Query],
+    ) -> Result<Vec<ShardedResponse>, ServiceError> {
+        let request = Request::BatchAt {
+            epoch: self.epoch,
+            queries: queries.to_vec(),
+        };
+        let per_shard = self.scatter_verified(&request, &|response, template, entry, epoch| {
+            interpret_batch_leg(response, queries, template, entry, epoch)
+        })?;
+
+        // Transpose shard-major into query-major (moving, not cloning, the
+        // verified legs) and merge each sub-query exactly like a single
+        // sharded query: same candidate union, same window selection, same
+        // disjointness and completeness checks.
+        let shard_count = per_shard.len();
+        let mut per_query: Vec<Vec<VerifiedLeg>> = (0..queries.len())
+            .map(|_| Vec::with_capacity(shard_count))
+            .collect();
+        for shard_results in per_shard {
+            for (j, leg) in shard_results.into_iter().enumerate() {
+                per_query[j].push(leg);
+            }
+        }
+        queries
+            .iter()
+            .zip(per_query)
+            .map(|(query, legs)| {
+                let mut candidates: Vec<(f64, Record)> = Vec::new();
+                let mut per_shard_returned = Vec::with_capacity(legs.len());
+                for (records, scores) in legs {
+                    per_shard_returned.push(records.len());
+                    candidates.extend(scores.into_iter().zip(records));
+                }
+                merge(query, candidates, self.total_records, per_shard_returned)
+            })
+            .collect()
+    }
+
+    /// Scatters one already-pinned request to every shard (all sends go out
+    /// before the first receive, so the per-shard work overlaps), gathers
+    /// and interprets every leg, and retries dead legs against the attested
+    /// standby addresses. Returns the interpreted legs in shard-id order,
+    /// or the first unrecoverable leg failure as a typed
+    /// [`ServiceError::ShardFailed`].
+    ///
+    /// Every in-flight response is read even after a failure, so surviving
+    /// connections stay request/response aligned for the next call.
+    fn scatter_verified<T>(
+        &mut self,
+        request: &Request,
+        interpret: LegInterpreter<'_, T>,
+    ) -> Result<Vec<T>, ServiceError> {
         // Scatter: put one request in flight on every shard before reading
-        // any response, so the per-shard work overlaps. A failed send is
-        // retried on a standby during the gather phase.
+        // any response. A failed send is retried on a standby during the
+        // gather phase.
         let mut sent = vec![false; self.shards.len()];
         for (i, shard) in self.shards.iter_mut().enumerate() {
-            sent[i] = shard.client.send(&request).is_ok();
+            sent[i] = shard.client.send(request).is_ok();
         }
 
-        // Gather: read every in-flight response even after a failure, so
-        // surviving connections stay request/response aligned for the next
-        // query.
-        let mut candidates: Vec<(f64, Record)> = Vec::new();
-        let mut per_shard_returned = vec![0usize; self.shards.len()];
-        for i in 0..self.shards.len() {
-            let outcome = if sent[i] {
-                let shard = &mut self.shards[i];
+        let mut results: Vec<T> = Vec::with_capacity(self.shards.len());
+        let mut failure: Option<ServiceError> = None;
+        for (i, &was_sent) in sent.iter().enumerate() {
+            let outcome = if was_sent {
                 let epoch = self.epoch;
                 let template = &self.template;
-                shard.client.receive().and_then(|response| {
-                    interpret_leg(response, query, template, &shard.entry, epoch)
-                })
+                let shard = &mut self.shards[i];
+                shard
+                    .client
+                    .receive()
+                    .and_then(|response| interpret(response, template, &shard.entry, epoch))
             } else {
                 Err(ServiceError::Io(std::io::Error::new(
                     std::io::ErrorKind::BrokenPipe,
@@ -688,14 +772,11 @@ impl ShardedClient {
                 )))
             };
             let outcome = match outcome {
-                Err(e) if is_failover_worthy(&e) => self.failover_leg(i, &request, query, e),
+                Err(e) if is_failover_worthy(&e) => self.failover_leg(i, request, interpret, e),
                 other => other,
             };
             match outcome {
-                Ok((records, scores)) => {
-                    per_shard_returned[i] = records.len();
-                    candidates.extend(scores.into_iter().zip(records));
-                }
+                Ok(result) => results.push(result),
                 Err(e) => {
                     if failure.is_none() {
                         failure = Some(shard_failed(self.shards[i].entry.shard_id, e));
@@ -703,11 +784,10 @@ impl ShardedClient {
                 }
             }
         }
-        if let Some(error) = failure {
-            return Err(error);
+        match failure {
+            Some(error) => Err(error),
+            None => Ok(results),
         }
-
-        merge(query, candidates, self.total_records, per_shard_returned)
     }
 
     /// Retries one failed scatter leg against the shard's attested standby
@@ -726,13 +806,13 @@ impl ShardedClient {
     ///
     /// Only transport-level failures fall through to the next candidate;
     /// with no candidate left, the original error is returned.
-    fn failover_leg(
+    fn failover_leg<T>(
         &mut self,
         index: usize,
         request: &Request,
-        query: &Query,
+        interpret: LegInterpreter<'_, T>,
         original: ServiceError,
-    ) -> Result<(Vec<Record>, Vec<f64>), ServiceError> {
+    ) -> Result<T, ServiceError> {
         let entry = self.shards[index].entry.clone();
         let current = self.shards[index].addr;
         let epoch = self.epoch;
@@ -746,7 +826,7 @@ impl ShardedClient {
             let outcome = connection
                 .client
                 .call(request)
-                .and_then(|response| interpret_leg(response, query, &self.template, &entry, epoch));
+                .and_then(|response| interpret(response, &self.template, &entry, epoch));
             match outcome {
                 Ok(result) => {
                     self.shards[index] = connection;
@@ -775,6 +855,55 @@ impl ShardedClient {
     }
 }
 
+/// How one scatter leg's raw [`Response`] is checked and verified into a
+/// typed result: the callback receives the response, the shared template,
+/// the shard's attested map entry and the pinned epoch. One interpreter
+/// exists per request shape ([`interpret_leg`] for single queries,
+/// [`interpret_batch_leg`] for batches); the scatter/gather/failover
+/// machinery is shared through this seam.
+type LegInterpreter<'a, T> =
+    &'a dyn Fn(Response, &FunctionTemplate, &ShardEntry, u64) -> Result<T, ServiceError>;
+
+/// One verified scatter leg's contribution to one query: the records a
+/// shard returned, with their verified scores in record order.
+type VerifiedLeg = (Vec<Record>, Vec<f64>);
+
+/// Rejects a leg whose envelope stamp disagrees with the pinned epoch. The
+/// stamp is unauthenticated, so this is only a cheap early reject — a
+/// *forged* stamp still fails [`verify_sub_response`], because the
+/// response's signatures bind the real epoch.
+fn check_leg_epoch(served: u64, pinned: u64) -> Result<(), ServiceError> {
+    if served != pinned {
+        return Err(ServiceError::StaleEpoch {
+            expected: pinned,
+            got: served,
+        });
+    }
+    Ok(())
+}
+
+/// Verifies one per-query response from one shard — records + VO under the
+/// shard's attested key, at the pinned epoch — and returns the verified
+/// (records, scores). The single security-sensitive verification step, one
+/// copy shared by the single-query and batch interpreters.
+fn verify_sub_response(
+    query: &Query,
+    response: vaq_authquery::QueryResponse,
+    template: &FunctionTemplate,
+    entry: &ShardEntry,
+    epoch: u64,
+) -> Result<VerifiedLeg, ServiceError> {
+    let verified = client::verify_at_epoch(
+        query,
+        &response.records,
+        &response.vo,
+        template,
+        &entry.public_key,
+        epoch,
+    )?;
+    Ok((response.records, verified.scores))
+}
+
 /// Interprets one scatter-leg response: checks the envelope epoch stamp,
 /// verifies the records + VO under the shard's attested key at the pinned
 /// epoch, and returns the verified (records, scores).
@@ -784,30 +913,45 @@ fn interpret_leg(
     template: &FunctionTemplate,
     entry: &ShardEntry,
     epoch: u64,
-) -> Result<(Vec<Record>, Vec<f64>), ServiceError> {
+) -> Result<VerifiedLeg, ServiceError> {
     match response {
         Response::Query {
             epoch: served,
             response,
         } => {
-            // The envelope stamp is unauthenticated, but a mismatch is a
-            // cheap early reject; a *forged* stamp still fails below
-            // because the response's signatures bind the real epoch.
-            if served != epoch {
-                return Err(ServiceError::StaleEpoch {
-                    expected: epoch,
-                    got: served,
-                });
-            }
-            let verified = client::verify_at_epoch(
-                query,
-                &response.records,
-                &response.vo,
-                template,
-                &entry.public_key,
-                epoch,
-            )?;
-            Ok((response.records, verified.scores))
+            check_leg_epoch(served, epoch)?;
+            verify_sub_response(query, response, template, entry, epoch)
+        }
+        other => Err(crate::client::unexpected(&other)),
+    }
+}
+
+/// Interprets one batch scatter-leg response: checks the envelope epoch
+/// stamp and the answer arity against the batch, then verifies every
+/// sub-response's records + VO under the shard's attested key at the
+/// pinned epoch. Returns the verified (records, scores) per query, in
+/// query order.
+fn interpret_batch_leg(
+    response: Response,
+    queries: &[Query],
+    template: &FunctionTemplate,
+    entry: &ShardEntry,
+    epoch: u64,
+) -> Result<Vec<VerifiedLeg>, ServiceError> {
+    match response {
+        Response::Batch {
+            epoch: served,
+            responses,
+        } => {
+            check_leg_epoch(served, epoch)?;
+            crate::client::check_batch_arity(queries.len(), &responses)?;
+            queries
+                .iter()
+                .zip(responses)
+                .map(|(query, response)| {
+                    verify_sub_response(query, response, template, entry, epoch)
+                })
+                .collect()
         }
         other => Err(crate::client::unexpected(&other)),
     }

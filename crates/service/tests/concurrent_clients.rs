@@ -172,7 +172,122 @@ fn batches_round_trip_and_verify() {
         )
         .unwrap_or_else(|e| panic!("batch item {query}: {e:?}"));
     }
+
+    // Batch items populate the same per-item cache entries singles use: a
+    // single query for a batch member is a hit, and re-sending the whole
+    // batch recomputes nothing.
+    let before = client.stats().unwrap();
+    assert_eq!(before.cache_misses, queries.len() as u64);
+    let single = client.query(&queries[0]).unwrap();
+    assert_eq!(single.records, responses[0].records);
+    client.batch(&queries).unwrap();
+    let after = client.stats().unwrap();
+    assert_eq!(after.cache_misses, before.cache_misses, "no recomputation");
+    assert_eq!(
+        after.cache_hits,
+        before.cache_hits + 1 + queries.len() as u64
+    );
+
+    // An epoch-pinned batch at the serving epoch answers identically; a
+    // stale pin is refused typed.
+    let pinned = client.batch_at(service.epoch(), &queries).unwrap();
+    assert_eq!(pinned.len(), queries.len());
+    assert_eq!(pinned[0].records, responses[0].records);
+    let err = client
+        .batch_at(service.epoch() + 1, &queries)
+        .expect_err("wrong pin");
+    assert!(err.is_stale_epoch(), "expected stale-epoch, got {err}");
     service.shutdown();
+}
+
+#[test]
+fn empty_batches_are_rejected_with_a_typed_bad_query() {
+    // Regression: an empty batch sailed under the max-batch-length check,
+    // computed nothing, and still cached a useless empty response. Both the
+    // plain and the epoch-pinned path must reject it typed instead.
+    let (_, server, _) = owner_setup(10, 1, 22);
+    let service = QueryService::bind(ServiceConfig::ephemeral(), server).unwrap();
+    let mut client = ServiceClient::connect(service.local_addr()).unwrap();
+
+    for err in [
+        client.batch(&[]).expect_err("empty batch"),
+        client
+            .batch_at(service.epoch(), &[])
+            .expect_err("empty pinned batch"),
+    ] {
+        match err {
+            ServiceError::Remote(reply) => {
+                assert_eq!(reply.code, ErrorCode::BadQuery);
+                assert!(reply.message.contains("no queries"), "{}", reply.message);
+            }
+            other => panic!("expected a remote BadQuery, got {other}"),
+        }
+    }
+
+    // The connection survives the typed errors, and nothing was cached or
+    // counted as computed.
+    client.ping().unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.errors, 2);
+    assert_eq!(stats.cache_hits + stats.cache_misses, 0);
+    service.shutdown();
+}
+
+#[test]
+fn mismatched_batch_arity_is_a_typed_protocol_violation() {
+    use std::net::TcpListener;
+    // Regression: a malicious (or buggy) server answering a 2-query batch
+    // with 1 response used to be silently zip-truncated by callers. The
+    // client must reject the frame with a typed arity error — and, since
+    // exactly one frame answered the batch, stay usable afterwards.
+    let (_, server, _) = owner_setup(10, 1, 23);
+    let genuine = std::sync::Arc::new(server);
+
+    // A hand-rolled server that strips the last response from every batch.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let truncating = {
+        let genuine = std::sync::Arc::clone(&genuine);
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            loop {
+                let request: Request = match vaq_service::frame::read_message(&mut stream, 1 << 20)
+                {
+                    Ok(Some(request)) => request,
+                    _ => return,
+                };
+                let reply = match request {
+                    Request::Batch(queries) => {
+                        let mut responses: Vec<_> =
+                            queries.iter().map(|q| genuine.process(q)).collect();
+                        responses.pop();
+                        Response::Batch {
+                            epoch: 0,
+                            responses,
+                        }
+                    }
+                    Request::Ping => Response::Pong,
+                    _ => return,
+                };
+                if vaq_service::frame::write_message(&mut stream, &reply).is_err() {
+                    return;
+                }
+            }
+        })
+    };
+
+    let mut client = ServiceClient::connect(addr).unwrap();
+    let queries = vec![Query::top_k(vec![0.7], 3), Query::top_k(vec![0.2], 2)];
+    match client.batch(&queries).expect_err("truncated batch") {
+        ServiceError::BatchArity { expected, got } => {
+            assert_eq!((expected, got), (2, 1));
+        }
+        other => panic!("expected BatchArity, got {other}"),
+    }
+    // One request, one frame: the connection is still aligned and usable.
+    client.ping().unwrap();
+    drop(client);
+    truncating.join().unwrap();
 }
 
 #[test]
@@ -325,6 +440,90 @@ fn concurrent_identical_queries_compute_once() {
         "identical concurrent queries must compute exactly once"
     );
     assert_eq!(stats.cache_hits, (CLIENTS - 1) as u64);
+}
+
+#[test]
+fn concurrent_batches_and_singles_compute_each_distinct_item_once() {
+    // Regression: the batch path used to cache on the whole batch payload,
+    // so a batch never shared work with singles (or with batches differing
+    // in any item) and N concurrent identical batches stampeded the server.
+    // With per-item epoch-keyed single-flight, any mix of concurrent
+    // batches and singles over the same queries computes each *distinct
+    // item* exactly once.
+    const BATCH_CLIENTS: usize = 3;
+    const SINGLE_CLIENTS: usize = 3;
+    let (_, server, _) = owner_setup(30, 1, 73);
+    let service = QueryService::bind(
+        ServiceConfig::ephemeral().workers(BATCH_CLIENTS + SINGLE_CLIENTS),
+        server,
+    )
+    .unwrap();
+    let addr = service.local_addr();
+    // Wide range queries keep each computation slow enough that the
+    // clients genuinely overlap.
+    let query_a = Query::range(vec![0.5], -1.0, 2.0);
+    let query_b = Query::range(vec![0.25], -1.0, 2.0);
+    let batch = vec![query_a.clone(), query_b.clone()];
+
+    let barrier = Arc::new(std::sync::Barrier::new(BATCH_CLIENTS + SINGLE_CLIENTS));
+    let mut threads = Vec::new();
+    for _ in 0..BATCH_CLIENTS {
+        let batch = batch.clone();
+        let barrier = Arc::clone(&barrier);
+        let mut client = ServiceClient::connect(addr).expect("connect");
+        threads.push(std::thread::spawn(move || {
+            barrier.wait();
+            client.batch(&batch).expect("batch").len()
+        }));
+    }
+    for _ in 0..SINGLE_CLIENTS {
+        let query = query_a.clone();
+        let barrier = Arc::clone(&barrier);
+        let mut client = ServiceClient::connect(addr).expect("connect");
+        threads.push(std::thread::spawn(move || {
+            barrier.wait();
+            client.query(&query).expect("single query");
+            1
+        }));
+    }
+    for thread in threads {
+        thread.join().unwrap();
+    }
+
+    let stats = service.stats();
+    assert_eq!(
+        stats.cache_misses, 2,
+        "two distinct items must compute exactly twice across {} batch and {} single clients",
+        BATCH_CLIENTS, SINGLE_CLIENTS
+    );
+    // Every item lookup is accounted: 2 per batch, 1 per single.
+    assert_eq!(
+        stats.cache_hits + stats.cache_misses,
+        (2 * BATCH_CLIENTS + SINGLE_CLIENTS) as u64
+    );
+
+    // A repeated batch with one changed query recomputes only the changed
+    // item.
+    let mut client = ServiceClient::connect(addr).unwrap();
+    let query_c = Query::range(vec![0.75], -1.0, 2.0);
+    client
+        .batch(&[query_a.clone(), query_c.clone()])
+        .expect("changed batch");
+    let stats = service.stats();
+    assert_eq!(
+        stats.cache_misses, 3,
+        "one changed query must incur exactly one extra miss"
+    );
+
+    // The whole-batch latency histogram saw every batch request.
+    let batch_histogram = &stats
+        .per_kind
+        .iter()
+        .find(|k| k.kind == "batch")
+        .expect("batch kind tracked")
+        .histogram;
+    assert_eq!(batch_histogram.count, (BATCH_CLIENTS + 1) as u64);
+    service.shutdown();
 }
 
 #[test]

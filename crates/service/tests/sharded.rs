@@ -115,6 +115,217 @@ fn sharded_answers_match_a_single_server_byte_for_byte() {
 }
 
 #[test]
+fn sharded_batches_match_an_unsharded_batch_byte_for_byte() {
+    // The acceptance scenario for batch scatter-gather: one epoch-pinned
+    // batch frame per shard, every per-shard sub-response verified under
+    // that shard's attested key, each sub-query merged exactly like a
+    // single sharded query — so the merged batch answers are byte-identical
+    // to an unsharded `ServiceClient::batch` at the same epoch.
+    let dataset = uniform_dataset(24, 1, 3030);
+    let (single, _) = single_server(&dataset, 3030);
+    let mut single_client = ServiceClient::connect(single.local_addr()).unwrap();
+
+    let deployment = ShardedDeployment::launch(
+        &dataset,
+        SHARDS,
+        SigningMode::MultiSignature,
+        0xbb,
+        ServiceConfig::ephemeral().workers(2),
+    )
+    .expect("launch sharded deployment");
+    let mut sharded_client = deployment.client().expect("connect sharded client");
+    assert_eq!(sharded_client.epoch(), single.epoch(), "same epoch");
+
+    // A mixed top-k/range/KNN batch, edge cases included.
+    let queries = query_suite(&dataset, 888);
+    let merged = sharded_client
+        .batch_verified(&queries)
+        .expect("sharded batch");
+    let unsharded = single_client.batch(&queries).expect("unsharded batch");
+    assert_eq!(merged.len(), queries.len());
+    assert_eq!(unsharded.len(), queries.len());
+
+    for ((query, merged), single_response) in queries.iter().zip(&merged).zip(&unsharded) {
+        assert_eq!(
+            merged.records, single_response.records,
+            "sharded batch answer diverges for {query}"
+        );
+        let merged_bytes: Vec<Vec<u8>> = merged.records.iter().map(|r| r.to_wire_bytes()).collect();
+        let single_bytes: Vec<Vec<u8>> = single_response
+            .records
+            .iter()
+            .map(|r| r.to_wire_bytes())
+            .collect();
+        assert_eq!(merged_bytes, single_bytes, "wire bytes diverge for {query}");
+        assert_eq!(merged.scores.len(), merged.records.len());
+        assert!(merged.scores.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(merged.per_shard_returned.len(), SHARDS);
+    }
+
+    // The batch answers also agree with the same queries issued singly
+    // through the sharded path (one protocol, one merge).
+    for (query, batched) in queries.iter().zip(&merged).take(4) {
+        let singly = sharded_client
+            .query_verified(query)
+            .expect("single sharded query");
+        assert_eq!(singly.records, batched.records, "{query}");
+    }
+
+    // Each shard saw exactly one batch frame per sharded batch request —
+    // not one frame per query.
+    let per_shard = sharded_client.stats_all().expect("per-shard stats");
+    for (shard_id, stats) in per_shard.iter().enumerate() {
+        let batch_count = stats
+            .per_kind
+            .iter()
+            .find(|k| k.kind == "batch")
+            .map(|k| k.histogram.count)
+            .unwrap_or(0);
+        assert_eq!(batch_count, 1, "shard {shard_id} batch requests");
+    }
+
+    // An empty batch errors exactly like the unsharded path: the shards
+    // reject the empty frame with a typed BadQuery, and the client's
+    // connections stay usable.
+    match sharded_client.batch_verified(&[]).expect_err("empty batch") {
+        ServiceError::ShardFailed { error, .. } => match *error {
+            ServiceError::Remote(reply) => {
+                assert_eq!(reply.code, vaq_wire::ErrorCode::BadQuery)
+            }
+            other => panic!("expected a remote BadQuery, got {other}"),
+        },
+        other => panic!("expected ShardFailed, got {other}"),
+    }
+    sharded_client
+        .query_verified(&queries[0])
+        .expect("client usable after the rejected empty batch");
+
+    single.shutdown();
+    deployment.shutdown();
+}
+
+#[test]
+fn sharded_batch_racing_republish_converges_without_mixing_epochs() {
+    // Batches ride a live republication exactly like singles: a shard that
+    // moved on answers the pinned batch frame with a typed stale-epoch
+    // rejection (never a mixed-epoch merge — every sub-response is verified
+    // at the pinned epoch under epoch-bound signatures), and the driver
+    // converges by re-fetching the signed map.
+    let dataset = uniform_dataset(24, 1, 141);
+    let mut updated = dataset.clone();
+    for record in updated.records.iter_mut().take(6) {
+        record.attrs[0] = (record.attrs[0] + 0.41) % 1.0;
+    }
+    let updated = vaq_funcdb::Dataset::new(updated.records, updated.template, updated.domain);
+
+    let mut deployment = ShardedDeployment::launch(
+        &dataset,
+        SHARDS,
+        SigningMode::MultiSignature,
+        0xd1,
+        ServiceConfig::ephemeral().workers(4),
+    )
+    .unwrap();
+
+    // Every second request carries a 2..4-query batch.
+    let generator = LoadGenerator {
+        mix: QueryMix::weighted(2, 1, 1).with_batches(4, 2, 4),
+        ..LoadGenerator::sharded(
+            deployment.addrs().to_vec(),
+            deployment.publication().clone(),
+            3,
+            24,
+        )
+    };
+    let load = {
+        let dataset = dataset.clone();
+        std::thread::spawn(move || generator.run(&dataset))
+    };
+    std::thread::sleep(Duration::from_millis(120));
+    assert_eq!(deployment.republish(&updated).expect("live republish"), 1);
+
+    let report = load
+        .join()
+        .expect("load thread")
+        .expect("batched load survives the republication");
+    assert_eq!(report.total_requests, 72);
+    assert!(report.batches > 0, "the mix must issue batches");
+    assert_eq!(report.failures, 0, "zero verification failures");
+    assert_eq!(
+        report.verified,
+        report.total_requests - report.batches + report.batch_queries,
+        "every single and every batch member verified"
+    );
+
+    // Post-churn, a fresh client's batches are byte-identical to a fresh
+    // unsharded epoch-1 server over the republished dataset.
+    let mut converged =
+        ShardedClient::connect_from_map(deployment.publication()).expect("post-churn connect");
+    assert_eq!(converged.epoch(), 1);
+    let scheme = SignatureScheme::test_rsa(141);
+    let single = vaq_authquery::Server::new(
+        updated.clone(),
+        vaq_authquery::IfmhTree::build_at_epoch(&updated, SigningMode::MultiSignature, &scheme, 1),
+    );
+    let queries = query_suite(&updated, 1234);
+    let merged = converged.batch_verified(&queries).expect("epoch-1 batch");
+    for (query, batched) in queries.iter().zip(&merged) {
+        let expected = single.process(query);
+        let merged_bytes: Vec<Vec<u8>> =
+            batched.records.iter().map(|r| r.to_wire_bytes()).collect();
+        let expected_bytes: Vec<Vec<u8>> =
+            expected.records.iter().map(|r| r.to_wire_bytes()).collect();
+        assert_eq!(merged_bytes, expected_bytes, "{query}");
+    }
+    deployment.shutdown();
+}
+
+#[test]
+fn standby_completes_a_batch_after_a_primary_kill() {
+    // A primary dies mid-batch-session: the dead scatter leg fails over to
+    // the attested standby address and the whole batch completes fully
+    // verified — byte-identical to an unsharded server, zero verification
+    // failures, no client-visible outage.
+    let dataset = uniform_dataset(24, 1, 151);
+    let mut deployment = ShardedDeployment::launch_with_standbys(
+        &dataset,
+        SHARDS,
+        SigningMode::MultiSignature,
+        0xe1,
+        ServiceConfig::ephemeral().workers(2),
+        1,
+    )
+    .unwrap();
+    let (single, _) = single_server(&dataset, 151);
+    let mut single_client = ServiceClient::connect(single.local_addr()).unwrap();
+    let mut client = deployment.client().expect("connect to primaries");
+
+    let queries = vec![
+        Query::top_k(vec![0.45], 6),
+        Query::range(vec![0.3], 0.0, 0.9),
+        Query::knn(vec![0.6], 3, 0.5),
+    ];
+    client.batch_verified(&queries).expect("healthy batch");
+
+    deployment.stop_shard(1);
+    for round in 0..5 {
+        let merged = client
+            .batch_verified(&queries)
+            .unwrap_or_else(|e| panic!("failover round {round}: {e}"));
+        let expected = single_client.batch(&queries).unwrap();
+        for ((query, batched), expected) in queries.iter().zip(&merged).zip(&expected) {
+            let merged_bytes: Vec<Vec<u8>> =
+                batched.records.iter().map(|r| r.to_wire_bytes()).collect();
+            let expected_bytes: Vec<Vec<u8>> =
+                expected.records.iter().map(|r| r.to_wire_bytes()).collect();
+            assert_eq!(merged_bytes, expected_bytes, "round {round}: {query}");
+        }
+    }
+    single.shutdown();
+    deployment.shutdown();
+}
+
+#[test]
 fn sharded_deployment_works_in_two_dimensions() {
     let dataset = uniform_dataset(15, 2, 31);
     let (single, _) = single_server(&dataset, 31);

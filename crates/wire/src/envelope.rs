@@ -62,6 +62,19 @@ pub enum Request {
         /// The query itself.
         query: Query,
     },
+    /// A batch of queries pinned to a publication epoch, mirroring
+    /// [`Request::QueryAt`]: the service answers with [`Response::Batch`]
+    /// only if it currently serves exactly `epoch`, and with a typed
+    /// [`ErrorCode::StaleEpoch`] error otherwise. This is what lets a
+    /// scatter-gather client send one batch frame per shard and still
+    /// guarantee that no merged sub-answer ever mixes epochs.
+    BatchAt {
+        /// The publication epoch the client expects (from its verified
+        /// shard map or published metadata).
+        epoch: u64,
+        /// The queries, answered in order.
+        queries: Vec<Query>,
+    },
 }
 
 impl Request {
@@ -282,6 +295,7 @@ const REQUEST_TAG_BATCH: u8 = 4;
 const REQUEST_TAG_SHARD_INFO: u8 = 5;
 const REQUEST_TAG_SHARD_MAP: u8 = 6;
 const REQUEST_TAG_QUERY_AT: u8 = 7;
+const REQUEST_TAG_BATCH_AT: u8 = 8;
 
 impl WireEncode for Request {
     fn encode(&self, w: &mut Writer) {
@@ -305,6 +319,14 @@ impl WireEncode for Request {
                 w.put_u8(REQUEST_TAG_QUERY_AT);
                 w.put_u64(*epoch);
                 query.encode(w);
+            }
+            Request::BatchAt { epoch, queries } => {
+                w.put_u8(REQUEST_TAG_BATCH_AT);
+                w.put_u64(*epoch);
+                w.put_len(queries.len());
+                for query in queries {
+                    query.encode(w);
+                }
             }
         }
     }
@@ -330,6 +352,15 @@ impl WireDecode for Request {
                 epoch: r.get_u64()?,
                 query: Query::decode(r)?,
             }),
+            REQUEST_TAG_BATCH_AT => {
+                let epoch = r.get_u64()?;
+                let len = r.get_len()?;
+                let mut queries = Vec::with_capacity(len.min(1024));
+                for _ in 0..len {
+                    queries.push(Query::decode(r)?);
+                }
+                Ok(Request::BatchAt { epoch, queries })
+            }
             tag => Err(WireError::InvalidTag {
                 type_name: "Request",
                 tag,
@@ -677,6 +708,17 @@ mod tests {
                 epoch: u64::MAX,
                 query: Query::top_k(vec![0.1, 0.9], 2),
             },
+            Request::BatchAt {
+                epoch: 0,
+                queries: vec![],
+            },
+            Request::BatchAt {
+                epoch: u64::MAX,
+                queries: vec![
+                    Query::top_k(vec![0.1, 0.9], 2),
+                    Query::range(vec![0.5], 0.1, 0.9),
+                ],
+            },
         ];
         for request in requests {
             let bytes = request.to_framed_bytes();
@@ -792,6 +834,19 @@ mod tests {
         let b = Request::Query(Query::top_k(vec![0.5], 4));
         assert_ne!(a.canonical_bytes(), b.canonical_bytes());
         assert_eq!(a.canonical_bytes(), a.canonical_bytes());
+    }
+
+    #[test]
+    fn canonical_bytes_distinguish_pinned_and_unpinned_batches() {
+        let queries = vec![Query::top_k(vec![0.5], 3)];
+        let plain = Request::Batch(queries.clone());
+        let pinned = Request::BatchAt {
+            epoch: 0,
+            queries: queries.clone(),
+        };
+        let later = Request::BatchAt { epoch: 1, queries };
+        assert_ne!(plain.canonical_bytes(), pinned.canonical_bytes());
+        assert_ne!(pinned.canonical_bytes(), later.canonical_bytes());
     }
 
     #[test]

@@ -54,7 +54,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn requests_roundtrip_framed(parts in query_parts(), selector in 0u8..7, epoch_selector in 0u64..) {
+    fn requests_roundtrip_framed(parts in query_parts(), selector in 0u8..8, epoch_selector in 0u64..) {
         let request = match selector {
             0 => Request::Ping,
             1 => Request::Stats,
@@ -65,11 +65,40 @@ proptest! {
                 epoch: epoch_from(epoch_selector),
                 query: query_from(&parts),
             },
+            6 => Request::BatchAt {
+                epoch: epoch_from(epoch_selector),
+                queries: vec![query_from(&parts), query_from(&parts)],
+            },
             _ => Request::Batch(vec![query_from(&parts), query_from(&parts)]),
         };
         let bytes = request.to_framed_bytes();
         let back = Request::from_framed_bytes(&bytes);
         prop_assert_eq!(back.as_ref().ok(), Some(&request));
+    }
+
+    #[test]
+    fn pinned_batches_encode_canonically_at_epoch_boundaries(
+        parts in query_parts(),
+        epoch_selector in 0u64..,
+        batch_len in 0usize..4,
+    ) {
+        // The canonical encoding is bijective: the bytes determine (epoch,
+        // queries) exactly, so a pinned batch at one epoch can never alias a
+        // pinned batch at another epoch or an unpinned batch — which is what
+        // the service's epoch-prefixed response-cache keys rely on.
+        let epoch = epoch_from(epoch_selector);
+        let queries: Vec<Query> = (0..batch_len).map(|_| query_from(&parts)).collect();
+        let pinned = Request::BatchAt { epoch, queries: queries.clone() };
+        let bytes = pinned.canonical_bytes();
+        let decoded = Request::from_wire_bytes(&bytes).ok();
+        prop_assert_eq!(decoded.as_ref(), Some(&pinned));
+        prop_assert_eq!(&pinned.canonical_bytes(), &bytes, "encoding must be deterministic");
+        let unpinned = Request::Batch(queries.clone());
+        prop_assert_ne!(unpinned.canonical_bytes(), bytes.clone());
+        if epoch != u64::MAX {
+            let shifted = Request::BatchAt { epoch: epoch + 1, queries };
+            prop_assert_ne!(shifted.canonical_bytes(), bytes);
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 pub mod queries;
 pub mod tables;
 
-pub use queries::{QueryGenerator, QueryMix, QuerySpec};
+pub use queries::{QueryGenerator, QueryMix, QuerySpec, WorkItem};
 pub use tables::{
     applicant_table, financial_risk_table, patient_risk_table, uniform_dataset, TableKind,
 };

@@ -58,6 +58,29 @@ fn main() {
         verified.cost.signature_verifications
     );
 
+    // --- A batch: many queries, one frame, every answer verified ----------
+    let batch = vec![
+        Query::top_k(vec![0.8, 0.4], 5),
+        Query::range(vec![0.5, 0.5], 0.2, 0.7),
+        Query::knn(vec![0.3, 0.9], 3, 0.5),
+    ];
+    let responses = user.batch(&batch).expect("batch answered in order");
+    for (query, response) in batch.iter().zip(&responses) {
+        client::verify(
+            query,
+            &response.records,
+            &response.vo,
+            &template,
+            &public_key,
+        )
+        .expect("every batch member must verify");
+    }
+    println!(
+        "user: batch of {} answered in one round-trip, every member verified \
+         (items are cached individually — the top-k above was a cache hit)",
+        batch.len()
+    );
+
     // --- Tamper check: a forged record must be caught ---------------------
     let mut forged = user.query(&query).expect("raw response");
     forged.records[0].attrs[0] += 0.05;
@@ -68,8 +91,10 @@ fn main() {
     );
 
     // --- Heavy traffic: closed-loop load from 4 concurrent users ---------
+    // Every fourth request is a 2..5-query batch, like a real dashboard
+    // refreshing several panels at once.
     let generator = LoadGenerator {
-        mix: QueryMix::weighted(2, 1, 1),
+        mix: QueryMix::weighted(2, 1, 1).with_batches(1, 2, 5),
         ..LoadGenerator::new(addr, 4, 25, template, public_key)
     };
     let report = generator.run(&dataset).expect("load run");

@@ -68,6 +68,22 @@ fn main() {
         );
     }
 
+    // A batch: one epoch-pinned frame per shard carries all queries, every
+    // per-shard sub-response is verified and each sub-answer merged.
+    let batch = vec![
+        Query::top_k(weights.clone(), 4),
+        Query::range(weights.clone(), 0.1, 0.5),
+        Query::knn(weights.clone(), 2, 0.4),
+    ];
+    let merged = client
+        .batch_verified(&batch)
+        .expect("scatter-gather batch verified");
+    println!(
+        "verified a {}-query batch in one scatter per shard: {:?} records per answer",
+        batch.len(),
+        merged.iter().map(|m| m.records.len()).collect::<Vec<_>>()
+    );
+
     // Live republication: the stale client is told, refreshes, reconverges.
     let epoch = deployment
         .republish(&dataset)

@@ -45,6 +45,21 @@ fn sharded_tier_through_umbrella_reexports() {
         assert_eq!(merged.records, local.records, "{query}");
         assert_eq!(merged.scores.len(), merged.records.len());
     }
+
+    // The same queries as one epoch-pinned batch: one frame per shard,
+    // every sub-response verified, each sub-answer equal to the local
+    // single server's.
+    let queries = vec![
+        Query::top_k(vec![1.0, 0.3, 0.6], 4),
+        Query::range(vec![0.4, 0.4, 0.2], 0.3, 0.7),
+        Query::knn(vec![0.2, 0.5, 0.3], 3, 0.5),
+    ];
+    let batched = remote
+        .batch_verified(&queries)
+        .expect("verified sharded batch");
+    for (query, merged) in queries.iter().zip(&batched) {
+        assert_eq!(merged.records, single.process(query).records, "{query}");
+    }
     deployment.shutdown();
 }
 
