@@ -79,6 +79,6 @@ pub use error::VerifyError;
 pub use ifmh::IfmhTree;
 pub use owner::{DataOwner, PublishedMetadata};
 pub use query::{Query, QueryKind};
-pub use server::{QueryResponse, Server};
+pub use server::{ProcessTiming, QueryResponse, Server};
 pub use signing::SigningMode;
 pub use vo::{BoundaryEntry, IntersectionVerification, IvStep, VerificationObject};

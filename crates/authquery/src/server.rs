@@ -5,6 +5,7 @@ use crate::ifmh::IfmhTree;
 use crate::query::Query;
 use crate::signing::SigningMode;
 use crate::vo::{BoundaryEntry, IntersectionVerification, IvStep, VerificationObject};
+use std::time::{Duration, Instant};
 use vaq_funcdb::{Dataset, Record};
 use vaq_itree::Node;
 
@@ -18,6 +19,17 @@ pub struct QueryResponse {
     pub vo: VerificationObject,
     /// The server's cost counters for this query (Fig. 6 metric).
     pub cost: ServerCost,
+}
+
+/// Wall-clock breakdown of [`Server::process_timed`]: how long was spent
+/// answering the query versus constructing (and binding signatures into)
+/// the verification object.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProcessTiming {
+    /// Subdomain location, scoring, and result-window selection.
+    pub execute: Duration,
+    /// FMH range proof, subdomain verification data, and signature binding.
+    pub vo_build: Duration,
 }
 
 /// The cloud server: holds the outsourced dataset and the owner-built
@@ -52,12 +64,21 @@ impl Server {
 
     /// Processes an analytic query and constructs the verification object.
     pub fn process(&self, query: &Query) -> QueryResponse {
+        self.process_timed(query).0
+    }
+
+    /// Like [`Server::process`], but also reports how the wall-clock time
+    /// split between query execution and VO construction, so callers can
+    /// attribute latency to the right stage.
+    pub fn process_timed(&self, query: &Query) -> (QueryResponse, ProcessTiming) {
         let x = query.weights();
         assert_eq!(
             x.len(),
             self.dataset.dims(),
             "query weight vector has wrong dimensionality"
         );
+
+        let t_start = Instant::now();
 
         // 1. Locate the subdomain containing X.
         let located = self.tree.itree.locate(x);
@@ -100,6 +121,9 @@ impl Server {
         } else {
             BoundaryEntry::Record(self.dataset.record(sorted[last_leaf - 1]).clone())
         };
+
+        let execute = t_start.elapsed();
+        let t_vo = Instant::now();
 
         // 4. FMH range proof over [first_leaf, last_leaf].
         let fmh = self
@@ -167,6 +191,10 @@ impl Server {
             signature,
         };
 
-        QueryResponse { records, vo, cost }
+        let timing = ProcessTiming {
+            execute,
+            vo_build: t_vo.elapsed(),
+        };
+        (QueryResponse { records, vo, cost }, timing)
     }
 }

@@ -1,0 +1,443 @@
+//! Persisted benchmark-artifact pipeline for the networked service tier.
+//!
+//! Runs the service benchmark scenarios end to end — a single service, the
+//! sharded tier at S = 1..4, a batched workload and a republish-churn run —
+//! collects throughput, latency quantiles, per-stage breakdowns and cache
+//! hit rates from the services' deep stats, and writes one schema-versioned
+//! JSON artifact so successive PRs can be compared number for number.
+//!
+//! ```text
+//! cargo run --release -p vaq-bench --bin bench_report
+//! cargo run --release -p vaq-bench --bin bench_report -- --smoke --out target/bench_smoke.json
+//! ```
+//!
+//! The binary validates its own output against the required schema fields
+//! and exits nonzero when any is missing, which is what CI runs (with
+//! `--smoke`) to keep the artifact schema from drifting silently.
+
+use std::time::Duration;
+
+use serde::Serialize;
+use vaq_authquery::{IfmhTree, Server, SigningMode};
+use vaq_crypto::SignatureScheme;
+use vaq_funcdb::Dataset;
+use vaq_service::{
+    LoadGenerator, LoadReport, QueryService, ServiceClient, ServiceConfig, ShardedDeployment,
+};
+use vaq_wire::StatsDeep;
+use vaq_workload::{uniform_dataset, QueryMix};
+
+/// Version stamp of the artifact layout; bump when fields change shape.
+const SCHEMA_VERSION: u32 = 1;
+
+/// Substrings every valid artifact must contain: the schema self-check CI
+/// runs. Field names only — values vary run to run.
+const REQUIRED_FIELDS: &[&str] = &[
+    "\"schema_version\"",
+    "\"benchmark\"",
+    "\"mode\"",
+    "\"seed\"",
+    "\"scenarios\"",
+    "\"name\"",
+    "\"shards\"",
+    "\"clients\"",
+    "\"requests\"",
+    "\"queries\"",
+    "\"qps\"",
+    "\"p50_micros\"",
+    "\"p99_micros\"",
+    "\"max_micros\"",
+    "\"verified\"",
+    "\"failures\"",
+    "\"epoch_refreshes\"",
+    "\"failovers\"",
+    "\"stale_rejections\"",
+    "\"scatter_leg_mean_micros\"",
+    "\"cache_hits\"",
+    "\"cache_misses\"",
+    "\"cache_hit_rate\"",
+    "\"cache_evictions\"",
+    "\"requests_served\"",
+    "\"errors\"",
+    "\"stages\"",
+    "\"stage\"",
+    "\"count\"",
+    "\"sum_micros\"",
+    "\"mean_micros\"",
+    "\"single\"",
+    "\"sharded_s1\"",
+    "\"sharded_s4\"",
+    "\"batched\"",
+    "\"republish_churn\"",
+];
+
+/// One hot-path stage's aggregate across every service in a scenario.
+#[derive(Serialize)]
+struct StageRow {
+    stage: String,
+    count: u64,
+    sum_micros: u64,
+    max_micros: u64,
+    mean_micros: f64,
+}
+
+/// One scenario's results: load-side throughput/latency plus the service
+/// side's deep-stat breakdowns.
+#[derive(Serialize)]
+struct ScenarioRow {
+    name: String,
+    shards: usize,
+    clients: usize,
+    requests: usize,
+    queries: usize,
+    qps: f64,
+    p50_micros: u64,
+    p99_micros: u64,
+    max_micros: u64,
+    batches: usize,
+    batch_p50_micros: u64,
+    batch_p99_micros: u64,
+    verified: usize,
+    failures: usize,
+    epoch_refreshes: usize,
+    failovers: u64,
+    stale_rejections: u64,
+    scatter_leg_mean_micros: u64,
+    scatter_leg_max_micros: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_hit_rate: f64,
+    cache_evictions: u64,
+    requests_served: u64,
+    errors: u64,
+    stages: Vec<StageRow>,
+}
+
+/// The whole artifact.
+#[derive(Serialize)]
+struct BenchReport {
+    schema_version: u32,
+    benchmark: String,
+    mode: String,
+    seed: u64,
+    scenarios: Vec<ScenarioRow>,
+}
+
+struct Args {
+    smoke: bool,
+    out: String,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_PR6.json".to_string(),
+        seed: 0xbe7c,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => {
+                i += 1;
+                args.out = argv.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                i += 1;
+                args.seed = argv.get(i).and_then(|v| v.parse().ok()).unwrap_or(0xbe7c);
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_report [--smoke] [--out PATH] [--seed N]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+/// Run sizing: kept deliberately small — the artifact's value is the stage
+/// breakdowns and relative numbers, not absolute load.
+struct Sizing {
+    records: usize,
+    clients: usize,
+    requests_per_client: usize,
+    republishes: usize,
+}
+
+impl Sizing {
+    fn new(smoke: bool) -> Self {
+        if smoke {
+            Sizing {
+                records: 12,
+                clients: 2,
+                requests_per_client: 3,
+                republishes: 1,
+            }
+        } else {
+            Sizing {
+                records: 20,
+                clients: 4,
+                requests_per_client: 12,
+                republishes: 3,
+            }
+        }
+    }
+}
+
+/// Sums per-service deep stats into one per-scenario stage table plus the
+/// cache and error aggregates.
+fn fold_deep(name: &str, shards: usize, report: &LoadReport, deep: &[StatsDeep]) -> ScenarioRow {
+    let mut stages: Vec<StageRow> = Vec::new();
+    for service in deep {
+        for (i, stage) in service.per_stage.iter().enumerate() {
+            if stages.len() <= i {
+                stages.push(StageRow {
+                    stage: stage.stage.clone(),
+                    count: 0,
+                    sum_micros: 0,
+                    max_micros: 0,
+                    mean_micros: 0.0,
+                });
+            }
+            let row = &mut stages[i];
+            row.count += stage.histogram.count;
+            row.sum_micros += stage.histogram.sum_micros;
+            row.max_micros = row.max_micros.max(stage.histogram.max_micros);
+        }
+    }
+    for row in &mut stages {
+        row.mean_micros = if row.count == 0 {
+            0.0
+        } else {
+            row.sum_micros as f64 / row.count as f64
+        };
+    }
+    let cache_hits: u64 = deep.iter().map(|d| d.snapshot.cache_hits).sum();
+    let cache_misses: u64 = deep.iter().map(|d| d.snapshot.cache_misses).sum();
+    let probes = cache_hits + cache_misses;
+    ScenarioRow {
+        name: name.to_string(),
+        shards,
+        clients: report.clients,
+        requests: report.total_requests,
+        queries: report.total_queries(),
+        qps: report.throughput_qps(),
+        p50_micros: report.latency_quantile_micros(0.50),
+        p99_micros: report.latency_quantile_micros(0.99),
+        max_micros: report.latency_quantile_micros(1.0),
+        batches: report.batches,
+        batch_p50_micros: report.batch_latency_quantile_micros(0.50),
+        batch_p99_micros: report.batch_latency_quantile_micros(0.99),
+        verified: report.verified,
+        failures: report.failures,
+        epoch_refreshes: report.epoch_refreshes,
+        failovers: report.failovers,
+        stale_rejections: report.stale_rejections,
+        scatter_leg_mean_micros: report.scatter_leg_mean_micros(),
+        scatter_leg_max_micros: report.scatter_leg_max_micros,
+        cache_hits,
+        cache_misses,
+        cache_hit_rate: if probes == 0 {
+            0.0
+        } else {
+            cache_hits as f64 / probes as f64
+        },
+        cache_evictions: deep.iter().map(|d| d.snapshot.cache_evictions).sum(),
+        requests_served: deep.iter().map(|d| d.snapshot.requests_served).sum(),
+        errors: deep.iter().map(|d| d.snapshot.errors).sum(),
+        stages,
+    }
+}
+
+/// One single-service run under `mix`, returning the load report and the
+/// service's deep stats scraped after the load drained.
+fn run_single(
+    name: &str,
+    dataset: &Dataset,
+    sizing: &Sizing,
+    seed: u64,
+    mix: QueryMix,
+) -> ScenarioRow {
+    let scheme = SignatureScheme::test_rsa(seed);
+    let tree = IfmhTree::build(dataset, SigningMode::MultiSignature, &scheme);
+    let service = QueryService::bind(
+        ServiceConfig::ephemeral().workers(sizing.clients),
+        Server::new(dataset.clone(), tree),
+    )
+    .expect("bind service");
+    let mut generator = LoadGenerator::new(
+        service.local_addr(),
+        sizing.clients,
+        sizing.requests_per_client,
+        dataset.template.clone(),
+        scheme.public_key(),
+    );
+    generator.mix = mix;
+    generator.seed = seed;
+    // Warmup pass, then an identical measured pass: the seeded streams
+    // repeat exactly, so the measured pass runs against a warm cache and
+    // the artifact's hit rate reflects steady-state serving.
+    generator.run(dataset).expect("warmup run");
+    let report = generator.run(dataset).expect("load run");
+    let deep = ServiceClient::connect(service.local_addr())
+        .and_then(|mut c| c.stats_deep())
+        .expect("deep stats scrape");
+    service.shutdown();
+    fold_deep(name, 1, &report, &[deep])
+}
+
+/// One sharded run at `shards` shards, deep stats folded across the fleet.
+fn run_sharded(
+    name: &str,
+    dataset: &Dataset,
+    sizing: &Sizing,
+    seed: u64,
+    shards: usize,
+) -> ScenarioRow {
+    let deployment = ShardedDeployment::launch(
+        dataset,
+        shards,
+        SigningMode::MultiSignature,
+        seed,
+        // Each load client holds one connection per shard, and epoch
+        // refreshes open extra short-lived ones; size the pool so the
+        // bounded accept queue never sheds a client mid-run.
+        ServiceConfig::ephemeral().workers(sizing.clients + 2),
+    )
+    .expect("launch sharded deployment");
+    let mut generator = LoadGenerator::sharded(
+        deployment.addrs().to_vec(),
+        deployment.publication().clone(),
+        sizing.clients,
+        sizing.requests_per_client,
+    );
+    generator.seed = seed;
+    // Same warm-cache protocol as the single-service scenarios.
+    generator.run(dataset).expect("warmup run");
+    let report = generator.run(dataset).expect("sharded load run");
+    let deep = deployment.stats_deep();
+    deployment.shutdown();
+    fold_deep(name, shards, &report, &deep)
+}
+
+/// A sharded run with the owner republishing mid-load: clients ride the
+/// rollout through typed stale-epoch rejections and signed-map refreshes,
+/// all of which land in the artifact.
+fn run_republish_churn(dataset: &Dataset, sizing: &Sizing, seed: u64) -> ScenarioRow {
+    let mut deployment = ShardedDeployment::launch(
+        dataset,
+        2,
+        SigningMode::MultiSignature,
+        seed,
+        // Republish-driven refreshes reconnect every client to every
+        // shard while the old connections are still draining; an
+        // undersized pool sheds those reconnects and aborts the run.
+        ServiceConfig::ephemeral().workers(sizing.clients + 2),
+    )
+    .expect("launch sharded deployment");
+    // Run a longer load than the steady-state scenarios so the mid-run
+    // republishes land while clients are still in flight — otherwise the
+    // artifact's stale-rejection and refresh counters are trivially zero.
+    let mut generator = LoadGenerator::sharded(
+        deployment.addrs().to_vec(),
+        deployment.publication().clone(),
+        sizing.clients,
+        sizing.requests_per_client * 4,
+    );
+    generator.seed = seed;
+    let load_dataset = dataset.clone();
+    let load = std::thread::spawn(move || generator.run(&load_dataset).expect("churn load run"));
+    for _ in 0..sizing.republishes {
+        std::thread::sleep(Duration::from_millis(10));
+        deployment.republish(dataset).expect("live republish");
+    }
+    let report = load.join().expect("load thread");
+    let deep = deployment.stats_deep();
+    deployment.shutdown();
+    fold_deep("republish_churn", 2, &report, &deep)
+}
+
+fn main() {
+    let args = parse_args();
+    let sizing = Sizing::new(args.smoke);
+    let dataset = uniform_dataset(sizing.records, 1, args.seed);
+
+    eprintln!("bench_report: single service");
+    let mut scenarios = vec![run_single(
+        "single",
+        &dataset,
+        &sizing,
+        args.seed,
+        QueryMix::default(),
+    )];
+    for shards in 1..=4 {
+        eprintln!("bench_report: sharded S={shards}");
+        scenarios.push(run_sharded(
+            &format!("sharded_s{shards}"),
+            &dataset,
+            &sizing,
+            args.seed + shards as u64,
+            shards,
+        ));
+    }
+    eprintln!("bench_report: batched workload");
+    scenarios.push(run_single(
+        "batched",
+        &dataset,
+        &sizing,
+        args.seed + 10,
+        QueryMix::default().with_batches(1, 2, 4),
+    ));
+    eprintln!("bench_report: republish churn");
+    scenarios.push(run_republish_churn(&dataset, &sizing, args.seed + 20));
+
+    let report = BenchReport {
+        schema_version: SCHEMA_VERSION,
+        benchmark: "vaq_service_bench_report".to_string(),
+        mode: if args.smoke { "smoke" } else { "full" }.to_string(),
+        seed: args.seed,
+        scenarios,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize artifact");
+
+    // Self-check: the artifact must speak the full schema (the compat JSON
+    // layer is serialize-only, so the check is by field-name substring).
+    let missing: Vec<&&str> = REQUIRED_FIELDS
+        .iter()
+        .filter(|field| !json.contains(**field))
+        .collect();
+    if !missing.is_empty() {
+        eprintln!("bench_report: artifact is missing required schema fields: {missing:?}");
+        std::process::exit(1);
+    }
+
+    std::fs::write(&args.out, format!("{json}\n")).unwrap_or_else(|e| {
+        eprintln!("bench_report: cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    });
+    for scenario in &report.scenarios {
+        eprintln!(
+            "  {:>16}: {:>8.0} qps, p50 {:>6}us, p99 {:>6}us, hit rate {:.2}",
+            scenario.name,
+            scenario.qps,
+            scenario.p50_micros,
+            scenario.p99_micros,
+            scenario.cache_hit_rate
+        );
+    }
+    eprintln!(
+        "bench_report: wrote {} ({} scenarios)",
+        args.out,
+        report.scenarios.len()
+    );
+}

@@ -6,6 +6,7 @@
 //! response frames, ready to write to a socket — a hit costs one map lookup
 //! and one buffer clone, no re-encoding.
 
+use crate::metrics::CacheGauges;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -25,6 +26,7 @@ pub struct LruCache {
     capacity: usize,
     max_bytes: usize,
     total_bytes: usize,
+    evictions: u64,
     tick: u64,
     // Keys are shared between the map and the recency index, so re-stamping
     // an entry on a hit clones an `Arc`, not the key bytes.
@@ -50,6 +52,7 @@ impl LruCache {
             capacity,
             max_bytes,
             total_bytes: 0,
+            evictions: 0,
             tick: 0,
             entries: HashMap::new(),
             order: BTreeMap::new(),
@@ -64,6 +67,23 @@ impl LruCache {
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Entries evicted under LRU or byte-budget pressure since the cache
+    /// was created. Republication flushes ([`LruCache::clear`]) are not
+    /// counted: they drop superseded-epoch frames, not hot ones — this
+    /// counter is what distinguishes a thrashing cache from a cold one.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Point-in-time occupancy gauges for stats snapshots.
+    pub fn gauges(&self) -> CacheGauges {
+        CacheGauges {
+            entries: self.entries.len() as u64,
+            bytes: self.total_bytes as u64,
+            evictions: self.evictions,
+        }
     }
 
     /// True if the cache holds nothing.
@@ -104,6 +124,7 @@ impl LruCache {
                 Some((_, victim)) => {
                     if let Some((frame, _)) = self.entries.remove(&victim) {
                         self.total_bytes -= frame.len();
+                        self.evictions += 1;
                     }
                 }
                 None => break,
@@ -186,6 +207,38 @@ mod tests {
         cache.insert(b"a".to_vec(), frame(1));
         assert!(cache.is_empty());
         assert!(cache.get(b"a").is_none());
+    }
+
+    #[test]
+    fn evictions_are_counted_but_clears_are_not() {
+        let mut cache = LruCache::new(2);
+        cache.insert(b"a".to_vec(), frame(1));
+        cache.insert(b"b".to_vec(), frame(2));
+        assert_eq!(cache.evictions(), 0);
+        cache.insert(b"c".to_vec(), frame(3)); // evicts "a"
+        cache.insert(b"d".to_vec(), frame(4)); // evicts "b"
+        assert_eq!(cache.evictions(), 2);
+        // Reinsert replaces in place: no eviction.
+        cache.insert(b"d".to_vec(), frame(5));
+        assert_eq!(cache.evictions(), 2);
+        // A republication flush is not LRU pressure.
+        cache.clear();
+        assert_eq!(cache.evictions(), 2);
+        let gauges = cache.gauges();
+        assert_eq!(gauges.entries, 0);
+        assert_eq!(gauges.bytes, 0);
+        assert_eq!(gauges.evictions, 2);
+    }
+
+    #[test]
+    fn gauges_track_occupancy() {
+        let mut cache = LruCache::new(4);
+        cache.insert(b"a".to_vec(), frame(1));
+        cache.insert(b"b".to_vec(), frame(2));
+        let gauges = cache.gauges();
+        assert_eq!(gauges.entries, 2);
+        assert_eq!(gauges.bytes, 8);
+        assert_eq!(gauges.evictions, 0);
     }
 
     #[test]

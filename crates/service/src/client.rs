@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 use vaq_authquery::{client, Query, QueryResponse, VerifiedResult};
 use vaq_crypto::Verifier;
 use vaq_funcdb::FunctionTemplate;
-use vaq_wire::{ErrorCode, Request, Response, ShardInfo, SignedShardMap, StatsSnapshot};
+use vaq_wire::{ErrorCode, Request, Response, ShardInfo, SignedShardMap, StatsDeep, StatsSnapshot};
 
 use crate::error::ServiceError;
 use crate::frame::{read_message, write_message};
@@ -74,6 +74,15 @@ impl ServiceClient {
     pub fn stats(&mut self) -> Result<StatsSnapshot, ServiceError> {
         match self.call(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the service's deep-telemetry snapshot: the flat counters
+    /// plus per-stage latency histograms and per-kind stage attribution.
+    pub fn stats_deep(&mut self) -> Result<StatsDeep, ServiceError> {
+        match self.call(&Request::StatsDeep)? {
+            Response::StatsDeep(deep) => Ok(deep),
             other => Err(unexpected(&other)),
         }
     }
@@ -332,5 +341,6 @@ pub(crate) fn unexpected(response: &Response) -> ServiceError {
         Response::ShardInfo(_) => "shard-info",
         Response::ShardMap(_) => "shard-map",
         Response::Error(_) => "error",
+        Response::StatsDeep(_) => "stats-deep",
     })
 }

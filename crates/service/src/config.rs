@@ -1,7 +1,40 @@
 //! Service configuration.
 
+use std::io::Write;
 use std::net::SocketAddr;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Where the slow-request log writes its JSON lines.
+///
+/// An enum rather than a boxed writer so [`ServiceConfig`] stays `Clone +
+/// Debug`; the buffer variant exists so tests (and embedders) can capture
+/// the log without redirecting stderr.
+#[derive(Clone, Debug, Default)]
+pub enum SlowLogSink {
+    /// Write lines to the process stderr.
+    #[default]
+    Stderr,
+    /// Append lines (newline-terminated) to a shared in-memory buffer.
+    Buffer(Arc<Mutex<Vec<u8>>>),
+}
+
+impl SlowLogSink {
+    /// Writes one log line (adding the trailing newline).
+    pub fn write_line(&self, line: &str) {
+        match self {
+            SlowLogSink::Stderr => {
+                let mut err = std::io::stderr().lock();
+                let _ = writeln!(err, "{line}");
+            }
+            SlowLogSink::Buffer(buffer) => {
+                let mut buffer = buffer.lock().expect("slow-log buffer poisoned");
+                buffer.extend_from_slice(line.as_bytes());
+                buffer.push(b'\n');
+            }
+        }
+    }
+}
 
 /// Which shard of a sharded deployment a service instance hosts.
 ///
@@ -41,6 +74,12 @@ pub struct ServiceConfig {
     /// `None` makes the service answer `ShardInfo` requests with a typed
     /// `NotSharded` error.
     pub shard: Option<ShardRole>,
+    /// Whole-request latency threshold, in micros, above which a request is
+    /// written to the slow-request log as a structured JSON line; `None`
+    /// disables the log.
+    pub slow_request_micros: Option<u64>,
+    /// Where slow-request log lines go.
+    pub slow_log: SlowLogSink,
 }
 
 impl Default for ServiceConfig {
@@ -54,6 +93,8 @@ impl Default for ServiceConfig {
             read_timeout: Some(Duration::from_secs(30)),
             max_batch_len: 256,
             shard: None,
+            slow_request_micros: None,
+            slow_log: SlowLogSink::default(),
         }
     }
 }
@@ -97,6 +138,19 @@ impl ServiceConfig {
     /// Declares which shard of a sharded deployment this instance hosts.
     pub fn shard_role(mut self, role: ShardRole) -> Self {
         self.shard = Some(role);
+        self
+    }
+
+    /// Enables the slow-request log for requests at or above `micros` of
+    /// whole-request latency.
+    pub fn slow_request_micros(mut self, micros: u64) -> Self {
+        self.slow_request_micros = Some(micros);
+        self
+    }
+
+    /// Routes slow-request log lines to `sink`.
+    pub fn slow_log_sink(mut self, sink: SlowLogSink) -> Self {
+        self.slow_log = sink;
         self
     }
 }

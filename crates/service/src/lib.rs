@@ -48,6 +48,14 @@
 //!   serving address listed in the signed map), and [`ShardedClient`]
 //!   retries a dead scatter leg against the attested standby addresses,
 //!   preserving the byte-identical-to-unsharded merge guarantee.
+//! * **Observability** — every request carries a [`Trace`] that times the
+//!   hot-path stages (queue wait, decode, cache lookup, single-flight wait,
+//!   query execution, VO build, encode, socket write) into per-stage
+//!   histograms and per-kind attribution in [`Metrics`]; deep snapshots are
+//!   scraped over the wire ([`ServiceClient::stats_deep`],
+//!   [`ShardedClient::stats_deep_all`]), and a configurable slow-request
+//!   log ([`SlowLogSink`]) emits structured JSON lines for requests over a
+//!   latency threshold.
 //!
 //! # Quick example
 //!
@@ -94,14 +102,19 @@ pub mod partition;
 pub mod pool;
 pub mod server;
 pub mod shard;
+pub mod trace;
 
 pub use cache::LruCache;
 pub use client::ServiceClient;
-pub use config::{ServiceConfig, ShardRole};
+pub use config::{ServiceConfig, ShardRole, SlowLogSink};
 pub use error::ServiceError;
 pub use loadgen::{spec_to_query, LoadGenerator, LoadReport, LoadTarget};
-pub use metrics::{Histogram, Metrics, RequestKind};
+pub use metrics::{CacheGauges, Histogram, Metrics, RequestKind, Stage};
 pub use partition::{attest_shard_map, partition_dataset, verify_shard_map, PartitionStrategy};
 pub use pool::WorkerPool;
 pub use server::QueryService;
-pub use shard::{ShardedClient, ShardedDeployment, ShardedPublication, ShardedResponse};
+pub use shard::{
+    ClientObservability, LegLatency, ShardedClient, ShardedDeployment, ShardedPublication,
+    ShardedResponse,
+};
+pub use trace::Trace;

@@ -11,7 +11,7 @@ use vaq_workload::{QueryGenerator, QueryMix, QuerySpec, WorkItem};
 
 use crate::client::ServiceClient;
 use crate::error::ServiceError;
-use crate::shard::{ShardedClient, ShardedPublication};
+use crate::shard::{ClientObservability, ShardedClient, ShardedPublication};
 
 /// Converts a workload query spec into a protocol query.
 pub fn spec_to_query(spec: &QuerySpec) -> Query {
@@ -143,6 +143,11 @@ impl LoadGenerator {
         let mut epoch_refreshes = 0usize;
         let mut batches = 0usize;
         let mut batch_queries = 0usize;
+        let mut failovers = 0u64;
+        let mut stale_rejections = 0u64;
+        let mut scatter_legs = 0u64;
+        let mut scatter_leg_total_micros = 0u64;
+        let mut scatter_leg_max_micros = 0u64;
         for outcome in outcomes {
             let outcome = outcome?;
             latencies_micros.extend(outcome.latencies_micros);
@@ -152,6 +157,15 @@ impl LoadGenerator {
             epoch_refreshes += outcome.epoch_refreshes;
             batches += outcome.batches;
             batch_queries += outcome.batch_queries;
+            if let Some(obs) = outcome.observability {
+                failovers += obs.failovers;
+                stale_rejections += obs.stale_rejections;
+                scatter_leg_max_micros = scatter_leg_max_micros.max(obs.max_leg_micros());
+                for leg in &obs.leg_latency {
+                    scatter_legs += leg.legs;
+                    scatter_leg_total_micros += leg.total_micros;
+                }
+            }
         }
         let elapsed = started.elapsed();
         latencies_micros.sort_unstable();
@@ -164,6 +178,11 @@ impl LoadGenerator {
             epoch_refreshes,
             batches,
             batch_queries,
+            failovers,
+            stale_rejections,
+            scatter_legs,
+            scatter_leg_total_micros,
+            scatter_leg_max_micros,
             elapsed,
             latencies_micros,
             batch_latencies_micros,
@@ -237,6 +256,7 @@ impl LoadGenerator {
                         }
                     }
                 }
+                outcome.observability = Some(client.observability().clone());
                 Ok(outcome)
             }
         }
@@ -311,6 +331,9 @@ struct ClientOutcome {
     epoch_refreshes: usize,
     batches: usize,
     batch_queries: usize,
+    /// The sharded client's accumulated observability (None on the single
+    /// target, whose client keeps no scatter-side counters).
+    observability: Option<ClientObservability>,
 }
 
 /// Aggregate results of one load-generation run.
@@ -333,6 +356,20 @@ pub struct LoadReport {
     pub batches: usize,
     /// Queries carried inside batch requests.
     pub batch_queries: usize,
+    /// Failover activations across all sharded clients: scatter legs that
+    /// were retried against an attested standby address (0 on single
+    /// targets).
+    pub failovers: u64,
+    /// Scatter legs rejected with a typed stale-epoch error across all
+    /// sharded clients (0 on single targets).
+    pub stale_rejections: u64,
+    /// Scatter legs completed across all sharded clients and shards (0 on
+    /// single targets).
+    pub scatter_legs: u64,
+    /// Summed scatter-leg wall-clock, in microseconds.
+    pub scatter_leg_total_micros: u64,
+    /// Slowest single scatter leg observed by any client, in microseconds.
+    pub scatter_leg_max_micros: u64,
     /// Wall-clock duration of the whole run.
     pub elapsed: Duration,
     /// Sorted single-query request latencies in microseconds.
@@ -375,6 +412,14 @@ impl LoadReport {
         quantile_micros(&self.batch_latencies_micros, quantile)
     }
 
+    /// Mean scatter-leg latency across all sharded clients, in microseconds
+    /// (0 when the run drove a single target).
+    pub fn scatter_leg_mean_micros(&self) -> u64 {
+        self.scatter_leg_total_micros
+            .checked_div(self.scatter_legs)
+            .unwrap_or(0)
+    }
+
     /// A one-line human-readable summary.
     pub fn summary(&self) -> String {
         let mut line = format!(
@@ -395,6 +440,16 @@ impl LoadReport {
                 self.batch_queries,
                 self.batch_latency_quantile_micros(0.50),
                 self.batch_latency_quantile_micros(0.99),
+            ));
+        }
+        if self.scatter_legs > 0 {
+            line.push_str(&format!(
+                "; {} scatter legs (mean {}us, max {}us), {} failovers, {} stale rejections",
+                self.scatter_legs,
+                self.scatter_leg_mean_micros(),
+                self.scatter_leg_max_micros,
+                self.failovers,
+                self.stale_rejections,
             ));
         }
         line
@@ -426,6 +481,11 @@ mod tests {
             epoch_refreshes: 0,
             batches: 0,
             batch_queries: 0,
+            failovers: 0,
+            stale_rejections: 0,
+            scatter_legs: 0,
+            scatter_leg_total_micros: 0,
+            scatter_leg_max_micros: 0,
             elapsed: Duration::from_secs(2),
             latencies_micros: vec![10, 20, 30, 40],
             batch_latencies_micros: vec![],
@@ -453,6 +513,11 @@ mod tests {
             epoch_refreshes: 0,
             batches: 2,
             batch_queries: 8,
+            failovers: 0,
+            stale_rejections: 0,
+            scatter_legs: 0,
+            scatter_leg_total_micros: 0,
+            scatter_leg_max_micros: 0,
             elapsed: Duration::from_secs(1),
             latencies_micros: vec![10, 20, 30, 40],
             batch_latencies_micros: vec![100, 300],
@@ -477,6 +542,11 @@ mod tests {
             epoch_refreshes: 0,
             batches: 0,
             batch_queries: 0,
+            failovers: 0,
+            stale_rejections: 0,
+            scatter_legs: 0,
+            scatter_leg_total_micros: 0,
+            scatter_leg_max_micros: 0,
             elapsed: Duration::ZERO,
             latencies_micros: vec![],
             batch_latencies_micros: vec![],

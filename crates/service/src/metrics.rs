@@ -1,11 +1,86 @@
-//! Lock-free service metrics: counters plus fixed-bucket latency histograms.
+//! Lock-free service metrics: counters, fixed-bucket latency histograms,
+//! and per-stage attribution of the server hot path.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
-use vaq_wire::{KindLatency, LatencyHistogram, StatsSnapshot, LATENCY_BUCKET_BOUNDS_MICROS};
+use std::time::{Duration, Instant};
+use vaq_wire::{
+    ErrorCode, ErrorCount, KindLatency, KindStages, LatencyHistogram, StageLatency, StageMicros,
+    StatsDeep, StatsSnapshot, LATENCY_BUCKET_BOUNDS_MICROS,
+};
 
 /// Number of histogram buckets: one per bound plus an overflow bucket.
 pub const BUCKETS: usize = LATENCY_BUCKET_BOUNDS_MICROS.len() + 1;
+
+/// Number of hot-path stages a request is attributed to.
+pub const STAGES: usize = 8;
+
+/// One stage of the server hot path, in request order. Every request's
+/// wall-clock time decomposes into disjoint spans of these stages (plus
+/// untimed glue), so per-stage sums never exceed whole-request time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Accepted connection waiting in the worker queue (first request of a
+    /// connection only; subsequent requests see zero).
+    QueueWait,
+    /// Decoding the request payload into a [`vaq_wire::Request`].
+    Decode,
+    /// Response-cache probe(s), including lock acquisition.
+    CacheLookup,
+    /// Waiting for an identical in-flight request to publish its response
+    /// (single-flight followers; leaders see ~zero).
+    FlightWait,
+    /// Query execution: subdomain location, scoring, window selection.
+    Execute,
+    /// Verification-object construction and signature binding.
+    VoBuild,
+    /// Encoding the response into a framed byte vector.
+    Encode,
+    /// Writing the response frame to the socket.
+    Write,
+}
+
+impl Stage {
+    /// Every stage, in hot-path order.
+    pub const ALL: [Stage; STAGES] = [
+        Stage::QueueWait,
+        Stage::Decode,
+        Stage::CacheLookup,
+        Stage::FlightWait,
+        Stage::Execute,
+        Stage::VoBuild,
+        Stage::Encode,
+        Stage::Write,
+    ];
+
+    /// Stable position of this stage in [`Stage::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Stage::QueueWait => 0,
+            Stage::Decode => 1,
+            Stage::CacheLookup => 2,
+            Stage::FlightWait => 3,
+            Stage::Execute => 4,
+            Stage::VoBuild => 5,
+            Stage::Encode => 6,
+            Stage::Write => 7,
+        }
+    }
+
+    /// Stable snake_case label used in stats payloads and slow-request log
+    /// lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::QueueWait => "queue_wait",
+            Stage::Decode => "decode",
+            Stage::CacheLookup => "cache_lookup",
+            Stage::FlightWait => "flight_wait",
+            Stage::Execute => "execute",
+            Stage::VoBuild => "vo_build",
+            Stage::Encode => "encode",
+            Stage::Write => "write",
+        }
+    }
+}
 
 /// A fixed-bucket latency histogram updated with relaxed atomics.
 #[derive(Debug, Default)]
@@ -19,7 +94,11 @@ pub struct Histogram {
 impl Histogram {
     /// Records one latency observation.
     pub fn observe(&self, latency: Duration) {
-        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.observe_micros(latency.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one latency observation already truncated to microseconds.
+    pub fn observe_micros(&self, micros: u64) {
         let bucket = LATENCY_BUCKET_BOUNDS_MICROS
             .iter()
             .position(|bound| micros <= *bound)
@@ -50,6 +129,32 @@ impl Histogram {
     }
 }
 
+/// Count/sum/max accumulator for one (request kind, stage) cell — cheaper
+/// than a full histogram, and sums are what the bounds invariant needs.
+#[derive(Debug, Default)]
+struct StageAccum {
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl StageAccum {
+    fn record(&self, micros: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, stage: Stage) -> StageMicros {
+        StageMicros {
+            stage: stage.label().to_string(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Request kinds the service tracks latency for.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RequestKind {
@@ -64,14 +169,16 @@ pub enum RequestKind {
 }
 
 impl RequestKind {
-    const ALL: [RequestKind; 4] = [
+    /// Every kind, in label order.
+    pub const ALL: [RequestKind; 4] = [
         RequestKind::TopK,
         RequestKind::Range,
         RequestKind::Knn,
         RequestKind::Batch,
     ];
 
-    fn index(self) -> usize {
+    /// Stable position of this kind in [`RequestKind::ALL`].
+    pub fn index(self) -> usize {
         match self {
             RequestKind::TopK => 0,
             RequestKind::Range => 1,
@@ -80,7 +187,9 @@ impl RequestKind {
         }
     }
 
-    fn label(self) -> &'static str {
+    /// Stable label used in stats payloads (`"topk"`, `"range"`, `"knn"`,
+    /// `"batch"`).
+    pub fn label(self) -> &'static str {
         match self {
             RequestKind::TopK => "topk",
             RequestKind::Range => "range",
@@ -90,8 +199,20 @@ impl RequestKind {
     }
 }
 
+/// Point-in-time response-cache occupancy, sampled by whoever holds the
+/// cache lock and handed to [`Metrics::snapshot`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheGauges {
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Bytes currently resident.
+    pub bytes: u64,
+    /// Entries evicted since the cache was created.
+    pub evictions: u64,
+}
+
 /// All counters of one running service.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
     /// Requests fully served (including error replies).
     pub requests_served: AtomicU64,
@@ -105,13 +226,72 @@ pub struct Metrics {
     pub bytes_out: AtomicU64,
     /// Error replies sent.
     pub errors: AtomicU64,
+    per_error: [AtomicU64; ErrorCode::ALL.len()],
     latency: [Histogram; 4],
+    stage_latency: [Histogram; STAGES],
+    kind_stage: [[StageAccum; STAGES]; 4],
+    started: Instant,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            requests_served: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            per_error: Default::default(),
+            latency: Default::default(),
+            stage_latency: Default::default(),
+            kind_stage: Default::default(),
+            started: Instant::now(),
+        }
+    }
 }
 
 impl Metrics {
     /// Records one served query/batch latency under its kind.
     pub fn observe_latency(&self, kind: RequestKind, latency: Duration) {
         self.latency[kind.index()].observe(latency);
+    }
+
+    /// Folds one finished request trace into the per-stage histograms, and
+    /// — when the request was query-shaped — into its kind's whole-request
+    /// histogram and per-kind stage attribution.
+    pub fn observe_request(
+        &self,
+        stage_micros: &[u64; STAGES],
+        kind: Option<RequestKind>,
+        total: Duration,
+    ) {
+        for stage in Stage::ALL {
+            self.stage_latency[stage.index()].observe_micros(stage_micros[stage.index()]);
+        }
+        if let Some(kind) = kind {
+            self.latency[kind.index()].observe(total);
+            for stage in Stage::ALL {
+                self.kind_stage[kind.index()][stage.index()].record(stage_micros[stage.index()]);
+            }
+        }
+    }
+
+    /// Bumps the flat error counter and the per-code breakdown together.
+    pub fn record_error(&self, code: ErrorCode) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.per_error[code.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Error replies sent with one specific code.
+    pub fn error_count(&self, code: ErrorCode) -> u64 {
+        self.per_error[code.index()].load(Ordering::Relaxed)
+    }
+
+    /// Micros since this metrics registry (and hence the service carrying
+    /// it) was created.
+    pub fn uptime_micros(&self) -> u64 {
+        self.started.elapsed().as_micros().min(u64::MAX as u128) as u64
     }
 
     /// Adds to a counter.
@@ -125,8 +305,9 @@ impl Metrics {
     }
 
     /// Snapshot of every counter as a wire message, stamped with the
-    /// publication epoch the service currently serves.
-    pub fn snapshot(&self, workers: usize, epoch: u64) -> StatsSnapshot {
+    /// publication epoch the service currently serves and the sampled
+    /// response-cache occupancy.
+    pub fn snapshot(&self, workers: usize, epoch: u64, cache: CacheGauges) -> StatsSnapshot {
         StatsSnapshot {
             requests_served: Self::get(&self.requests_served),
             cache_hits: Self::get(&self.cache_hits),
@@ -141,6 +322,42 @@ impl Metrics {
                 .map(|kind| KindLatency {
                     kind: kind.label().to_string(),
                     histogram: self.latency[kind.index()].snapshot(),
+                })
+                .collect(),
+            uptime_micros: self.uptime_micros(),
+            cache_entries: cache.entries,
+            cache_bytes: cache.bytes,
+            cache_evictions: cache.evictions,
+            per_error: ErrorCode::ALL
+                .iter()
+                .map(|code| ErrorCount {
+                    code: code.label().to_string(),
+                    count: self.per_error[code.index()].load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+
+    /// Deep snapshot: the flat snapshot plus per-stage histograms and
+    /// per-kind stage attribution.
+    pub fn deep_snapshot(&self, workers: usize, epoch: u64, cache: CacheGauges) -> StatsDeep {
+        StatsDeep {
+            snapshot: self.snapshot(workers, epoch, cache),
+            per_stage: Stage::ALL
+                .iter()
+                .map(|stage| StageLatency {
+                    stage: stage.label().to_string(),
+                    histogram: self.stage_latency[stage.index()].snapshot(),
+                })
+                .collect(),
+            per_kind_stage: RequestKind::ALL
+                .iter()
+                .map(|kind| KindStages {
+                    kind: kind.label().to_string(),
+                    stages: Stage::ALL
+                        .iter()
+                        .map(|stage| self.kind_stage[kind.index()][stage.index()].snapshot(*stage))
+                        .collect(),
                 })
                 .collect(),
         }
@@ -173,7 +390,7 @@ mod tests {
         m.observe_latency(RequestKind::TopK, Duration::from_micros(10));
         m.observe_latency(RequestKind::Batch, Duration::from_micros(20));
         Metrics::add(&m.requests_served, 2);
-        let snap = m.snapshot(8, 5);
+        let snap = m.snapshot(8, 5, CacheGauges::default());
         assert_eq!(snap.workers, 8);
         assert_eq!(snap.epoch, 5);
         assert_eq!(snap.requests_served, 2);
@@ -182,5 +399,67 @@ mod tests {
         assert_eq!(labels, ["topk", "range", "knn", "batch"]);
         assert_eq!(snap.per_kind[0].histogram.count, 1);
         assert_eq!(snap.per_kind[3].histogram.count, 1);
+    }
+
+    #[test]
+    fn per_error_counters_break_out_the_flat_counter() {
+        let m = Metrics::default();
+        m.record_error(ErrorCode::BadQuery);
+        m.record_error(ErrorCode::BadQuery);
+        m.record_error(ErrorCode::StaleEpoch);
+        assert_eq!(Metrics::get(&m.errors), 3);
+        assert_eq!(m.error_count(ErrorCode::BadQuery), 2);
+        assert_eq!(m.error_count(ErrorCode::StaleEpoch), 1);
+        assert_eq!(m.error_count(ErrorCode::Internal), 0);
+        let snap = m.snapshot(1, 1, CacheGauges::default());
+        let total: u64 = snap.per_error.iter().map(|e| e.count).sum();
+        assert_eq!(total, snap.errors);
+        let bad = snap
+            .per_error
+            .iter()
+            .find(|e| e.code == "bad_query")
+            .unwrap();
+        assert_eq!(bad.count, 2);
+    }
+
+    #[test]
+    fn observe_request_attributes_stages_to_kinds() {
+        let m = Metrics::default();
+        let mut micros = [0u64; STAGES];
+        micros[Stage::Execute.index()] = 300;
+        micros[Stage::VoBuild.index()] = 200;
+        micros[Stage::Write.index()] = 10;
+        m.observe_request(
+            &micros,
+            Some(RequestKind::Range),
+            Duration::from_micros(600),
+        );
+        // A kind-less request (e.g. a stats scrape) still feeds the global
+        // per-stage histograms.
+        m.observe_request(&[0u64; STAGES], None, Duration::from_micros(5));
+
+        let deep = m.deep_snapshot(2, 7, CacheGauges::default());
+        assert_eq!(deep.per_stage.len(), STAGES);
+        for stage in &deep.per_stage {
+            assert_eq!(stage.histogram.count, 2, "stage {}", stage.stage);
+        }
+        let range = deep
+            .per_kind_stage
+            .iter()
+            .find(|k| k.kind == "range")
+            .unwrap();
+        let stage_sum: u64 = range.stages.iter().map(|s| s.sum_micros).sum();
+        assert_eq!(stage_sum, 510);
+        let whole = &deep.snapshot.per_kind[RequestKind::Range.index()].histogram;
+        assert_eq!(whole.count, 1);
+        assert!(stage_sum <= whole.sum_micros);
+    }
+
+    #[test]
+    fn uptime_is_monotone() {
+        let m = Metrics::default();
+        let a = m.uptime_micros();
+        let b = m.uptime_micros();
+        assert!(b >= a);
     }
 }

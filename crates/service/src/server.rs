@@ -12,16 +12,17 @@ use std::time::{Duration, Instant};
 
 use vaq_authquery::Server;
 use vaq_wire::{
-    ErrorCode, ErrorReply, Request, Response, ShardInfo, SignedShardMap, StatsSnapshot, WireDecode,
-    WireEncode,
+    ErrorCode, ErrorReply, Request, Response, ShardInfo, SignedShardMap, StatsDeep, StatsSnapshot,
+    WireDecode, WireEncode,
 };
 
 use crate::cache::LruCache;
 use crate::config::ServiceConfig;
 use crate::error::ServiceError;
 use crate::frame::{read_frame_counted, FrameRead};
-use crate::metrics::{Metrics, RequestKind};
+use crate::metrics::{CacheGauges, Metrics, RequestKind, Stage};
 use crate::pool::WorkerPool;
+use crate::trace::Trace;
 
 /// State shared between the accept loop and every worker.
 struct Shared {
@@ -44,6 +45,23 @@ impl Shared {
     /// The serving snapshot: one clone of the `Arc`, taken once per request.
     fn serving(&self) -> Arc<Server> {
         Arc::clone(&self.serving.lock().expect("serving lock"))
+    }
+
+    /// Samples the response cache's occupancy gauges.
+    fn cache_gauges(&self) -> CacheGauges {
+        self.cache.lock().expect("cache lock").gauges()
+    }
+
+    /// Flat counter snapshot including sampled cache gauges.
+    fn snapshot(&self, epoch: u64) -> StatsSnapshot {
+        self.metrics
+            .snapshot(self.config.workers, epoch, self.cache_gauges())
+    }
+
+    /// Deep snapshot: flat counters plus per-stage breakdowns.
+    fn deep_snapshot(&self, epoch: u64) -> StatsDeep {
+        self.metrics
+            .deep_snapshot(self.config.workers, epoch, self.cache_gauges())
     }
 }
 
@@ -116,9 +134,10 @@ impl QueryService {
         });
 
         let worker_shared = Arc::clone(&shared);
-        let (pool, sender) = WorkerPool::spawn(workers, move |stream: TcpStream| {
-            handle_connection(&worker_shared, stream);
-        });
+        let (pool, sender) =
+            WorkerPool::spawn(workers, move |(stream, accepted): (TcpStream, Instant)| {
+                handle_connection(&worker_shared, stream, accepted);
+            });
 
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -199,7 +218,13 @@ impl QueryService {
 
     /// A point-in-time snapshot of the service counters.
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.metrics.snapshot(self.workers, self.epoch())
+        self.shared.snapshot(self.epoch())
+    }
+
+    /// A point-in-time deep snapshot: the flat counters plus per-stage
+    /// latency histograms and per-kind stage attribution.
+    pub fn stats_deep(&self) -> StatsDeep {
+        self.shared.deep_snapshot(self.epoch())
     }
 
     /// Stops accepting connections, drains in-flight work, joins every
@@ -207,7 +232,7 @@ impl QueryService {
     pub fn shutdown(mut self) -> StatsSnapshot {
         let epoch = self.epoch();
         self.shutdown_inner();
-        self.shared.metrics.snapshot(self.workers, epoch)
+        self.shared.snapshot(epoch)
     }
 
     fn shutdown_inner(&mut self) {
@@ -256,7 +281,11 @@ fn wake_addr(bound: SocketAddr) -> SocketAddr {
 /// worst-case accept delay for a connection arriving on an idle listener.
 const ACCEPT_POLL: Duration = Duration::from_millis(15);
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>, sender: SyncSender<TcpStream>) {
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    sender: SyncSender<(TcpStream, Instant)>,
+) {
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
@@ -268,10 +297,11 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, sender: SyncSender<Tc
                 // unboundedly (the drop closes the socket — an immediate,
                 // unambiguous signal to the client). `try_send` also keeps
                 // this loop non-blocking so shutdown is never delayed behind
-                // a full queue.
-                match sender.try_send(stream) {
+                // a full queue. The accept instant rides along so the first
+                // request can attribute its queue wait.
+                match sender.try_send((stream, Instant::now())) {
                     Ok(()) => {}
-                    Err(TrySendError::Full(rejected)) => drop(rejected),
+                    Err(TrySendError::Full((rejected, _))) => drop(rejected),
                     Err(TrySendError::Disconnected(_)) => break,
                 }
             }
@@ -292,7 +322,11 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, sender: SyncSender<Tc
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
 
 /// Serves one connection: a loop of framed requests answered in order.
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+fn handle_connection(shared: &Shared, mut stream: TcpStream, accepted: Instant) {
+    // Accept-to-pickup delay: charged as queue wait to the connection's
+    // first request (later requests on the persistent connection never
+    // queued, so they see zero).
+    let mut queue_wait = Some(accepted.elapsed());
     // On BSD-derived platforms an accepted socket inherits the listener's
     // non-blocking flag (the listener polls non-blocking for shutdown);
     // reads on this connection must block up to the poll timeout below, not
@@ -336,6 +370,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 }
             }
             Err(ServiceError::FrameTooLarge { declared, limit }) => {
+                let mut trace = Trace::begin(queue_wait.take().unwrap_or_default());
                 let reply = error_response(
                     shared,
                     ErrorCode::FrameTooLarge,
@@ -344,34 +379,65 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 // These error replies answer a received (if unusable) request,
                 // so they count as served — the documented contract is that
                 // `requests_served` includes error replies.
-                if write_frame_counted(shared, &mut stream, &reply).is_ok() {
-                    Metrics::add(&shared.metrics.requests_served, 1);
+                let written = trace.time(Stage::Write, || {
+                    write_frame_counted(shared, &mut stream, &reply)
+                });
+                if written.is_ok() {
+                    finish_request(shared, &trace);
                 }
                 break;
             }
             Err(ServiceError::Wire(e)) => {
                 // After a corrupt header the stream offset is unknown; reply
                 // if possible, then drop the connection.
+                let mut trace = Trace::begin(queue_wait.take().unwrap_or_default());
                 let reply = error_response(shared, ErrorCode::Malformed, format!("bad frame: {e}"));
-                if write_frame_counted(shared, &mut stream, &reply).is_ok() {
-                    Metrics::add(&shared.metrics.requests_served, 1);
+                let written = trace.time(Stage::Write, || {
+                    write_frame_counted(shared, &mut stream, &reply)
+                });
+                if written.is_ok() {
+                    finish_request(shared, &trace);
                 }
                 break;
             }
             Err(_) => break,
         };
 
-        let response_frame = handle_request(shared, &payload);
-        if write_raw_counted(shared, &mut stream, &response_frame).is_err() {
+        let mut trace = Trace::begin(queue_wait.take().unwrap_or_default());
+        let response_frame = handle_request(shared, &payload, &mut trace);
+        let written = trace.time(Stage::Write, || {
+            write_raw_counted(shared, &mut stream, &response_frame)
+        });
+        if written.is_err() {
             break;
         }
-        Metrics::add(&shared.metrics.requests_served, 1);
+        finish_request(shared, &trace);
+    }
+}
+
+/// Counts one fully served request and folds its trace into the metrics;
+/// emits a slow-request log line when the request crossed the configured
+/// threshold.
+fn finish_request(shared: &Shared, trace: &Trace) {
+    Metrics::add(&shared.metrics.requests_served, 1);
+    let total = trace.total();
+    shared
+        .metrics
+        .observe_request(&trace.stage_micros(), trace.kind(), total);
+    if let Some(threshold) = shared.config.slow_request_micros {
+        if total.as_micros() >= u128::from(threshold) {
+            let epoch = shared.serving().epoch();
+            shared
+                .config
+                .slow_log
+                .write_line(&trace.slow_log_line(epoch, total));
+        }
     }
 }
 
 /// Decodes and dispatches one request, returning the framed response bytes.
-fn handle_request(shared: &Shared, payload: &[u8]) -> Vec<u8> {
-    let request = match Request::from_wire_bytes(payload) {
+fn handle_request(shared: &Shared, payload: &[u8], trace: &mut Trace) -> Vec<u8> {
+    let request = match trace.time(Stage::Decode, || Request::from_wire_bytes(payload)) {
         Ok(request) => request,
         Err(e) => {
             return error_response(shared, ErrorCode::Malformed, format!("bad request: {e}"))
@@ -388,9 +454,8 @@ fn handle_request(shared: &Shared, payload: &[u8]) -> Vec<u8> {
 
     match request {
         Request::Ping => Response::Pong.to_framed_bytes(),
-        Request::Stats => {
-            Response::Stats(shared.metrics.snapshot(shared.config.workers, epoch)).to_framed_bytes()
-        }
+        Request::Stats => Response::Stats(shared.snapshot(epoch)).to_framed_bytes(),
+        Request::StatsDeep => Response::StatsDeep(shared.deep_snapshot(epoch)).to_framed_bytes(),
         Request::ShardInfo => match shared.config.shard {
             Some(role) => Response::ShardInfo(ShardInfo {
                 shard_id: role.shard_id,
@@ -422,9 +487,13 @@ fn handle_request(shared: &Shared, payload: &[u8]) -> Vec<u8> {
         // every byte and the format is bijective), so — prefixed with the
         // serving epoch — it serves as the cache and single-flight key
         // without a re-encode.
-        Request::Query(query) => {
-            query_response(shared, &serving, epoch_cache_key(epoch, payload), query)
-        }
+        Request::Query(query) => query_response(
+            shared,
+            &serving,
+            epoch_cache_key(epoch, payload),
+            query,
+            trace,
+        ),
         Request::QueryAt {
             epoch: pinned,
             query,
@@ -436,9 +505,15 @@ fn handle_request(shared: &Shared, payload: &[u8]) -> Vec<u8> {
             // so pinned and unpinned requests for the same query at the
             // same epoch share one cache entry and one flight.
             let canonical = Request::Query(query.clone()).canonical_bytes();
-            query_response(shared, &serving, epoch_cache_key(epoch, &canonical), query)
+            query_response(
+                shared,
+                &serving,
+                epoch_cache_key(epoch, &canonical),
+                query,
+                trace,
+            )
         }
-        Request::Batch(queries) => batch_response(shared, &serving, epoch, &queries),
+        Request::Batch(queries) => batch_response(shared, &serving, epoch, &queries, trace),
         Request::BatchAt {
             epoch: pinned,
             queries,
@@ -446,7 +521,7 @@ fn handle_request(shared: &Shared, payload: &[u8]) -> Vec<u8> {
             if let Some(rejection) = reject_stale_pin(shared, epoch, pinned) {
                 return rejection;
             }
-            batch_response(shared, &serving, epoch, &queries)
+            batch_response(shared, &serving, epoch, &queries, trace)
         }
     }
 }
@@ -480,6 +555,7 @@ fn batch_response(
     serving: &Arc<Server>,
     epoch: u64,
     queries: &[vaq_authquery::Query],
+    trace: &mut Trace,
 ) -> Vec<u8> {
     if queries.is_empty() {
         // An empty batch used to sail under the max-batch check and cache a
@@ -499,19 +575,22 @@ fn batch_response(
         )
         .to_framed_bytes();
     }
-    let start = Instant::now();
     let mut responses = Vec::with_capacity(queries.len());
     for query in queries {
         // Key every item on the canonical bytes of the equivalent plain
         // query, so batch items, pinned batches and singles for the same
         // query at the same epoch share one cache entry and one flight.
         let canonical = Request::Query(query.clone()).canonical_bytes();
-        let frame = query_response(
+        let frame = match query_frame(
             shared,
             serving,
             epoch_cache_key(epoch, &canonical),
             query.clone(),
-        );
+            trace,
+        ) {
+            Ok(frame) => frame,
+            Err(reply) => return Response::Error(reply).to_framed_bytes(),
+        };
         // Decoding the cached single-query frame back into a QueryResponse
         // costs one deserialization per item — the deliberate price of
         // storing exactly one representation per item (the framed single
@@ -530,31 +609,61 @@ fn batch_response(
             }
         }
     }
-    shared
-        .metrics
-        .observe_latency(RequestKind::Batch, start.elapsed());
-    Response::Batch { epoch, responses }.to_framed_bytes()
+    let frame = trace.time(Stage::Encode, || {
+        Response::Batch { epoch, responses }.to_framed_bytes()
+    });
+    trace.set_kind(RequestKind::Batch);
+    frame
 }
 
 /// Serves one analytic query against a resolved serving snapshot through
-/// the epoch-keyed cache.
+/// the epoch-keyed cache, tagging the trace with the query's kind on
+/// success so the whole request is attributed to it.
 fn query_response(
     shared: &Shared,
     serving: &Arc<Server>,
     key: Vec<u8>,
     query: vaq_authquery::Query,
+    trace: &mut Trace,
 ) -> Vec<u8> {
-    let kind = match query.kind() {
+    let kind = query_kind(&query);
+    match query_frame(shared, serving, key, query, trace) {
+        Ok(frame) => {
+            trace.set_kind(kind);
+            frame
+        }
+        Err(reply) => Response::Error(reply).to_framed_bytes(),
+    }
+}
+
+/// Maps a wire query to the request kind its latency is tracked under.
+fn query_kind(query: &vaq_authquery::Query) -> RequestKind {
+    match query.kind() {
         vaq_authquery::QueryKind::TopK => RequestKind::TopK,
         vaq_authquery::QueryKind::Range => RequestKind::Range,
         vaq_authquery::QueryKind::Knn => RequestKind::Knn,
-    };
+    }
+}
+
+/// Serves one analytic query through the epoch-keyed cache, returning the
+/// framed single-query response or the typed error reply.
+fn query_frame(
+    shared: &Shared,
+    serving: &Arc<Server>,
+    key: Vec<u8>,
+    query: vaq_authquery::Query,
+    trace: &mut Trace,
+) -> Result<Vec<u8>, ErrorReply> {
     let epoch = serving.epoch();
-    cached_response(shared, &key, |shared| {
-        process_queries(shared, serving, std::slice::from_ref(&query), kind).map(|mut responses| {
-            let response = responses.pop().expect("one response per query");
-            Response::Query { epoch, response }.to_framed_bytes()
-        })
+    cached_response(shared, &key, trace, |shared, trace| {
+        process_queries(shared, serving, std::slice::from_ref(&query), trace).map(
+            |mut responses| {
+                let response = responses.pop().expect("one response per query");
+                trace.time(Stage::Encode, || {
+                    Response::Query { epoch, response }.to_framed_bytes()
+                })
+            },
+        )
     })
 }
 
@@ -640,29 +749,34 @@ impl Drop for FlightGuard<'_> {
 /// deduplication, keyed by the caller-built epoch-prefixed key. `compute`
 /// produces the framed response bytes to cache; an error reply is returned
 /// to the requester but never cached or shared (the next requester retries
-/// the computation).
-fn cached_response<F>(shared: &Shared, key: &[u8], compute: F) -> Vec<u8>
+/// the computation). Cache probes and single-flight waits are charged to
+/// the request's trace.
+fn cached_response<F>(
+    shared: &Shared,
+    key: &[u8],
+    trace: &mut Trace,
+    mut compute: F,
+) -> Result<Vec<u8>, ErrorReply>
 where
-    F: Fn(&Shared) -> Result<Vec<u8>, ErrorReply>,
+    F: FnMut(&Shared, &mut Trace) -> Result<Vec<u8>, ErrorReply>,
 {
     let caching = shared.config.cache_capacity > 0 && shared.config.cache_max_bytes > 0;
     if !caching {
         // With caching disabled there is no dedup contract to honour, so
         // concurrent identical queries stay fully parallel.
-        return match compute(shared) {
-            Ok(frame) => {
-                Metrics::add(&shared.metrics.cache_misses, 1);
-                frame
-            }
-            Err(reply) => Response::Error(reply).to_framed_bytes(),
-        };
+        let frame = compute(shared, trace)?;
+        Metrics::add(&shared.metrics.cache_misses, 1);
+        return Ok(frame);
     }
     loop {
-        if let Some(frame) = shared.cache.lock().expect("cache lock").get(key) {
+        let cached = trace.time(Stage::CacheLookup, || {
+            shared.cache.lock().expect("cache lock").get(key)
+        });
+        if let Some(frame) = cached {
             Metrics::add(&shared.metrics.cache_hits, 1);
-            return frame.as_ref().clone();
+            return Ok(frame.as_ref().clone());
         }
-        let mut guard = match shared.flight.join(key) {
+        let mut guard = match trace.time(Stage::FlightWait, || shared.flight.join(key)) {
             Flight::Leader => FlightGuard {
                 flight: &shared.flight,
                 key,
@@ -673,7 +787,7 @@ where
                 // accounting purposes even when the frame itself was too
                 // large for the cache's byte budget.
                 Metrics::add(&shared.metrics.cache_hits, 1);
-                return frame.as_ref().clone();
+                return Ok(frame.as_ref().clone());
             }
             // The leader failed; retry (and possibly lead) after re-checking
             // the cache.
@@ -681,36 +795,35 @@ where
         };
         // Re-check under leadership: a previous leader may have filled the
         // cache between this worker's miss and it winning the key.
-        if let Some(frame) = shared.cache.lock().expect("cache lock").get(key) {
+        let cached = trace.time(Stage::CacheLookup, || {
+            shared.cache.lock().expect("cache lock").get(key)
+        });
+        if let Some(frame) = cached {
             Metrics::add(&shared.metrics.cache_hits, 1);
             guard.outcome = Some(frame.clone());
-            return frame.as_ref().clone();
+            return Ok(frame.as_ref().clone());
         }
-        return match compute(shared) {
-            Ok(frame) => {
-                Metrics::add(&shared.metrics.cache_misses, 1);
-                let frame = Arc::new(frame);
-                shared
-                    .cache
-                    .lock()
-                    .expect("cache lock")
-                    .insert(key.to_vec(), Arc::clone(&frame));
-                guard.outcome = Some(Arc::clone(&frame));
-                drop(guard);
-                frame.as_ref().clone()
-            }
-            Err(reply) => Response::Error(reply).to_framed_bytes(),
-        };
+        let frame = compute(shared, trace)?;
+        Metrics::add(&shared.metrics.cache_misses, 1);
+        let frame = Arc::new(frame);
+        shared
+            .cache
+            .lock()
+            .expect("cache lock")
+            .insert(key.to_vec(), Arc::clone(&frame));
+        guard.outcome = Some(Arc::clone(&frame));
+        drop(guard);
+        return Ok(frame.as_ref().clone());
     }
 }
 
 /// Validates and processes queries against one resolved serving snapshot,
-/// timing the whole run under `kind`.
+/// charging execution and VO-construction time to the request's trace.
 fn process_queries(
     shared: &Shared,
     serving: &Arc<Server>,
     queries: &[vaq_authquery::Query],
-    kind: RequestKind,
+    trace: &mut Trace,
 ) -> Result<Vec<vaq_authquery::QueryResponse>, ErrorReply> {
     let dims = serving.dataset().dims();
     for query in queries {
@@ -725,26 +838,38 @@ fn process_queries(
             ));
         }
     }
-    let start = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| {
-        queries
+        let mut execute = Duration::ZERO;
+        let mut vo_build = Duration::ZERO;
+        let responses = queries
             .iter()
-            .map(|query| serving.process(query))
-            .collect::<Vec<_>>()
+            .map(|query| {
+                let (response, timing) = serving.process_timed(query);
+                execute += timing.execute;
+                vo_build += timing.vo_build;
+                response
+            })
+            .collect::<Vec<_>>();
+        (responses, execute, vo_build)
     }));
-    shared.metrics.observe_latency(kind, start.elapsed());
-    result.map_err(|_| {
-        error_reply(
+    match result {
+        Ok((responses, execute, vo_build)) => {
+            trace.add(Stage::Execute, execute);
+            trace.add(Stage::VoBuild, vo_build);
+            Ok(responses)
+        }
+        Err(_) => Err(error_reply(
             shared,
             ErrorCode::Internal,
             "query processing failed".into(),
-        )
-    })
+        )),
+    }
 }
 
-/// Builds a typed error reply, bumping the error counter.
+/// Builds a typed error reply, bumping the flat and per-code error
+/// counters.
 fn error_reply(shared: &Shared, code: ErrorCode, message: String) -> ErrorReply {
-    Metrics::add(&shared.metrics.errors, 1);
+    shared.metrics.record_error(code);
     ErrorReply { code, message }
 }
 

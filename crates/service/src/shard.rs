@@ -51,12 +51,14 @@
 
 use std::collections::HashSet;
 use std::net::SocketAddr;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use vaq_authquery::{client, IfmhTree, Query, Server, SigningMode};
 use vaq_crypto::{PublicKey, SignatureScheme};
 use vaq_funcdb::{Dataset, FunctionTemplate, Record};
-use vaq_wire::{ErrorCode, Request, Response, ShardEntry, SignedShardMap, StatsSnapshot};
+use vaq_wire::{
+    ErrorCode, Request, Response, ShardEntry, SignedShardMap, StatsDeep, StatsSnapshot,
+};
 
 use crate::client::ServiceClient;
 use crate::config::{ServiceConfig, ShardRole};
@@ -315,6 +317,16 @@ impl ShardedDeployment {
         self.primaries.iter().flatten().map(|s| s.stats()).collect()
     }
 
+    /// Per-shard deep stats for the primaries still running, in shard-id
+    /// order.
+    pub fn stats_deep(&self) -> Vec<StatsDeep> {
+        self.primaries
+            .iter()
+            .flatten()
+            .map(|s| s.stats_deep())
+            .collect()
+    }
+
     /// Shuts down one shard's primary (simulating a shard outage; any
     /// standbys keep serving) and returns its final stats. Panics if
     /// `shard_id` is out of range or the primary is already down.
@@ -346,6 +358,73 @@ struct ShardConnection {
     entry: ShardEntry,
     client: ServiceClient,
     addr: SocketAddr,
+}
+
+/// Per-shard scatter-leg latency accumulator: how many legs this shard
+/// answered, their summed wall-clock micros and the slowest single leg.
+/// Timed from the gather-side read to the verified interpretation, so a
+/// shard that straggles (or keeps needing failover) shows up here even when
+/// every merged answer succeeds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LegLatency {
+    /// Scatter legs this shard completed (successfully or not).
+    pub legs: u64,
+    /// Summed leg wall-clock, in microseconds.
+    pub total_micros: u64,
+    /// Slowest single leg, in microseconds.
+    pub max_micros: u64,
+}
+
+impl LegLatency {
+    fn record(&mut self, micros: u64) {
+        self.legs += 1;
+        self.total_micros += micros;
+        self.max_micros = self.max_micros.max(micros);
+    }
+
+    /// Mean leg latency in microseconds (0 before any leg completed).
+    pub fn mean_micros(&self) -> u64 {
+        self.total_micros.checked_div(self.legs).unwrap_or(0)
+    }
+}
+
+/// Client-side observability for a [`ShardedClient`]: what the scatter side
+/// of the deployment looked like from this client's seat. Server-side stats
+/// ([`ShardedClient::stats_deep_all`]) say what each shard did; these
+/// counters say what the *client* experienced — straggling legs, standby
+/// takeovers, update churn — which no single server can see.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClientObservability {
+    /// Scatter rounds issued (one per query or batch, counting retries).
+    pub scatters: u64,
+    /// Per-shard scatter-leg latency, in shard-id order.
+    pub leg_latency: Vec<LegLatency>,
+    /// Failover activations: legs retried against a standby address after
+    /// the serving connection died mid-query.
+    pub failovers: u64,
+    /// Scatter legs rejected with a typed stale-epoch error (the deployment
+    /// republished under this client's pinned epoch).
+    pub stale_rejections: u64,
+    /// Signed-map refreshes that actually adopted a newer epoch.
+    pub map_refreshes: u64,
+}
+
+impl ClientObservability {
+    fn leg(&mut self, shard: usize) -> &mut LegLatency {
+        if self.leg_latency.len() <= shard {
+            self.leg_latency.resize(shard + 1, LegLatency::default());
+        }
+        &mut self.leg_latency[shard]
+    }
+
+    /// The slowest single scatter leg observed on any shard, in micros.
+    pub fn max_leg_micros(&self) -> u64 {
+        self.leg_latency
+            .iter()
+            .map(|l| l.max_micros)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// The merged, fully verified answer to one sharded query.
@@ -383,6 +462,7 @@ pub struct ShardedClient {
     master_key: PublicKey,
     total_records: u64,
     epoch: u64,
+    obs: ClientObservability,
 }
 
 impl std::fmt::Debug for ShardedClient {
@@ -488,6 +568,7 @@ impl ShardedClient {
             master_key: publication.master_key.clone(),
             total_records: map.total_records,
             epoch: map.epoch,
+            obs: ClientObservability::default(),
         })
     }
 
@@ -536,6 +617,7 @@ impl ShardedClient {
             master_key: publication.master_key.clone(),
             total_records: map.total_records,
             epoch: map.epoch,
+            obs: ClientObservability::default(),
         })
     }
 
@@ -547,6 +629,15 @@ impl ShardedClient {
     /// The publication epoch this client currently pins every query to.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Client-side observability accumulated since this client connected:
+    /// per-shard scatter-leg latency, failover activations, stale-epoch
+    /// rejections and adopted map refreshes. Counters survive
+    /// [`ShardedClient::refresh`] — adopting a new epoch reconnects the
+    /// shards but keeps the client's history.
+    pub fn observability(&self) -> &ClientObservability {
+        &self.obs
     }
 
     /// Re-fetches the signed shard map over the wire and adopts it.
@@ -644,6 +735,7 @@ impl ShardedClient {
         self.shards = shards;
         self.total_records = map.total_records;
         self.epoch = map.epoch;
+        self.obs.map_refreshes += 1;
         Ok(self.epoch)
     }
 
@@ -749,6 +841,7 @@ impl ShardedClient {
         // Scatter: put one request in flight on every shard before reading
         // any response. A failed send is retried on a standby during the
         // gather phase.
+        self.obs.scatters += 1;
         let mut sent = vec![false; self.shards.len()];
         for (i, shard) in self.shards.iter_mut().enumerate() {
             sent[i] = shard.client.send(request).is_ok();
@@ -757,6 +850,7 @@ impl ShardedClient {
         let mut results: Vec<T> = Vec::with_capacity(self.shards.len());
         let mut failure: Option<ServiceError> = None;
         for (i, &was_sent) in sent.iter().enumerate() {
+            let leg_started = Instant::now();
             let outcome = if was_sent {
                 let epoch = self.epoch;
                 let template = &self.template;
@@ -775,9 +869,16 @@ impl ShardedClient {
                 Err(e) if is_failover_worthy(&e) => self.failover_leg(i, request, interpret, e),
                 other => other,
             };
+            // The leg spans receive-through-verify (plus any failover), so a
+            // straggling or flapping shard is visible per shard id.
+            let leg_micros = leg_started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            self.obs.leg(i).record(leg_micros);
             match outcome {
                 Ok(result) => results.push(result),
                 Err(e) => {
+                    if e.is_stale_epoch() {
+                        self.obs.stale_rejections += 1;
+                    }
                     if failure.is_none() {
                         failure = Some(shard_failed(self.shards[i].entry.shard_id, e));
                     }
@@ -817,6 +918,7 @@ impl ShardedClient {
         let current = self.shards[index].addr;
         let epoch = self.epoch;
         let shard_count = self.shards.len() as u32;
+        self.obs.failovers += 1;
         for addr in failover_candidates(&entry, current) {
             let mut connection = match open_shard_connection(addr, &entry, shard_count, epoch) {
                 Ok(connection) => connection,
@@ -849,6 +951,21 @@ impl ShardedClient {
                 shard
                     .client
                     .stats()
+                    .map_err(|e| shard_failed(shard.entry.shard_id, e))
+            })
+            .collect()
+    }
+
+    /// Fetches every shard's deep stats (per-stage latency histograms,
+    /// per-kind stage attribution, per-error counters, cache gauges), in
+    /// shard-id order.
+    pub fn stats_deep_all(&mut self) -> Result<Vec<StatsDeep>, ServiceError> {
+        self.shards
+            .iter_mut()
+            .map(|shard| {
+                shard
+                    .client
+                    .stats_deep()
                     .map_err(|e| shard_failed(shard.entry.shard_id, e))
             })
             .collect()

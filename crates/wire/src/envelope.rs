@@ -75,6 +75,12 @@ pub enum Request {
         /// The queries, answered in order.
         queries: Vec<Query>,
     },
+    /// Deep-telemetry scrape; answered with [`Response::StatsDeep`]. On top
+    /// of the flat [`StatsSnapshot`] this carries per-stage latency
+    /// histograms for the server hot path, so an operator can tell whether a
+    /// slow p99 comes from queue wait, cache lookup, query execution, VO
+    /// construction, encoding, or the socket write.
+    StatsDeep,
 }
 
 impl Request {
@@ -129,6 +135,9 @@ pub enum Response {
     /// Typed failure; the connection stays usable unless the frame itself
     /// was unreadable.
     Error(ErrorReply),
+    /// Answer to [`Request::StatsDeep`]: flat snapshot plus per-stage
+    /// latency breakdowns.
+    StatsDeep(StatsDeep),
 }
 
 /// Machine-readable error category of an [`ErrorReply`].
@@ -153,6 +162,38 @@ pub enum ErrorCode {
     /// yet republished — dataset). The client should re-fetch the signed
     /// shard map ([`Request::ShardMap`]) and retry at the new epoch.
     StaleEpoch,
+}
+
+impl ErrorCode {
+    /// Every error code, in tag order. Telemetry iterates this to break the
+    /// flat error counter out per code.
+    pub const ALL: [ErrorCode; 7] = [
+        ErrorCode::Malformed,
+        ErrorCode::BadQuery,
+        ErrorCode::FrameTooLarge,
+        ErrorCode::Internal,
+        ErrorCode::ShuttingDown,
+        ErrorCode::NotSharded,
+        ErrorCode::StaleEpoch,
+    ];
+
+    /// Stable position of this code in [`ErrorCode::ALL`].
+    pub fn index(self) -> usize {
+        (self.tag() - 1) as usize
+    }
+
+    /// Stable snake_case label, used in stats payloads and log lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::BadQuery => "bad_query",
+            ErrorCode::FrameTooLarge => "frame_too_large",
+            ErrorCode::Internal => "internal",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::NotSharded => "not_sharded",
+            ErrorCode::StaleEpoch => "stale_epoch",
+        }
+    }
 }
 
 /// A typed error response.
@@ -187,6 +228,69 @@ pub struct KindLatency {
     pub histogram: LatencyHistogram,
 }
 
+/// Error replies broken out by [`ErrorCode`], labelled for self-description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorCount {
+    /// Error-code label (see [`ErrorCode::label`]).
+    pub code: String,
+    /// Error replies sent with this code.
+    pub count: u64,
+}
+
+/// Latency histogram of one hot-path stage, labelled for self-description.
+///
+/// Stage labels (in hot-path order): `"queue_wait"`, `"decode"`,
+/// `"cache_lookup"`, `"flight_wait"`, `"execute"`, `"vo_build"`,
+/// `"encode"`, `"write"`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageLatency {
+    /// Stage label.
+    pub stage: String,
+    /// The stage's latency histogram (buckets per
+    /// [`LATENCY_BUCKET_BOUNDS_MICROS`]).
+    pub histogram: LatencyHistogram,
+}
+
+/// Aggregate micros one request kind spent in one stage (no buckets — the
+/// per-kind breakdown carries sums so the deep snapshot stays compact).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageMicros {
+    /// Stage label (same vocabulary as [`StageLatency::stage`]).
+    pub stage: String,
+    /// Requests of the kind that recorded this stage.
+    pub count: u64,
+    /// Total micros the kind spent in the stage.
+    pub sum_micros: u64,
+    /// Largest single-request micros the kind spent in the stage.
+    pub max_micros: u64,
+}
+
+/// Per-stage time attribution for one request kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KindStages {
+    /// Request-kind label (`"topk"`, `"range"`, `"knn"`, `"batch"`).
+    pub kind: String,
+    /// Stage sums, in hot-path order. For every kind the stage sums are
+    /// bounded by the kind's whole-request histogram: stages are disjoint
+    /// sub-intervals of the request, so `sum(stages.sum_micros) <=
+    /// per_kind[kind].histogram.sum_micros`.
+    pub stages: Vec<StageMicros>,
+}
+
+/// The deep-telemetry payload of [`Response::StatsDeep`]: the flat
+/// [`StatsSnapshot`] plus per-stage histograms over all requests and
+/// per-kind stage attribution.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct StatsDeep {
+    /// The flat counter snapshot, taken atomically with the breakdowns
+    /// below (same scrape).
+    pub snapshot: StatsSnapshot,
+    /// Per-stage latency histograms over every request the service served.
+    pub per_stage: Vec<StageLatency>,
+    /// Per-request-kind stage attribution.
+    pub per_kind_stage: Vec<KindStages>,
+}
+
 /// A point-in-time snapshot of service counters, served over the wire.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
@@ -209,6 +313,18 @@ pub struct StatsSnapshot {
     pub epoch: u64,
     /// Per-request-kind latency histograms.
     pub per_kind: Vec<KindLatency>,
+    /// Micros since the service started accepting connections. Together
+    /// with `requests_served` this yields requests/s from one snapshot.
+    pub uptime_micros: u64,
+    /// Entries currently resident in the response cache.
+    pub cache_entries: u64,
+    /// Bytes currently resident in the response cache.
+    pub cache_bytes: u64,
+    /// Entries evicted from the response cache since start (a thrashing
+    /// cache shows a high eviction rate; a cold one shows none).
+    pub cache_evictions: u64,
+    /// Error replies broken out per [`ErrorCode`], in tag order.
+    pub per_error: Vec<ErrorCount>,
 }
 
 /// Identity of one shard of a sharded deployment, as reported by the shard
@@ -296,6 +412,7 @@ const REQUEST_TAG_SHARD_INFO: u8 = 5;
 const REQUEST_TAG_SHARD_MAP: u8 = 6;
 const REQUEST_TAG_QUERY_AT: u8 = 7;
 const REQUEST_TAG_BATCH_AT: u8 = 8;
+const REQUEST_TAG_STATS_DEEP: u8 = 9;
 
 impl WireEncode for Request {
     fn encode(&self, w: &mut Writer) {
@@ -328,6 +445,7 @@ impl WireEncode for Request {
                     query.encode(w);
                 }
             }
+            Request::StatsDeep => w.put_u8(REQUEST_TAG_STATS_DEEP),
         }
     }
 }
@@ -361,6 +479,7 @@ impl WireDecode for Request {
                 }
                 Ok(Request::BatchAt { epoch, queries })
             }
+            REQUEST_TAG_STATS_DEEP => Ok(Request::StatsDeep),
             tag => Err(WireError::InvalidTag {
                 type_name: "Request",
                 tag,
@@ -376,6 +495,7 @@ const RESPONSE_TAG_BATCH: u8 = 4;
 const RESPONSE_TAG_ERROR: u8 = 5;
 const RESPONSE_TAG_SHARD_INFO: u8 = 6;
 const RESPONSE_TAG_SHARD_MAP: u8 = 7;
+const RESPONSE_TAG_STATS_DEEP: u8 = 8;
 
 impl WireEncode for Response {
     fn encode(&self, w: &mut Writer) {
@@ -410,6 +530,10 @@ impl WireEncode for Response {
                 w.put_u8(RESPONSE_TAG_ERROR);
                 reply.encode(w);
             }
+            Response::StatsDeep(deep) => {
+                w.put_u8(RESPONSE_TAG_STATS_DEEP);
+                deep.encode(w);
+            }
         }
     }
 }
@@ -435,6 +559,7 @@ impl WireDecode for Response {
             RESPONSE_TAG_ERROR => Ok(Response::Error(ErrorReply::decode(r)?)),
             RESPONSE_TAG_SHARD_INFO => Ok(Response::ShardInfo(ShardInfo::decode(r)?)),
             RESPONSE_TAG_SHARD_MAP => Ok(Response::ShardMap(SignedShardMap::decode(r)?)),
+            RESPONSE_TAG_STATS_DEEP => Ok(Response::StatsDeep(StatsDeep::decode(r)?)),
             tag => Err(WireError::InvalidTag {
                 type_name: "Response",
                 tag,
@@ -642,6 +767,115 @@ impl WireDecode for KindLatency {
     }
 }
 
+impl WireEncode for ErrorCount {
+    fn encode(&self, w: &mut Writer) {
+        w.put_string(&self.code);
+        w.put_u64(self.count);
+    }
+}
+
+impl WireDecode for ErrorCount {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ErrorCount {
+            code: r.get_string()?,
+            count: r.get_u64()?,
+        })
+    }
+}
+
+impl WireEncode for StageLatency {
+    fn encode(&self, w: &mut Writer) {
+        w.put_string(&self.stage);
+        self.histogram.encode(w);
+    }
+}
+
+impl WireDecode for StageLatency {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(StageLatency {
+            stage: r.get_string()?,
+            histogram: LatencyHistogram::decode(r)?,
+        })
+    }
+}
+
+impl WireEncode for StageMicros {
+    fn encode(&self, w: &mut Writer) {
+        w.put_string(&self.stage);
+        w.put_u64(self.count);
+        w.put_u64(self.sum_micros);
+        w.put_u64(self.max_micros);
+    }
+}
+
+impl WireDecode for StageMicros {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(StageMicros {
+            stage: r.get_string()?,
+            count: r.get_u64()?,
+            sum_micros: r.get_u64()?,
+            max_micros: r.get_u64()?,
+        })
+    }
+}
+
+impl WireEncode for KindStages {
+    fn encode(&self, w: &mut Writer) {
+        w.put_string(&self.kind);
+        w.put_len(self.stages.len());
+        for stage in &self.stages {
+            stage.encode(w);
+        }
+    }
+}
+
+impl WireDecode for KindStages {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let kind = r.get_string()?;
+        let len = r.get_len()?;
+        let mut stages = Vec::with_capacity(len.min(64));
+        for _ in 0..len {
+            stages.push(StageMicros::decode(r)?);
+        }
+        Ok(KindStages { kind, stages })
+    }
+}
+
+impl WireEncode for StatsDeep {
+    fn encode(&self, w: &mut Writer) {
+        self.snapshot.encode(w);
+        w.put_len(self.per_stage.len());
+        for stage in &self.per_stage {
+            stage.encode(w);
+        }
+        w.put_len(self.per_kind_stage.len());
+        for kind in &self.per_kind_stage {
+            kind.encode(w);
+        }
+    }
+}
+
+impl WireDecode for StatsDeep {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let snapshot = StatsSnapshot::decode(r)?;
+        let len = r.get_len()?;
+        let mut per_stage = Vec::with_capacity(len.min(64));
+        for _ in 0..len {
+            per_stage.push(StageLatency::decode(r)?);
+        }
+        let len = r.get_len()?;
+        let mut per_kind_stage = Vec::with_capacity(len.min(64));
+        for _ in 0..len {
+            per_kind_stage.push(KindStages::decode(r)?);
+        }
+        Ok(StatsDeep {
+            snapshot,
+            per_stage,
+            per_kind_stage,
+        })
+    }
+}
+
 impl WireEncode for StatsSnapshot {
     fn encode(&self, w: &mut Writer) {
         w.put_u64(self.requests_served);
@@ -655,6 +889,14 @@ impl WireEncode for StatsSnapshot {
         w.put_len(self.per_kind.len());
         for kind in &self.per_kind {
             kind.encode(w);
+        }
+        w.put_u64(self.uptime_micros);
+        w.put_u64(self.cache_entries);
+        w.put_u64(self.cache_bytes);
+        w.put_u64(self.cache_evictions);
+        w.put_len(self.per_error.len());
+        for error in &self.per_error {
+            error.encode(w);
         }
     }
 }
@@ -674,6 +916,15 @@ impl WireDecode for StatsSnapshot {
         for _ in 0..len {
             per_kind.push(KindLatency::decode(r)?);
         }
+        let uptime_micros = r.get_u64()?;
+        let cache_entries = r.get_u64()?;
+        let cache_bytes = r.get_u64()?;
+        let cache_evictions = r.get_u64()?;
+        let len = r.get_len()?;
+        let mut per_error = Vec::with_capacity(len.min(64));
+        for _ in 0..len {
+            per_error.push(ErrorCount::decode(r)?);
+        }
         Ok(StatsSnapshot {
             requests_served,
             cache_hits,
@@ -684,6 +935,11 @@ impl WireDecode for StatsSnapshot {
             workers,
             epoch,
             per_kind,
+            uptime_micros,
+            cache_entries,
+            cache_bytes,
+            cache_evictions,
+            per_error,
         })
     }
 }
@@ -719,6 +975,7 @@ mod tests {
                     Query::range(vec![0.5], 0.1, 0.9),
                 ],
             },
+            Request::StatsDeep,
         ];
         for request in requests {
             let bytes = request.to_framed_bytes();
@@ -753,9 +1010,82 @@ mod tests {
                     max_micros: 900,
                 },
             }],
+            uptime_micros: 5_000_000,
+            cache_entries: 12,
+            cache_bytes: 4096,
+            cache_evictions: 3,
+            per_error: vec![ErrorCount {
+                code: "bad_query".into(),
+                count: 1,
+            }],
         };
         let bytes = stats.to_wire_bytes();
         assert_eq!(StatsSnapshot::from_wire_bytes(&bytes).unwrap(), stats);
+    }
+
+    #[test]
+    fn stats_deep_roundtrips() {
+        let deep = StatsDeep {
+            snapshot: StatsSnapshot {
+                requests_served: 3,
+                epoch: 2,
+                workers: 4,
+                per_error: ErrorCode::ALL
+                    .iter()
+                    .map(|code| ErrorCount {
+                        code: code.label().into(),
+                        count: code.index() as u64,
+                    })
+                    .collect(),
+                ..StatsSnapshot::default()
+            },
+            per_stage: vec![
+                StageLatency {
+                    stage: "queue_wait".into(),
+                    histogram: LatencyHistogram {
+                        bucket_counts: vec![1; LATENCY_BUCKET_BOUNDS_MICROS.len() + 1],
+                        count: 13,
+                        sum_micros: 999,
+                        max_micros: 600_000,
+                    },
+                },
+                StageLatency {
+                    stage: "execute".into(),
+                    histogram: LatencyHistogram::default(),
+                },
+            ],
+            per_kind_stage: vec![KindStages {
+                kind: "topk".into(),
+                stages: vec![StageMicros {
+                    stage: "execute".into(),
+                    count: 2,
+                    sum_micros: 840,
+                    max_micros: 500,
+                }],
+            }],
+        };
+        let bytes = deep.to_wire_bytes();
+        assert_eq!(StatsDeep::from_wire_bytes(&bytes).unwrap(), deep);
+
+        // And through the response envelope.
+        let framed = Response::StatsDeep(deep.clone()).to_framed_bytes();
+        match Response::from_framed_bytes(&framed).unwrap() {
+            Response::StatsDeep(decoded) => assert_eq!(decoded, deep),
+            other => panic!("expected StatsDeep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_code_labels_are_distinct_and_indexed() {
+        let mut seen = std::collections::HashSet::new();
+        for (i, code) in ErrorCode::ALL.iter().enumerate() {
+            assert_eq!(code.index(), i);
+            assert!(
+                seen.insert(code.label()),
+                "duplicate label {}",
+                code.label()
+            );
+        }
     }
 
     #[test]

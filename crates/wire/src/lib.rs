@@ -32,8 +32,9 @@ pub mod io;
 pub mod sigmesh_impls;
 
 pub use envelope::{
-    ErrorCode, ErrorReply, KindLatency, LatencyHistogram, Request, Response, ShardEntry, ShardInfo,
-    ShardMap, SignedShardMap, StatsSnapshot, LATENCY_BUCKET_BOUNDS_MICROS,
+    ErrorCode, ErrorCount, ErrorReply, KindLatency, KindStages, LatencyHistogram, Request,
+    Response, ShardEntry, ShardInfo, ShardMap, SignedShardMap, StageLatency, StageMicros,
+    StatsDeep, StatsSnapshot, LATENCY_BUCKET_BOUNDS_MICROS,
 };
 pub use error::WireError;
 pub use io::{Reader, Writer};

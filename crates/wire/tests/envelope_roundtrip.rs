@@ -5,9 +5,9 @@
 use proptest::prelude::*;
 use vaq_authquery::Query;
 use vaq_wire::{
-    ErrorCode, ErrorReply, KindLatency, LatencyHistogram, Request, Response, ShardEntry, ShardInfo,
-    ShardMap, SignedShardMap, StatsSnapshot, WireDecode, WireEncode, WireError,
-    LATENCY_BUCKET_BOUNDS_MICROS,
+    ErrorCode, ErrorCount, ErrorReply, KindLatency, KindStages, LatencyHistogram, Request,
+    Response, ShardEntry, ShardInfo, ShardMap, SignedShardMap, StageLatency, StageMicros,
+    StatsDeep, StatsSnapshot, WireDecode, WireEncode, WireError, LATENCY_BUCKET_BOUNDS_MICROS,
 };
 
 /// Epoch values every epoch-carrying message is exercised with: both
@@ -54,7 +54,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn requests_roundtrip_framed(parts in query_parts(), selector in 0u8..8, epoch_selector in 0u64..) {
+    fn requests_roundtrip_framed(parts in query_parts(), selector in 0u8..9, epoch_selector in 0u64..) {
         let request = match selector {
             0 => Request::Ping,
             1 => Request::Stats,
@@ -69,6 +69,7 @@ proptest! {
                 epoch: epoch_from(epoch_selector),
                 queries: vec![query_from(&parts), query_from(&parts)],
             },
+            7 => Request::StatsDeep,
             _ => Request::Batch(vec![query_from(&parts), query_from(&parts)]),
         };
         let bytes = request.to_framed_bytes();
@@ -172,6 +173,14 @@ proptest! {
                 KindLatency { kind: "topk".into(), histogram: histogram.clone() },
                 KindLatency { kind: "batch".into(), histogram },
             ],
+            uptime_micros: counters[2].wrapping_mul(3),
+            cache_entries: counters[3] % 4096,
+            cache_bytes: counters[4],
+            cache_evictions: counters[5],
+            per_error: vec![
+                ErrorCount { code: "bad_query".into(), count: counters[0] },
+                ErrorCount { code: "stale_epoch".into(), count: counters[1] },
+            ],
         };
         let response = Response::Stats(stats.clone());
         let bytes = response.to_framed_bytes();
@@ -179,6 +188,76 @@ proptest! {
             Ok(Response::Stats(back)) => prop_assert_eq!(back, stats),
             other => prop_assert!(false, "wrong decode: {:?}", other),
         }
+    }
+
+    #[test]
+    fn stats_deep_roundtrips_framed(
+        counters in prop::collection::vec(0u64.., 6..=6),
+        workers in 0u32..256,
+        epoch_selector in 0u64..,
+        counts in prop::collection::vec(0u64..1_000_000, 13..=13),
+        stage_count in 0usize..9,
+    ) {
+        let histogram = LatencyHistogram {
+            bucket_counts: counts.clone(),
+            count: counts.iter().sum(),
+            sum_micros: counters[0],
+            max_micros: counters[1],
+        };
+        let stage_labels = [
+            "queue_wait", "decode", "cache_lookup", "flight_wait",
+            "execute", "vo_build", "encode", "write",
+        ];
+        let deep = StatsDeep {
+            snapshot: StatsSnapshot {
+                requests_served: counters[0],
+                cache_hits: counters[1],
+                cache_misses: counters[2],
+                bytes_in: counters[3],
+                bytes_out: counters[4],
+                errors: counters[5],
+                workers,
+                epoch: epoch_from(epoch_selector),
+                per_kind: vec![
+                    KindLatency { kind: "range".into(), histogram: histogram.clone() },
+                ],
+                uptime_micros: counters[0].wrapping_add(counters[1]),
+                cache_entries: counters[2] % 1024,
+                cache_bytes: counters[3],
+                cache_evictions: counters[4] % 100,
+                per_error: vec![
+                    ErrorCount { code: "malformed".into(), count: counters[5] },
+                ],
+            },
+            per_stage: stage_labels[..stage_count]
+                .iter()
+                .map(|stage| StageLatency {
+                    stage: (*stage).into(),
+                    histogram: histogram.clone(),
+                })
+                .collect(),
+            per_kind_stage: vec![KindStages {
+                kind: "knn".into(),
+                stages: stage_labels[..stage_count]
+                    .iter()
+                    .map(|stage| StageMicros {
+                        stage: (*stage).into(),
+                        count: counters[0],
+                        sum_micros: counters[1],
+                        max_micros: counters[2],
+                    })
+                    .collect(),
+            }],
+        };
+        let response = Response::StatsDeep(deep.clone());
+        let bytes = response.to_framed_bytes();
+        match Response::from_framed_bytes(&bytes) {
+            Ok(Response::StatsDeep(back)) => prop_assert_eq!(back, deep),
+            other => prop_assert!(false, "wrong decode: {:?}", other),
+        }
+        // The canonical encoding stays deterministic.
+        let reencoded = Response::StatsDeep(deep).to_framed_bytes();
+        prop_assert_eq!(reencoded, bytes);
     }
 
     #[test]
