@@ -1,7 +1,7 @@
 //! Persisted benchmark-artifact pipeline for the networked service tier.
 //!
 //! Runs the service benchmark scenarios end to end — a single service, the
-//! sharded tier at S = 1..4, a batched workload and a republish-churn run —
+//! sharded tier at S = 1..8, a batched workload and a republish-churn run —
 //! collects throughput, latency quantiles, per-stage breakdowns and cache
 //! hit rates from the services' deep stats, and writes one schema-versioned
 //! JSON artifact so successive PRs can be compared number for number.
@@ -67,6 +67,7 @@ const REQUIRED_FIELDS: &[&str] = &[
     "\"single\"",
     "\"sharded_s1\"",
     "\"sharded_s4\"",
+    "\"sharded_s8\"",
     "\"batched\"",
     "\"republish_churn\"",
 ];
@@ -132,7 +133,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
-        out: "BENCH_PR6.json".to_string(),
+        out: "BENCH_PR7.json".to_string(),
         seed: 0xbe7c,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -380,7 +381,7 @@ fn main() {
         args.seed,
         QueryMix::default(),
     )];
-    for shards in 1..=4 {
+    for shards in 1..=8 {
         eprintln!("bench_report: sharded S={shards}");
         scenarios.push(run_sharded(
             &format!("sharded_s{shards}"),

@@ -1,0 +1,110 @@
+//! The epoch-discipline pass: publication epochs are ordered through the
+//! blessed monotonic helpers `vaq_wire::epoch::{advances, rolls_back,
+//! next}`, never through raw `u64` comparisons or arithmetic — those are
+//! how off-by-one rollback windows are born. Equality checks stay free
+//! (`pinned == serving` is a matching test, not an ordering).
+//!
+//! A second rule keeps the response-cache epoch-sound: in `server.rs`,
+//! cache `get`/`insert` calls must take the epoch-prefixed `key` built by
+//! `epoch_cache_key`, so entries from superseded epochs can never collide
+//! with current ones.
+
+use crate::scan::SourceFile;
+use crate::Finding;
+
+/// The pass name, as used in findings and `lint:allow`.
+pub const PASS: &str = "epoch-discipline";
+
+/// Operators that order or shift an epoch; all of them must go through the
+/// blessed helpers.
+const ORDERING_OPS: [&str; 8] = ["<", ">", "<=", ">=", "+", "-", "+=", "-="];
+
+/// Runs the pass over vaq-service and vaq-wire sources (minus the blessed
+/// helper module `wire/src/epoch.rs` itself).
+pub fn run(files: &[&SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        let tokens = &file.tokens;
+        let cache_key_checked = file.file_name() == "server.rs";
+        for i in 0..tokens.len() {
+            let line = tokens[i].line;
+            if file.is_masked(line) {
+                continue;
+            }
+            let text = tokens[i].text.as_str();
+            if tokens[i].is_ident() && (text == "epoch" || text.ends_with("_epoch")) {
+                let prev = i.checked_sub(1).map(|p| tokens[p].text.as_str());
+                let next = tokens.get(i + 1).map(|t| t.text.as_str());
+                let raw_op = [prev, next]
+                    .into_iter()
+                    .flatten()
+                    .find(|op| ORDERING_OPS.contains(op));
+                if let Some(op) = raw_op {
+                    findings.push(Finding {
+                        pass: PASS,
+                        file: file.path.clone(),
+                        line,
+                        message: format!(
+                            "raw epoch ordering/arithmetic `{op}` on `{text}`; use the \
+                             blessed helpers vaq_wire::epoch::{{advances, rolls_back, next}}"
+                        ),
+                    });
+                }
+            }
+            if cache_key_checked {
+                cache_key_check(file, i, &mut findings);
+            }
+        }
+    }
+    findings
+}
+
+/// Flags cache `get`/`insert` calls whose first argument is not the
+/// epoch-prefixed `key`.
+fn cache_key_check(file: &SourceFile, i: usize, findings: &mut Vec<Finding>) {
+    let tokens = &file.tokens;
+    if tokens[i].text != "."
+        || i + 2 >= tokens.len()
+        || tokens[i + 2].text != "("
+        || !matches!(tokens[i + 1].text.as_str(), "get" | "insert")
+    {
+        return;
+    }
+    // Walk the receiver chain backwards; the rule applies only to calls on
+    // the response cache.
+    let mut on_cache = false;
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let text = tokens[j].text.as_str();
+        if text == "cache" {
+            on_cache = true;
+        }
+        if !(tokens[j].is_ident() || matches!(text, "." | "(" | ")" | "::" | "?")) {
+            break;
+        }
+    }
+    if !on_cache {
+        return;
+    }
+    // First argument: skip reference/deref sigils, then require `key`.
+    let mut k = i + 3;
+    while tokens
+        .get(k)
+        .is_some_and(|t| matches!(t.text.as_str(), "&" | "*" | "mut"))
+    {
+        k += 1;
+    }
+    let first_arg_is_key = tokens.get(k).is_some_and(|t| t.text == "key");
+    if !first_arg_is_key {
+        findings.push(Finding {
+            pass: PASS,
+            file: file.path.clone(),
+            line: tokens[i + 1].line,
+            message: "response-cache access must key on the epoch-prefixed `key` built by \
+                      `epoch_cache_key` (first argument is not `key`); un-prefixed keys let \
+                      stale-epoch entries collide with current ones"
+                .to_string(),
+        });
+    }
+}

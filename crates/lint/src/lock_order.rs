@@ -1,0 +1,413 @@
+//! The lock-order pass: extracts every mutex/rwlock/condvar acquisition
+//! site in vaq-service, ranks it against `lock_ranks.toml`, and fails on
+//! any nesting that does not strictly increase in rank — plus a cycle check
+//! over the observed nesting graph, so even unranked locks cannot hide an
+//! AB/BA hang.
+//!
+//! The guard model is syntactic: a `let`-bound `.lock()` whose call ends
+//! the statement (`let g = x.lock();`) is held until its block closes;
+//! every other acquisition is a statement temporary, released at the end of
+//! the statement (`;`) — or, for `if`/`while` condition temporaries, when
+//! the condition's block opens.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+use crate::manifest::Manifest;
+use crate::scan::SourceFile;
+use crate::Finding;
+
+/// The pass name, as used in findings and `lint:allow`.
+pub const PASS: &str = "lock-order";
+
+/// One lock currently modelled as held at a point in the token walk.
+struct Acquisition {
+    name: String,
+    rank: Option<u32>,
+    depth: i32,
+    held: bool,
+}
+
+/// A nesting edge: `outer` was held while `inner` was acquired.
+type Edges = BTreeMap<String, BTreeSet<String>>;
+type EdgeSites = BTreeMap<(String, String), (PathBuf, u32)>;
+
+/// Runs the pass over the given files (vaq-service sources, minus the
+/// `sync.rs` primitive itself).
+pub fn run(files: &[&SourceFile], manifest: Option<&Manifest>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut edges = Edges::new();
+    let mut sites = EdgeSites::new();
+    let mut first_site: Option<(PathBuf, u32)> = None;
+    for file in files {
+        scan_file(
+            file,
+            manifest,
+            &mut findings,
+            &mut edges,
+            &mut sites,
+            &mut first_site,
+        );
+    }
+    if manifest.is_none() {
+        if let Some((file, line)) = first_site {
+            findings.push(Finding {
+                pass: PASS,
+                file,
+                line,
+                message: "lock acquisitions found but crates/lint/lock_ranks.toml is missing; \
+                          every lock must carry a rank"
+                    .to_string(),
+            });
+        }
+    }
+    findings.extend(cycle_findings(&edges, &sites));
+    findings
+}
+
+fn scan_file(
+    file: &SourceFile,
+    manifest: Option<&Manifest>,
+    findings: &mut Vec<Finding>,
+    edges: &mut Edges,
+    sites: &mut EdgeSites,
+    first_site: &mut Option<(PathBuf, u32)>,
+) {
+    let tokens = &file.tokens;
+    let mut depth: i32 = 0;
+    let mut active: Vec<Acquisition> = Vec::new();
+    let mut stmt_first: Option<String> = None;
+    let mut stmt_has_let = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        let text = tokens[i].text.as_str();
+        match text {
+            "{" => {
+                // `if`/`while` condition temporaries are dropped before the
+                // block body runs.
+                if matches!(stmt_first.as_deref(), Some("if") | Some("while")) {
+                    active.retain(|a| a.held || a.depth != depth);
+                }
+                depth += 1;
+                stmt_first = None;
+                stmt_has_let = false;
+            }
+            "}" => {
+                active.retain(|a| a.depth < depth);
+                depth -= 1;
+                stmt_first = None;
+                stmt_has_let = false;
+            }
+            ";" => {
+                active.retain(|a| a.held || a.depth != depth);
+                stmt_first = None;
+                stmt_has_let = false;
+            }
+            _ => {
+                if stmt_first.is_none() && tokens[i].is_ident() {
+                    stmt_first = Some(text.to_string());
+                }
+                if text == "let" {
+                    stmt_has_let = true;
+                }
+                if let Some(kind) = acquisition_at(tokens, i) {
+                    let line = tokens[i + 1].line;
+                    if !file.is_masked(line) {
+                        match kind {
+                            Site::Lock => on_lock(
+                                file,
+                                i,
+                                line,
+                                depth,
+                                stmt_has_let,
+                                manifest,
+                                &mut active,
+                                findings,
+                                edges,
+                                sites,
+                                first_site,
+                            ),
+                            Site::Wait => {
+                                on_wait(file, i, line, manifest, &active, findings);
+                            }
+                        }
+                    }
+                }
+                declaration_check(file, tokens, i, manifest, findings);
+            }
+        }
+        i += 1;
+    }
+}
+
+/// The two site shapes the pass ranks.
+enum Site {
+    /// A zero-argument `.lock()` / `.read()` / `.write()`.
+    Lock,
+    /// A condvar `.wait(…)`.
+    Wait,
+}
+
+fn acquisition_at(tokens: &[crate::scan::Token], i: usize) -> Option<Site> {
+    if tokens[i].text != "." || i + 2 >= tokens.len() {
+        return None;
+    }
+    let method = tokens[i + 1].text.as_str();
+    if tokens[i + 2].text != "(" {
+        return None;
+    }
+    match method {
+        "lock" | "read" | "write" if tokens.get(i + 3).map(|t| t.text.as_str()) == Some(")") => {
+            Some(Site::Lock)
+        }
+        "wait" => Some(Site::Wait),
+        _ => None,
+    }
+}
+
+/// The identifier the method is called on: `shared.cache.lock()` → `cache`.
+fn receiver(tokens: &[crate::scan::Token], dot: usize) -> String {
+    if dot > 0 && tokens[dot - 1].is_ident() {
+        tokens[dot - 1].text.clone()
+    } else {
+        "<expression>".to_string()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn on_lock(
+    file: &SourceFile,
+    i: usize,
+    line: u32,
+    depth: i32,
+    stmt_has_let: bool,
+    manifest: Option<&Manifest>,
+    active: &mut Vec<Acquisition>,
+    findings: &mut Vec<Finding>,
+    edges: &mut Edges,
+    sites: &mut EdgeSites,
+    first_site: &mut Option<(PathBuf, u32)>,
+) {
+    let name = receiver(&file.tokens, i);
+    if first_site.is_none() {
+        *first_site = Some((file.path.clone(), line));
+    }
+    let rank = manifest.and_then(|m| m.get(&name).copied());
+    if manifest.is_some() && rank.is_none() {
+        findings.push(Finding {
+            pass: PASS,
+            file: file.path.clone(),
+            line,
+            message: format!(
+                "lock '{name}' has no rank in crates/lint/lock_ranks.toml; \
+                 every lock must be ranked"
+            ),
+        });
+    }
+    if let Some(new_rank) = rank {
+        let innermost = active
+            .iter()
+            .filter_map(|a| a.rank.map(|r| (r, a.name.clone())))
+            .max_by_key(|(r, _)| *r);
+        if let Some((held_rank, held_name)) = innermost {
+            if new_rank <= held_rank {
+                findings.push(Finding {
+                    pass: PASS,
+                    file: file.path.clone(),
+                    line,
+                    message: format!(
+                        "lock-order violation: acquiring '{name}' (rank {new_rank}) while \
+                         holding '{held_name}' (rank {held_rank}); ranks must strictly \
+                         increase (see crates/lint/lock_ranks.toml)"
+                    ),
+                });
+            }
+        }
+    }
+    for outer in active.iter() {
+        if outer.name != name {
+            edges
+                .entry(outer.name.clone())
+                .or_default()
+                .insert(name.clone());
+            sites
+                .entry((outer.name.clone(), name.clone()))
+                .or_insert((file.path.clone(), line));
+        }
+    }
+    // Held until block close only for `let guard = x.lock();` — the call
+    // must both sit in a `let` statement and end it.
+    let held = stmt_has_let && file.tokens.get(i + 4).map(|t| t.text.as_str()) == Some(";");
+    active.push(Acquisition {
+        name,
+        rank,
+        depth,
+        held,
+    });
+}
+
+fn on_wait(
+    file: &SourceFile,
+    i: usize,
+    line: u32,
+    manifest: Option<&Manifest>,
+    active: &[Acquisition],
+    findings: &mut Vec<Finding>,
+) {
+    let name = receiver(&file.tokens, i);
+    if active.is_empty() {
+        findings.push(Finding {
+            pass: PASS,
+            file: file.path.clone(),
+            line,
+            message: format!(
+                "condvar '{name}' waited on with no lock held; a wait must hold \
+                 exactly its paired mutex"
+            ),
+        });
+        return;
+    }
+    let Some(manifest) = manifest else {
+        return; // The missing-manifest finding already covers this file.
+    };
+    let Some(condvar_rank) = manifest.get(&name).copied() else {
+        findings.push(Finding {
+            pass: PASS,
+            file: file.path.clone(),
+            line,
+            message: format!(
+                "condvar '{name}' has no rank in crates/lint/lock_ranks.toml; rank it \
+                 equal to the mutex it waits on"
+            ),
+        });
+        return;
+    };
+    let innermost = active
+        .iter()
+        .filter_map(|a| a.rank.map(|r| (r, a.name.clone())))
+        .max_by_key(|(r, _)| *r);
+    if let Some((held_rank, held_name)) = innermost {
+        if held_rank != condvar_rank {
+            findings.push(Finding {
+                pass: PASS,
+                file: file.path.clone(),
+                line,
+                message: format!(
+                    "condvar '{name}' (rank {condvar_rank}) waits while '{held_name}' \
+                     (rank {held_rank}) is the innermost lock; a condvar's rank must \
+                     equal its paired mutex's"
+                ),
+            });
+        }
+    }
+}
+
+/// Checks `OrderedMutex::new(rank::CONST, …)` declaration sites: the rank
+/// constant must correspond to a manifest entry (matched case-insensitively:
+/// `rank::CACHE` ↔ `cache`).
+fn declaration_check(
+    file: &SourceFile,
+    tokens: &[crate::scan::Token],
+    i: usize,
+    manifest: Option<&Manifest>,
+    findings: &mut Vec<Finding>,
+) {
+    let Some(manifest) = manifest else { return };
+    if tokens[i].text != "OrderedMutex" || i + 6 >= tokens.len() {
+        return;
+    }
+    let shape = [
+        tokens[i + 1].text.as_str(),
+        tokens[i + 2].text.as_str(),
+        tokens[i + 3].text.as_str(),
+        tokens[i + 4].text.as_str(),
+        tokens[i + 5].text.as_str(),
+    ];
+    if shape != ["::", "new", "(", "rank", "::"] {
+        return;
+    }
+    let line = tokens[i + 6].line;
+    if file.is_masked(line) {
+        return;
+    }
+    let constant = tokens[i + 6].text.as_str();
+    if !manifest.contains_key(&constant.to_lowercase()) {
+        findings.push(Finding {
+            pass: PASS,
+            file: file.path.clone(),
+            line,
+            message: format!(
+                "rank constant `rank::{constant}` has no matching entry in \
+                 crates/lint/lock_ranks.toml"
+            ),
+        });
+    }
+}
+
+/// DFS cycle detection over the observed nesting graph; each distinct cycle
+/// is reported once, anchored at one of its edges.
+fn cycle_findings(edges: &Edges, sites: &EdgeSites) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut done: BTreeSet<&String> = BTreeSet::new();
+    for start in edges.keys() {
+        let mut stack: Vec<&String> = Vec::new();
+        dfs(
+            start,
+            edges,
+            sites,
+            &mut stack,
+            &mut done,
+            &mut reported,
+            &mut findings,
+        );
+    }
+    findings
+}
+
+fn dfs<'a>(
+    node: &'a String,
+    edges: &'a Edges,
+    sites: &EdgeSites,
+    stack: &mut Vec<&'a String>,
+    done: &mut BTreeSet<&'a String>,
+    reported: &mut BTreeSet<Vec<String>>,
+    findings: &mut Vec<Finding>,
+) {
+    if done.contains(node) {
+        return;
+    }
+    if let Some(position) = stack.iter().position(|&n| n == node) {
+        let cycle: Vec<String> = stack[position..].iter().map(|n| n.to_string()).collect();
+        let mut key = cycle.clone();
+        key.sort();
+        if reported.insert(key) {
+            let last = stack[stack.len() - 1];
+            let (file, line) = sites
+                .get(&(last.clone(), node.clone()))
+                .cloned()
+                .unwrap_or_default();
+            let mut path = cycle;
+            path.push(node.clone());
+            findings.push(Finding {
+                pass: PASS,
+                file,
+                line,
+                message: format!(
+                    "lock-order cycle: {}; concurrent threads taking these paths can \
+                     deadlock",
+                    path.join(" -> ")
+                ),
+            });
+        }
+        return;
+    }
+    stack.push(node);
+    if let Some(next) = edges.get(node) {
+        for n in next {
+            dfs(n, edges, sites, stack, done, reported, findings);
+        }
+    }
+    stack.pop();
+    done.insert(node);
+}

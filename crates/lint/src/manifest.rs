@@ -1,0 +1,49 @@
+//! Loader for the checked-in lock-rank manifest `crates/lint/lock_ranks.toml`.
+//!
+//! The manifest is a deliberately tiny TOML subset — comment lines and
+//! `name = rank` pairs — so the crate stays dependency-free. The runtime
+//! counterpart is `vaq_service::sync::rank`; a unit test in vaq-service
+//! asserts the two never drift apart.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Lock name → rank, as read from `lock_ranks.toml`.
+pub type Manifest = BTreeMap<String, u32>;
+
+/// Loads the manifest at `path`.
+///
+/// Returns `Ok(None)` when the file does not exist (the lock-order pass
+/// then reports any lock site it finds as unrankable); malformed content is
+/// a hard error, not a finding, because every pass result would be suspect.
+pub fn load(path: &Path) -> Result<Option<Manifest>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    let mut manifest = Manifest::new();
+    for (index, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or_default().trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, rank)) = line.split_once('=') else {
+            return Err(format!(
+                "{}:{}: expected `name = rank`, got `{line}`",
+                path.display(),
+                index + 1
+            ));
+        };
+        let rank: u32 = rank.trim().parse().map_err(|e| {
+            format!(
+                "{}:{}: rank for '{}' is not a u32: {e}",
+                path.display(),
+                index + 1,
+                name.trim()
+            )
+        })?;
+        manifest.insert(name.trim().to_string(), rank);
+    }
+    Ok(Some(manifest))
+}

@@ -1,0 +1,110 @@
+//! The panic-path pass: forbids `.unwrap()` / `.expect(…)` / `panic!` /
+//! `todo!` / `unimplemented!` in non-test code of vaq-service and vaq-wire,
+//! plus direct slice/array indexing in the request-handling hot-path files
+//! (`server.rs`, `frame.rs`, `io.rs`, `envelope.rs`). A request must never
+//! be able to kill its worker: errors cross the wire as typed
+//! `ServiceError` / `WireError` replies.
+
+use crate::scan::SourceFile;
+use crate::Finding;
+
+/// The pass name, as used in findings and `lint:allow`.
+pub const PASS: &str = "panic-path";
+
+/// Files on the request-handling hot path, where direct indexing is also
+/// forbidden (a forged frame must not be able to panic a worker).
+const INDEX_CHECKED_FILES: [&str; 4] = ["server.rs", "frame.rs", "io.rs", "envelope.rs"];
+
+/// Keywords that make a preceding-token `[` a type, pattern or literal
+/// rather than an indexing expression.
+const NON_VALUE_KEYWORDS: [&str; 25] = [
+    "as", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern",
+    "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return",
+];
+const NON_VALUE_KEYWORDS_TAIL: [&str; 8] = [
+    "static", "struct", "trait", "type", "unsafe", "use", "where", "while",
+];
+
+fn is_non_value_keyword(text: &str) -> bool {
+    NON_VALUE_KEYWORDS.contains(&text) || NON_VALUE_KEYWORDS_TAIL.contains(&text)
+}
+
+/// Runs the pass over vaq-service and vaq-wire sources.
+pub fn run(files: &[&SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        let index_checked = INDEX_CHECKED_FILES.contains(&file.file_name());
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            let line = tokens[i].line;
+            if file.is_masked(line) {
+                continue;
+            }
+            let text = tokens[i].text.as_str();
+            let next = tokens.get(i + 1).map(|t| t.text.as_str());
+            if text == "." && i + 2 < tokens.len() {
+                let method = tokens[i + 1].text.as_str();
+                let call = tokens[i + 2].text == "(";
+                if call
+                    && method == "unwrap"
+                    && tokens.get(i + 3).map(|t| t.text.as_str()) == Some(")")
+                {
+                    findings.push(finding(
+                        file,
+                        tokens[i + 1].line,
+                        "`.unwrap()` on a non-test path; return a typed error \
+                         (ServiceError / WireError) instead",
+                    ));
+                } else if call && method == "expect" {
+                    findings.push(finding(
+                        file,
+                        tokens[i + 1].line,
+                        "`.expect(…)` on a non-test path; return a typed error \
+                         (ServiceError / WireError) instead",
+                    ));
+                }
+                continue;
+            }
+            if next == Some("!") && matches!(text, "panic" | "todo" | "unimplemented") {
+                findings.push(finding(
+                    file,
+                    line,
+                    &format!(
+                        "`{text}!` on a non-test path; a request must never be able to \
+                         kill its worker — return a typed error instead"
+                    ),
+                ));
+                continue;
+            }
+            if index_checked && text == "[" && i > 0 {
+                let prev = &tokens[i - 1];
+                // `&'a [u8]`: the token before the `[` is a lifetime name,
+                // not a value — don't mistake the slice type for indexing.
+                let lifetime = i > 1 && tokens[i - 2].text == "'";
+                let indexes_value = !lifetime
+                    && (prev.text == ")"
+                        || prev.text == "]"
+                        || (prev.is_ident() && !is_non_value_keyword(&prev.text)));
+                if indexes_value {
+                    findings.push(finding(
+                        file,
+                        line,
+                        "slice/array indexing on a request-handling path can panic on \
+                         attacker-shaped input; use `.get(…)` or a checked bound",
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+fn finding(file: &SourceFile, line: u32, message: &str) -> Finding {
+    Finding {
+        pass: PASS,
+        file: file.path.clone(),
+        line,
+        message: message.to_string(),
+    }
+}

@@ -1,0 +1,202 @@
+//! The wire-exhaustiveness pass: every `Request` / `Response` / `ErrorCode`
+//! variant declared in `crates/wire/src/envelope.rs` must appear in the
+//! enum's encode implementation, its decode implementation, **and** at
+//! least one round-trip property test under `crates/wire/tests/`.
+//!
+//! Evidence is a fully-qualified `Enum::Variant` (or `Self::Variant`)
+//! token sequence. The encode region is the `impl WireEncode for E` block
+//! *plus* every inherent `impl E` block — tag tables like
+//! `ErrorCode::tag` live in inherent impls and are what the encode body
+//! dispatches through.
+
+use crate::scan::{SourceFile, Token};
+use crate::Finding;
+
+/// The pass name, as used in findings and `lint:allow`.
+pub const PASS: &str = "wire-exhaustiveness";
+
+/// The wire enums whose variants must stay exhaustively covered.
+const TARGET_ENUMS: [&str; 3] = ["Request", "Response", "ErrorCode"];
+
+/// Runs the pass over `envelope.rs` plus the wire integration tests.
+pub fn run(envelope: &SourceFile, tests: &[&SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for enum_name in TARGET_ENUMS {
+        let variants = enum_variants(envelope, enum_name);
+        if variants.is_empty() {
+            continue;
+        }
+        let (encode_regions, decode_regions) = impl_regions(envelope, enum_name);
+        for (variant, line) in variants {
+            let mut missing = Vec::new();
+            if !regions_mention(envelope, &encode_regions, enum_name, &variant) {
+                missing.push("an encode arm");
+            }
+            if !regions_mention(envelope, &decode_regions, enum_name, &variant) {
+                missing.push("a decode arm");
+            }
+            let round_tripped = tests
+                .iter()
+                .any(|t| mentions(&t.tokens, 0, t.tokens.len(), enum_name, &variant, false));
+            if !round_tripped {
+                missing.push("round-trip coverage in crates/wire/tests");
+            }
+            if !missing.is_empty() {
+                findings.push(Finding {
+                    pass: PASS,
+                    file: envelope.path.clone(),
+                    line,
+                    message: format!(
+                        "wire variant `{enum_name}::{variant}` is missing {}",
+                        missing.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// The variants of `enum <name> { … }`: identifiers at the enum's own brace
+/// depth, outside parens/brackets, directly after `{`, `,` or an
+/// attribute's `]`.
+fn enum_variants(file: &SourceFile, name: &str) -> Vec<(String, u32)> {
+    let tokens = &file.tokens;
+    for i in 0..tokens.len() {
+        if tokens[i].text != "enum"
+            || tokens.get(i + 1).map(|t| t.text.as_str()) != Some(name)
+            || file.is_masked(tokens[i].line)
+        {
+            continue;
+        }
+        let mut j = i + 2;
+        while j < tokens.len() && tokens[j].text != "{" {
+            j += 1;
+        }
+        let mut brace = 0i32;
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut prev = "";
+        let mut variants = Vec::new();
+        while j < tokens.len() {
+            let text = tokens[j].text.as_str();
+            match text {
+                "{" => brace += 1,
+                "}" => {
+                    brace -= 1;
+                    if brace == 0 {
+                        return variants;
+                    }
+                }
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                _ => {
+                    let at_variant_position =
+                        brace == 1 && paren == 0 && bracket == 0 && matches!(prev, "{" | "," | "]");
+                    if at_variant_position
+                        && tokens[j].is_ident()
+                        && text.chars().next().is_some_and(|c| c.is_uppercase())
+                    {
+                        variants.push((text.to_string(), tokens[j].line));
+                    }
+                }
+            }
+            prev = text;
+            j += 1;
+        }
+        return variants;
+    }
+    Vec::new()
+}
+
+/// Token ranges of the enum's impl blocks: `(encode ∪ inherent, decode)`.
+#[allow(clippy::type_complexity)]
+fn impl_regions(file: &SourceFile, name: &str) -> (Vec<(usize, usize)>, Vec<(usize, usize)>) {
+    let tokens = &file.tokens;
+    let mut encode = Vec::new();
+    let mut decode = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].text != "impl" || file.is_masked(tokens[i].line) {
+            continue;
+        }
+        let t1 = tokens.get(i + 1).map(|t| t.text.as_str());
+        let t2 = tokens.get(i + 2).map(|t| t.text.as_str());
+        let t3 = tokens.get(i + 3).map(|t| t.text.as_str());
+        if t1 == Some("WireEncode") && t2 == Some("for") && t3 == Some(name) {
+            if let Some(range) = body_range(tokens, i + 4) {
+                encode.push(range);
+            }
+        } else if t1 == Some("WireDecode") && t2 == Some("for") && t3 == Some(name) {
+            if let Some(range) = body_range(tokens, i + 4) {
+                decode.push(range);
+            }
+        } else if t1 == Some(name) && t2 == Some("{") {
+            // Inherent impl: tag tables and helpers encode dispatches through.
+            if let Some(range) = body_range(tokens, i + 2) {
+                encode.push(range);
+            }
+        }
+    }
+    (encode, decode)
+}
+
+/// The `(start, end)` token range of the brace-delimited body starting at
+/// or after `from`.
+fn body_range(tokens: &[Token], from: usize) -> Option<(usize, usize)> {
+    let mut j = from;
+    while j < tokens.len() && tokens[j].text != "{" {
+        j += 1;
+    }
+    let start = j;
+    let mut depth = 0i32;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((start, j + 1));
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+fn regions_mention(
+    file: &SourceFile,
+    regions: &[(usize, usize)],
+    enum_name: &str,
+    variant: &str,
+) -> bool {
+    regions
+        .iter()
+        .any(|&(start, end)| mentions(&file.tokens, start, end, enum_name, variant, true))
+}
+
+/// Whether `Enum::Variant` (or, when `allow_self` is set, `Self::Variant`)
+/// occurs in `tokens[start..end]`.
+fn mentions(
+    tokens: &[Token],
+    start: usize,
+    end: usize,
+    enum_name: &str,
+    variant: &str,
+    allow_self: bool,
+) -> bool {
+    let end = end.min(tokens.len());
+    for j in start..end.saturating_sub(2) {
+        let head = tokens[j].text.as_str();
+        if (head == enum_name || (allow_self && head == "Self"))
+            && tokens[j + 1].text == "::"
+            && tokens[j + 2].text == variant
+        {
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,6 @@
+fn handle(frame: Vec<u8>) -> u8 {
+    // lint:allow(panic-path)
+    let first = frame.first().unwrap();
+    // lint:allow(totally-bogus, because I said so)
+    *first
+}

@@ -1,0 +1,11 @@
+fn republish(epoch: u64, offered_epoch: u64) -> Result<u64, Error> {
+    if offered_epoch <= epoch {
+        return Err(Error::Stale);
+    }
+    let bumped = epoch + 1;
+    Ok(bumped)
+}
+
+fn cache_unprefixed(shared: &Shared, canonical: Vec<u8>, frame: Frame) {
+    shared.cache.insert(canonical, frame);
+}

@@ -1,0 +1,21 @@
+use vaq_wire::epoch;
+
+fn republish(current: u64, offered: u64) -> Result<u64, Error> {
+    if !epoch::advances(current, offered) {
+        return Err(Error::Stale);
+    }
+    Ok(epoch::next(current))
+}
+
+fn matches_pin(epoch: u64, pinned: u64) -> bool {
+    pinned == epoch
+}
+
+fn legacy(epoch: u64) -> u64 {
+    // lint:allow(epoch-discipline, fixture exercising an explicitly justified raw computation)
+    epoch - 1
+}
+
+fn cache_probe(shared: &Shared, key: &[u8]) -> Option<Vec<u8>> {
+    shared.cache.get(key)
+}

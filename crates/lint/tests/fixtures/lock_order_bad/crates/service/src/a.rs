@@ -1,0 +1,5 @@
+fn forward(state: &State) {
+    let first = state.alpha.lock();
+    let second = state.beta.lock();
+    drop((first, second));
+}

@@ -1,0 +1,5 @@
+fn backward(state: &State) {
+    let first = state.beta.lock();
+    let second = state.alpha.lock();
+    drop((first, second));
+}

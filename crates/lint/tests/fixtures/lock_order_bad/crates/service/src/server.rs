@@ -1,0 +1,20 @@
+fn shutdown_shaped(shared: &Shared) {
+    let table = shared.slots.lock();
+    let snapshot = shared.serving.lock();
+    drop((table, snapshot));
+}
+
+fn unranked(shared: &Shared) {
+    let gauge = shared.mystery.lock();
+    drop(gauge);
+}
+
+fn wrong_wait(shared: &Shared) {
+    let snapshot = shared.serving.lock();
+    let _woken = shared.done.wait(snapshot);
+}
+
+fn bad_declaration() {
+    let lock = OrderedMutex::new(rank::BOGUS, "bogus", ());
+    drop(lock);
+}

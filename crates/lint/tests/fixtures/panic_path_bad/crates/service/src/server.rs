@@ -1,0 +1,9 @@
+fn handle(request: Request) -> Vec<u8> {
+    let decoded = request.decode().unwrap();
+    let frame = decoded.frame().expect("frame bytes");
+    let first = frame[0];
+    if first == 0 {
+        panic!("empty frame");
+    }
+    todo!()
+}

@@ -1,0 +1,14 @@
+fn handle(request: Request) -> Result<Vec<u8>, ServiceError> {
+    let frame = request.frame().ok_or(ServiceError::Malformed)?;
+    // lint:allow(panic-path, emptiness checked by the caller's framing layer)
+    let first = frame[0];
+    Ok(vec![first])
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        super::handle(Request::default()).unwrap();
+    }
+}

@@ -1,0 +1,3 @@
+fn pick(addrs: &[Addr], cursor: usize) -> &Addr {
+    &addrs[cursor % addrs.len()]
+}

@@ -1,0 +1,22 @@
+pub enum Request {
+    Ping,
+    Extra,
+}
+
+impl WireEncode for Request {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Request::Ping => w.put_u8(0),
+            Request::Extra => w.put_u8(1),
+        }
+    }
+}
+
+impl WireDecode for Request {
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(Request::Ping),
+            _ => Err(WireError::BadTag),
+        }
+    }
+}

@@ -1,0 +1,5 @@
+#[test]
+fn ping_roundtrips() {
+    let bytes = Request::Ping.to_wire_bytes();
+    assert!(matches!(Request::from_wire_bytes(&bytes), Ok(Request::Ping)));
+}

@@ -98,7 +98,7 @@ impl LruCache {
         let shared_key = Arc::clone(shared_key);
         let frame = Arc::clone(frame);
         let old = *stamp;
-        self.entries.get_mut(key).expect("entry just found").1 = tick;
+        self.entries.get_mut(key)?.1 = tick;
         self.order.remove(&old);
         self.order.insert(tick, shared_key);
         Some(frame)

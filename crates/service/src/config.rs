@@ -1,8 +1,9 @@
 //! Service configuration.
 
+use crate::sync::{rank, OrderedMutex};
 use std::io::Write;
 use std::net::SocketAddr;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Where the slow-request log writes its JSON lines.
@@ -16,19 +17,27 @@ pub enum SlowLogSink {
     #[default]
     Stderr,
     /// Append lines (newline-terminated) to a shared in-memory buffer.
-    Buffer(Arc<Mutex<Vec<u8>>>),
+    Buffer(Arc<OrderedMutex<Vec<u8>>>),
 }
 
 impl SlowLogSink {
+    /// Creates a buffer-backed sink plus the shared handle for reading what
+    /// was captured (via `handle.lock().clone()`).
+    pub fn buffer() -> (SlowLogSink, Arc<OrderedMutex<Vec<u8>>>) {
+        let buffer = Arc::new(OrderedMutex::new(rank::BUFFER, "buffer", Vec::new()));
+        (SlowLogSink::Buffer(Arc::clone(&buffer)), buffer)
+    }
+
     /// Writes one log line (adding the trailing newline).
     pub fn write_line(&self, line: &str) {
         match self {
             SlowLogSink::Stderr => {
-                let mut err = std::io::stderr().lock();
-                let _ = writeln!(err, "{line}");
+                // `writeln!` to an unlocked stderr handle: logging must
+                // never panic or hold a lock across the write.
+                let _ = writeln!(std::io::stderr(), "{line}");
             }
             SlowLogSink::Buffer(buffer) => {
-                let mut buffer = buffer.lock().expect("slow-log buffer poisoned");
+                let mut buffer = buffer.lock();
                 buffer.extend_from_slice(line.as_bytes());
                 buffer.push(b'\n');
             }
@@ -85,7 +94,7 @@ pub struct ServiceConfig {
 impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
-            bind_addr: "127.0.0.1:0".parse().expect("static addr parses"),
+            bind_addr: SocketAddr::from(([127, 0, 0, 1], 0)),
             workers: 4,
             cache_capacity: 1024,
             cache_max_bytes: crate::cache::LruCache::DEFAULT_MAX_BYTES,

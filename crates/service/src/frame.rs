@@ -62,13 +62,16 @@ pub fn read_frame_counted(
         n if n < header.len() => return Err(ServiceError::Wire(WireError::Truncated)),
         _ => {}
     }
+    // lint:allow(panic-path, constant range below the fixed [u8; 10] header length)
     if header[..4] != MAGIC {
         return Err(ServiceError::Wire(WireError::BadMagic));
     }
+    // lint:allow(panic-path, constant indices below the fixed [u8; 10] header length)
     let version = u16::from_le_bytes([header[4], header[5]]);
     if version != VERSION {
         return Err(ServiceError::Wire(WireError::UnsupportedVersion(version)));
     }
+    // lint:allow(panic-path, constant indices below the fixed [u8; 10] header length)
     let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]) as usize;
     if len > max_payload {
         return Err(ServiceError::FrameTooLarge {
@@ -131,6 +134,7 @@ fn read_all(
     // only a stalled one.
     let mut last_progress = Instant::now();
     while filled < buf.len() {
+        // lint:allow(panic-path, loop guard keeps filled <= buf.len() so the range start is in bounds)
         match stream.read(&mut buf[filled..]) {
             Ok(0) => break,
             Ok(n) => {

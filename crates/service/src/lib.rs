@@ -102,6 +102,7 @@ pub mod partition;
 pub mod pool;
 pub mod server;
 pub mod shard;
+pub mod sync;
 pub mod trace;
 
 pub use cache::LruCache;
@@ -117,4 +118,5 @@ pub use shard::{
     ClientObservability, LegLatency, ShardedClient, ShardedDeployment, ShardedPublication,
     ShardedResponse,
 };
+pub use sync::{OrderedCondvar, OrderedGuard, OrderedMutex};
 pub use trace::Trace;

@@ -126,15 +126,21 @@ impl LoadGenerator {
                 std::thread::Builder::new()
                     .name(format!("vaq-loadgen-{i}"))
                     .spawn(move || config.drive_one_client(i as u64, domain, score_range))
-                    .expect("spawning a load-generator thread")
             })
-            .collect();
+            .collect::<std::io::Result<Vec<_>>>()?;
 
         // Join every thread before propagating any error, so a failed client
-        // never leaves the others running detached against the service.
+        // never leaves the others running detached against the service. A
+        // panicked client thread folds into a typed error the same way.
         let outcomes: Vec<Result<ClientOutcome, ServiceError>> = threads
             .into_iter()
-            .map(|thread| thread.join().expect("load-generator thread panicked"))
+            .map(|thread| {
+                thread.join().unwrap_or_else(|_| {
+                    Err(ServiceError::Io(std::io::Error::other(
+                        "a load-generator client thread panicked",
+                    )))
+                })
+            })
             .collect();
         let mut latencies_micros: Vec<u64> = Vec::new();
         let mut batch_latencies_micros: Vec<u64> = Vec::new();

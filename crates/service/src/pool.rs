@@ -5,8 +5,9 @@
 //! sender is dropped and the queue is drained, which is exactly the shape
 //! graceful shutdown needs: drop the sender, then [`WorkerPool::join`].
 
+use crate::sync::{rank, OrderedMutex};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// A fixed set of worker threads applying one job function to queued items.
@@ -23,13 +24,17 @@ impl WorkerPool {
     /// backpressure (`send` blocks, `try_send` errors) instead of an
     /// unbounded buffer. Workers stop once every clone of the sender is
     /// dropped and the queue is empty.
-    pub fn spawn<T, F>(workers: usize, job: F) -> (WorkerPool, SyncSender<T>)
+    ///
+    /// Errors if the OS refuses to spawn a worker thread; already spawned
+    /// workers wind down through the usual channel-disconnect path once the
+    /// returned sender (never handed out on error) is dropped.
+    pub fn spawn<T, F>(workers: usize, job: F) -> std::io::Result<(WorkerPool, SyncSender<T>)>
     where
         T: Send + 'static,
         F: Fn(T) + Send + Sync + 'static,
     {
         let (sender, receiver): (SyncSender<T>, Receiver<T>) = sync_channel(workers.max(1) * 2);
-        let receiver = Arc::new(Mutex::new(receiver));
+        let receiver = Arc::new(OrderedMutex::new(rank::RECEIVER, "receiver", receiver));
         let job = Arc::new(job);
         let handles = (0..workers.max(1))
             .map(|i| {
@@ -40,19 +45,15 @@ impl WorkerPool {
                     .spawn(move || loop {
                         // Take the lock only to pop one item, then release it
                         // before running the job so workers serve in parallel.
-                        let item = match receiver.lock() {
-                            Ok(guard) => guard.recv(),
-                            Err(_) => break,
-                        };
+                        let item = receiver.lock().recv();
                         match item {
                             Ok(item) => job(item),
                             Err(_) => break,
                         }
                     })
-                    .expect("spawning a worker thread")
             })
-            .collect();
-        (WorkerPool { handles }, sender)
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok((WorkerPool { handles }, sender))
     }
 
     /// Number of worker threads.
@@ -78,6 +79,7 @@ impl WorkerPool {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn all_submitted_items_are_processed() {
@@ -85,7 +87,8 @@ mod tests {
         let seen = Arc::clone(&counter);
         let (pool, sender) = WorkerPool::spawn(4, move |n: usize| {
             seen.fetch_add(n, Ordering::SeqCst);
-        });
+        })
+        .expect("spawning the pool");
         assert_eq!(pool.len(), 4);
         for i in 0..100 {
             sender.send(i).unwrap();
@@ -97,7 +100,7 @@ mod tests {
 
     #[test]
     fn worker_count_clamps_to_one() {
-        let (pool, sender) = WorkerPool::spawn(0, |_: u8| {});
+        let (pool, sender) = WorkerPool::spawn(0, |_: u8| {}).expect("spawning the pool");
         assert_eq!(pool.len(), 1);
         assert!(!pool.is_empty());
         drop(sender);
@@ -120,7 +123,8 @@ mod tests {
             tx.send(()).unwrap();
             rx.recv_timeout(std::time::Duration::from_secs(5))
                 .expect("the other worker must be running concurrently");
-        });
+        })
+        .expect("spawning the pool");
         sender.send(0).unwrap();
         sender.send(1).unwrap();
         drop(sender);

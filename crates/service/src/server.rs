@@ -6,11 +6,12 @@ use std::net::{Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{SyncSender, TrySendError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use vaq_authquery::Server;
+use vaq_wire::epoch;
 use vaq_wire::{
     ErrorCode, ErrorReply, Request, Response, ShardInfo, SignedShardMap, StatsDeep, StatsSnapshot,
     WireDecode, WireEncode,
@@ -22,6 +23,7 @@ use crate::error::ServiceError;
 use crate::frame::{read_frame_counted, FrameRead};
 use crate::metrics::{CacheGauges, Metrics, RequestKind, Stage};
 use crate::pool::WorkerPool;
+use crate::sync::{rank, OrderedCondvar, OrderedMutex};
 use crate::trace::Trace;
 
 /// State shared between the accept loop and every worker.
@@ -30,13 +32,13 @@ struct Shared {
     /// atomically by [`QueryService::republish`]: every request resolves
     /// this `Arc` exactly once, so a single response can never mix records
     /// from one epoch with signatures (or an envelope stamp) from another.
-    serving: Mutex<Arc<Server>>,
+    serving: OrderedMutex<Arc<Server>>,
     /// The owner-signed shard map this service publishes to clients (reply
     /// to [`Request::ShardMap`]); `None` on a standalone service.
-    shard_map: Mutex<Option<Arc<SignedShardMap>>>,
+    shard_map: OrderedMutex<Option<Arc<SignedShardMap>>>,
     config: ServiceConfig,
     metrics: Metrics,
-    cache: Mutex<LruCache>,
+    cache: OrderedMutex<LruCache>,
     flight: SingleFlight,
     shutdown: AtomicBool,
 }
@@ -44,12 +46,12 @@ struct Shared {
 impl Shared {
     /// The serving snapshot: one clone of the `Arc`, taken once per request.
     fn serving(&self) -> Arc<Server> {
-        Arc::clone(&self.serving.lock().expect("serving lock"))
+        Arc::clone(&self.serving.lock())
     }
 
     /// Samples the response cache's occupancy gauges.
     fn cache_gauges(&self) -> CacheGauges {
-        self.cache.lock().expect("cache lock").gauges()
+        self.cache.lock().gauges()
     }
 
     /// Flat counter snapshot including sampled cache gauges.
@@ -121,15 +123,16 @@ impl QueryService {
         config.workers = config.workers.max(1);
         let workers = config.workers;
         let shared = Arc::new(Shared {
-            cache: Mutex::new(LruCache::with_byte_budget(
-                config.cache_capacity,
-                config.cache_max_bytes,
-            )),
+            cache: OrderedMutex::new(
+                rank::CACHE,
+                "cache",
+                LruCache::with_byte_budget(config.cache_capacity, config.cache_max_bytes),
+            ),
             flight: SingleFlight::default(),
             metrics: Metrics::default(),
             shutdown: AtomicBool::new(false),
-            serving: Mutex::new(Arc::new(server)),
-            shard_map: Mutex::new(None),
+            serving: OrderedMutex::new(rank::SERVING, "serving", Arc::new(server)),
+            shard_map: OrderedMutex::new(rank::SHARD_MAP, "shard_map", None),
             config,
         });
 
@@ -137,13 +140,12 @@ impl QueryService {
         let (pool, sender) =
             WorkerPool::spawn(workers, move |(stream, accepted): (TcpStream, Instant)| {
                 handle_connection(&worker_shared, stream, accepted);
-            });
+            })?;
 
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
             .name("vaq-service-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared, sender))
-            .expect("spawning the accept thread");
+            .spawn(move || accept_loop(listener, accept_shared, sender))?;
 
         Ok(QueryService {
             shared,
@@ -179,11 +181,11 @@ impl QueryService {
     pub fn republish(&self, server: Server) -> Result<u64, ServiceError> {
         let new_epoch = server.epoch();
         {
-            let mut serving = self.shared.serving.lock().expect("serving lock");
+            let mut serving = self.shared.serving.lock();
             let current = serving.epoch();
-            if new_epoch <= current {
+            if !epoch::advances(current, new_epoch) {
                 return Err(ServiceError::StaleEpoch {
-                    expected: current + 1,
+                    expected: epoch::next(current),
                     got: new_epoch,
                 });
             }
@@ -192,7 +194,7 @@ impl QueryService {
         // Flush after the swap: every response cached from here on belongs
         // to a visible epoch. Old-epoch in-flight leaders may still insert
         // under their epoch-prefixed keys, which no new request can hit.
-        self.shared.cache.lock().expect("cache lock").clear();
+        self.shared.cache.lock().clear();
         Ok(new_epoch)
     }
 
@@ -203,11 +205,11 @@ impl QueryService {
     /// with a strictly greater epoch are accepted — a replayed older signed
     /// map cannot displace the current one.
     pub fn set_shard_map(&self, map: SignedShardMap) -> Result<(), ServiceError> {
-        let mut slot = self.shared.shard_map.lock().expect("shard-map lock");
+        let mut slot = self.shared.shard_map.lock();
         if let Some(current) = slot.as_ref() {
-            if map.map.epoch <= current.map.epoch {
+            if !epoch::advances(current.map.epoch, map.map.epoch) {
                 return Err(ServiceError::StaleEpoch {
-                    expected: current.map.epoch + 1,
+                    expected: epoch::next(current.map.epoch),
                     got: map.map.epoch,
                 });
             }
@@ -472,7 +474,7 @@ fn handle_request(shared: &Shared, payload: &[u8], trace: &mut Trace) -> Vec<u8>
             .to_framed_bytes(),
         },
         Request::ShardMap => {
-            let map = shared.shard_map.lock().expect("shard-map lock").clone();
+            let map = shared.shard_map.lock().clone();
             match map {
                 Some(map) => Response::ShardMap(map.as_ref().clone()).to_framed_bytes(),
                 None => error_response(
@@ -656,14 +658,20 @@ fn query_frame(
 ) -> Result<Vec<u8>, ErrorReply> {
     let epoch = serving.epoch();
     cached_response(shared, &key, trace, |shared, trace| {
-        process_queries(shared, serving, std::slice::from_ref(&query), trace).map(
-            |mut responses| {
-                let response = responses.pop().expect("one response per query");
-                trace.time(Stage::Encode, || {
-                    Response::Query { epoch, response }.to_framed_bytes()
-                })
-            },
-        )
+        let mut responses = process_queries(shared, serving, std::slice::from_ref(&query), trace)?;
+        match responses.pop() {
+            Some(response) => Ok(trace.time(Stage::Encode, || {
+                Response::Query { epoch, response }.to_framed_bytes()
+            })),
+            // One query in, one response out is the processing contract;
+            // answer a typed Internal error rather than trusting it with a
+            // panic on the hot path.
+            None => Err(error_reply(
+                shared,
+                ErrorCode::Internal,
+                "query produced no response".into(),
+            )),
+        }
     })
 }
 
@@ -678,12 +686,20 @@ enum Flight {
 
 /// One in-flight computation: waiters block on `done` until the leader
 /// publishes its outcome into `result`.
-#[derive(Default)]
 struct FlightSlot {
     /// `None` while the computation is pending; `Some(outcome)` once the
     /// leader finished (`Some(frame)` on success, `Some(None)` on failure).
-    result: Mutex<Option<Option<Arc<Vec<u8>>>>>,
-    done: Condvar,
+    result: OrderedMutex<Option<Option<Arc<Vec<u8>>>>>,
+    done: OrderedCondvar,
+}
+
+impl Default for FlightSlot {
+    fn default() -> Self {
+        FlightSlot {
+            result: OrderedMutex::new(rank::RESULT, "result", None),
+            done: OrderedCondvar::new(),
+        }
+    }
 }
 
 /// Single-flight deduplication of identical concurrent computations: when N
@@ -691,9 +707,16 @@ struct FlightSlot {
 /// and hands the frame to the rest directly — so even responses too large
 /// for the cache's byte budget are computed once per concurrent burst
 /// instead of N times (or, worse, N times serialized).
-#[derive(Default)]
 struct SingleFlight {
-    slots: Mutex<HashMap<Vec<u8>, Arc<FlightSlot>>>,
+    slots: OrderedMutex<HashMap<Vec<u8>, Arc<FlightSlot>>>,
+}
+
+impl Default for SingleFlight {
+    fn default() -> Self {
+        SingleFlight {
+            slots: OrderedMutex::new(rank::SLOTS, "slots", HashMap::new()),
+        }
+    }
 }
 
 impl SingleFlight {
@@ -702,7 +725,7 @@ impl SingleFlight {
     /// the published frame.
     fn join(&self, key: &[u8]) -> Flight {
         let slot = {
-            let mut slots = self.slots.lock().expect("single-flight lock");
+            let mut slots = self.slots.lock();
             match slots.get(key) {
                 Some(slot) => Arc::clone(slot),
                 None => {
@@ -711,9 +734,9 @@ impl SingleFlight {
                 }
             }
         };
-        let mut result = slot.result.lock().expect("flight-slot lock");
+        let mut result = slot.result.lock();
         while result.is_none() {
-            result = slot.done.wait(result).expect("flight-slot wait");
+            result = slot.done.wait(result);
         }
         Flight::Follower(result.as_ref().and_then(Clone::clone))
     }
@@ -721,11 +744,11 @@ impl SingleFlight {
     /// Publishes the leader's outcome and wakes every waiter.
     fn finish(&self, key: &[u8], outcome: Option<Arc<Vec<u8>>>) {
         let slot = {
-            let mut slots = self.slots.lock().expect("single-flight lock");
+            let mut slots = self.slots.lock();
             slots.remove(key)
         };
         if let Some(slot) = slot {
-            *slot.result.lock().expect("flight-slot lock") = Some(outcome);
+            *slot.result.lock() = Some(outcome);
             slot.done.notify_all();
         }
     }
@@ -769,9 +792,7 @@ where
         return Ok(frame);
     }
     loop {
-        let cached = trace.time(Stage::CacheLookup, || {
-            shared.cache.lock().expect("cache lock").get(key)
-        });
+        let cached = trace.time(Stage::CacheLookup, || shared.cache.lock().get(key));
         if let Some(frame) = cached {
             Metrics::add(&shared.metrics.cache_hits, 1);
             return Ok(frame.as_ref().clone());
@@ -795,9 +816,7 @@ where
         };
         // Re-check under leadership: a previous leader may have filled the
         // cache between this worker's miss and it winning the key.
-        let cached = trace.time(Stage::CacheLookup, || {
-            shared.cache.lock().expect("cache lock").get(key)
-        });
+        let cached = trace.time(Stage::CacheLookup, || shared.cache.lock().get(key));
         if let Some(frame) = cached {
             Metrics::add(&shared.metrics.cache_hits, 1);
             guard.outcome = Some(frame.clone());
@@ -806,11 +825,7 @@ where
         let frame = compute(shared, trace)?;
         Metrics::add(&shared.metrics.cache_misses, 1);
         let frame = Arc::new(frame);
-        shared
-            .cache
-            .lock()
-            .expect("cache lock")
-            .insert(key.to_vec(), Arc::clone(&frame));
+        shared.cache.lock().insert(key.to_vec(), Arc::clone(&frame));
         guard.outcome = Some(Arc::clone(&frame));
         drop(guard);
         return Ok(frame.as_ref().clone());

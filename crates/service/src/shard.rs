@@ -254,7 +254,7 @@ impl ShardedDeployment {
     /// merge), and clients converge by re-fetching the map. Returns the new
     /// epoch.
     pub fn republish(&mut self, dataset: &Dataset) -> Result<u64, ServiceError> {
-        let epoch = self.epoch + 1;
+        let epoch = vaq_wire::epoch::next(self.epoch);
         let shard_count = self.primaries.len();
         let shards = partition_dataset(dataset, shard_count, self.strategy);
         let keys: Vec<PublicKey> = self.schemes.iter().map(|s| s.public_key()).collect();
@@ -333,6 +333,7 @@ impl ShardedDeployment {
     pub fn stop_shard(&mut self, shard_id: usize) -> StatsSnapshot {
         self.primaries[shard_id]
             .take()
+            // lint:allow(panic-path, documented panic in an owner-side test-harness API; never runs on the serving hot path)
             .unwrap_or_else(|| panic!("shard {shard_id} primary is already down"))
             .shutdown()
     }
@@ -604,10 +605,19 @@ impl ShardedClient {
             match connected {
                 Some(connection) => shards.push(connection),
                 None => {
+                    // Reached with `last_error == None` only if the candidate
+                    // list was empty, which the guard above already rejects —
+                    // but a signed map is attacker-shaped input, so fail typed
+                    // instead of trusting that with a panic.
                     return Err(shard_failed(
                         entry.shard_id,
-                        last_error.expect("at least one candidate was tried"),
-                    ))
+                        last_error.unwrap_or_else(|| {
+                            ServiceError::ShardMap(format!(
+                                "map entry for shard {} lists no usable addresses",
+                                entry.shard_id
+                            ))
+                        }),
+                    ));
                 }
             }
         }
@@ -688,7 +698,7 @@ impl ShardedClient {
     /// wire, and callable directly for maps distributed out of band.
     pub fn adopt_map(&mut self, offered: SignedShardMap) -> Result<u64, ServiceError> {
         verify_shard_map(&offered, &self.master_key)?;
-        if offered.map.epoch < self.epoch {
+        if vaq_wire::epoch::rolls_back(self.epoch, offered.map.epoch) {
             return Err(ServiceError::StaleEpoch {
                 expected: self.epoch,
                 got: offered.map.epoch,

@@ -1,0 +1,390 @@
+//! Rank-ordered locking: the runtime complement of `vaq-lint`'s static
+//! lock-order pass.
+//!
+//! Every mutex and condvar in `vaq-service` carries a **rank** from the
+//! checked-in manifest `crates/lint/lock_ranks.toml`. A thread may only
+//! acquire locks in strictly increasing rank order, which makes the
+//! whole-program lock graph acyclic by construction — the property whose
+//! absence produced the PR 2 shutdown deadlock. `vaq-lint` proves the rule
+//! about the source statically; [`OrderedMutex`] asserts it dynamically on
+//! every `debug_assertions` run, so a nesting the lint's heuristics cannot
+//! see (e.g. one threaded through callbacks) still dies loudly in tests
+//! with a rank diagnostic instead of hanging.
+//!
+//! In release builds the rank bookkeeping compiles away entirely:
+//! [`OrderedMutex::lock`] is a plain `Mutex::lock` plus a poison check.
+//!
+//! The `rank` constants below are the single source of truth in code; a
+//! test asserts they match `lock_ranks.toml` so the manifest the lint reads
+//! and the ranks the runtime asserts can never drift apart.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Lock ranks for every lock in `vaq-service`, mirroring
+/// `crates/lint/lock_ranks.toml` (a unit test asserts the two agree).
+///
+/// Lower ranks are acquired first. Gaps of 10 leave room to slot new locks
+/// between existing ones without renumbering.
+pub mod rank {
+    /// Worker-pool receiver: held only while popping one queued item.
+    pub const RECEIVER: u32 = 10;
+    /// The currently serving prover/server snapshot.
+    pub const SERVING: u32 = 20;
+    /// The signed shard map republished to shard-map requests.
+    pub const SHARD_MAP: u32 = 30;
+    /// The response cache.
+    pub const CACHE: u32 = 40;
+    /// The single-flight slot table.
+    pub const SLOTS: u32 = 50;
+    /// A single-flight slot's result cell (and its `done` condvar).
+    pub const RESULT: u32 = 60;
+    /// The in-memory slow-log capture buffer.
+    pub const BUFFER: u32 = 70;
+}
+
+#[cfg(debug_assertions)]
+mod held {
+    //! Per-thread stack of currently held ranked locks.
+
+    use std::cell::RefCell;
+
+    thread_local! {
+        static HELD: RefCell<Vec<(u32, &'static str)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(super) fn acquire(rank: u32, name: &'static str) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&(top_rank, top_name)) = held.last() {
+                // lint:allow(panic-path, debug-only lock-order assertion; aborting the test run IS the feature)
+                assert!(
+                    rank > top_rank,
+                    "lock-order violation: acquiring '{name}' (rank {rank}) while holding \
+                     '{top_name}' (rank {top_rank}); ranks must strictly increase \
+                     (see crates/lint/lock_ranks.toml)"
+                );
+            }
+            held.push((rank, name));
+        });
+    }
+
+    pub(super) fn release(rank: u32, name: &'static str) {
+        HELD.with(|held| {
+            let popped = held.borrow_mut().pop();
+            // Ranks strictly increase inward, so guards drop innermost-first
+            // and the popped entry must be the one being released. Skip the
+            // check while unwinding: a poisoned-lock panic already owns the
+            // thread and a double panic would abort without a message.
+            if !std::thread::panicking() {
+                // lint:allow(panic-path, debug-only lock-order assertion; aborting the test run IS the feature)
+                assert_eq!(
+                    popped,
+                    Some((rank, name)),
+                    "lock-order tracking desync releasing '{name}' (rank {rank})"
+                );
+            }
+        });
+    }
+}
+
+/// A [`Mutex`] that participates in the workspace lock-rank order.
+///
+/// Under `debug_assertions`, [`lock`](Self::lock) panics if the calling
+/// thread already holds a lock of equal or higher rank; in release builds
+/// the check compiles away. Poisoned locks panic in both profiles: a peer
+/// thread died mid-update, and serving with a possibly torn invariant is
+/// worse than dying loudly.
+pub struct OrderedMutex<T> {
+    rank: u32,
+    name: &'static str,
+    inner: Mutex<T>,
+}
+
+impl<T> OrderedMutex<T> {
+    /// Wraps `value` in a mutex with the given rank and diagnostic name.
+    ///
+    /// `rank` should be one of the [`rank`] constants and `name` the
+    /// matching `lock_ranks.toml` key; `vaq-lint` checks declaration sites.
+    pub fn new(rank: u32, name: &'static str, value: T) -> Self {
+        OrderedMutex {
+            rank,
+            name,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, asserting rank order in debug builds.
+    pub fn lock(&self) -> OrderedGuard<'_, T> {
+        // Register before blocking: if this acquisition is mis-ordered we
+        // want the rank panic, not a silent deadlock while waiting.
+        #[cfg(debug_assertions)]
+        held::acquire(self.rank, self.name);
+        let inner = self.inner.lock();
+        #[cfg(debug_assertions)]
+        if inner.is_err() {
+            held::release(self.rank, self.name);
+        }
+        // lint:allow(panic-path, a poisoned lock means a peer worker already panicked mid-update; propagating beats serving torn state)
+        let inner = inner.unwrap_or_else(|_| panic!("lock '{}' is poisoned", self.name));
+        OrderedGuard {
+            lock: self,
+            inner: Some(inner),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for OrderedMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrderedMutex")
+            .field("name", &self.name)
+            .field("rank", &self.rank)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// RAII guard for an [`OrderedMutex`]; unlocks (and pops the rank stack) on
+/// drop.
+pub struct OrderedGuard<'a, T> {
+    lock: &'a OrderedMutex<T>,
+    // `Some` from construction until `Drop` or `OrderedCondvar::wait`
+    // consumes the guard; `Option` only so those two places can move the
+    // std guard out without `unsafe`.
+    inner: Option<MutexGuard<'a, T>>,
+}
+
+impl<T> Deref for OrderedGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // lint:allow(panic-path, guard invariant - inner is Some until drop/wait consumes the guard by value)
+        self.inner.as_ref().expect("guard already consumed")
+    }
+}
+
+impl<T> DerefMut for OrderedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // lint:allow(panic-path, guard invariant - inner is Some until drop/wait consumes the guard by value)
+        self.inner.as_mut().expect("guard already consumed")
+    }
+}
+
+impl<T> Drop for OrderedGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            #[cfg(debug_assertions)]
+            held::release(self.lock.rank, self.lock.name);
+            #[cfg(not(debug_assertions))]
+            let _ = &self.lock;
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for OrderedGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrderedGuard")
+            .field("name", &self.lock.name)
+            .field("value", &**self)
+            .finish()
+    }
+}
+
+/// A [`Condvar`] paired with an [`OrderedMutex`].
+///
+/// Waiting releases the mutex and re-acquires it on wake, so the rank stack
+/// is popped for the duration of the wait. The wait-site rule checked by
+/// `vaq-lint` (the condvar's mutex must be the highest-ranked lock held) is
+/// a consequence of the guard model: the guard being waited on must top the
+/// thread's rank stack, which [`held::release`] asserts in debug builds.
+#[derive(Debug, Default)]
+pub struct OrderedCondvar {
+    inner: Condvar,
+}
+
+impl OrderedCondvar {
+    /// Creates a new condvar.
+    pub fn new() -> Self {
+        OrderedCondvar {
+            inner: Condvar::new(),
+        }
+    }
+
+    /// Releases `guard`, blocks until notified, and re-acquires the lock.
+    pub fn wait<'a, T>(&self, mut guard: OrderedGuard<'a, T>) -> OrderedGuard<'a, T> {
+        let lock = guard.lock;
+        // lint:allow(panic-path, guard invariant - inner is Some until drop/wait consumes the guard by value)
+        let inner = guard.inner.take().expect("guard already consumed");
+        #[cfg(debug_assertions)]
+        held::release(lock.rank, lock.name);
+        drop(guard);
+        let inner = self.inner.wait(inner);
+        #[cfg(debug_assertions)]
+        held::acquire(lock.rank, lock.name);
+        #[cfg(debug_assertions)]
+        if inner.is_err() {
+            held::release(lock.rank, lock.name);
+        }
+        // lint:allow(panic-path, a poisoned lock means a peer worker already panicked mid-update; propagating beats serving torn state)
+        let inner = inner.unwrap_or_else(|_| panic!("lock '{}' is poisoned", lock.name));
+        OrderedGuard {
+            lock,
+            inner: Some(inner),
+        }
+    }
+
+    /// Wakes every thread blocked in [`wait`](Self::wait).
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn pass_through_semantics() {
+        let lock = OrderedMutex::new(rank::CACHE, "cache", 41u32);
+        {
+            let mut guard = lock.lock();
+            assert_eq!(*guard, 41);
+            *guard += 1;
+        }
+        assert_eq!(*lock.lock(), 42);
+        assert!(format!("{lock:?}").contains("cache"));
+    }
+
+    #[test]
+    fn ascending_nesting_is_permitted() {
+        let low = OrderedMutex::new(rank::SERVING, "serving", 1u32);
+        let high = OrderedMutex::new(rank::CACHE, "cache", 2u32);
+        let a = low.lock();
+        let b = high.lock();
+        assert_eq!(*a + *b, 3);
+        // Drop order does not matter for correctness, only acquire order;
+        // out-of-order drops are rejected by the tracking, so release
+        // innermost-first here.
+        drop(b);
+        drop(a);
+        // Re-acquiring after release works (the stack is empty again).
+        let _ = high.lock();
+    }
+
+    #[test]
+    fn condvar_roundtrip_wakes_waiter() {
+        let lock = Arc::new(OrderedMutex::new(rank::RESULT, "result", false));
+        let done = Arc::new(OrderedCondvar::new());
+        let waiter = {
+            let lock = Arc::clone(&lock);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut guard = lock.lock();
+                while !*guard {
+                    guard = done.wait(guard);
+                }
+                *guard
+            })
+        };
+        // Let the waiter park, then flip the flag and wake it.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        *lock.lock() = true;
+        done.notify_all();
+        assert!(waiter.join().expect("waiter thread panicked"));
+    }
+
+    #[cfg(debug_assertions)]
+    mod rank_violations {
+        use super::*;
+
+        fn panic_message(result: std::thread::Result<()>) -> String {
+            let payload = result.expect_err("nesting should have panicked");
+            payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default()
+        }
+
+        #[test]
+        fn descending_nesting_panics_with_rank_diagnostic() {
+            let message = panic_message(
+                std::thread::spawn(|| {
+                    let high = OrderedMutex::new(rank::CACHE, "cache", ());
+                    let low = OrderedMutex::new(rank::SERVING, "serving", ());
+                    let _outer = high.lock();
+                    let _inner = low.lock();
+                })
+                .join(),
+            );
+            assert!(
+                message.contains("lock-order violation"),
+                "unexpected panic message: {message}"
+            );
+            assert!(message.contains("'serving' (rank 20)"), "{message}");
+            assert!(message.contains("'cache' (rank 40)"), "{message}");
+        }
+
+        #[test]
+        fn equal_rank_reentry_panics() {
+            let message = panic_message(
+                std::thread::spawn(|| {
+                    let a = OrderedMutex::new(rank::RESULT, "result", ());
+                    let b = OrderedMutex::new(rank::RESULT, "result", ());
+                    let _outer = a.lock();
+                    let _inner = b.lock();
+                })
+                .join(),
+            );
+            assert!(message.contains("lock-order violation"), "{message}");
+        }
+
+        /// The PR 2 shutdown deadlock, replayed through ranked locks.
+        ///
+        /// The original bug: shutdown held the serving snapshot lock and
+        /// then reached for a lock the accept path acquires first (the
+        /// flight table), while a worker held the flight table and wanted
+        /// the serving snapshot — a classic AB/BA hang that froze the suite
+        /// until a timeout. Under ranked locks the very first mis-ordered
+        /// acquisition (slots → serving, rank 50 → 20) aborts immediately
+        /// with a diagnostic naming both locks and ranks, in a single
+        /// thread, with no second thread needed to exhibit the hang.
+        #[test]
+        fn pr2_shutdown_shaped_nesting_aborts_with_diagnostic() {
+            let message = panic_message(
+                std::thread::spawn(|| {
+                    let slots = OrderedMutex::new(rank::SLOTS, "slots", ());
+                    let serving = OrderedMutex::new(rank::SERVING, "serving", ());
+                    // Shutdown-shaped order: flight-table first, snapshot
+                    // second. The accept path orders them the other way.
+                    let _flight = slots.lock();
+                    let _snapshot = serving.lock();
+                })
+                .join(),
+            );
+            assert!(message.contains("lock-order violation"), "{message}");
+            assert!(message.contains("'serving' (rank 20)"), "{message}");
+            assert!(message.contains("'slots' (rank 50)"), "{message}");
+        }
+
+        #[test]
+        fn rank_stack_resets_after_violation_panic() {
+            // A violation panics before pushing, so the same thread can
+            // keep using correctly-ordered locks afterwards.
+            let low = OrderedMutex::new(rank::SERVING, "serving", ());
+            let high = OrderedMutex::new(rank::CACHE, "cache", ());
+            {
+                let _outer = high.lock();
+                let inner = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _ = low.lock();
+                }));
+                assert!(inner.is_err(), "descending acquisition must panic");
+            }
+            // Fresh locks, correct order: must succeed on this same thread.
+            let _a = low.lock();
+            let _b = high.lock();
+        }
+    }
+}

@@ -11,8 +11,6 @@
 //! * cache probes, error codes and cache occupancy reconcile with the
 //!   requests that were actually issued.
 
-use std::sync::{Arc, Mutex};
-
 use vaq_authquery::{IfmhTree, Query, Server, SigningMode};
 use vaq_crypto::SignatureScheme;
 use vaq_funcdb::Dataset;
@@ -292,18 +290,18 @@ fn cache_gauges_and_uptime_are_scraped_and_monotone() {
 #[test]
 fn slow_request_log_emits_structured_json_lines() {
     let (_, server) = owner_setup(12, 0xb9);
-    let buffer = Arc::new(Mutex::new(Vec::new()));
+    let (sink, buffer) = SlowLogSink::buffer();
     let config = ServiceConfig::ephemeral()
         .workers(1)
         .slow_request_micros(0) // every request is "slow": deterministic capture
-        .slow_log_sink(SlowLogSink::Buffer(Arc::clone(&buffer)));
+        .slow_log_sink(sink);
     let service = QueryService::bind(config, server).unwrap();
     let mut client = ServiceClient::connect(service.local_addr()).unwrap();
     client.query(&Query::top_k(vec![0.5], 2)).unwrap();
     client.query(&Query::range(vec![0.5], 0.0, 5.0)).unwrap();
     service.shutdown();
 
-    let log = String::from_utf8(buffer.lock().unwrap().clone()).expect("utf-8 log");
+    let log = String::from_utf8(buffer.lock().clone()).expect("utf-8 log");
     let lines: Vec<&str> = log.lines().collect();
     assert!(lines.len() >= 2, "both requests logged:\n{log}");
     for line in &lines {

@@ -9,8 +9,9 @@ use vaq_authquery::{IfmhTree, Query, Server, SigningMode};
 use vaq_crypto::SignatureScheme;
 use vaq_funcdb::Dataset;
 use vaq_service::{
-    LoadGenerator, QueryService, ServiceClient, ServiceConfig, ServiceError, ShardedClient,
-    ShardedDeployment,
+    attest_shard_map, partition_dataset, LoadGenerator, PartitionStrategy, QueryService,
+    ServiceClient, ServiceConfig, ServiceError, ShardedClient, ShardedDeployment,
+    ShardedPublication,
 };
 use vaq_wire::WireEncode;
 use vaq_workload::{uniform_dataset, QueryGenerator, QueryMix};
@@ -789,5 +790,38 @@ fn sharded_load_generator_verifies_a_full_run() {
             "shard {shard_id} saw {} requests, expected one per query",
             stats.requests_served
         );
+    }
+}
+
+#[test]
+fn signed_map_without_addresses_is_a_typed_error_not_a_panic() {
+    // Regression for the vaq-lint panic-path sweep: a signed map is still
+    // attacker-shaped input, and a map entry listing no usable serving
+    // addresses used to be an unchecked assumption on the connect path.
+    // It must surface as a typed ServiceError, never a panic.
+    let dataset = uniform_dataset(9, 1, 77);
+    let shards = partition_dataset(&dataset, SHARDS, PartitionStrategy::RoundRobin);
+    let schemes: Vec<SignatureScheme> = (0..SHARDS)
+        .map(|i| SignatureScheme::test_rsa(100 + i as u64))
+        .collect();
+    let keys: Vec<_> = schemes.iter().map(|s| s.public_key()).collect();
+    let master = SignatureScheme::test_rsa(7);
+
+    // Legitimately signed, verifies fine — but distributed "out of band",
+    // so every entry's address list is empty.
+    let signed = attest_shard_map(&shards, &keys, &master, 1, &[]);
+    let publication = ShardedPublication {
+        shard_map: signed,
+        master_key: master.public_key(),
+        template: dataset.template.clone(),
+    };
+    match ShardedClient::connect_from_map(&publication) {
+        Err(ServiceError::ShardMap(reason)) => {
+            assert!(reason.contains("no usable addresses"), "{reason}")
+        }
+        other => panic!(
+            "expected a typed ShardMap error, got {other:?}",
+            other = other.err()
+        ),
     }
 }

@@ -1,0 +1,69 @@
+//! The blessed monotonic-epoch helpers.
+//!
+//! Publication epochs are plain `u64`s on the wire, but every decision made
+//! about them is one of exactly three questions: *does this candidate
+//! advance the current epoch*, *would adopting it roll us back*, and *what
+//! is the next epoch after this one*. Scattering raw `<`/`<=`/`+ 1`
+//! expressions over the codebase is how off-by-one rollback bugs are born,
+//! so this module is the only place allowed to do raw epoch comparisons or
+//! arithmetic — `vaq-lint`'s epoch-discipline pass flags them anywhere else
+//! in `vaq-service`/`vaq-wire` non-test code.
+//!
+//! Equality checks (`pinned == served`) stay unrestricted: they cannot
+//! violate monotonicity, and the pinned-request protocol is built on them.
+
+/// True when `candidate` strictly advances `current` — the only condition
+/// under which a republication, an offered signed map, or any other epoch
+/// adoption may proceed. A same-epoch candidate does **not** advance (it is
+/// either a no-op or a replay, depending on the caller's protocol).
+pub fn advances(current: u64, candidate: u64) -> bool {
+    candidate > current
+}
+
+/// True when adopting `candidate` would roll a holder of `current` back to
+/// a superseded publication. Strict: a same-epoch offer is not a rollback
+/// (callers treat it as a no-op).
+pub fn rolls_back(current: u64, candidate: u64) -> bool {
+    candidate < current
+}
+
+/// The epoch following `current`.
+///
+/// Saturates at `u64::MAX` instead of wrapping: a wrapped epoch of 0 would
+/// read as *older than everything* and open a rollback hole, while a pinned
+/// ceiling merely stops further republications — the safe failure mode for
+/// a counter that advances once per publication and cannot realistically be
+/// exhausted.
+pub fn next(current: u64) -> u64 {
+    current.saturating_add(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_is_strict() {
+        assert!(advances(0, 1));
+        assert!(advances(41, u64::MAX));
+        assert!(!advances(7, 7));
+        assert!(!advances(7, 6));
+        assert!(!advances(u64::MAX, u64::MAX));
+    }
+
+    #[test]
+    fn rolls_back_is_strict() {
+        assert!(rolls_back(7, 6));
+        assert!(rolls_back(u64::MAX, 0));
+        assert!(!rolls_back(7, 7));
+        assert!(!rolls_back(7, 8));
+    }
+
+    #[test]
+    fn next_advances_and_saturates() {
+        assert_eq!(next(0), 1);
+        assert!(advances(41, next(41)));
+        assert_eq!(next(u64::MAX), u64::MAX);
+        assert_eq!(next(u64::MAX - 1), u64::MAX);
+    }
+}

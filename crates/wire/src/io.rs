@@ -140,7 +140,7 @@ impl<'a> Reader<'a> {
     /// Reads one byte.
     pub fn get_u8(&mut self) -> Result<u8, WireError> {
         self.need(1)?;
-        Ok(self.take(1)[0])
+        self.take(1).first().copied().ok_or(WireError::Truncated)
     }
 
     /// Reads a boolean.
@@ -151,25 +151,29 @@ impl<'a> Reader<'a> {
     /// Reads a little-endian u16.
     pub fn get_u16(&mut self) -> Result<u16, WireError> {
         self.need(2)?;
-        Ok(u16::from_le_bytes(self.take(2).try_into().unwrap()))
+        let bytes = self.take(2).try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u16::from_le_bytes(bytes))
     }
 
     /// Reads a little-endian u32.
     pub fn get_u32(&mut self) -> Result<u32, WireError> {
         self.need(4)?;
-        Ok(u32::from_le_bytes(self.take(4).try_into().unwrap()))
+        let bytes = self.take(4).try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     /// Reads a little-endian u64.
     pub fn get_u64(&mut self) -> Result<u64, WireError> {
         self.need(8)?;
-        Ok(u64::from_le_bytes(self.take(8).try_into().unwrap()))
+        let bytes = self.take(8).try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     /// Reads an IEEE-754 double.
     pub fn get_f64(&mut self) -> Result<f64, WireError> {
         self.need(8)?;
-        Ok(f64::from_le_bytes(self.take(8).try_into().unwrap()))
+        let bytes = self.take(8).try_into().map_err(|_| WireError::Truncated)?;
+        Ok(f64::from_le_bytes(bytes))
     }
 
     /// Reads a length-prefixed byte string.
@@ -182,7 +186,7 @@ impl<'a> Reader<'a> {
     /// Reads a fixed-size 32-byte digest.
     pub fn get_digest(&mut self) -> Result<[u8; 32], WireError> {
         self.need(32)?;
-        Ok(self.take(32).try_into().unwrap())
+        self.take(32).try_into().map_err(|_| WireError::Truncated)
     }
 
     /// Reads a length-prefixed UTF-8 string.

@@ -26,6 +26,7 @@
 pub mod authquery_impls;
 pub mod crypto_impls;
 pub mod envelope;
+pub mod epoch;
 pub mod error;
 pub mod funcdb_impls;
 pub mod io;

@@ -401,6 +401,22 @@ fn sample_response(k: usize) -> vaq_authquery::QueryResponse {
 }
 
 #[test]
+fn pong_roundtrips_framed() {
+    // The one payload-less response variant; surfaced as uncovered by the
+    // vaq-lint wire-exhaustiveness pass.
+    let bytes = Response::Pong.to_framed_bytes();
+    assert!(matches!(
+        Response::from_framed_bytes(&bytes),
+        Ok(Response::Pong)
+    ));
+    assert_eq!(
+        Response::Pong.to_framed_bytes(),
+        bytes,
+        "encoding must be deterministic"
+    );
+}
+
+#[test]
 fn bucket_bounds_are_strictly_increasing() {
     for pair in LATENCY_BUCKET_BOUNDS_MICROS.windows(2) {
         assert!(pair[0] < pair[1]);
