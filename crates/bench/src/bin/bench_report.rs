@@ -64,11 +64,13 @@ const REQUIRED_FIELDS: &[&str] = &[
     "\"count\"",
     "\"sum_micros\"",
     "\"mean_micros\"",
+    "\"connections\"",
     "\"single\"",
     "\"sharded_s1\"",
     "\"sharded_s4\"",
     "\"sharded_s8\"",
     "\"batched\"",
+    "\"multiplexed\"",
     "\"republish_churn\"",
 ];
 
@@ -89,6 +91,9 @@ struct ScenarioRow {
     name: String,
     shards: usize,
     clients: usize,
+    /// Concurrent TCP connections the scenario held against the tier (load
+    /// threads times their connection fan-out, or threads times shards).
+    connections: usize,
     requests: usize,
     queries: usize,
     qps: f64,
@@ -133,7 +138,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
-        out: "BENCH_PR7.json".to_string(),
+        out: "BENCH_PR8.json".to_string(),
         seed: 0xbe7c,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -173,6 +178,10 @@ struct Sizing {
     clients: usize,
     requests_per_client: usize,
     republishes: usize,
+    /// Connections per load thread in the `multiplexed` scenario: the
+    /// evented core's headline number. Full mode holds
+    /// `clients * mux_fan_out` (≥ 5k) sockets from one process.
+    mux_fan_out: usize,
 }
 
 impl Sizing {
@@ -183,6 +192,7 @@ impl Sizing {
                 clients: 2,
                 requests_per_client: 3,
                 republishes: 1,
+                mux_fan_out: 8,
             }
         } else {
             Sizing {
@@ -190,6 +200,7 @@ impl Sizing {
                 clients: 4,
                 requests_per_client: 12,
                 republishes: 3,
+                mux_fan_out: 1280,
             }
         }
     }
@@ -197,7 +208,13 @@ impl Sizing {
 
 /// Sums per-service deep stats into one per-scenario stage table plus the
 /// cache and error aggregates.
-fn fold_deep(name: &str, shards: usize, report: &LoadReport, deep: &[StatsDeep]) -> ScenarioRow {
+fn fold_deep(
+    name: &str,
+    shards: usize,
+    connections: usize,
+    report: &LoadReport,
+    deep: &[StatsDeep],
+) -> ScenarioRow {
     let mut stages: Vec<StageRow> = Vec::new();
     for service in deep {
         for (i, stage) in service.per_stage.iter().enumerate() {
@@ -230,6 +247,7 @@ fn fold_deep(name: &str, shards: usize, report: &LoadReport, deep: &[StatsDeep])
         name: name.to_string(),
         shards,
         clients: report.clients,
+        connections,
         requests: report.total_requests,
         queries: report.total_queries(),
         qps: report.throughput_qps(),
@@ -269,20 +287,58 @@ fn run_single(
     seed: u64,
     mix: QueryMix,
 ) -> ScenarioRow {
+    run_single_fanned(
+        name,
+        dataset,
+        sizing,
+        seed,
+        mix,
+        1,
+        sizing.requests_per_client,
+    )
+}
+
+/// A single-service run with a per-thread connection fan-out: the
+/// `multiplexed` scenario drives thousands of concurrent sockets through
+/// the evented core from a handful of load threads.
+fn run_single_fanned(
+    name: &str,
+    dataset: &Dataset,
+    sizing: &Sizing,
+    seed: u64,
+    mix: QueryMix,
+    fan_out: usize,
+    requests_per_client: usize,
+) -> ScenarioRow {
+    let connections = sizing.clients * fan_out;
+    let mut config = ServiceConfig::ephemeral()
+        .workers(sizing.clients)
+        // The warmup pass's sockets may still be draining while the
+        // measured pass connects its own full fleet; leave headroom so
+        // the limit never sheds a bench connection.
+        .max_connections((3 * connections).max(10_000));
+    if fan_out > 1 {
+        // A fanned-out fleet is mostly idle by construction: each socket
+        // waits out the rest of its wave between requests. Give those
+        // simulated users a longer idle budget than the 30s default so the
+        // service never reaps a socket the load generator still holds, and
+        // size the cache so the warm pass actually replays into hits.
+        config = config
+            .read_timeout(Some(Duration::from_secs(300)))
+            .cache_capacity(2 * connections);
+    }
     let scheme = SignatureScheme::test_rsa(seed);
     let tree = IfmhTree::build(dataset, SigningMode::MultiSignature, &scheme);
-    let service = QueryService::bind(
-        ServiceConfig::ephemeral().workers(sizing.clients),
-        Server::new(dataset.clone(), tree),
-    )
-    .expect("bind service");
+    let service =
+        QueryService::bind(config, Server::new(dataset.clone(), tree)).expect("bind service");
     let mut generator = LoadGenerator::new(
         service.local_addr(),
         sizing.clients,
-        sizing.requests_per_client,
+        requests_per_client,
         dataset.template.clone(),
         scheme.public_key(),
     );
+    generator.connections_per_client = fan_out;
     generator.mix = mix;
     generator.seed = seed;
     // Warmup pass, then an identical measured pass: the seeded streams
@@ -294,7 +350,7 @@ fn run_single(
         .and_then(|mut c| c.stats_deep())
         .expect("deep stats scrape");
     service.shutdown();
-    fold_deep(name, 1, &report, &[deep])
+    fold_deep(name, 1, connections, &report, &[deep])
 }
 
 /// One sharded run at `shards` shards, deep stats folded across the fleet.
@@ -328,7 +384,7 @@ fn run_sharded(
     let report = generator.run(dataset).expect("sharded load run");
     let deep = deployment.stats_deep();
     deployment.shutdown();
-    fold_deep(name, shards, &report, &deep)
+    fold_deep(name, shards, sizing.clients * shards, &report, &deep)
 }
 
 /// A sharded run with the owner republishing mid-load: clients ride the
@@ -365,7 +421,7 @@ fn run_republish_churn(dataset: &Dataset, sizing: &Sizing, seed: u64) -> Scenari
     let report = load.join().expect("load thread");
     let deep = deployment.stats_deep();
     deployment.shutdown();
-    fold_deep("republish_churn", 2, &report, &deep)
+    fold_deep("republish_churn", 2, sizing.clients * 2, &report, &deep)
 }
 
 fn main() {
@@ -398,6 +454,21 @@ fn main() {
         &sizing,
         args.seed + 10,
         QueryMix::default().with_batches(1, 2, 4),
+    ));
+    eprintln!(
+        "bench_report: multiplexed ({} connections)",
+        sizing.clients * sizing.mux_fan_out
+    );
+    scenarios.push(run_single_fanned(
+        "multiplexed",
+        &dataset,
+        &sizing,
+        args.seed + 15,
+        QueryMix::default(),
+        sizing.mux_fan_out,
+        // One request per simulated user per pass: every socket in the
+        // fan-out carries traffic in both the warmup and the measured run.
+        sizing.mux_fan_out,
     ));
     eprintln!("bench_report: republish churn");
     scenarios.push(run_republish_churn(&dataset, &sizing, args.seed + 20));

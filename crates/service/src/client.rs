@@ -1,5 +1,6 @@
 //! Blocking client for the VAQ1 query service.
 
+use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
@@ -30,29 +31,40 @@ pub struct ServiceClient {
     /// frame would silently return the wrong response. Desynced connections
     /// refuse further calls; reconnect instead.
     desynced: bool,
+    /// Next correlation tag handed out by [`ServiceClient::send_tagged`].
+    next_tag: u64,
+    /// Tags sent but not yet received. A tagged response must carry one of
+    /// these, or the server is answering a request this client never made.
+    pending_tags: HashSet<u64>,
+    /// Responses that arrived while waiting for a *different* tag, parked
+    /// until their own [`ServiceClient::receive_tagged`] asks for them.
+    parked: HashMap<u64, Response>,
 }
 
 impl ServiceClient {
+    fn over(stream: TcpStream) -> ServiceClient {
+        ServiceClient {
+            stream,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            desynced: false,
+            next_tag: 0,
+            pending_tags: HashSet::new(),
+            parked: HashMap::new(),
+        }
+    }
+
     /// Connects to a service.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(ServiceClient {
-            stream,
-            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
-            desynced: false,
-        })
+        Ok(ServiceClient::over(stream))
     }
 
     /// Connects with a timeout on the TCP handshake.
     pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> Result<Self, ServiceError> {
         let stream = TcpStream::connect_timeout(addr, timeout)?;
         stream.set_nodelay(true)?;
-        Ok(ServiceClient {
-            stream,
-            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
-            desynced: false,
-        })
+        Ok(ServiceClient::over(stream))
     }
 
     /// Sets a read timeout for responses.
@@ -272,10 +284,7 @@ impl ServiceClient {
                 // well-framed-but-undecodable payload keeps the server-side
                 // connection; this client never produces such payloads, and
                 // desyncing is the safe conservative reading either way.)
-                if matches!(
-                    reply.code,
-                    ErrorCode::FrameTooLarge | ErrorCode::Malformed | ErrorCode::ShuttingDown
-                ) {
+                if is_fatal_reply(reply.code) {
                     self.desynced = true;
                 }
                 Err(ServiceError::Remote(reply))
@@ -306,6 +315,143 @@ impl ServiceClient {
         self.send(request)?;
         self.receive()
     }
+
+    /// Sends one request wrapped in a tagged VAQ1 envelope and returns the
+    /// correlation tag, without reading the response.
+    ///
+    /// Tagged requests pipeline: any number may be in flight on one
+    /// connection, and the service may answer them **out of order** (tagged
+    /// responses carry the tag back). Pair every `send_tagged` with exactly
+    /// one [`ServiceClient::receive_tagged`] for the returned tag. `request`
+    /// must not itself be a [`Request::Tagged`] envelope — the protocol
+    /// rejects nesting. A failed write leaves the stream offset unknown, so
+    /// it marks the connection desynced.
+    pub fn send_tagged(&mut self, request: &Request) -> Result<u64, ServiceError> {
+        if self.desynced {
+            return Err(desynced_error());
+        }
+        let tag = self.next_tag;
+        self.next_tag = self.next_tag.wrapping_add(1);
+        let envelope = Request::Tagged {
+            tag,
+            request: Box::new(request.clone()),
+        };
+        if let Err(e) = write_message(&mut self.stream, &envelope) {
+            self.desynced = true;
+            return Err(e);
+        }
+        self.pending_tags.insert(tag);
+        Ok(tag)
+    }
+
+    /// Reads the response for one previously [`ServiceClient::send_tagged`]
+    /// request, identified by its correlation tag.
+    ///
+    /// Responses for *other* in-flight tags that arrive first are parked and
+    /// handed out when their own `receive_tagged` asks for them, so callers
+    /// may collect tags in any order. Asking for a tag that was never sent
+    /// (or already received) fails with [`ServiceError::UnknownTag`] without
+    /// touching the stream. A response carrying a tag this client never sent
+    /// desyncs the connection ([`ServiceError::UnknownTag`]), as does a
+    /// second response for an already-parked tag
+    /// ([`ServiceError::DuplicateTag`]) — both mean the correlation state no
+    /// longer matches the peer's.
+    pub fn receive_tagged(&mut self, tag: u64) -> Result<Response, ServiceError> {
+        if self.desynced {
+            return Err(desynced_error());
+        }
+        if !self.pending_tags.contains(&tag) {
+            // Caller bug (bad tag), not a stream fault: the connection is
+            // still perfectly paired, so don't desync it.
+            return Err(ServiceError::UnknownTag { tag });
+        }
+        if let Some(parked) = self.parked.remove(&tag) {
+            self.pending_tags.remove(&tag);
+            return self.open_inner(parked);
+        }
+        loop {
+            match read_message::<Response>(&mut self.stream, self.max_frame_bytes) {
+                Ok(Some(Response::Tagged { tag: got, response })) => {
+                    if got == tag {
+                        self.pending_tags.remove(&tag);
+                        return self.open_inner(*response);
+                    }
+                    if !self.pending_tags.contains(&got) {
+                        // The server answered a request this client never
+                        // made; every subsequent pairing is suspect.
+                        self.desynced = true;
+                        return Err(ServiceError::UnknownTag { tag: got });
+                    }
+                    if self.parked.insert(got, *response).is_some() {
+                        self.desynced = true;
+                        return Err(ServiceError::DuplicateTag { tag: got });
+                    }
+                }
+                Ok(Some(Response::Error(reply))) => {
+                    // An untagged error while tagged requests are in flight
+                    // is frame-level (the server could not attribute it to a
+                    // request): Malformed, FrameTooLarge, Stalled,
+                    // Overloaded, ShuttingDown. The server closes after
+                    // these, so the in-flight tags will never be answered.
+                    if is_fatal_reply(reply.code) {
+                        self.desynced = true;
+                    }
+                    return Err(ServiceError::Remote(reply));
+                }
+                Ok(Some(other)) => {
+                    // An untagged success reply cannot belong to any tagged
+                    // request — the pairing is broken.
+                    self.desynced = true;
+                    return Err(unexpected(&other));
+                }
+                Ok(None) => {
+                    self.desynced = true;
+                    return Err(ServiceError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "service closed the connection",
+                    )));
+                }
+                Err(e) => {
+                    self.desynced = true;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Unwraps the inner response of a tagged envelope, surfacing remote
+    /// error replies exactly like [`ServiceClient::receive`] does.
+    fn open_inner(&mut self, response: Response) -> Result<Response, ServiceError> {
+        match response {
+            Response::Error(reply) => {
+                if is_fatal_reply(reply.code) {
+                    self.desynced = true;
+                }
+                Err(ServiceError::Remote(reply))
+            }
+            Response::Tagged { .. } => {
+                // The protocol rejects nested envelopes at decode, so a
+                // nested tag here means the peer is not speaking VAQ1.
+                self.desynced = true;
+                Err(unexpected(&response))
+            }
+            other => Ok(other),
+        }
+    }
+}
+
+/// Remote error codes after which the server closes the connection (or the
+/// stream offset is unknown), so pairing another request with this socket
+/// would fail confusingly — or worse, mis-pair a late frame.
+fn is_fatal_reply(code: ErrorCode) -> bool {
+    matches!(
+        code,
+        ErrorCode::FrameTooLarge
+            | ErrorCode::Malformed
+            | ErrorCode::ShuttingDown
+            | ErrorCode::Overloaded
+            | ErrorCode::Stalled
+    )
 }
 
 /// Rejects a batch reply whose answer count disagrees with the query count
@@ -342,5 +488,6 @@ pub(crate) fn unexpected(response: &Response) -> ServiceError {
         Response::ShardMap(_) => "shard-map",
         Response::Error(_) => "error",
         Response::StatsDeep(_) => "stats-deep",
+        Response::Tagged { .. } => "tagged",
     })
 }

@@ -64,9 +64,10 @@ pub struct ShardRole {
 pub struct ServiceConfig {
     /// Address to bind; use port 0 for an ephemeral port.
     pub bind_addr: SocketAddr,
-    /// Worker threads serving connections (at least 1). Each worker owns
-    /// one connection at a time, so this is also the number of concurrent
-    /// persistent connections served without queueing.
+    /// Worker threads executing requests (at least 1). Connections are
+    /// multiplexed by the evented reactor, so this bounds concurrent
+    /// request *execution*, not concurrent connections — thousands of idle
+    /// connections cost no worker.
     pub workers: usize,
     /// Response-cache capacity in entries; 0 disables caching.
     pub cache_capacity: usize,
@@ -89,6 +90,14 @@ pub struct ServiceConfig {
     pub slow_request_micros: Option<u64>,
     /// Where slow-request log lines go.
     pub slow_log: SlowLogSink,
+    /// How long a peer may stall mid-frame (no byte of progress inside a
+    /// started frame) before the service gives up on the connection with a
+    /// typed [`vaq_wire::ErrorCode::Stalled`] reply.
+    pub mid_frame_patience: Duration,
+    /// Most connections the service holds open at once; a connection
+    /// accepted beyond this limit is shed with a best-effort typed
+    /// [`vaq_wire::ErrorCode::Overloaded`] reply before the close.
+    pub max_connections: usize,
 }
 
 impl Default for ServiceConfig {
@@ -104,6 +113,8 @@ impl Default for ServiceConfig {
             shard: None,
             slow_request_micros: None,
             slow_log: SlowLogSink::default(),
+            mid_frame_patience: crate::frame::DEFAULT_MID_FRAME_PATIENCE,
+            max_connections: 10_000,
         }
     }
 }
@@ -162,6 +173,20 @@ impl ServiceConfig {
         self.slow_log = sink;
         self
     }
+
+    /// Sets how long a peer may stall mid-frame before the connection is
+    /// dropped with a typed stall reply.
+    pub fn mid_frame_patience(mut self, patience: Duration) -> Self {
+        self.mid_frame_patience = patience;
+        self
+    }
+
+    /// Sets the connection limit (clamped to at least 1); connections
+    /// beyond it are shed with a typed overload reply.
+    pub fn max_connections(mut self, limit: usize) -> Self {
+        self.max_connections = limit.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -182,10 +207,14 @@ mod tests {
             .workers(0)
             .cache_capacity(7)
             .max_frame_bytes(4096)
-            .read_timeout(None);
+            .read_timeout(None)
+            .mid_frame_patience(Duration::from_millis(250))
+            .max_connections(0);
         assert_eq!(config.workers, 1, "worker count clamps to 1");
         assert_eq!(config.cache_capacity, 7);
         assert_eq!(config.max_frame_bytes, 4096);
         assert!(config.read_timeout.is_none());
+        assert_eq!(config.mid_frame_patience, Duration::from_millis(250));
+        assert_eq!(config.max_connections, 1, "connection limit clamps to 1");
     }
 }

@@ -1,0 +1,552 @@
+//! Per-connection state machine for the evented service reactor.
+//!
+//! One [`Conn`] owns a non-blocking socket plus everything the reactor
+//! needs to multiplex it from a single thread: an incremental VAQ1 frame
+//! assembler (a frame may arrive across many readiness sweeps), queues of
+//! fully received requests awaiting dispatch, the set of requests in flight
+//! on the worker pool, and a write queue that survives partial writes.
+//! Nothing here blocks.
+
+use std::collections::{HashSet, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use vaq_wire::{WireError, MAGIC, VERSION};
+
+use crate::error::ServiceError;
+use crate::metrics::Stage;
+use crate::trace::Trace;
+
+/// VAQ1 frame header length: 4-byte magic, 2-byte version, 4-byte length.
+pub(crate) const FRAME_HEADER_LEN: usize = 10;
+
+/// What one [`FrameAssembler::advance`] step produced.
+#[derive(Debug)]
+pub(crate) enum Assembled {
+    /// The frame is still incomplete; keep reading into
+    /// [`FrameAssembler::spare`].
+    NeedMore,
+    /// One complete frame payload (header already validated and stripped).
+    Frame(Vec<u8>),
+}
+
+/// Incremental VAQ1 frame parser for a non-blocking stream.
+///
+/// The caller reads socket bytes directly into [`FrameAssembler::spare`]
+/// and reports how many landed via [`FrameAssembler::advance`]; the
+/// assembler validates the header (magic, version, length limit) the moment
+/// it completes, so an oversized frame is rejected before its payload is
+/// ever allocated — same contract as the blocking reader in
+/// [`crate::frame`].
+#[derive(Debug)]
+pub(crate) struct FrameAssembler {
+    header: [u8; FRAME_HEADER_LEN],
+    filled: usize,
+    payload: Vec<u8>,
+    in_payload: bool,
+}
+
+impl FrameAssembler {
+    pub(crate) fn new() -> FrameAssembler {
+        FrameAssembler {
+            header: [0u8; FRAME_HEADER_LEN],
+            filled: 0,
+            payload: Vec::new(),
+            in_payload: false,
+        }
+    }
+
+    /// True while the stream offset sits inside a started frame — the state
+    /// in which a silent peer is *stalled* rather than idle.
+    pub(crate) fn mid_frame(&self) -> bool {
+        self.in_payload || self.filled > 0
+    }
+
+    /// The buffer slice the next socket read should fill (never empty).
+    pub(crate) fn spare(&mut self) -> &mut [u8] {
+        if self.in_payload {
+            self.payload.get_mut(self.filled..).unwrap_or(&mut [])
+        } else {
+            self.header.get_mut(self.filled..).unwrap_or(&mut [])
+        }
+    }
+
+    /// Records that `n` bytes just landed in [`FrameAssembler::spare`].
+    pub(crate) fn advance(
+        &mut self,
+        n: usize,
+        max_payload: usize,
+    ) -> Result<Assembled, ServiceError> {
+        self.filled += n;
+        if !self.in_payload {
+            if self.filled < FRAME_HEADER_LEN {
+                return Ok(Assembled::NeedMore);
+            }
+            let len = parse_header(&self.header, max_payload)?;
+            self.filled = 0;
+            if len == 0 {
+                return Ok(Assembled::Frame(Vec::new()));
+            }
+            self.payload = vec![0u8; len];
+            self.in_payload = true;
+            return Ok(Assembled::NeedMore);
+        }
+        if self.filled < self.payload.len() {
+            return Ok(Assembled::NeedMore);
+        }
+        self.filled = 0;
+        self.in_payload = false;
+        Ok(Assembled::Frame(std::mem::take(&mut self.payload)))
+    }
+}
+
+/// Validates a complete header and returns the declared payload length.
+fn parse_header(
+    header: &[u8; FRAME_HEADER_LEN],
+    max_payload: usize,
+) -> Result<usize, ServiceError> {
+    let (magic, rest) = header.split_at(4);
+    if *magic != MAGIC {
+        return Err(ServiceError::Wire(WireError::BadMagic));
+    }
+    let (version, len) = match rest {
+        [v0, v1, l0, l1, l2, l3] => (
+            u16::from_le_bytes([*v0, *v1]),
+            u32::from_le_bytes([*l0, *l1, *l2, *l3]) as usize,
+        ),
+        _ => return Err(ServiceError::Wire(WireError::Truncated)),
+    };
+    if version != VERSION {
+        return Err(ServiceError::Wire(WireError::UnsupportedVersion(version)));
+    }
+    if len > max_payload {
+        return Err(ServiceError::FrameTooLarge {
+            declared: len,
+            limit: max_payload,
+        });
+    }
+    Ok(len)
+}
+
+/// One fully received request awaiting dispatch to the worker pool.
+#[derive(Debug)]
+pub(crate) struct PendingRequest {
+    /// Correlation tag for tagged requests (`None` = classic in-order).
+    pub(crate) tag: Option<u64>,
+    /// The request payload, with any tag envelope already stripped.
+    pub(crate) payload: Vec<u8>,
+    /// When the frame finished arriving; queue wait is measured from here.
+    pub(crate) received: Instant,
+}
+
+/// One queued response frame, possibly partially written.
+#[derive(Debug)]
+struct Outgoing {
+    frame: Vec<u8>,
+    written: usize,
+    write_time: Duration,
+    trace: Option<Trace>,
+    close_after: bool,
+}
+
+/// Everything one read sweep over a connection produced.
+#[derive(Debug)]
+pub(crate) struct ReadPass {
+    /// Complete frame payloads, in arrival order.
+    pub(crate) frames: Vec<Vec<u8>>,
+    /// The peer cleanly closed its write side at a frame boundary.
+    pub(crate) closed: bool,
+    /// A frame-level or transport failure; no further reads will happen.
+    pub(crate) error: Option<ServiceError>,
+}
+
+/// Everything one write sweep over a connection produced.
+#[derive(Debug)]
+pub(crate) struct WritePass {
+    /// Bytes actually written to the socket this sweep.
+    pub(crate) bytes: u64,
+    /// Traces of response frames that fully drained (write time charged).
+    pub(crate) finished: Vec<Trace>,
+    /// The socket failed, or a close-after frame fully drained: close now.
+    pub(crate) close: bool,
+}
+
+/// One multiplexed client connection, driven entirely by the reactor.
+#[derive(Debug)]
+pub(crate) struct Conn {
+    pub(crate) stream: TcpStream,
+    assembler: FrameAssembler,
+    /// Untagged requests, answered strictly in order (at most one in
+    /// flight at a time — the classic one-lane request/response contract).
+    pub(crate) pending_untagged: VecDeque<PendingRequest>,
+    /// Tagged requests, dispatched greedily and answered out of order.
+    pub(crate) pending_tagged: VecDeque<PendingRequest>,
+    pub(crate) untagged_in_flight: bool,
+    pub(crate) tags_in_flight: HashSet<u64>,
+    /// Already queued in the reactor's dispatch backlog (requests waiting
+    /// for a worker-queue slot); guards against duplicate backlog entries.
+    pub(crate) in_backlog: bool,
+    write_queue: VecDeque<Outgoing>,
+    /// Last instant a byte moved on this socket in either direction.
+    pub(crate) last_progress: Instant,
+    /// No more reads will happen: clean EOF, frame error, or shutdown.
+    pub(crate) reads_done: bool,
+    /// The transport failed outright; drop the connection without flushing.
+    dead: bool,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            assembler: FrameAssembler::new(),
+            pending_untagged: VecDeque::new(),
+            pending_tagged: VecDeque::new(),
+            untagged_in_flight: false,
+            tags_in_flight: HashSet::new(),
+            in_backlog: false,
+            write_queue: VecDeque::new(),
+            last_progress: Instant::now(),
+            reads_done: false,
+            dead: false,
+        }
+    }
+
+    /// True while the stream offset sits inside a started frame.
+    pub(crate) fn mid_frame(&self) -> bool {
+        self.assembler.mid_frame()
+    }
+
+    /// Requests currently running (or queued) on the worker pool.
+    pub(crate) fn in_flight(&self) -> usize {
+        self.tags_in_flight.len() + usize::from(self.untagged_in_flight)
+    }
+
+    /// Fully received requests not yet handed to the worker pool.
+    pub(crate) fn pending(&self) -> usize {
+        self.pending_untagged.len() + self.pending_tagged.len()
+    }
+
+    /// True when a dispatch pass could make progress right now: a tagged
+    /// request is waiting, or the untagged lane is free with work queued.
+    pub(crate) fn wants_dispatch(&self) -> bool {
+        !self.pending_tagged.is_empty()
+            || (!self.pending_untagged.is_empty() && !self.untagged_in_flight)
+    }
+
+    /// True while queued output remains to flush.
+    pub(crate) fn wants_write(&self) -> bool {
+        !self.write_queue.is_empty()
+    }
+
+    /// True once nothing remains to read, run or flush: safe to drop.
+    pub(crate) fn drained(&self) -> bool {
+        self.dead
+            || (self.reads_done
+                && self.pending() == 0
+                && self.in_flight() == 0
+                && !self.wants_write())
+    }
+
+    /// Gives up on the connection immediately: no more reads, no flush.
+    pub(crate) fn abort(&mut self) {
+        self.reads_done = true;
+        self.dead = true;
+        self.write_queue.clear();
+    }
+
+    /// Queues one response frame. A `trace` makes the frame count as a
+    /// served request once it fully drains; `close_after` closes the
+    /// connection right after the frame flushes.
+    pub(crate) fn enqueue(&mut self, frame: Vec<u8>, trace: Option<Trace>, close_after: bool) {
+        self.write_queue.push_back(Outgoing {
+            frame,
+            written: 0,
+            write_time: Duration::ZERO,
+            trace,
+            close_after,
+        });
+    }
+
+    /// Reads everything the socket has ready, stopping early once `backlog`
+    /// requests are buffered (TCP backpressure then throttles the peer).
+    pub(crate) fn pump_reads(
+        &mut self,
+        max_payload: usize,
+        backlog: usize,
+        consumed: &mut u64,
+    ) -> ReadPass {
+        let mut pass = ReadPass {
+            frames: Vec::new(),
+            closed: false,
+            error: None,
+        };
+        while !self.reads_done && self.pending() + pass.frames.len() < backlog {
+            let spare = self.assembler.spare();
+            match self.stream.read(spare) {
+                Ok(0) => {
+                    self.reads_done = true;
+                    if self.assembler.mid_frame() {
+                        pass.error = Some(ServiceError::Wire(WireError::Truncated));
+                    } else {
+                        pass.closed = true;
+                    }
+                }
+                Ok(n) => {
+                    *consumed += n as u64;
+                    self.last_progress = Instant::now();
+                    match self.assembler.advance(n, max_payload) {
+                        Ok(Assembled::Frame(payload)) => pass.frames.push(payload),
+                        Ok(Assembled::NeedMore) => {}
+                        Err(e) => {
+                            self.reads_done = true;
+                            pass.error = Some(e);
+                        }
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => break,
+                Err(e) => {
+                    self.reads_done = true;
+                    pass.error = Some(ServiceError::Io(e));
+                }
+            }
+        }
+        pass
+    }
+
+    /// Flushes as much queued output as the socket will take right now.
+    pub(crate) fn pump_writes(&mut self) -> WritePass {
+        let mut pass = WritePass {
+            bytes: 0,
+            finished: Vec::new(),
+            close: false,
+        };
+        loop {
+            let complete = match self.write_queue.front_mut() {
+                None => break,
+                Some(head) => {
+                    let remaining = head.frame.get(head.written..).unwrap_or(&[]);
+                    if remaining.is_empty() {
+                        true
+                    } else {
+                        let start = Instant::now();
+                        match self.stream.write(remaining) {
+                            Ok(0) => {
+                                pass.close = true;
+                                break;
+                            }
+                            Ok(n) => {
+                                head.written += n;
+                                head.write_time += start.elapsed();
+                                pass.bytes += n as u64;
+                                self.last_progress = Instant::now();
+                                head.written >= head.frame.len()
+                            }
+                            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                            Err(e)
+                                if matches!(
+                                    e.kind(),
+                                    ErrorKind::WouldBlock | ErrorKind::TimedOut
+                                ) =>
+                            {
+                                break
+                            }
+                            Err(_) => {
+                                pass.close = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            };
+            if !complete {
+                continue;
+            }
+            if let Some(done) = self.write_queue.pop_front() {
+                if let Some(mut trace) = done.trace {
+                    trace.add(Stage::Write, done.write_time);
+                    pass.finished.push(trace);
+                }
+                if done.close_after {
+                    pass.close = true;
+                    break;
+                }
+            }
+        }
+        pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaq_wire::{Request, WireDecode, WireEncode};
+
+    /// Pushes `bytes` through an assembler in chunks of at most `chunk`,
+    /// collecting completed payloads.
+    fn feed(bytes: &[u8], chunk: usize, max_payload: usize) -> Vec<Vec<u8>> {
+        let mut assembler = FrameAssembler::new();
+        let mut out = Vec::new();
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let spare = assembler.spare();
+            let n = spare.len().min(chunk).min(rest.len());
+            spare[..n].copy_from_slice(&rest[..n]);
+            rest = &rest[n..];
+            match assembler.advance(n, max_payload).expect("valid frames") {
+                Assembled::Frame(payload) => out.push(payload),
+                Assembled::NeedMore => {}
+            }
+        }
+        assert!(!assembler.mid_frame(), "stream ends at a frame boundary");
+        out
+    }
+
+    #[test]
+    fn assembler_reassembles_across_arbitrary_splits() {
+        let request = Request::Query(vaq_authquery::Query::top_k(vec![0.25, 0.75], 3));
+        let frame = request.to_framed_bytes();
+        for chunk in 1..=frame.len() {
+            let payloads = feed(&frame, chunk, 4096);
+            assert_eq!(payloads.len(), 1, "chunk size {chunk}");
+            let decoded = Request::from_wire_bytes(&payloads[0]).expect("payload decodes");
+            assert_eq!(decoded, request);
+        }
+    }
+
+    #[test]
+    fn assembler_separates_pipelined_frames() {
+        let mut bytes = Request::Ping.to_framed_bytes();
+        bytes.extend_from_slice(&Request::Stats.to_framed_bytes());
+        bytes.extend_from_slice(&Request::Ping.to_framed_bytes());
+        for chunk in 1..=bytes.len() {
+            let payloads = feed(&bytes, chunk, 4096);
+            assert_eq!(payloads.len(), 3, "chunk size {chunk}");
+            assert_eq!(Request::from_wire_bytes(&payloads[1]), Ok(Request::Stats));
+        }
+    }
+
+    #[test]
+    fn assembler_rejects_bad_frames_at_the_header() {
+        // Oversized: rejected as soon as the header completes, before any
+        // payload allocation.
+        let mut assembler = FrameAssembler::new();
+        let mut header = Vec::new();
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&u32::MAX.to_le_bytes());
+        assembler.spare()[..10].copy_from_slice(&header);
+        let err = assembler.advance(10, 64).unwrap_err();
+        assert!(matches!(err, ServiceError::FrameTooLarge { limit: 64, .. }));
+
+        // Bad magic.
+        let mut assembler = FrameAssembler::new();
+        let mut frame = Request::Ping.to_framed_bytes();
+        frame[0] = b'X';
+        assembler.spare()[..10].copy_from_slice(&frame[..10]);
+        let err = assembler.advance(10, 4096).unwrap_err();
+        assert!(matches!(err, ServiceError::Wire(WireError::BadMagic)));
+
+        // Wrong version.
+        let mut assembler = FrameAssembler::new();
+        let mut frame = Request::Ping.to_framed_bytes();
+        frame[4] = 9;
+        assembler.spare()[..10].copy_from_slice(&frame[..10]);
+        let err = assembler.advance(10, 4096).unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Wire(WireError::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
+    fn assembler_tracks_mid_frame_state() {
+        let mut assembler = FrameAssembler::new();
+        assert!(!assembler.mid_frame());
+        let frame = Request::Ping.to_framed_bytes();
+        assembler.spare()[..3].copy_from_slice(&frame[..3]);
+        assert!(matches!(
+            assembler.advance(3, 4096).unwrap(),
+            Assembled::NeedMore
+        ));
+        assert!(assembler.mid_frame(), "partial header is mid-frame");
+        assembler.spare()[..7].copy_from_slice(&frame[3..10]);
+        assert!(matches!(
+            assembler.advance(7, 4096).unwrap(),
+            Assembled::NeedMore
+        ));
+        assert!(assembler.mid_frame(), "header done, payload pending");
+        let len = frame.len();
+        assembler.spare()[..len - 10].copy_from_slice(&frame[10..]);
+        assert!(matches!(
+            assembler.advance(len - 10, 4096).unwrap(),
+            Assembled::Frame(_)
+        ));
+        assert!(!assembler.mid_frame(), "frame complete resets the state");
+    }
+
+    /// A connected localhost TCP pair: (reactor side, peer side).
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = TcpStream::connect(addr).unwrap();
+        let (serving, _) = listener.accept().unwrap();
+        serving.set_nonblocking(true).unwrap();
+        (serving, peer)
+    }
+
+    #[test]
+    fn pump_reads_buffers_frames_and_reports_clean_close() {
+        let (serving, mut peer) = tcp_pair();
+        let mut conn = Conn::new(serving);
+        peer.write_all(&Request::Ping.to_framed_bytes()).unwrap();
+        peer.write_all(&Request::Stats.to_framed_bytes()).unwrap();
+        drop(peer);
+        std::thread::sleep(Duration::from_millis(30));
+        let mut consumed = 0u64;
+        let pass = conn.pump_reads(4096, 128, &mut consumed);
+        assert_eq!(pass.frames.len(), 2);
+        assert!(pass.closed, "EOF at a frame boundary is a clean close");
+        assert!(pass.error.is_none());
+        assert!(consumed > 0);
+        assert!(conn.reads_done);
+    }
+
+    #[test]
+    fn pump_reads_reports_truncated_eof_as_an_error() {
+        let (serving, mut peer) = tcp_pair();
+        let mut conn = Conn::new(serving);
+        let frame = Request::Ping.to_framed_bytes();
+        peer.write_all(&frame[..frame.len() - 1]).unwrap();
+        drop(peer);
+        std::thread::sleep(Duration::from_millis(30));
+        let mut consumed = 0u64;
+        let pass = conn.pump_reads(4096, 128, &mut consumed);
+        assert!(pass.frames.is_empty());
+        assert!(!pass.closed);
+        assert!(matches!(
+            pass.error,
+            Some(ServiceError::Wire(WireError::Truncated))
+        ));
+    }
+
+    #[test]
+    fn pump_writes_flushes_queue_and_surfaces_traces_and_closes() {
+        let (serving, mut peer) = tcp_pair();
+        let mut conn = Conn::new(serving);
+        let first = vec![1u8; 64];
+        let second = vec![2u8; 32];
+        conn.enqueue(first.clone(), Some(Trace::begin(Duration::ZERO)), false);
+        conn.enqueue(second.clone(), None, true);
+        let pass = conn.pump_writes();
+        assert_eq!(pass.bytes, 96);
+        assert_eq!(pass.finished.len(), 1, "only traced frames finish requests");
+        assert!(pass.close, "the close-after frame drained");
+        let mut got = vec![0u8; 96];
+        peer.read_exact(&mut got).unwrap();
+        assert_eq!(&got[..64], first.as_slice());
+        assert_eq!(&got[64..], second.as_slice());
+    }
+}

@@ -61,6 +61,28 @@ pub enum ServiceError {
         /// The epoch actually offered or served.
         got: u64,
     },
+    /// The peer stopped sending mid-frame for longer than the patience
+    /// window. The stream offset is stuck inside a frame, so the connection
+    /// is unusable; reconnect to recover. The server-side twin is a typed
+    /// [`vaq_wire::ErrorCode::Stalled`] reply.
+    Stalled {
+        /// How long the reader waited without a byte of progress.
+        patience: std::time::Duration,
+    },
+    /// A tagged response arrived carrying a tag with no matching in-flight
+    /// request. Pairing it with any pending request would misattribute the
+    /// answer, so the connection is desynced instead.
+    UnknownTag {
+        /// The tag the server echoed.
+        tag: u64,
+    },
+    /// A correlation tag was used twice: either a caller asked to put a tag
+    /// in flight while a request with the same tag is still pending, or the
+    /// server delivered a second response for a tag already consumed.
+    DuplicateTag {
+        /// The offending tag.
+        tag: u64,
+    },
 }
 
 impl ServiceError {
@@ -112,6 +134,15 @@ impl std::fmt::Display for ServiceError {
                     "stale epoch: expected publication epoch {expected}, got {got}; \
                      re-fetch the signed shard map"
                 )
+            }
+            ServiceError::Stalled { patience } => {
+                write!(f, "peer stalled mid-frame for over {patience:?}; reconnect")
+            }
+            ServiceError::UnknownTag { tag } => {
+                write!(f, "response carries unknown correlation tag {tag}")
+            }
+            ServiceError::DuplicateTag { tag } => {
+                write!(f, "correlation tag {tag} is already in flight")
             }
         }
     }

@@ -13,11 +13,13 @@ use vaq_wire::{WireDecode, WireEncode, WireError, MAGIC, VERSION};
 use crate::error::ServiceError;
 
 /// How long a partially received frame may keep trickling in before the
-/// reader gives up. Streams with a short poll-style read timeout (the
-/// server sets 100ms to stay responsive to shutdown) would otherwise drop
-/// any client whose frame spans more than one timeout window — a TCP
-/// retransmit or a slow link must not kill the connection mid-frame.
-const MID_FRAME_PATIENCE: Duration = Duration::from_secs(10);
+/// reader gives up. Streams with a short poll-style read timeout would
+/// otherwise drop any client whose frame spans more than one timeout window
+/// — a TCP retransmit or a slow link must not kill the connection
+/// mid-frame. The server promotes this into
+/// [`crate::ServiceConfig::mid_frame_patience`]; the blocking client reader
+/// uses this default.
+pub const DEFAULT_MID_FRAME_PATIENCE: Duration = Duration::from_secs(10);
 
 /// Outcome of trying to read one frame from a stream.
 #[derive(Debug)]
@@ -47,13 +49,31 @@ pub fn read_frame_counted(
     max_payload: usize,
     consumed: &mut u64,
 ) -> Result<FrameRead, ServiceError> {
+    read_frame_counted_with_patience(stream, max_payload, consumed, DEFAULT_MID_FRAME_PATIENCE)
+}
+
+/// Like [`read_frame_counted`], with an explicit mid-frame patience window.
+/// A peer that stops sending inside a frame for longer than `patience`
+/// surfaces as a typed [`ServiceError::Stalled`] — distinguishable from a
+/// generic I/O failure both locally and in per-error-code counters.
+pub fn read_frame_counted_with_patience(
+    stream: &mut impl Read,
+    max_payload: usize,
+    consumed: &mut u64,
+    patience: Duration,
+) -> Result<FrameRead, ServiceError> {
     let mut header = [0u8; 10];
-    let (filled, error) = read_all(stream, &mut header, false);
+    let (filled, error) = read_all(stream, &mut header, false, patience);
     *consumed += filled as u64;
     if let Some(e) = error {
         let timed_out = matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut);
         if filled == 0 && timed_out {
             return Ok(FrameRead::Idle);
+        }
+        if timed_out {
+            // Some header bytes arrived and then nothing for a whole
+            // patience window: the peer stalled mid-frame.
+            return Err(ServiceError::Stalled { patience });
         }
         return Err(ServiceError::Io(e));
     }
@@ -82,9 +102,12 @@ pub fn read_frame_counted(
     let mut payload = vec![0u8; len];
     // The header already arrived, so the stream is mid-frame: payload bytes
     // get the same patience even before the first one shows up.
-    let (filled, error) = read_all(stream, &mut payload, true);
+    let (filled, error) = read_all(stream, &mut payload, true, patience);
     *consumed += filled as u64;
     if let Some(e) = error {
+        if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+            return Err(ServiceError::Stalled { patience });
+        }
         return Err(ServiceError::Io(e));
     }
     if filled < len {
@@ -127,6 +150,7 @@ fn read_all(
     stream: &mut impl Read,
     buf: &mut [u8],
     mid_frame: bool,
+    patience: Duration,
 ) -> (usize, Option<std::io::Error>) {
     let mut filled = 0usize;
     // Patience is measured from the last byte of progress, not the start of
@@ -147,7 +171,7 @@ fn read_all(
             Err(e)
                 if (mid_frame || filled > 0)
                     && matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
-                    && last_progress.elapsed() < MID_FRAME_PATIENCE =>
+                    && last_progress.elapsed() < patience =>
             {
                 continue
             }
@@ -245,6 +269,54 @@ mod tests {
         };
         let decoded: Request = read_message(&mut stream, 1024).unwrap().unwrap();
         assert_eq!(decoded, request);
+    }
+
+    /// A stream that delivers a prefix of a frame and then times out on
+    /// every further read, like a slow-loris peer.
+    struct StallAfter {
+        bytes: Vec<u8>,
+        position: usize,
+    }
+
+    impl Read for StallAfter {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.position < self.bytes.len() {
+                buf[0] = self.bytes[self.position];
+                self.position += 1;
+                return Ok(1);
+            }
+            Err(std::io::Error::new(ErrorKind::WouldBlock, "poll timeout"))
+        }
+    }
+
+    #[test]
+    fn mid_frame_stalls_surface_as_typed_errors() {
+        let patience = Duration::from_millis(20);
+        // Stall inside the header: three magic bytes, then silence.
+        let mut stream = StallAfter {
+            bytes: MAGIC[..3].to_vec(),
+            position: 0,
+        };
+        let mut consumed = 0u64;
+        let err = read_frame_counted_with_patience(&mut stream, 1024, &mut consumed, patience)
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Stalled { .. }), "got {err:?}");
+        assert_eq!(consumed, 3, "stalled header bytes still count inbound");
+
+        // Stall inside the payload: the full header arrives, no payload.
+        let frame = Request::Ping.to_framed_bytes();
+        let mut stream = StallAfter {
+            bytes: frame[..10].to_vec(),
+            position: 0,
+        };
+        let mut consumed = 0u64;
+        let err = read_frame_counted_with_patience(&mut stream, 1024, &mut consumed, patience)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Stalled { patience: p } if p == patience
+        ));
+        assert_eq!(consumed, 10);
     }
 
     #[test]

@@ -6,13 +6,23 @@
 //! crates implement that protocol in-process; this crate puts the real
 //! network boundary in, std-only:
 //!
-//! * [`QueryService`] — binds a TCP listener, accepts connections on a fixed
-//!   worker thread pool (`std::thread` + `mpsc`), shares one
-//!   [`vaq_authquery::Server`] behind an `Arc`, answers framed
+//! * [`QueryService`] — binds a TCP listener and multiplexes every accepted
+//!   connection onto one evented reactor thread (std-only: non-blocking
+//!   sockets behind a paced O(n) readiness sweep, a per-connection
+//!   read/write state machine instead of a thread stack), dispatching
+//!   complete frames to a fixed worker pool (`std::thread` + `mpsc`) that
+//!   shares one [`vaq_authquery::Server`] behind an `Arc`. Requests wrapped
+//!   in [`vaq_wire::Request::Tagged`] pipeline concurrently on one
+//!   connection and complete out of order (the correlation tag pairs each
+//!   reply); untagged requests keep the classic strict in-order,
+//!   one-in-flight contract. The service answers framed
 //!   [`vaq_wire::Request`]s with framed [`vaq_wire::Response`]s, keeps a
-//!   bounded LRU cache of encoded responses keyed by canonical query bytes,
-//!   tracks counters + fixed-bucket latency histograms, deduplicates
-//!   concurrent identical queries (single-flight), and shuts down
+//!   bounded LRU cache of encoded responses keyed by epoch-prefixed
+//!   canonical query bytes, tracks counters + fixed-bucket latency
+//!   histograms, deduplicates concurrent identical queries (single-flight),
+//!   sheds over-limit connections with a typed
+//!   [`vaq_wire::ErrorCode::Overloaded`] reply, answers mid-frame stalls
+//!   with a typed [`vaq_wire::ErrorCode::Stalled`] reply, and shuts down
 //!   gracefully via a flag plus a best-effort loopback wakeup over a
 //!   polling accept loop.
 //! * [`ServiceClient`] — a blocking connector whose
@@ -94,12 +104,14 @@
 pub mod cache;
 pub mod client;
 pub mod config;
+pub(crate) mod conn;
 pub mod error;
 pub mod frame;
 pub mod loadgen;
 pub mod metrics;
 pub mod partition;
 pub mod pool;
+pub(crate) mod reactor;
 pub mod server;
 pub mod shard;
 pub mod sync;

@@ -7,9 +7,10 @@ use std::time::{Duration, Instant};
 use vaq_authquery::Query;
 use vaq_crypto::{PublicKey, Verifier};
 use vaq_funcdb::{Dataset, Domain, FunctionTemplate};
+use vaq_wire::{Request, Response};
 use vaq_workload::{QueryGenerator, QueryMix, QuerySpec, WorkItem};
 
-use crate::client::ServiceClient;
+use crate::client::{check_batch_arity, unexpected, ServiceClient};
 use crate::error::ServiceError;
 use crate::shard::{ClientObservability, ShardedClient, ShardedPublication};
 
@@ -57,6 +58,17 @@ pub struct LoadGenerator {
     pub target: LoadTarget,
     /// Concurrent client threads.
     pub clients: usize,
+    /// Connections each client thread opens against a
+    /// [`LoadTarget::Single`] service, so one process simulates
+    /// `clients * connections_per_client` concurrent connections against
+    /// the evented service core (10k+ simulated users from a handful of
+    /// threads). Above 1, each thread drives its fan-out in *waves* of
+    /// tagged requests — one in flight per connection, gathered by
+    /// correlation tag — so the whole fleet is genuinely concurrent rather
+    /// than ticking one closed loop across many sockets. Clamped to at
+    /// least 1. Ignored by the sharded target, where every shard leg is
+    /// already its own connection.
+    pub connections_per_client: usize,
     /// Queries each client issues.
     pub requests_per_client: usize,
     /// The query-kind mix every client draws from.
@@ -82,6 +94,7 @@ impl LoadGenerator {
         LoadGenerator {
             target: LoadTarget::Single(addr),
             clients: clients.max(1),
+            connections_per_client: 1,
             requests_per_client,
             mix: QueryMix::default(),
             seed: 0x10ad,
@@ -100,6 +113,7 @@ impl LoadGenerator {
         LoadGenerator {
             target: LoadTarget::Sharded { addrs, publication },
             clients: clients.max(1),
+            connections_per_client: 1,
             requests_per_client,
             mix: QueryMix::default(),
             seed: 0x10ad,
@@ -204,8 +218,31 @@ impl LoadGenerator {
         let mut generator = QueryGenerator::from_published(domain, score_range, self.seed + index);
         match &self.target {
             LoadTarget::Single(addr) => {
-                let mut client = ServiceClient::connect(addr)?;
+                // One stream per simulated user. A fan-out of 1 is the
+                // classic closed loop; above 1 the thread pipelines a wave
+                // of tagged requests across its connections and gathers
+                // them by correlation tag.
+                let fan_out = self.connections_per_client.max(1);
+                let mut conns: Vec<ServiceClient> = Vec::with_capacity(fan_out);
+                for n in 0..fan_out {
+                    // Ramp the fan-out instead of dialing it as one storm: an
+                    // unpaced burst from every generator thread at once can
+                    // overflow the kernel's listen backlog (the connect
+                    // spinners starve the accept thread on a saturated core),
+                    // and each dropped SYN stalls its client ~1s on a
+                    // retransmit. The pauses bound the dial rate and hand the
+                    // scheduler windows in which the acceptor drains.
+                    if n > 0 && n % CONNECT_RAMP_CHUNK == 0 {
+                        std::thread::sleep(CONNECT_RAMP_PAUSE);
+                    }
+                    conns.push(ServiceClient::connect(addr)?);
+                }
                 let mut outcome = ClientOutcome::default();
+                if fan_out > 1 {
+                    self.drive_waves(&mut generator, &mut conns, &mut outcome)?;
+                    return Ok(outcome);
+                }
+                let client = &mut conns[0];
                 for request_index in 0..self.requests_per_client {
                     match self.mix.generate_item(&mut generator, request_index as u64) {
                         WorkItem::Single(spec) => {
@@ -231,8 +268,8 @@ impl LoadGenerator {
                 Ok(outcome)
             }
             LoadTarget::Sharded { addrs, publication } => {
-                let mut client = ShardedClient::connect(addrs, publication)?;
                 let mut outcome = ClientOutcome::default();
+                let mut client = sharded_connect_with_refresh(addrs, publication, &mut outcome)?;
                 for request_index in 0..self.requests_per_client {
                     // A sharded request is verified end to end or it errors;
                     // there is no unverified sharded read to time. Update
@@ -268,6 +305,63 @@ impl LoadGenerator {
         }
     }
 
+    /// Drives one thread's connection fan-out in waves: each wave sends one
+    /// tagged request on every connection (at most one in flight per
+    /// simulated user), then gathers the responses by correlation tag —
+    /// exercising the service's out-of-order multiplexed completion under
+    /// thousands of concurrent sockets. Latency is measured per request
+    /// from its own send to its own gather.
+    fn drive_waves(
+        &self,
+        generator: &mut QueryGenerator,
+        conns: &mut [ServiceClient],
+        outcome: &mut ClientOutcome,
+    ) -> Result<(), ServiceError> {
+        let fan_out = conns.len();
+        let mut index = 0usize;
+        while index < self.requests_per_client {
+            let wave = fan_out.min(self.requests_per_client - index);
+            let mut in_flight = Vec::with_capacity(wave);
+            for offset in 0..wave {
+                let item = self.mix.generate_item(generator, (index + offset) as u64);
+                let conn = (index + offset) % fan_out;
+                let started = Instant::now();
+                let (request, item) = match item {
+                    WorkItem::Single(spec) => {
+                        let query = spec_to_query(&spec);
+                        (Request::Query(query.clone()), WaveItem::Single(query))
+                    }
+                    WorkItem::Batch(specs) => {
+                        let queries: Vec<Query> = specs.iter().map(spec_to_query).collect();
+                        (Request::Batch(queries.clone()), WaveItem::Batch(queries))
+                    }
+                };
+                let tag = conns[conn].send_tagged(&request)?;
+                in_flight.push((conn, tag, started, item));
+            }
+            for (conn, tag, started, item) in in_flight {
+                match (conns[conn].receive_tagged(tag)?, item) {
+                    (Response::Query { response, .. }, WaveItem::Single(query)) => {
+                        outcome.latencies_micros.push(elapsed_micros(started));
+                        self.verify_one(&query, &response, outcome);
+                    }
+                    (Response::Batch { responses, .. }, WaveItem::Batch(queries)) => {
+                        check_batch_arity(queries.len(), &responses)?;
+                        outcome.batch_latencies_micros.push(elapsed_micros(started));
+                        outcome.batches += 1;
+                        outcome.batch_queries += queries.len();
+                        for (query, response) in queries.iter().zip(&responses) {
+                            self.verify_one(query, response, outcome);
+                        }
+                    }
+                    (other, _) => return Err(unexpected(&other)),
+                }
+            }
+            index += wave;
+        }
+        Ok(())
+    }
+
     /// Verifies one response against the published template and key when
     /// verification is configured, recording the outcome.
     fn verify_one(
@@ -291,9 +385,66 @@ impl LoadGenerator {
     }
 }
 
+/// One wave member awaiting its gather: what was asked, for verification.
+enum WaveItem {
+    Single(Query),
+    Batch(Vec<Query>),
+}
+
 /// Elapsed wall-clock microseconds since `start`, saturated into `u64`.
 fn elapsed_micros(start: Instant) -> u64 {
     start.elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+/// Connects to a sharded deployment riding update churn: a stale-epoch
+/// handshake rejection means the owner republished between the publication
+/// snapshot this run was configured with and the connect — exactly the race
+/// the mid-run refresh machinery already rides, except no client exists yet
+/// to call [`ShardedClient::refresh`] on. Fetch the current signed map from
+/// the attested addresses instead, verify it under the same master key,
+/// adopt it only if it is strictly newer (the same rollback gate
+/// [`ShardedClient::adopt_map`] enforces), and reconnect at the served
+/// epoch, bounded like the per-query retries.
+fn sharded_connect_with_refresh(
+    addrs: &[SocketAddr],
+    publication: &ShardedPublication,
+    outcome: &mut ClientOutcome,
+) -> Result<ShardedClient, ServiceError> {
+    let mut publication = publication.clone();
+    let mut stale_retries = 0usize;
+    loop {
+        match ShardedClient::connect(addrs, &publication) {
+            Ok(client) => return Ok(client),
+            Err(e) if e.is_stale_epoch() && stale_retries < STALE_RETRY_LIMIT => {
+                stale_retries += 1;
+                if let Some(offered) = fetch_signed_map(addrs) {
+                    let verified =
+                        crate::partition::verify_shard_map(&offered, &publication.master_key)
+                            .is_ok();
+                    let current = publication.shard_map.map.epoch;
+                    if verified && vaq_wire::epoch::advances(current, offered.map.epoch) {
+                        publication.shard_map = offered;
+                        outcome.epoch_refreshes += 1;
+                    }
+                }
+                // A rollout flips shards one at a time; give it a moment
+                // before re-handshaking.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Best-effort fetch of the deployment's current signed shard map from any
+/// of the serving addresses; `None` when no address answers.
+fn fetch_signed_map(addrs: &[SocketAddr]) -> Option<vaq_wire::SignedShardMap> {
+    for addr in addrs {
+        if let Ok(map) = ServiceClient::connect(*addr).and_then(|mut c| c.shard_map()) {
+            return Some(map);
+        }
+    }
+    None
 }
 
 /// Runs one sharded call, riding update churn: typed stale-epoch rejections
@@ -327,6 +478,17 @@ fn sharded_with_refresh(
 /// most a handful of refresh cycles; a bound keeps a wedged deployment from
 /// spinning forever.
 const STALE_RETRY_LIMIT: usize = 200;
+
+/// Connection-ramp shape for a [`LoadConfig::connections_per_client`]
+/// fan-out: each generator thread dials this many sockets back-to-back,
+/// then pauses [`CONNECT_RAMP_PAUSE`] before the next chunk. Measured on a
+/// single-core box, an unpaced 4×1280 storm overflowed the listen backlog
+/// into dozens of ~1s SYN-retransmit stalls (25s+ to connect the fleet);
+/// this ramp connects the same fleet in ~2s with at most a handful.
+const CONNECT_RAMP_CHUNK: usize = 64;
+
+/// See [`CONNECT_RAMP_CHUNK`].
+const CONNECT_RAMP_PAUSE: Duration = Duration::from_millis(2);
 
 #[derive(Default)]
 struct ClientOutcome {

@@ -226,6 +226,10 @@ pub struct Metrics {
     pub bytes_out: AtomicU64,
     /// Error replies sent.
     pub errors: AtomicU64,
+    /// Connections shed at the configured connection limit (each also
+    /// records a typed [`ErrorCode::Overloaded`] reply in the per-code
+    /// breakdown).
+    pub connections_shed: AtomicU64,
     per_error: [AtomicU64; ErrorCode::ALL.len()],
     latency: [Histogram; 4],
     stage_latency: [Histogram; STAGES],
@@ -242,6 +246,7 @@ impl Default for Metrics {
             bytes_in: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            connections_shed: AtomicU64::new(0),
             per_error: Default::default(),
             latency: Default::default(),
             stage_latency: Default::default(),

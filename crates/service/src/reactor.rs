@@ -1,0 +1,506 @@
+//! The evented reactor: one thread multiplexing every client connection.
+//!
+//! std-only, no `epoll`/`kqueue`: every socket is non-blocking and the
+//! reactor sweeps them in an O(n) readiness scan, sleeping briefly on the
+//! completion channel (so a finishing worker wakes it instantly) only when
+//! a full sweep made no progress. Request execution stays on the worker
+//! pool: the reactor turns complete frames into [`Job`]s, workers send
+//! framed responses back as [`Completion`]s, and the reactor owns every
+//! socket write — a connection never pins a thread.
+//!
+//! Dispatch policy per connection: untagged requests keep the classic
+//! one-lane contract (answered strictly in order, at most one in flight);
+//! tagged requests ([`vaq_wire::Request::Tagged`]) dispatch greedily and
+//! complete out of order, which is what lets one connection pipeline many
+//! concurrent requests.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vaq_wire::{ErrorCode, Request, Response, WireEncode};
+
+use crate::conn::{Conn, PendingRequest, FRAME_HEADER_LEN};
+use crate::error::ServiceError;
+use crate::metrics::Metrics;
+use crate::server::{error_response, finish_request, handle_request, Shared};
+use crate::trace::Trace;
+
+/// How long an idle sweep sleeps on the completion channel before
+/// rescanning; a completion arriving ends the nap early.
+const IDLE_NAP: Duration = Duration::from_micros(500);
+
+/// Read-scan pacing: after each O(n) scan the reactor waits at least
+/// `SCAN_PACE_FACTOR` times the scan's own duration before scanning again,
+/// bounding the scan's CPU share to `1 / (1 + factor)`. Small fleets scan
+/// in microseconds and are effectively unpaced; a 10k-connection fleet
+/// degrades to a few milliseconds of added read latency instead of a
+/// non-blocking-read syscall storm that starves the worker threads.
+/// Finished responses never wait on the pace — completions flush their
+/// connection's writes immediately.
+const SCAN_PACE_FACTOR: u32 = 3;
+
+/// Most buffered requests per connection before the reactor stops reading
+/// it and lets TCP backpressure throttle the peer.
+const MAX_CONN_BACKLOG: usize = 128;
+
+/// How long graceful shutdown waits for in-flight requests to complete.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// How long graceful shutdown spends flushing final replies.
+const FLUSH_DEADLINE: Duration = Duration::from_secs(1);
+
+/// One received request headed for the worker pool.
+pub(crate) struct Job {
+    conn_id: u64,
+    tag: Option<u64>,
+    payload: Vec<u8>,
+    queued: Instant,
+    completions: Sender<Completion>,
+}
+
+/// A worker's finished response frame headed back to the reactor.
+pub(crate) struct Completion {
+    conn_id: u64,
+    tag: Option<u64>,
+    frame: Vec<u8>,
+    trace: Trace,
+}
+
+/// Runs one job on a worker thread: decode, dispatch, encode — everything
+/// but the socket write, which the reactor owns.
+pub(crate) fn run_job(shared: &Shared, job: Job) {
+    let mut trace = Trace::begin(job.queued.elapsed());
+    let frame = handle_request(shared, &job.payload, &mut trace);
+    let frame = match job.tag {
+        // Re-wrap without decoding: the result is byte-identical to
+        // encoding `Response::Tagged` directly, so cached frames stay
+        // shared between tagged and untagged callers.
+        Some(tag) => {
+            Response::tagged_frame_from_payload(tag, frame.get(FRAME_HEADER_LEN..).unwrap_or(&[]))
+        }
+        None => frame,
+    };
+    let _ = job.completions.send(Completion {
+        conn_id: job.conn_id,
+        tag: job.tag,
+        frame,
+        trace,
+    });
+}
+
+/// The reactor entry point, run on its own thread until shutdown.
+pub(crate) fn run(
+    shared: Arc<Shared>,
+    registrations: Receiver<TcpStream>,
+    jobs: SyncSender<Job>,
+    completions_tx: Sender<Completion>,
+    completions_rx: Receiver<Completion>,
+    conn_count: Arc<AtomicUsize>,
+) {
+    let mut reactor = Reactor {
+        shared,
+        jobs,
+        completions_tx,
+        conn_count,
+        conns: HashMap::new(),
+        next_id: 0,
+        dispatch_backlog: VecDeque::new(),
+    };
+    let mut next_scan = Instant::now();
+    let mut flush: Vec<u64> = Vec::new();
+    loop {
+        let mut busy = false;
+        while let Ok(stream) = registrations.try_recv() {
+            reactor.register(stream);
+            busy = true;
+        }
+        while let Ok(completion) = completions_rx.try_recv() {
+            flush.push(completion.conn_id);
+            reactor.complete(completion);
+            busy = true;
+        }
+        // Completed responses leave the process now, not at the next paced
+        // scan — and the freed untagged lane dispatches its next request.
+        busy |= reactor.flush_completed(&mut flush);
+        if Instant::now() >= next_scan {
+            let started = Instant::now();
+            busy |= reactor.sweep();
+            next_scan = Instant::now() + started.elapsed() * SCAN_PACE_FACTOR;
+        }
+        if reactor.shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if !busy {
+            // The reactor itself holds a completion sender, so this can
+            // only wake on a worker's completion or time out.
+            if let Ok(completion) = completions_rx.recv_timeout(IDLE_NAP) {
+                flush.push(completion.conn_id);
+                reactor.complete(completion);
+            }
+        }
+    }
+    reactor.drain(&completions_rx);
+    // Dropping the reactor drops the only job sender; the workers drain the
+    // queue and exit, and `QueryService::shutdown` joins them.
+}
+
+struct Reactor {
+    shared: Arc<Shared>,
+    jobs: SyncSender<Job>,
+    completions_tx: Sender<Completion>,
+    conn_count: Arc<AtomicUsize>,
+    conns: HashMap<u64, Conn>,
+    next_id: u64,
+    /// Connections holding requests that could not be handed to the worker
+    /// pool (the bounded job queue was full). Each completion frees a queue
+    /// slot, and the backlog refills it in FIFO order instead of leaving
+    /// blocked connections waiting for the next paced scan.
+    dispatch_backlog: VecDeque<u64>,
+}
+
+impl Reactor {
+    /// Adopts a connection the accept thread handed over (already
+    /// non-blocking, nodelay set, counted in `conn_count`).
+    fn register(&mut self, stream: TcpStream) {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        self.conns.insert(id, Conn::new(stream));
+    }
+
+    /// Routes one finished response frame onto its connection's write
+    /// queue. A connection that died while the request was in flight just
+    /// drops the frame — there is nowhere left to write it.
+    fn complete(&mut self, completion: Completion) {
+        let Some(conn) = self.conns.get_mut(&completion.conn_id) else {
+            return;
+        };
+        match completion.tag {
+            Some(tag) => {
+                conn.tags_in_flight.remove(&tag);
+            }
+            None => conn.untagged_in_flight = false,
+        }
+        conn.enqueue(completion.frame, Some(completion.trace), false);
+    }
+
+    /// One readiness pass over every connection: reads, dispatch, timers,
+    /// writes, closes. Returns whether any progress happened.
+    fn sweep(&mut self) -> bool {
+        let mut busy = false;
+        let mut dead = Vec::new();
+        let max_frame = self.shared.config.max_frame_bytes;
+        let patience = self.shared.config.mid_frame_patience;
+        let idle_budget = self.shared.config.read_timeout;
+        for (&id, conn) in self.conns.iter_mut() {
+            let mut consumed = 0u64;
+            let pass = conn.pump_reads(max_frame, MAX_CONN_BACKLOG, &mut consumed);
+            if consumed > 0 {
+                Metrics::add(&self.shared.metrics.bytes_in, consumed);
+                busy = true;
+            }
+            for payload in pass.frames {
+                queue_request(conn, payload);
+            }
+            if let Some(error) = pass.error {
+                frame_error(&self.shared, conn, error);
+            }
+            // A stalled peer: the stream offset is stuck inside a frame and
+            // no byte has arrived for a whole patience window.
+            if !conn.reads_done && conn.mid_frame() && conn.last_progress.elapsed() >= patience {
+                frame_error(&self.shared, conn, ServiceError::Stalled { patience });
+            }
+            busy |= dispatch(&self.shared, &self.jobs, &self.completions_tx, id, conn);
+            if conn.wants_dispatch() && !conn.in_backlog {
+                // The job queue was full; remember the connection so the
+                // next completion refills the freed slot from here.
+                conn.in_backlog = true;
+                self.dispatch_backlog.push_back(id);
+            }
+            let wrote = conn.pump_writes();
+            if wrote.bytes > 0 {
+                Metrics::add(&self.shared.metrics.bytes_out, wrote.bytes);
+                busy = true;
+            }
+            for trace in wrote.finished {
+                finish_request(&self.shared, &trace);
+            }
+            if wrote.close || conn.drained() {
+                dead.push(id);
+                continue;
+            }
+            // A quiet connection past its read-timeout budget closes
+            // silently, exactly like the old per-connection idle budget.
+            let quiet = !conn.mid_frame()
+                && conn.pending() == 0
+                && conn.in_flight() == 0
+                && !conn.wants_write();
+            if let (true, Some(limit)) = (quiet, idle_budget) {
+                if conn.last_progress.elapsed() >= limit {
+                    dead.push(id);
+                }
+            }
+        }
+        for id in dead {
+            self.close(id);
+        }
+        busy
+    }
+
+    fn close(&mut self, id: u64) {
+        if self.conns.remove(&id).is_some() {
+            self.conn_count.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Dispatch-and-write pass over just the connections whose requests
+    /// completed since the last loop turn: their response frames go out (and
+    /// their untagged lane refills) without waiting for the paced full scan.
+    fn flush_completed(&mut self, ids: &mut Vec<u64>) -> bool {
+        ids.sort_unstable();
+        ids.dedup();
+        let mut busy = false;
+        for id in ids.drain(..) {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                continue;
+            };
+            busy |= dispatch(&self.shared, &self.jobs, &self.completions_tx, id, conn);
+            if conn.wants_dispatch() && !conn.in_backlog {
+                conn.in_backlog = true;
+                self.dispatch_backlog.push_back(id);
+            }
+            let wrote = conn.pump_writes();
+            if wrote.bytes > 0 {
+                Metrics::add(&self.shared.metrics.bytes_out, wrote.bytes);
+                busy = true;
+            }
+            for trace in wrote.finished {
+                finish_request(&self.shared, &trace);
+            }
+            if wrote.close || conn.drained() {
+                self.close(id);
+                busy = true;
+            }
+        }
+        // Refill the worker-queue slots the completions above just freed
+        // from connections whose dispatch was blocked on a full queue.
+        while let Some(id) = self.dispatch_backlog.pop_front() {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                continue; // closed while waiting
+            };
+            conn.in_backlog = false;
+            busy |= dispatch(&self.shared, &self.jobs, &self.completions_tx, id, conn);
+            if conn.wants_dispatch() {
+                // Queue is full again; keep this connection at the head so
+                // backlog order stays FIFO.
+                conn.in_backlog = true;
+                self.dispatch_backlog.push_front(id);
+                break;
+            }
+        }
+        busy
+    }
+
+    /// Graceful shutdown: stop reading, bounded-drain in-flight requests
+    /// (flushing responses as they land), then a best-effort typed
+    /// `ShuttingDown` reply on every surviving connection before the close.
+    fn drain(mut self, completions_rx: &Receiver<Completion>) {
+        for conn in self.conns.values_mut() {
+            conn.reads_done = true;
+            conn.pending_untagged.clear();
+            conn.pending_tagged.clear();
+        }
+        let deadline = Instant::now() + DRAIN_DEADLINE;
+        while self.conns.values().any(|c| c.in_flight() > 0) && Instant::now() < deadline {
+            match completions_rx.recv_timeout(Duration::from_millis(5)) {
+                Ok(completion) => self.complete(completion),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            self.flush_all();
+        }
+        let goodbye = error_response(
+            &self.shared,
+            ErrorCode::ShuttingDown,
+            "service is shutting down".into(),
+        )
+        .to_framed_bytes();
+        for conn in self.conns.values_mut() {
+            conn.enqueue(goodbye.clone(), None, true);
+        }
+        let flush_deadline = Instant::now() + FLUSH_DEADLINE;
+        while !self.conns.is_empty() && Instant::now() < flush_deadline {
+            if !self.flush_all() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        self.conn_count
+            .fetch_sub(self.conns.len(), Ordering::SeqCst);
+        self.conns.clear();
+    }
+
+    /// One write-only sweep; returns whether any bytes moved or connections
+    /// closed.
+    fn flush_all(&mut self) -> bool {
+        let mut busy = false;
+        let mut dead = Vec::new();
+        for (&id, conn) in self.conns.iter_mut() {
+            if !conn.wants_write() {
+                continue;
+            }
+            let wrote = conn.pump_writes();
+            if wrote.bytes > 0 {
+                Metrics::add(&self.shared.metrics.bytes_out, wrote.bytes);
+                busy = true;
+            }
+            for trace in wrote.finished {
+                finish_request(&self.shared, &trace);
+            }
+            if wrote.close {
+                dead.push(id);
+            }
+        }
+        for id in dead {
+            self.close(id);
+            busy = true;
+        }
+        busy
+    }
+}
+
+/// Splits the optional tag envelope off one received payload and queues it
+/// for dispatch.
+fn queue_request(conn: &mut Conn, payload: Vec<u8>) {
+    let received = Instant::now();
+    match Request::split_tagged(&payload) {
+        Some((tag, inner)) => conn.pending_tagged.push_back(PendingRequest {
+            tag: Some(tag),
+            payload: inner.to_vec(),
+            received,
+        }),
+        None => conn.pending_untagged.push_back(PendingRequest {
+            tag: None,
+            payload,
+            received,
+        }),
+    }
+}
+
+/// Answers a frame-level failure with a best-effort typed reply and marks
+/// the connection close-after-flush; a transport failure closes it
+/// outright. Typed replies count as served once written — the documented
+/// contract is that `requests_served` includes error replies.
+fn frame_error(shared: &Shared, conn: &mut Conn, error: ServiceError) {
+    conn.reads_done = true;
+    conn.pending_untagged.clear();
+    conn.pending_tagged.clear();
+    let reply = match error {
+        ServiceError::FrameTooLarge { declared, limit } => error_response(
+            shared,
+            ErrorCode::FrameTooLarge,
+            format!("frame of {declared} bytes exceeds the {limit}-byte limit"),
+        ),
+        ServiceError::Wire(e) => {
+            error_response(shared, ErrorCode::Malformed, format!("bad frame: {e}"))
+        }
+        ServiceError::Stalled { patience } => error_response(
+            shared,
+            ErrorCode::Stalled,
+            format!("no bytes for {patience:?} inside a started frame; reconnect"),
+        ),
+        // The socket itself failed; there is no way to deliver a reply.
+        _ => {
+            conn.abort();
+            return;
+        }
+    };
+    conn.enqueue(
+        reply.to_framed_bytes(),
+        Some(Trace::begin(Duration::ZERO)),
+        true,
+    );
+}
+
+/// Moves eligible pending requests onto the worker queue; returns whether
+/// anything dispatched (or was answered inline).
+fn dispatch(
+    shared: &Shared,
+    jobs: &SyncSender<Job>,
+    completions: &Sender<Completion>,
+    conn_id: u64,
+    conn: &mut Conn,
+) -> bool {
+    let mut busy = false;
+    // Tagged requests dispatch greedily; each completes independently.
+    while let Some(next) = conn.pending_tagged.pop_front() {
+        let Some(tag) = next.tag else { continue };
+        if conn.tags_in_flight.contains(&tag) {
+            // A tag reused while still in flight could never be answered
+            // unambiguously; refuse it with a typed, still-tagged reply.
+            let reply = error_response(
+                shared,
+                ErrorCode::Malformed,
+                format!("correlation tag {tag} is already in flight on this connection"),
+            );
+            let frame = Response::Tagged {
+                tag,
+                response: Box::new(reply),
+            }
+            .to_framed_bytes();
+            conn.enqueue(frame, Some(Trace::begin(next.received.elapsed())), false);
+            busy = true;
+            continue;
+        }
+        match jobs.try_send(Job {
+            conn_id,
+            tag: Some(tag),
+            payload: next.payload,
+            queued: next.received,
+            completions: completions.clone(),
+        }) {
+            Ok(()) => {
+                conn.tags_in_flight.insert(tag);
+                busy = true;
+            }
+            Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => {
+                // The pool is saturated (or shutting down); put it back and
+                // retry next sweep.
+                conn.pending_tagged.push_front(PendingRequest {
+                    tag: job.tag,
+                    payload: job.payload,
+                    received: job.queued,
+                });
+                return busy;
+            }
+        }
+    }
+    // Untagged requests keep the strict in-order contract: at most one in
+    // flight, so replies are written in arrival order.
+    if !conn.untagged_in_flight {
+        if let Some(next) = conn.pending_untagged.pop_front() {
+            match jobs.try_send(Job {
+                conn_id,
+                tag: None,
+                payload: next.payload,
+                queued: next.received,
+                completions: completions.clone(),
+            }) {
+                Ok(()) => {
+                    conn.untagged_in_flight = true;
+                    busy = true;
+                }
+                Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => {
+                    conn.pending_untagged.push_front(PendingRequest {
+                        tag: None,
+                        payload: job.payload,
+                        received: job.queued,
+                    });
+                }
+            }
+        }
+    }
+    busy
+}

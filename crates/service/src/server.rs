@@ -1,14 +1,15 @@
-//! The running query service: TCP accept loop, worker pool, request
-//! dispatch, response cache and graceful shutdown.
+//! The running query service: evented reactor core, accept/shed loop,
+//! worker pool, request dispatch, response cache and graceful shutdown.
 
 use std::collections::HashMap;
+use std::io::Write;
 use std::net::{Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{SyncSender, TrySendError};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use vaq_authquery::Server;
 use vaq_wire::epoch;
@@ -20,14 +21,14 @@ use vaq_wire::{
 use crate::cache::LruCache;
 use crate::config::ServiceConfig;
 use crate::error::ServiceError;
-use crate::frame::{read_frame_counted, FrameRead};
 use crate::metrics::{CacheGauges, Metrics, RequestKind, Stage};
 use crate::pool::WorkerPool;
+use crate::reactor::{self, Job};
 use crate::sync::{rank, OrderedCondvar, OrderedMutex};
 use crate::trace::Trace;
 
-/// State shared between the accept loop and every worker.
-struct Shared {
+/// State shared between the accept thread, the reactor and every worker.
+pub(crate) struct Shared {
     /// The currently serving dataset + authenticated structure. Swapped
     /// atomically by [`QueryService::republish`]: every request resolves
     /// this `Arc` exactly once, so a single response can never mix records
@@ -36,11 +37,11 @@ struct Shared {
     /// The owner-signed shard map this service publishes to clients (reply
     /// to [`Request::ShardMap`]); `None` on a standalone service.
     shard_map: OrderedMutex<Option<Arc<SignedShardMap>>>,
-    config: ServiceConfig,
-    metrics: Metrics,
+    pub(crate) config: ServiceConfig,
+    pub(crate) metrics: Metrics,
     cache: OrderedMutex<LruCache>,
     flight: SingleFlight,
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
 }
 
 impl Shared {
@@ -81,15 +82,20 @@ fn epoch_cache_key(epoch: u64, canonical: &[u8]) -> Vec<u8> {
 
 /// A running networked query service over one [`Server`].
 ///
-/// Binds a TCP listener, accepts connections on an accept thread and serves
-/// them on a fixed-size worker pool. Each connection carries any number of
-/// framed [`Request`]s, answered in order with framed [`Response`]s.
-/// Dropping the service (or calling [`QueryService::shutdown`]) stops the
-/// listener, drains the workers and joins every thread.
+/// Binds a TCP listener and multiplexes every accepted connection on one
+/// evented reactor thread (non-blocking sockets behind an O(n) readiness
+/// sweep); request execution runs on a fixed-size worker pool, so thousands
+/// of open connections cost no worker. Each connection carries any number
+/// of framed [`Request`]s: untagged requests are answered strictly in
+/// order, while [`Request::Tagged`] requests pipeline and complete out of
+/// order, re-associated by their correlation tag. Dropping the service (or
+/// calling [`QueryService::shutdown`]) stops the listener, drains in-flight
+/// work and joins every thread.
 pub struct QueryService {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
+    reactor_thread: Option<JoinHandle<()>>,
     pool: Option<WorkerPool>,
     workers: usize,
 }
@@ -106,11 +112,11 @@ impl std::fmt::Debug for QueryService {
 impl QueryService {
     /// Binds the configured address and starts serving `server`'s dataset.
     ///
-    /// Each worker thread owns one connection at a time, so size
-    /// [`ServiceConfig::workers`] to the number of concurrent persistent
-    /// connections expected. Up to `2 * workers` further connections queue
-    /// for a free worker; beyond that the accept loop sheds new connections
-    /// (closing them immediately) rather than buffering without bound.
+    /// Connections are multiplexed by one evented reactor thread, so
+    /// [`ServiceConfig::workers`] sizes concurrent request *execution*, not
+    /// concurrent connections — [`ServiceConfig::max_connections`] bounds
+    /// those, and a connection beyond the limit is shed with a best-effort
+    /// typed [`ErrorCode::Overloaded`] reply instead of a silent close.
     pub fn bind(mut config: ServiceConfig, server: Server) -> Result<QueryService, ServiceError> {
         let listener = TcpListener::bind(config.bind_addr)?;
         let local_addr = listener.local_addr()?;
@@ -137,20 +143,48 @@ impl QueryService {
         });
 
         let worker_shared = Arc::clone(&shared);
-        let (pool, sender) =
-            WorkerPool::spawn(workers, move |(stream, accepted): (TcpStream, Instant)| {
-                handle_connection(&worker_shared, stream, accepted);
+        let (completions_tx, completions_rx) = mpsc::channel();
+        let (pool, jobs) = WorkerPool::spawn(workers, move |job: Job| {
+            reactor::run_job(&worker_shared, job);
+        })?;
+
+        let conn_count = Arc::new(AtomicUsize::new(0));
+        let (register_tx, register_rx) = mpsc::channel();
+        let reactor_shared = Arc::clone(&shared);
+        let reactor_count = Arc::clone(&conn_count);
+        let reactor_thread = std::thread::Builder::new()
+            .name("vaq-service-reactor".into())
+            .spawn(move || {
+                reactor::run(
+                    reactor_shared,
+                    register_rx,
+                    jobs,
+                    completions_tx,
+                    completions_rx,
+                    reactor_count,
+                )
             })?;
 
         let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::Builder::new()
+        let accept_thread = match std::thread::Builder::new()
             .name("vaq-service-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared, sender))?;
+            .spawn(move || accept_loop(listener, accept_shared, register_tx, conn_count))
+        {
+            Ok(handle) => handle,
+            Err(e) => {
+                // The reactor is already running; tell it to exit before
+                // reporting the failure, or its thread would leak.
+                shared.shutdown.store(true, Ordering::SeqCst);
+                let _ = reactor_thread.join();
+                return Err(ServiceError::Io(e));
+            }
+        };
 
         Ok(QueryService {
             shared,
             local_addr,
             accept_thread: Some(accept_thread),
+            reactor_thread: Some(reactor_thread),
             pool: Some(pool),
             workers,
         })
@@ -223,6 +257,13 @@ impl QueryService {
         self.shared.snapshot(self.epoch())
     }
 
+    /// Connections shed so far at the [`ServiceConfig::max_connections`]
+    /// limit; each also shows up as an [`ErrorCode::Overloaded`] entry in
+    /// the per-code error breakdown.
+    pub fn connections_shed(&self) -> u64 {
+        Metrics::get(&self.shared.metrics.connections_shed)
+    }
+
     /// A point-in-time deep snapshot: the flat counters plus per-stage
     /// latency histograms and per-kind stage attribution.
     pub fn stats_deep(&self) -> StatsDeep {
@@ -253,8 +294,13 @@ impl QueryService {
         if let Some(thread) = self.accept_thread.take() {
             let _ = thread.join();
         }
-        // The accept thread owned the only work sender, so once it exits the
-        // workers drain the queue and stop.
+        // The reactor sees the flag, bounded-drains in-flight requests,
+        // answers every surviving connection with a typed ShuttingDown
+        // reply and exits — dropping the only job sender…
+        if let Some(thread) = self.reactor_thread.take() {
+            let _ = thread.join();
+        }
+        // …so the workers drain the queue and stop.
         if let Some(pool) = self.pool.take() {
             pool.join();
         }
@@ -278,37 +324,80 @@ fn wake_addr(bound: SocketAddr) -> SocketAddr {
     }
 }
 
-/// How long the accept loop sleeps when no connection is pending. Bounds
-/// both shutdown latency (when the loopback wakeup cannot connect) and the
-/// worst-case accept delay for a connection arriving on an idle listener.
+/// The accept loop's *idle* nap ceiling. Bounds both shutdown latency
+/// (when the loopback wakeup cannot connect) and the worst-case accept
+/// delay for a connection arriving on an idle listener.
 const ACCEPT_POLL: Duration = Duration::from_millis(15);
+
+/// The accept loop's nap floor once it falls back to sleeping. Doubling
+/// from here toward [`ACCEPT_POLL`] goes quiet quickly on an idle
+/// listener while staying responsive to a trickle of connects.
+const ACCEPT_POLL_MIN: Duration = Duration::from_micros(200);
+
+/// How many times the accept loop *yields* its timeslice — staying
+/// runnable — on a drained backlog before it starts sleeping. A connect
+/// storm (the load generator opens thousands of sockets back-to-back)
+/// overflows the kernel's fixed listen backlog if the acceptor ever
+/// sleeps mid-storm: a sleeping thread leaves the run queue, and on a
+/// saturated core it wakes behind every connect-spinning client thread —
+/// a gap long enough to queue more connections than the backlog holds,
+/// and each dropped SYN stalls its client on a ~1s retransmit. Yielding
+/// keeps the thread schedulable at its fair share for the whole storm, so
+/// the backlog drains every few timeslices; only after this many empty
+/// polls in a row does the loop conclude the storm is over and back off
+/// to sleeping.
+const ACCEPT_YIELD_BURST: u32 = 64;
+
+/// How long the shed path's best-effort blocking write of the typed
+/// `Overloaded` reply may take before the connection is dropped anyway.
+const SHED_REPLY_BUDGET: Duration = Duration::from_millis(250);
 
 fn accept_loop(
     listener: TcpListener,
     shared: Arc<Shared>,
-    sender: SyncSender<(TcpStream, Instant)>,
+    register: Sender<TcpStream>,
+    conn_count: Arc<AtomicUsize>,
 ) {
+    let mut nap = ACCEPT_POLL_MIN;
+    let mut empty_polls = 0u32;
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
         match listener.accept() {
             Ok((stream, _)) => {
-                // Bounded hand-off: when every worker is busy and the queue
-                // is full, shed the connection instead of buffering
-                // unboundedly (the drop closes the socket — an immediate,
-                // unambiguous signal to the client). `try_send` also keeps
-                // this loop non-blocking so shutdown is never delayed behind
-                // a full queue. The accept instant rides along so the first
-                // request can attribute its queue wait.
-                match sender.try_send((stream, Instant::now())) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full((rejected, _))) => drop(rejected),
-                    Err(TrySendError::Disconnected(_)) => break,
+                nap = ACCEPT_POLL_MIN;
+                empty_polls = 0;
+                // Bounded connection table: at the limit the connection is
+                // shed with a typed reply — an unambiguous signal to the
+                // client — instead of the silent close it used to get.
+                if conn_count.load(Ordering::SeqCst) >= shared.config.max_connections {
+                    shed(&shared, stream);
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                // The reactor multiplexes this socket; it must never block.
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                conn_count.fetch_add(1, Ordering::SeqCst);
+                if register.send(stream).is_err() {
+                    conn_count.fetch_sub(1, Ordering::SeqCst);
+                    break;
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
+                if empty_polls < ACCEPT_YIELD_BURST {
+                    // Mid-storm (or just after one): stay runnable so the
+                    // scheduler keeps this thread in the rotation and the
+                    // listen backlog cannot overflow behind a sleep.
+                    empty_polls += 1;
+                    std::thread::yield_now();
+                } else {
+                    // Idle: exponential backoff toward the nap ceiling.
+                    std::thread::sleep(nap);
+                    nap = (nap * 2).min(ACCEPT_POLL);
+                }
             }
             // Transient accept errors (e.g. a peer resetting mid-handshake)
             // must not kill the service; back off briefly so a persistent
@@ -316,111 +405,33 @@ fn accept_loop(
             Err(_) => std::thread::sleep(Duration::from_millis(10)),
         }
     }
-    // `sender` drops here; workers exit after draining the queue.
+    // `register` drops here; the reactor stops seeing new connections.
 }
 
-/// How often a worker wakes from a blocking read to check the shutdown
-/// flag and the connection's idle budget.
-const POLL_INTERVAL: Duration = Duration::from_millis(100);
-
-/// Serves one connection: a loop of framed requests answered in order.
-fn handle_connection(shared: &Shared, mut stream: TcpStream, accepted: Instant) {
-    // Accept-to-pickup delay: charged as queue wait to the connection's
-    // first request (later requests on the persistent connection never
-    // queued, so they see zero).
-    let mut queue_wait = Some(accepted.elapsed());
-    // On BSD-derived platforms an accepted socket inherits the listener's
-    // non-blocking flag (the listener polls non-blocking for shutdown);
-    // reads on this connection must block up to the poll timeout below, not
-    // spin through the idle budget in microseconds.
+/// Sheds one over-limit connection: counted, answered with a best-effort
+/// typed [`ErrorCode::Overloaded`] reply, then closed.
+fn shed(shared: &Shared, mut stream: TcpStream) {
+    Metrics::add(&shared.metrics.connections_shed, 1);
+    let reply = error_response(
+        shared,
+        ErrorCode::Overloaded,
+        "service is at its connection limit; retry later".into(),
+    );
+    let frame = reply.to_framed_bytes();
+    // The accepted socket inherits the listener's non-blocking flag on some
+    // platforms; the one-shot reply below wants a short blocking write.
     let _ = stream.set_nonblocking(false);
-    let _ = stream.set_nodelay(true);
-    // A short poll timeout (instead of one long read timeout) keeps
-    // graceful shutdown prompt even while a client holds its connection
-    // open; the configured read timeout becomes an idle budget.
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let mut idle = Duration::ZERO;
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            let reply = error_response(
-                shared,
-                ErrorCode::ShuttingDown,
-                "service is shutting down".into(),
-            );
-            let _ = write_frame_counted(shared, &mut stream, &reply);
-            break;
-        }
-        // Count every byte consumed off the wire — including the header and
-        // partial payload of frames that are then rejected as oversized,
-        // malformed or truncated. Error paths are still inbound traffic.
-        let mut consumed = 0u64;
-        let outcome = read_frame_counted(&mut stream, shared.config.max_frame_bytes, &mut consumed);
-        if consumed > 0 {
-            Metrics::add(&shared.metrics.bytes_in, consumed);
-        }
-        let payload = match outcome {
-            Ok(FrameRead::Payload(payload)) => {
-                idle = Duration::ZERO;
-                payload
-            }
-            Ok(FrameRead::Closed) => break,
-            Ok(FrameRead::Idle) => {
-                idle += POLL_INTERVAL;
-                match shared.config.read_timeout {
-                    Some(limit) if idle >= limit => break,
-                    _ => continue,
-                }
-            }
-            Err(ServiceError::FrameTooLarge { declared, limit }) => {
-                let mut trace = Trace::begin(queue_wait.take().unwrap_or_default());
-                let reply = error_response(
-                    shared,
-                    ErrorCode::FrameTooLarge,
-                    format!("frame of {declared} bytes exceeds the {limit}-byte limit"),
-                );
-                // These error replies answer a received (if unusable) request,
-                // so they count as served — the documented contract is that
-                // `requests_served` includes error replies.
-                let written = trace.time(Stage::Write, || {
-                    write_frame_counted(shared, &mut stream, &reply)
-                });
-                if written.is_ok() {
-                    finish_request(shared, &trace);
-                }
-                break;
-            }
-            Err(ServiceError::Wire(e)) => {
-                // After a corrupt header the stream offset is unknown; reply
-                // if possible, then drop the connection.
-                let mut trace = Trace::begin(queue_wait.take().unwrap_or_default());
-                let reply = error_response(shared, ErrorCode::Malformed, format!("bad frame: {e}"));
-                let written = trace.time(Stage::Write, || {
-                    write_frame_counted(shared, &mut stream, &reply)
-                });
-                if written.is_ok() {
-                    finish_request(shared, &trace);
-                }
-                break;
-            }
-            Err(_) => break,
-        };
-
-        let mut trace = Trace::begin(queue_wait.take().unwrap_or_default());
-        let response_frame = handle_request(shared, &payload, &mut trace);
-        let written = trace.time(Stage::Write, || {
-            write_raw_counted(shared, &mut stream, &response_frame)
-        });
-        if written.is_err() {
-            break;
-        }
-        finish_request(shared, &trace);
+    let _ = stream.set_write_timeout(Some(SHED_REPLY_BUDGET));
+    if stream.write_all(&frame).is_ok() {
+        Metrics::add(&shared.metrics.bytes_out, frame.len() as u64);
     }
 }
 
 /// Counts one fully served request and folds its trace into the metrics;
 /// emits a slow-request log line when the request crossed the configured
-/// threshold.
-fn finish_request(shared: &Shared, trace: &Trace) {
+/// threshold. The reactor calls this once the response frame fully drains
+/// to the socket, with the measured write time already charged.
+pub(crate) fn finish_request(shared: &Shared, trace: &Trace) {
     Metrics::add(&shared.metrics.requests_served, 1);
     let total = trace.total();
     shared
@@ -438,7 +449,12 @@ fn finish_request(shared: &Shared, trace: &Trace) {
 }
 
 /// Decodes and dispatches one request, returning the framed response bytes.
-fn handle_request(shared: &Shared, payload: &[u8], trace: &mut Trace) -> Vec<u8> {
+///
+/// Runs on a worker thread; `payload` is the request's wire encoding with
+/// any tag envelope already stripped by the reactor, which also re-wraps
+/// the returned frame for tagged requests — so the response cache holds one
+/// shared entry per query regardless of how it was enveloped.
+pub(crate) fn handle_request(shared: &Shared, payload: &[u8], trace: &mut Trace) -> Vec<u8> {
     let request = match trace.time(Stage::Decode, || Request::from_wire_bytes(payload)) {
         Ok(request) => request,
         Err(e) => {
@@ -525,6 +541,15 @@ fn handle_request(shared: &Shared, payload: &[u8], trace: &mut Trace) -> Vec<u8>
             }
             batch_response(shared, &serving, epoch, &queries, trace)
         }
+        // The reactor strips the tag envelope before dispatch, so a payload
+        // that still decodes as `Tagged` here was wrapped twice — a client
+        // bug the wire format itself also rejects one level deeper.
+        Request::Tagged { tag, .. } => error_response(
+            shared,
+            ErrorCode::Malformed,
+            format!("tagged envelope cannot nest (tag {tag})"),
+        )
+        .to_framed_bytes(),
     }
 }
 
@@ -889,27 +914,8 @@ fn error_reply(shared: &Shared, code: ErrorCode, message: String) -> ErrorReply 
 }
 
 /// Builds a typed error response, bumping the error counter.
-fn error_response(shared: &Shared, code: ErrorCode, message: String) -> Response {
+pub(crate) fn error_response(shared: &Shared, code: ErrorCode, message: String) -> Response {
     Response::Error(error_reply(shared, code, message))
-}
-
-fn write_frame_counted(
-    shared: &Shared,
-    stream: &mut TcpStream,
-    response: &Response,
-) -> Result<(), ServiceError> {
-    write_raw_counted(shared, stream, &response.to_framed_bytes())
-}
-
-fn write_raw_counted(
-    shared: &Shared,
-    stream: &mut TcpStream,
-    frame: &[u8],
-) -> Result<(), ServiceError> {
-    use std::io::Write;
-    stream.write_all(frame)?;
-    Metrics::add(&shared.metrics.bytes_out, frame.len() as u64);
-    Ok(())
 }
 
 #[cfg(test)]

@@ -834,8 +834,9 @@ impl ShardedClient {
             .collect()
     }
 
-    /// Scatters one already-pinned request to every shard (all sends go out
-    /// before the first receive, so the per-shard work overlaps), gathers
+    /// Scatters one already-pinned request to every shard as a tagged
+    /// envelope (all sends go out before the first receive, so the
+    /// per-shard work overlaps, and the tags keep each leg paired), gathers
     /// and interprets every leg, and retries dead legs against the attested
     /// standby addresses. Returns the interpreted legs in shard-id order,
     /// or the first unrecoverable leg failure as a typed
@@ -848,26 +849,29 @@ impl ShardedClient {
         request: &Request,
         interpret: LegInterpreter<'_, T>,
     ) -> Result<Vec<T>, ServiceError> {
-        // Scatter: put one request in flight on every shard before reading
-        // any response. A failed send is retried on a standby during the
-        // gather phase.
+        // Scatter: put one tagged request in flight on every shard before
+        // reading any response. Each leg is a multiplexed stream — the
+        // correlation tag, not arrival order, pairs the reply with the
+        // request, so a shard connection shared with other in-flight work
+        // still gathers the right frame. A failed send is retried on a
+        // standby during the gather phase.
         self.obs.scatters += 1;
-        let mut sent = vec![false; self.shards.len()];
+        let mut sent: Vec<Option<u64>> = vec![None; self.shards.len()];
         for (i, shard) in self.shards.iter_mut().enumerate() {
-            sent[i] = shard.client.send(request).is_ok();
+            sent[i] = shard.client.send_tagged(request).ok();
         }
 
         let mut results: Vec<T> = Vec::with_capacity(self.shards.len());
         let mut failure: Option<ServiceError> = None;
-        for (i, &was_sent) in sent.iter().enumerate() {
+        for (i, &tag) in sent.iter().enumerate() {
             let leg_started = Instant::now();
-            let outcome = if was_sent {
+            let outcome = if let Some(tag) = tag {
                 let epoch = self.epoch;
                 let template = &self.template;
                 let shard = &mut self.shards[i];
                 shard
                     .client
-                    .receive()
+                    .receive_tagged(tag)
                     .and_then(|response| interpret(response, template, &shard.entry, epoch))
             } else {
                 Err(ServiceError::Io(std::io::Error::new(

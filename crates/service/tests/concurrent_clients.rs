@@ -24,6 +24,22 @@ fn owner_setup(n: usize, dims: usize, seed: u64) -> (Dataset, Server, SignatureS
     (dataset, server, scheme)
 }
 
+/// Drain-time counters (`requests_served`, per-kind histograms) commit when
+/// the reactor finishes writing each reply frame — an instant *after* the
+/// client's read returns. Same-connection wire scrapes are ordered behind
+/// that drain, but in-process `service.stats()` readers race it, so they
+/// poll until the expected request count lands.
+fn stats_once_served(service: &QueryService, served: u64) -> vaq_wire::StatsSnapshot {
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = service.stats();
+        if stats.requests_served >= served || std::time::Instant::now() >= deadline {
+            return stats;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
 #[test]
 fn concurrent_clients_complete_a_mixed_verified_workload() {
     let (dataset, server, scheme) = owner_setup(14, 1, 2024);
@@ -61,7 +77,7 @@ fn concurrent_clients_complete_a_mixed_verified_workload() {
     let total_verified: usize = threads.into_iter().map(|t| t.join().unwrap()).sum();
     assert_eq!(total_verified, CLIENTS * QUERIES_PER_CLIENT);
 
-    let stats = service.stats();
+    let stats = stats_once_served(&service, (CLIENTS * QUERIES_PER_CLIENT) as u64);
     assert!(
         stats.requests_served >= (CLIENTS * QUERIES_PER_CLIENT) as u64,
         "served {} of {}",
@@ -509,7 +525,7 @@ fn concurrent_batches_and_singles_compute_each_distinct_item_once() {
     client
         .batch(&[query_a.clone(), query_c.clone()])
         .expect("changed batch");
-    let stats = service.stats();
+    let stats = stats_once_served(&service, (BATCH_CLIENTS + SINGLE_CLIENTS + 1) as u64);
     assert_eq!(
         stats.cache_misses, 3,
         "one changed query must incur exactly one extra miss"
@@ -634,6 +650,117 @@ fn republish_races_inflight_identical_queries_without_mixing_epochs() {
     assert!(
         stats.cache_misses >= 1 && stats.cache_misses <= 2 + CLIENTS as u64,
         "cache_misses inconsistent under republish race: {}",
+        stats.cache_misses
+    );
+    assert_eq!(stats.epoch, 1, "final snapshot reports the new epoch");
+}
+
+#[test]
+fn tagged_pipelining_races_a_republish_without_mixing_epochs() {
+    // The multiplexed variant of the republish race: every client keeps a
+    // *window* of tagged requests in flight on one connection (the service
+    // dispatches them in parallel and may answer out of order) while the
+    // owner hot-swaps to the next epoch mid-run. Each response must still
+    // verify as one self-consistent epoch — records, VO and signatures from
+    // one structure — and the cache counters must stay exact.
+    const CLIENTS: usize = 4;
+    const WINDOW: usize = 5;
+    const ROUNDS: usize = 6;
+    let dataset = uniform_dataset(30, 1, 3031);
+    let scheme = SignatureScheme::test_rsa(3031);
+    let service = QueryService::bind(
+        ServiceConfig::ephemeral().workers(CLIENTS),
+        Server::new(
+            dataset.clone(),
+            IfmhTree::build_at_epoch(&dataset, SigningMode::MultiSignature, &scheme, 0),
+        ),
+    )
+    .unwrap();
+    let addr = service.local_addr();
+
+    let mut updated = dataset.clone();
+    updated.records[3].attrs[0] = (updated.records[3].attrs[0] + 0.41) % 1.0;
+    let updated = Dataset::new(updated.records, updated.template, updated.domain);
+    let updated_tree = IfmhTree::build_at_epoch(&updated, SigningMode::MultiSignature, &scheme, 1);
+
+    let query = Query::range(vec![0.5], -1.0, 2.0);
+    let template = Arc::new(dataset.template.clone());
+    let public_key: Arc<PublicKey> = Arc::new(scheme.public_key());
+    let barrier = Arc::new(std::sync::Barrier::new(CLIENTS + 1));
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let query = query.clone();
+            let template = Arc::clone(&template);
+            let public_key = Arc::clone(&public_key);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = ServiceClient::connect(addr).expect("connect");
+                barrier.wait();
+                let mut epochs_seen = Vec::new();
+                for round in 0..ROUNDS {
+                    let tags: Vec<u64> = (0..WINDOW)
+                        .map(|_| client.send_tagged(&Request::Query(query.clone())).unwrap())
+                        .collect();
+                    // Collect the window back to front: with out-of-order
+                    // completion this exercises parking and re-association
+                    // under the race, not just FIFO delivery.
+                    for &tag in tags.iter().rev() {
+                        let (epoch, response) = match client.receive_tagged(tag) {
+                            Ok(Response::Query { epoch, response }) => (epoch, response),
+                            other => panic!("client {i} round {round}: {other:?}"),
+                        };
+                        vaq_authquery::verify_at_epoch(
+                            &query,
+                            &response.records,
+                            &response.vo,
+                            &template,
+                            public_key.as_ref(),
+                            epoch,
+                        )
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "client {i} round {round}: mixed-epoch response at {epoch}: {e:?}"
+                            )
+                        });
+                        epochs_seen.push(epoch);
+                    }
+                }
+                epochs_seen
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    std::thread::sleep(Duration::from_millis(25));
+    service
+        .republish(Server::new(updated.clone(), updated_tree))
+        .expect("hot swap mid-load");
+
+    let mut all_epochs = Vec::new();
+    for thread in threads {
+        all_epochs.extend(thread.join().unwrap());
+    }
+    // Tagged requests dispatch in parallel, so unlike the serialized path
+    // there is no per-connection receive-order monotonicity to assert — but
+    // every stamp is one of the two published epochs, and both sides of the
+    // swap were actually exercised somewhere in the run.
+    assert!(
+        all_epochs.iter().all(|e| *e == 0 || *e == 1),
+        "unexpected epoch in {all_epochs:?}"
+    );
+
+    let stats = service.shutdown();
+    let total = (CLIENTS * WINDOW * ROUNDS) as u64;
+    assert_eq!(
+        stats.cache_hits + stats.cache_misses,
+        total,
+        "every query is accounted a hit or a miss"
+    );
+    // Identical queries compute at most once per epoch plus swap-window
+    // stragglers — never once per in-flight tag.
+    assert!(
+        stats.cache_misses >= 1 && stats.cache_misses <= 2 + (2 * CLIENTS) as u64,
+        "cache_misses inconsistent under a multiplexed republish race: {}",
         stats.cache_misses
     );
     assert_eq!(stats.epoch, 1, "final snapshot reports the new epoch");

@@ -1,0 +1,272 @@
+//! Integration tests for the evented multiplexed service core: tagged
+//! request pipelining with out-of-order completion, connection shedding at
+//! the configured limit, and typed mid-frame stall detection.
+
+use std::io::Write;
+use std::time::Duration;
+
+use vaq_authquery::{IfmhTree, Query, Server, SigningMode};
+use vaq_crypto::SignatureScheme;
+use vaq_funcdb::Dataset;
+use vaq_service::{QueryService, ServiceClient, ServiceConfig, ServiceError};
+use vaq_wire::{ErrorCode, Request, Response, WireEncode};
+use vaq_workload::uniform_dataset;
+
+/// Owner-side setup: dataset, signed tree, scheme.
+fn owner_setup(n: usize, dims: usize, seed: u64) -> (Dataset, Server, SignatureScheme) {
+    let dataset = uniform_dataset(n, dims, seed);
+    let scheme = SignatureScheme::test_rsa(seed);
+    let tree = IfmhTree::build(&dataset, SigningMode::MultiSignature, &scheme);
+    let server = Server::new(dataset.clone(), tree);
+    (dataset, server, scheme)
+}
+
+#[test]
+fn tagged_pipelining_reassociates_out_of_order_receives() {
+    // N distinguishable queries (top-k with k = i + 1) go out back to back
+    // on one connection; the responses are then collected in several
+    // receive orders that disagree with the send order. Every response must
+    // land with its own request — record count k is the witness.
+    const N: usize = 12;
+    let (_, server, _) = owner_setup(2 * N, 1, 4242);
+    let service = QueryService::bind(ServiceConfig::ephemeral().workers(4), server).unwrap();
+    let addr = service.local_addr();
+
+    // A deterministic family of permutations of 0..N (7 and 5 are coprime
+    // with 12): reverse order, strided orders, and identity.
+    let orders: Vec<Vec<usize>> = vec![
+        (0..N).rev().collect(),
+        (0..N).map(|i| (i * 7) % N).collect(),
+        (0..N).map(|i| (i * 5) % N).collect(),
+        (0..N).collect(),
+    ];
+    for order in orders {
+        let mut client = ServiceClient::connect(addr).unwrap();
+        let tags: Vec<u64> = (0..N)
+            .map(|i| {
+                client
+                    .send_tagged(&Request::Query(Query::top_k(vec![0.5], i + 1)))
+                    .unwrap()
+            })
+            .collect();
+        for &i in &order {
+            let response = client.receive_tagged(tags[i]).unwrap();
+            match response {
+                Response::Query { response, .. } => assert_eq!(
+                    response.records.len(),
+                    i + 1,
+                    "tag {} answered with the wrong response",
+                    tags[i]
+                ),
+                other => panic!(
+                    "expected a query response for tag {}, got {other:?}",
+                    tags[i]
+                ),
+            }
+        }
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.requests_served, (4 * N) as u64);
+}
+
+#[test]
+fn unknown_tag_is_a_typed_error_that_keeps_the_connection() {
+    let (_, server, _) = owner_setup(10, 1, 7);
+    let service = QueryService::bind(ServiceConfig::ephemeral(), server).unwrap();
+    let mut client = ServiceClient::connect(service.local_addr()).unwrap();
+
+    // Asking for a tag that was never sent is a caller bug, reported
+    // without touching (or desyncing) the stream.
+    match client.receive_tagged(999).unwrap_err() {
+        ServiceError::UnknownTag { tag } => assert_eq!(tag, 999),
+        other => panic!("expected a typed unknown-tag error, got {other}"),
+    }
+    client.ping().unwrap();
+
+    // A tag already collected is no longer pending either: the pairing
+    // state refuses a double receive instead of stealing another tag's
+    // frame.
+    let tag = client.send_tagged(&Request::Ping).unwrap();
+    assert!(matches!(client.receive_tagged(tag), Ok(Response::Pong)));
+    match client.receive_tagged(tag).unwrap_err() {
+        ServiceError::UnknownTag { tag: got } => assert_eq!(got, tag),
+        other => panic!("expected a typed unknown-tag error, got {other}"),
+    }
+    client.ping().unwrap();
+    service.shutdown();
+}
+
+#[test]
+fn duplicate_in_flight_tag_gets_a_typed_reply_from_the_service() {
+    // Two frames carrying the *same* correlation tag go out in one write: a
+    // slow query and a ping. The service must answer the first and reject
+    // the second with a tagged Malformed reply naming the collision — never
+    // two responses under one tag.
+    let (_, server, _) = owner_setup(24, 1, 77);
+    let service = QueryService::bind(ServiceConfig::ephemeral().workers(2), server).unwrap();
+    let mut stream = std::net::TcpStream::connect(service.local_addr()).unwrap();
+
+    let slow = Request::Tagged {
+        tag: 7,
+        request: Box::new(Request::Query(Query::range(vec![0.5], -1.0, 2.0))),
+    };
+    let dup = Request::Tagged {
+        tag: 7,
+        request: Box::new(Request::Ping),
+    };
+    let mut bytes = slow.to_framed_bytes();
+    bytes.extend_from_slice(&dup.to_framed_bytes());
+    stream.write_all(&bytes).unwrap();
+
+    let mut saw_answer = false;
+    let mut saw_collision = false;
+    for _ in 0..2 {
+        let response = vaq_service::frame::read_message::<Response>(&mut stream, 1 << 20)
+            .unwrap()
+            .expect("service closed before answering both frames");
+        match response {
+            Response::Tagged { tag, response } => {
+                assert_eq!(tag, 7);
+                match *response {
+                    Response::Error(reply) => {
+                        assert_eq!(reply.code, ErrorCode::Malformed);
+                        assert!(reply.message.contains("already in flight"), "{reply:?}");
+                        saw_collision = true;
+                    }
+                    Response::Query { .. } => saw_answer = true,
+                    other => panic!("unexpected tagged payload: {other:?}"),
+                }
+            }
+            other => panic!("expected tagged replies, got {other:?}"),
+        }
+    }
+    assert!(saw_answer && saw_collision);
+    service.shutdown();
+}
+
+#[test]
+fn shed_connections_get_a_typed_overloaded_reply() {
+    // Regression: over the limit the accept loop used to drop the socket on
+    // the floor — the client saw a bare EOF with no way to distinguish
+    // overload from a crash. Now the connection is counted, answered with a
+    // typed Overloaded reply, and closed.
+    let (_, server, _) = owner_setup(10, 1, 33);
+    let service =
+        QueryService::bind(ServiceConfig::ephemeral().max_connections(1), server).unwrap();
+    let addr = service.local_addr();
+
+    let mut first = ServiceClient::connect(addr).unwrap();
+    first.ping().unwrap(); // the slot is definitely taken once this answers
+
+    // Read the shed reply without sending anything first: the service
+    // writes Overloaded and closes immediately, so a request racing the
+    // close could RST the unread reply away.
+    let mut second = ServiceClient::connect(addr).unwrap();
+    match second.receive().unwrap_err() {
+        ServiceError::Remote(reply) => {
+            assert_eq!(reply.code, ErrorCode::Overloaded);
+            assert!(reply.message.contains("connection limit"), "{reply:?}");
+        }
+        other => panic!("expected a remote Overloaded reply, got {other}"),
+    }
+    // The shed connection is desynced (the service closed it); the
+    // surviving connection is untouched.
+    assert!(second.ping().is_err());
+    first.ping().unwrap();
+
+    assert_eq!(service.connections_shed(), 1);
+    let deep = service.stats_deep();
+    let overloaded = deep
+        .snapshot
+        .per_error
+        .iter()
+        .find(|e| e.code == ErrorCode::Overloaded.label())
+        .map(|e| e.count)
+        .unwrap_or(0);
+    assert_eq!(overloaded, 1, "shed reply missing from per-error breakdown");
+
+    // Freeing the slot makes room for a fresh connection.
+    drop(first);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut retry = ServiceClient::connect(addr).unwrap();
+        if retry.ping().is_ok() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "slot never freed after the first client disconnected"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    service.shutdown();
+}
+
+#[test]
+fn mid_frame_stall_gets_a_typed_stalled_reply() {
+    // Regression: a peer that died (or dribbled) mid-frame used to occupy
+    // its connection silently until the blanket read timeout. Now a started
+    // frame that stops making progress for `mid_frame_patience` is answered
+    // with a typed Stalled reply, counted per error code, and closed.
+    let (_, server, _) = owner_setup(10, 1, 55);
+    let service = QueryService::bind(
+        ServiceConfig::ephemeral()
+            .mid_frame_patience(Duration::from_millis(50))
+            .read_timeout(Some(Duration::from_secs(30))),
+        server,
+    )
+    .unwrap();
+
+    let mut stream = std::net::TcpStream::connect(service.local_addr()).unwrap();
+    // Half a header, then silence: the frame is started but never finishes.
+    stream.write_all(&vaq_wire::MAGIC).unwrap();
+
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let reply = vaq_service::frame::read_message::<Response>(&mut stream, 1 << 20)
+        .unwrap()
+        .expect("service closed without a stall reply");
+    match reply {
+        Response::Error(reply) => {
+            assert_eq!(reply.code, ErrorCode::Stalled);
+            assert!(reply.message.contains("reconnect"), "{reply:?}");
+        }
+        other => panic!("expected a Stalled error reply, got {other:?}"),
+    }
+
+    let deep = service.stats_deep();
+    let stalled = deep
+        .snapshot
+        .per_error
+        .iter()
+        .find(|e| e.code == ErrorCode::Stalled.label())
+        .map(|e| e.count)
+        .unwrap_or(0);
+    assert_eq!(stalled, 1, "stall missing from per-error breakdown");
+    service.shutdown();
+}
+
+#[test]
+fn loadgen_fan_out_simulates_many_connections_per_thread() {
+    // The load generator's connection fan-out: 2 threads x 25 connections
+    // round-robin 50 requests each, so every one of the 50 sockets carries
+    // traffic while the service sweeps them all concurrently.
+    let (dataset, server, scheme) = owner_setup(12, 1, 99);
+    let service = QueryService::bind(ServiceConfig::ephemeral().workers(2), server).unwrap();
+    let generator = vaq_service::LoadGenerator {
+        connections_per_client: 25,
+        ..vaq_service::LoadGenerator::new(
+            service.local_addr(),
+            2,
+            50,
+            dataset.template.clone(),
+            scheme.public_key(),
+        )
+    };
+    let report = generator.run(&dataset).unwrap();
+    assert_eq!(report.failures, 0);
+    assert!(report.total_requests >= 90, "{}", report.total_requests);
+    let stats = service.shutdown();
+    assert!(stats.requests_served >= 90);
+}

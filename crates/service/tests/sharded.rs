@@ -206,6 +206,44 @@ fn sharded_batches_match_an_unsharded_batch_byte_for_byte() {
 }
 
 #[test]
+fn load_run_connecting_with_a_stale_publication_refreshes_and_completes() {
+    // Regression: the sharded load driver rode stale-epoch rejections
+    // mid-run, but its *initial* connect handshook with the configured
+    // publication verbatim — a republish landing between the publication
+    // snapshot and the connect aborted the whole run with a typed
+    // ShardFailed(StaleEpoch) instead of riding the rollout. Here every
+    // shard has already moved to epoch 1 while the generator still holds
+    // the epoch-0 publication, so the old driver could never connect.
+    let dataset = uniform_dataset(18, 1, 177);
+    let mut updated = dataset.clone();
+    updated.records[3].attrs[0] = (updated.records[3].attrs[0] + 0.37) % 1.0;
+    let updated = Dataset::new(updated.records, updated.template, updated.domain);
+
+    let mut deployment = ShardedDeployment::launch(
+        &dataset,
+        SHARDS,
+        SigningMode::MultiSignature,
+        0xa7,
+        ServiceConfig::ephemeral().workers(4),
+    )
+    .unwrap();
+    let stale_publication = deployment.publication().clone();
+    assert_eq!(deployment.republish(&updated).expect("republish"), 1);
+
+    let generator = LoadGenerator::sharded(deployment.addrs().to_vec(), stale_publication, 2, 6);
+    let report = generator
+        .run(&dataset)
+        .expect("the run must refresh the signed map at connect, not abort");
+    assert_eq!(report.total_requests, 12);
+    assert_eq!(report.failures, 0, "zero verification failures");
+    assert!(
+        report.epoch_refreshes >= 1,
+        "each client's connect must have adopted the newer signed map"
+    );
+    deployment.shutdown();
+}
+
+#[test]
 fn sharded_batch_racing_republish_converges_without_mixing_epochs() {
     // Batches ride a live republication exactly like singles: a shard that
     // moved on answers the pinned batch frame with a typed stale-epoch

@@ -81,6 +81,18 @@ pub enum Request {
     /// slow p99 comes from queue wait, cache lookup, query execution, VO
     /// construction, encoding, or the socket write.
     StatsDeep,
+    /// A request wrapped with a client-chosen correlation tag. The service
+    /// echoes the tag on the matching [`Response::Tagged`] reply, which is
+    /// what lets one connection pipeline many requests and receive the
+    /// responses out of order — the tag, not the frame position, pairs a
+    /// reply with its request. Nesting a `Tagged` request inside another is
+    /// rejected at decode time.
+    Tagged {
+        /// Client-chosen correlation tag, echoed verbatim in the reply.
+        tag: u64,
+        /// The wrapped request (never itself `Tagged`).
+        request: Box<Request>,
+    },
 }
 
 impl Request {
@@ -93,6 +105,31 @@ impl Request {
     /// use this method to obtain the same bytes.
     pub fn canonical_bytes(&self) -> Vec<u8> {
         self.to_wire_bytes()
+    }
+
+    /// Reads the correlation tag of a tagged request payload without
+    /// decoding the wrapped request, so a server can route a frame by tag
+    /// before paying for a full decode. Returns `None` for untagged (or too
+    /// short) payloads.
+    pub fn peek_tag(payload: &[u8]) -> Option<u64> {
+        let (&variant, rest) = payload.split_first()?;
+        if variant != REQUEST_TAG_TAGGED {
+            return None;
+        }
+        let tag_bytes: [u8; 8] = rest.get(..8)?.try_into().ok()?;
+        Some(u64::from_le_bytes(tag_bytes))
+    }
+
+    /// Splits a tagged request payload into its correlation tag and the
+    /// wrapped request's payload bytes, without decoding the wrapped
+    /// request. The returned inner slice is exactly the wrapped request's
+    /// canonical encoding — the bytes [`Request::canonical_bytes`] would
+    /// produce — so a response cache keyed on received payload bytes treats
+    /// a tagged and an untagged copy of the same request as one entry.
+    /// Returns `None` for untagged payloads.
+    pub fn split_tagged(payload: &[u8]) -> Option<(u64, &[u8])> {
+        let tag = Self::peek_tag(payload)?;
+        Some((tag, payload.get(1 + 8..)?))
     }
 }
 
@@ -138,6 +175,36 @@ pub enum Response {
     /// Answer to [`Request::StatsDeep`]: flat snapshot plus per-stage
     /// latency breakdowns.
     StatsDeep(StatsDeep),
+    /// Answer to a [`Request::Tagged`] request: the wrapped response,
+    /// carrying the request's correlation tag so a pipelining client can
+    /// pair it with the right in-flight request regardless of delivery
+    /// order. Never nests.
+    Tagged {
+        /// The correlation tag of the request this response answers.
+        tag: u64,
+        /// The wrapped response (never itself `Tagged`).
+        response: Box<Response>,
+    },
+}
+
+impl Response {
+    /// Builds a framed [`Response::Tagged`] frame around an already-encoded
+    /// (unframed) inner response payload, without decoding it. This is the
+    /// cached-response fast path: the service caches complete untagged
+    /// response payloads, and re-wrapping one for a tagged request must not
+    /// cost a decode/re-encode of a potentially large verification object.
+    pub fn tagged_frame_from_payload(tag: u64, inner_payload: &[u8]) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(1 + 8 + inner_payload.len());
+        payload.push(RESPONSE_TAG_TAGGED);
+        payload.extend_from_slice(&tag.to_le_bytes());
+        payload.extend_from_slice(inner_payload);
+        let mut out = Vec::with_capacity(payload.len() + 10);
+        out.extend_from_slice(&crate::MAGIC);
+        out.extend_from_slice(&crate::VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
 }
 
 /// Machine-readable error category of an [`ErrorReply`].
@@ -162,12 +229,22 @@ pub enum ErrorCode {
     /// yet republished — dataset). The client should re-fetch the signed
     /// shard map ([`Request::ShardMap`]) and retry at the new epoch.
     StaleEpoch,
+    /// The service is at its connection limit and shed this connection
+    /// before serving any request. Sent best-effort right before the close,
+    /// so a shed client sees a typed reply instead of an unexplained EOF;
+    /// retry later or against another replica.
+    Overloaded,
+    /// The peer stalled mid-frame past the service's patience window
+    /// (`ServiceConfig::mid_frame_patience` on the server side). Sent
+    /// best-effort right before the close; the connection is unusable
+    /// because the stream stopped inside a frame.
+    Stalled,
 }
 
 impl ErrorCode {
     /// Every error code, in tag order. Telemetry iterates this to break the
     /// flat error counter out per code.
-    pub const ALL: [ErrorCode; 7] = [
+    pub const ALL: [ErrorCode; 9] = [
         ErrorCode::Malformed,
         ErrorCode::BadQuery,
         ErrorCode::FrameTooLarge,
@@ -175,6 +252,8 @@ impl ErrorCode {
         ErrorCode::ShuttingDown,
         ErrorCode::NotSharded,
         ErrorCode::StaleEpoch,
+        ErrorCode::Overloaded,
+        ErrorCode::Stalled,
     ];
 
     /// Stable position of this code in [`ErrorCode::ALL`].
@@ -192,6 +271,8 @@ impl ErrorCode {
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::NotSharded => "not_sharded",
             ErrorCode::StaleEpoch => "stale_epoch",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Stalled => "stalled",
         }
     }
 }
@@ -413,6 +494,7 @@ const REQUEST_TAG_SHARD_MAP: u8 = 6;
 const REQUEST_TAG_QUERY_AT: u8 = 7;
 const REQUEST_TAG_BATCH_AT: u8 = 8;
 const REQUEST_TAG_STATS_DEEP: u8 = 9;
+const REQUEST_TAG_TAGGED: u8 = 10;
 
 impl WireEncode for Request {
     fn encode(&self, w: &mut Writer) {
@@ -446,6 +528,11 @@ impl WireEncode for Request {
                 }
             }
             Request::StatsDeep => w.put_u8(REQUEST_TAG_STATS_DEEP),
+            Request::Tagged { tag, request } => {
+                w.put_u8(REQUEST_TAG_TAGGED);
+                w.put_u64(*tag);
+                request.encode(w);
+            }
         }
     }
 }
@@ -480,6 +567,22 @@ impl WireDecode for Request {
                 Ok(Request::BatchAt { epoch, queries })
             }
             REQUEST_TAG_STATS_DEEP => Ok(Request::StatsDeep),
+            REQUEST_TAG_TAGGED => {
+                let tag = r.get_u64()?;
+                let request = Request::decode(r)?;
+                if matches!(request, Request::Tagged { .. }) {
+                    // One level of tagging only: a nested tagged request has
+                    // no meaningful reply shape, so reject it at decode time.
+                    return Err(WireError::InvalidTag {
+                        type_name: "Request::Tagged (nested)",
+                        tag: REQUEST_TAG_TAGGED,
+                    });
+                }
+                Ok(Request::Tagged {
+                    tag,
+                    request: Box::new(request),
+                })
+            }
             tag => Err(WireError::InvalidTag {
                 type_name: "Request",
                 tag,
@@ -496,6 +599,7 @@ const RESPONSE_TAG_ERROR: u8 = 5;
 const RESPONSE_TAG_SHARD_INFO: u8 = 6;
 const RESPONSE_TAG_SHARD_MAP: u8 = 7;
 const RESPONSE_TAG_STATS_DEEP: u8 = 8;
+const RESPONSE_TAG_TAGGED: u8 = 9;
 
 impl WireEncode for Response {
     fn encode(&self, w: &mut Writer) {
@@ -534,6 +638,11 @@ impl WireEncode for Response {
                 w.put_u8(RESPONSE_TAG_STATS_DEEP);
                 deep.encode(w);
             }
+            Response::Tagged { tag, response } => {
+                w.put_u8(RESPONSE_TAG_TAGGED);
+                w.put_u64(*tag);
+                response.encode(w);
+            }
         }
     }
 }
@@ -560,6 +669,20 @@ impl WireDecode for Response {
             RESPONSE_TAG_SHARD_INFO => Ok(Response::ShardInfo(ShardInfo::decode(r)?)),
             RESPONSE_TAG_SHARD_MAP => Ok(Response::ShardMap(SignedShardMap::decode(r)?)),
             RESPONSE_TAG_STATS_DEEP => Ok(Response::StatsDeep(StatsDeep::decode(r)?)),
+            RESPONSE_TAG_TAGGED => {
+                let tag = r.get_u64()?;
+                let response = Response::decode(r)?;
+                if matches!(response, Response::Tagged { .. }) {
+                    return Err(WireError::InvalidTag {
+                        type_name: "Response::Tagged (nested)",
+                        tag: RESPONSE_TAG_TAGGED,
+                    });
+                }
+                Ok(Response::Tagged {
+                    tag,
+                    response: Box::new(response),
+                })
+            }
             tag => Err(WireError::InvalidTag {
                 type_name: "Response",
                 tag,
@@ -578,6 +701,8 @@ impl ErrorCode {
             ErrorCode::ShuttingDown => 5,
             ErrorCode::NotSharded => 6,
             ErrorCode::StaleEpoch => 7,
+            ErrorCode::Overloaded => 8,
+            ErrorCode::Stalled => 9,
         }
     }
 }
@@ -598,6 +723,8 @@ impl WireDecode for ErrorCode {
             5 => Ok(ErrorCode::ShuttingDown),
             6 => Ok(ErrorCode::NotSharded),
             7 => Ok(ErrorCode::StaleEpoch),
+            8 => Ok(ErrorCode::Overloaded),
+            9 => Ok(ErrorCode::Stalled),
             tag => Err(WireError::InvalidTag {
                 type_name: "ErrorCode",
                 tag,
@@ -976,10 +1103,106 @@ mod tests {
                 ],
             },
             Request::StatsDeep,
+            Request::Tagged {
+                tag: u64::MAX,
+                request: Box::new(Request::Query(Query::top_k(vec![0.4, 0.6], 1))),
+            },
         ];
         for request in requests {
             let bytes = request.to_framed_bytes();
             assert_eq!(Request::from_framed_bytes(&bytes).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn tagged_request_helpers_agree_with_the_encoding() {
+        let inner = Request::Query(Query::top_k(vec![0.2, 0.8], 3));
+        let tagged = Request::Tagged {
+            tag: 0xDEAD_BEEF,
+            request: Box::new(inner.clone()),
+        };
+        let payload = tagged.to_wire_bytes();
+        assert_eq!(Request::from_wire_bytes(&payload).unwrap(), tagged);
+        assert_eq!(Request::peek_tag(&payload), Some(0xDEAD_BEEF));
+        let (tag, inner_bytes) = Request::split_tagged(&payload).unwrap();
+        assert_eq!(tag, 0xDEAD_BEEF);
+        // The inner slice is the wrapped request's canonical bytes, so a
+        // payload-keyed response cache unifies tagged and untagged copies.
+        assert_eq!(inner_bytes, inner.canonical_bytes().as_slice());
+        assert_eq!(Request::peek_tag(&inner.canonical_bytes()), None);
+        assert_eq!(Request::split_tagged(&inner.canonical_bytes()), None);
+        assert_eq!(Request::peek_tag(&[]), None);
+    }
+
+    #[test]
+    fn nested_tagged_envelopes_are_rejected() {
+        // Hand-build a Tagged-in-Tagged payload; the decoder must reject it.
+        let mut w = Writer::new();
+        w.put_u8(10); // REQUEST_TAG_TAGGED
+        w.put_u64(1);
+        Request::Tagged {
+            tag: 2,
+            request: Box::new(Request::Ping),
+        }
+        .encode(&mut w);
+        assert!(matches!(
+            Request::from_wire_bytes(&w.into_bytes()),
+            Err(WireError::InvalidTag { .. })
+        ));
+
+        let mut w = Writer::new();
+        w.put_u8(9); // RESPONSE_TAG_TAGGED
+        w.put_u64(1);
+        Response::Tagged {
+            tag: 2,
+            response: Box::new(Response::Pong),
+        }
+        .encode(&mut w);
+        assert!(matches!(
+            Response::from_wire_bytes(&w.into_bytes()),
+            Err(WireError::InvalidTag { .. })
+        ));
+    }
+
+    #[test]
+    fn tagged_frame_from_payload_matches_the_direct_encoding() {
+        let reply = Response::Error(ErrorReply {
+            code: ErrorCode::Overloaded,
+            message: "connection limit reached".into(),
+        });
+        let framed = Response::tagged_frame_from_payload(7, &reply.to_wire_bytes());
+        // Byte-identical to encoding the tagged value directly: the fast
+        // path re-wraps cached payloads without changing the wire contract.
+        let direct = Response::Tagged {
+            tag: 7,
+            response: Box::new(reply),
+        }
+        .to_framed_bytes();
+        assert_eq!(framed, direct);
+        match Response::from_framed_bytes(&framed).unwrap() {
+            Response::Tagged { tag, response } => {
+                assert_eq!(tag, 7);
+                match *response {
+                    Response::Error(e) => {
+                        assert_eq!(e.code, ErrorCode::Overloaded);
+                        assert_eq!(e.message, "connection limit reached");
+                    }
+                    other => panic!("expected Error, got {other:?}"),
+                }
+            }
+            other => panic!("expected Tagged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stall_and_overload_codes_roundtrip() {
+        for code in [ErrorCode::Overloaded, ErrorCode::Stalled] {
+            let reply = ErrorReply {
+                code,
+                message: code.label().into(),
+            };
+            let bytes = reply.to_wire_bytes();
+            assert_eq!(ErrorReply::from_wire_bytes(&bytes).unwrap(), reply);
         }
     }
 

@@ -54,7 +54,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn requests_roundtrip_framed(parts in query_parts(), selector in 0u8..9, epoch_selector in 0u64..) {
+    fn requests_roundtrip_framed(parts in query_parts(), selector in 0u8..10, epoch_selector in 0u64..) {
         let request = match selector {
             0 => Request::Ping,
             1 => Request::Stats,
@@ -70,11 +70,100 @@ proptest! {
                 queries: vec![query_from(&parts), query_from(&parts)],
             },
             7 => Request::StatsDeep,
+            8 => Request::Tagged {
+                tag: epoch_selector,
+                request: Box::new(Request::Query(query_from(&parts))),
+            },
             _ => Request::Batch(vec![query_from(&parts), query_from(&parts)]),
         };
         let bytes = request.to_framed_bytes();
         let back = Request::from_framed_bytes(&bytes);
         prop_assert_eq!(back.as_ref().ok(), Some(&request));
+    }
+
+    #[test]
+    fn tagged_requests_encode_canonically_and_expose_their_tag(
+        parts in query_parts(),
+        tag in 0u64..,
+        other_tag in 0u64..,
+    ) {
+        // Bijectivity: the tagged canonical bytes determine (tag, request)
+        // exactly, the inner slice equals the wrapped request's own
+        // canonical bytes (so tagged and untagged copies of one query share
+        // a response-cache entry), and peek_tag reads the tag without a
+        // decode.
+        let inner = Request::Query(query_from(&parts));
+        let tagged = Request::Tagged { tag, request: Box::new(inner.clone()) };
+        let bytes = tagged.canonical_bytes();
+        let decoded = Request::from_wire_bytes(&bytes).ok();
+        prop_assert_eq!(decoded.as_ref(), Some(&tagged));
+        prop_assert_eq!(&tagged.canonical_bytes(), &bytes, "encoding must be deterministic");
+        prop_assert_eq!(Request::peek_tag(&bytes), Some(tag));
+        let (peeked, inner_bytes) = Request::split_tagged(&bytes).expect("tagged payload splits");
+        prop_assert_eq!(peeked, tag);
+        let inner_canonical = inner.canonical_bytes();
+        prop_assert_eq!(inner_bytes, inner_canonical.as_slice());
+        prop_assert_ne!(bytes.clone(), inner_canonical);
+        if other_tag != tag {
+            let retagged = Request::Tagged { tag: other_tag, request: Box::new(inner) };
+            prop_assert_ne!(retagged.canonical_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn tagged_responses_echo_the_tag_through_framing(tag in 0u64.., k in 1usize..4) {
+        let inner = Response::Query { epoch: 3, response: sample_response(k) };
+        let tagged = Response::Tagged { tag, response: Box::new(inner.clone()) };
+        let bytes = tagged.to_framed_bytes();
+        // The no-decode re-framing helper produces the identical frame.
+        prop_assert_eq!(
+            Response::tagged_frame_from_payload(tag, &inner.to_wire_bytes()),
+            bytes.clone()
+        );
+        match Response::from_framed_bytes(&bytes) {
+            Ok(Response::Tagged { tag: back, response }) => {
+                prop_assert_eq!(back, tag);
+                match (*response, inner) {
+                    (
+                        Response::Query { epoch: be, response: bp },
+                        Response::Query { epoch: ie, response: ip },
+                    ) => {
+                        prop_assert_eq!(be, ie);
+                        prop_assert_eq!(bp.records, ip.records);
+                        prop_assert_eq!(bp.vo, ip.vo);
+                    }
+                    other => prop_assert!(false, "wrong inner decode: {:?}", other.0),
+                }
+            }
+            other => prop_assert!(false, "wrong decode: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn nested_tagged_frames_are_always_rejected(outer in 0u64.., inner in 0u64..) {
+        // A Tagged wrapping a Tagged has no meaningful reply pairing; the
+        // decoder must reject every such frame, whatever the tags.
+        let mut bytes = Vec::new();
+        bytes.push(10u8); // request Tagged variant byte
+        bytes.extend_from_slice(&outer.to_le_bytes());
+        bytes.extend_from_slice(
+            &Request::Tagged { tag: inner, request: Box::new(Request::Ping) }.to_wire_bytes(),
+        );
+        prop_assert!(matches!(
+            Request::from_wire_bytes(&bytes),
+            Err(WireError::InvalidTag { .. })
+        ));
+
+        let mut bytes = Vec::new();
+        bytes.push(9u8); // response Tagged variant byte
+        bytes.extend_from_slice(&outer.to_le_bytes());
+        bytes.extend_from_slice(
+            &Response::Tagged { tag: inner, response: Box::new(Response::Pong) }.to_wire_bytes(),
+        );
+        prop_assert!(matches!(
+            Response::from_wire_bytes(&bytes),
+            Err(WireError::InvalidTag { .. })
+        ));
     }
 
     #[test]
@@ -261,7 +350,7 @@ proptest! {
     }
 
     #[test]
-    fn error_replies_roundtrip(code_selector in 0u8..7, message in prop::collection::vec(32u8..127, 0..64)) {
+    fn error_replies_roundtrip(code_selector in 0u8..9, message in prop::collection::vec(32u8..127, 0..64)) {
         let code = [
             ErrorCode::Malformed,
             ErrorCode::BadQuery,
@@ -270,6 +359,8 @@ proptest! {
             ErrorCode::ShuttingDown,
             ErrorCode::NotSharded,
             ErrorCode::StaleEpoch,
+            ErrorCode::Overloaded,
+            ErrorCode::Stalled,
         ][code_selector as usize];
         let reply = ErrorReply {
             code,
