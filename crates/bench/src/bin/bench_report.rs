@@ -18,17 +18,20 @@
 use std::time::Duration;
 
 use serde::Serialize;
-use vaq_authquery::{IfmhTree, Server, SigningMode};
+use vaq_authquery::{IfmhTree, Query, Server, SigningMode};
 use vaq_crypto::SignatureScheme;
 use vaq_funcdb::Dataset;
 use vaq_service::{
-    LoadGenerator, LoadReport, QueryService, ServiceClient, ServiceConfig, ShardedDeployment,
+    LoadGenerator, LoadReport, QueryService, ServiceClient, ServiceConfig, ServiceError,
+    ShardedDeployment,
 };
-use vaq_wire::StatsDeep;
+use vaq_wire::{ErrorCode, Request, StatsDeep};
 use vaq_workload::{uniform_dataset, QueryMix};
 
 /// Version stamp of the artifact layout; bump when fields change shape.
-const SCHEMA_VERSION: u32 = 1;
+/// v2 adds the reactor-health columns (sweep stats, stalls, shed counters)
+/// and the `slow_reader` scenario.
+const SCHEMA_VERSION: u32 = 2;
 
 /// Substrings every valid artifact must contain: the schema self-check CI
 /// runs. Field names only — values vary run to run.
@@ -65,6 +68,12 @@ const REQUIRED_FIELDS: &[&str] = &[
     "\"sum_micros\"",
     "\"mean_micros\"",
     "\"connections\"",
+    "\"sweep_count\"",
+    "\"sweep_mean_micros\"",
+    "\"sweep_max_micros\"",
+    "\"reactor_stalls\"",
+    "\"slow_readers_shed\"",
+    "\"connections_shed\"",
     "\"single\"",
     "\"sharded_s1\"",
     "\"sharded_s4\"",
@@ -72,6 +81,7 @@ const REQUIRED_FIELDS: &[&str] = &[
     "\"batched\"",
     "\"multiplexed\"",
     "\"republish_churn\"",
+    "\"slow_reader\"",
 ];
 
 /// One hot-path stage's aggregate across every service in a scenario.
@@ -116,6 +126,16 @@ struct ScenarioRow {
     cache_evictions: u64,
     requests_served: u64,
     errors: u64,
+    /// Reactor-thread health, summed across the scenario's services: total
+    /// readiness sweeps with their mean/max duration, sweeps past the stall
+    /// threshold, and both shed counters (write-queue budget, connection
+    /// limit).
+    sweep_count: u64,
+    sweep_mean_micros: f64,
+    sweep_max_micros: u64,
+    reactor_stalls: u64,
+    slow_readers_shed: u64,
+    connections_shed: u64,
     stages: Vec<StageRow>,
 }
 
@@ -138,7 +158,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
-        out: "BENCH_PR8.json".to_string(),
+        out: "BENCH_PR9.json".to_string(),
         seed: 0xbe7c,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -182,6 +202,12 @@ struct Sizing {
     /// evented core's headline number. Full mode holds
     /// `clients * mux_fan_out` (≥ 5k) sockets from one process.
     mux_fan_out: usize,
+    /// Flooding connections in the `slow_reader` scenario.
+    slow_readers: usize,
+    /// Record count for the `slow_reader` scenario's own dataset — sized so
+    /// each response is tens of kilobytes and the floods overrun the
+    /// write-queue budget within a few hundred requests.
+    slow_records: usize,
 }
 
 impl Sizing {
@@ -193,6 +219,8 @@ impl Sizing {
                 requests_per_client: 3,
                 republishes: 1,
                 mux_fan_out: 8,
+                slow_readers: 1,
+                slow_records: 160,
             }
         } else {
             Sizing {
@@ -201,6 +229,8 @@ impl Sizing {
                 requests_per_client: 12,
                 republishes: 3,
                 mux_fan_out: 1280,
+                slow_readers: 2,
+                slow_records: 300,
             }
         }
     }
@@ -240,6 +270,8 @@ fn fold_deep(
             row.sum_micros as f64 / row.count as f64
         };
     }
+    let sweep_count: u64 = deep.iter().map(|d| d.reactor.sweeps.count).sum();
+    let sweep_sum_micros: u64 = deep.iter().map(|d| d.reactor.sweeps.sum_micros).sum();
     let cache_hits: u64 = deep.iter().map(|d| d.snapshot.cache_hits).sum();
     let cache_misses: u64 = deep.iter().map(|d| d.snapshot.cache_misses).sum();
     let probes = cache_hits + cache_misses;
@@ -274,6 +306,20 @@ fn fold_deep(
         cache_evictions: deep.iter().map(|d| d.snapshot.cache_evictions).sum(),
         requests_served: deep.iter().map(|d| d.snapshot.requests_served).sum(),
         errors: deep.iter().map(|d| d.snapshot.errors).sum(),
+        sweep_count,
+        sweep_mean_micros: if sweep_count == 0 {
+            0.0
+        } else {
+            sweep_sum_micros as f64 / sweep_count as f64
+        },
+        sweep_max_micros: deep
+            .iter()
+            .map(|d| d.reactor.sweeps.max_micros)
+            .max()
+            .unwrap_or(0),
+        reactor_stalls: deep.iter().map(|d| d.reactor.reactor_stalls).sum(),
+        slow_readers_shed: deep.iter().map(|d| d.reactor.slow_readers_shed).sum(),
+        connections_shed: deep.iter().map(|d| d.reactor.connections_shed).sum(),
         stages,
     }
 }
@@ -424,6 +470,115 @@ fn run_republish_churn(dataset: &Dataset, sizing: &Sizing, seed: u64) -> Scenari
     fold_deep("republish_churn", 2, sizing.clients * 2, &report, &deep)
 }
 
+/// Slow-reader shedding under the per-connection write-queue byte budget.
+///
+/// A handful of connections pipeline the same large query and never read
+/// their responses, so queued-but-unflushed bytes climb until the service
+/// sheds each flooder with a typed `Overloaded` goodbye. A normal load run
+/// against the same service afterwards must verify every answer — the shed
+/// is surgical, not collateral. The kernel's socket buffers absorb an
+/// unknown amount before the userspace queue grows, so the flood loop
+/// observes the shed counter rather than computing a request count.
+fn run_slow_reader(sizing: &Sizing, seed: u64) -> ScenarioRow {
+    /// Deliberately small budget so the floods trip it quickly; the
+    /// shipping default is three orders of magnitude larger.
+    const BUDGET_BYTES: usize = 64 << 10;
+    /// Hard cap on requests per flooder — the loop normally exits on the
+    /// shed counter long before this.
+    const FLOOD_CAP: usize = 4000;
+
+    let dataset = uniform_dataset(sizing.slow_records, 1, seed);
+    let scheme = SignatureScheme::test_rsa(seed);
+    let tree = IfmhTree::build(&dataset, SigningMode::MultiSignature, &scheme);
+    let config = ServiceConfig::ephemeral()
+        .workers(sizing.clients)
+        .write_queue_budget_bytes(BUDGET_BYTES);
+    let service =
+        QueryService::bind(config, Server::new(dataset.clone(), tree)).expect("bind service");
+    let addr = service.local_addr();
+
+    let shed_target = sizing.slow_readers as u64;
+    let request = Request::Query(Query::top_k(vec![0.5], sizing.slow_records));
+    let mut typed_goodbyes = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sizing.slow_readers)
+            .map(|_| {
+                let (service, request) = (&service, &request);
+                scope.spawn(move || {
+                    let mut client = ServiceClient::connect(addr).expect("slow reader connects");
+                    let mut sent = 0;
+                    while sent < FLOOD_CAP && service.slow_readers_shed() < shed_target {
+                        if client.send_tagged(request).is_err() {
+                            break;
+                        }
+                        sent += 1;
+                    }
+                    client
+                })
+            })
+            .collect();
+        // Read each flooded socket back: responses flushed before the shed
+        // arrive whole, then the typed goodbye.
+        for handle in handles {
+            let mut client = handle.join().expect("slow reader thread");
+            client
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .expect("read timeout");
+            loop {
+                match client.receive() {
+                    Ok(_) => continue,
+                    Err(ServiceError::Remote(reply)) => {
+                        if reply.code == ErrorCode::Overloaded {
+                            typed_goodbyes += 1;
+                        }
+                        break;
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+    });
+
+    // Healthy pass: same warm-cache protocol as the other scenarios, on the
+    // service that just shed the floods.
+    let mut generator = LoadGenerator::new(
+        addr,
+        sizing.clients,
+        sizing.requests_per_client,
+        dataset.template.clone(),
+        scheme.public_key(),
+    );
+    generator.seed = seed;
+    generator.run(&dataset).expect("warmup run");
+    let report = generator.run(&dataset).expect("healthy load run");
+    let deep = ServiceClient::connect(addr)
+        .and_then(|mut c| c.stats_deep())
+        .expect("deep stats scrape");
+    service.shutdown();
+
+    if report.failures != 0 {
+        eprintln!(
+            "bench_report: slow_reader healthy pass had {} failures",
+            report.failures
+        );
+        std::process::exit(1);
+    }
+    if deep.reactor.slow_readers_shed == 0 || typed_goodbyes == 0 {
+        eprintln!(
+            "bench_report: slow_reader scenario never shed (counter {}, typed goodbyes {})",
+            deep.reactor.slow_readers_shed, typed_goodbyes
+        );
+        std::process::exit(1);
+    }
+    fold_deep(
+        "slow_reader",
+        1,
+        sizing.clients + sizing.slow_readers,
+        &report,
+        &[deep],
+    )
+}
+
 fn main() {
     let args = parse_args();
     let sizing = Sizing::new(args.smoke);
@@ -472,6 +627,11 @@ fn main() {
     ));
     eprintln!("bench_report: republish churn");
     scenarios.push(run_republish_churn(&dataset, &sizing, args.seed + 20));
+    eprintln!(
+        "bench_report: slow reader shedding ({} flooders)",
+        sizing.slow_readers
+    );
+    scenarios.push(run_slow_reader(&sizing, args.seed + 25));
 
     let report = BenchReport {
         schema_version: SCHEMA_VERSION,

@@ -1,0 +1,210 @@
+//! The bounded-queue pass: every growth site of a queue field named in
+//! `crates/lint/queue_budgets.toml` must sit in a function that tests the
+//! queue's declared budget before inserting. Unbounded queues are how a
+//! slow reader (or a flood of requests) turns into unbounded memory; the
+//! manifest pins each queue to the budget expression that bounds it, and
+//! the pass keeps the test next to the push.
+//!
+//! A growth site is `.push(…)` / `.push_back(…)` / `.extend(…)` /
+//! `.send(…)` whose receiver identifier is a manifest key. `push_front` is
+//! deliberately not a growth method: in this codebase it only re-inserts a
+//! just-popped element (net growth zero), and `try_send` is bounded by
+//! construction. The budget test is syntactic: the budget identifier must
+//! appear somewhere in the enclosing function — a `debug_assert!` against
+//! the budget satisfies it, which is exactly the idiom for queues bounded
+//! upstream.
+//!
+//! With no `queue_budgets.toml` in the scanned tree the pass is inert.
+
+use crate::manifest::QueueBudgets;
+use crate::scan::{SourceFile, Token};
+use crate::Finding;
+
+/// The pass name, as used in findings and `lint:allow`.
+pub const PASS: &str = "bounded-queue";
+
+/// Methods that grow a queue.
+const GROWTH_METHODS: [&str; 4] = ["push", "push_back", "extend", "send"];
+
+/// Runs the pass over the vaq-service sources.
+pub fn run(files: &[&SourceFile], budgets: Option<&QueueBudgets>) -> Vec<Finding> {
+    let Some(budgets) = budgets else {
+        return Vec::new();
+    };
+    let mut findings = Vec::new();
+    for file in files {
+        let tokens = &file.tokens;
+        let regions = fn_regions(tokens);
+        for i in 0..tokens.len() {
+            if tokens[i].text != "." || i + 2 >= tokens.len() {
+                continue;
+            }
+            let method = tokens[i + 1].text.as_str();
+            if !GROWTH_METHODS.contains(&method) || tokens[i + 2].text != "(" {
+                continue;
+            }
+            let line = tokens[i + 1].line;
+            if file.is_masked(line) || i == 0 || !tokens[i - 1].is_ident() {
+                continue;
+            }
+            let field = tokens[i - 1].text.as_str();
+            let Some(budget) = budgets.get(field) else {
+                continue;
+            };
+            let tested = innermost_region(&regions, i)
+                .is_some_and(|(start, end)| tokens[start..end].iter().any(|t| t.text == *budget));
+            if !tested {
+                findings.push(Finding {
+                    pass: PASS,
+                    file: file.path.clone(),
+                    line,
+                    message: format!(
+                        "`{field}.{method}(…)` grows bounded queue `{field}` in a \
+                         function that never tests its budget `{budget}` \
+                         (crates/lint/queue_budgets.toml); check the budget before \
+                         inserting"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Token ranges `(fn_keyword, body_end)` of every function with a body;
+/// bodyless declarations (trait methods, extern blocks) are skipped.
+fn fn_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].text != "fn" {
+            continue;
+        }
+        // Find the body `{`, stopping at a `;` outside parens/brackets
+        // (const-generic `[u8; N]` return types keep their `;` nested).
+        let mut j = i + 1;
+        let mut nest = 0i32;
+        let mut body = None;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "(" | "[" => nest += 1,
+                ")" | "]" => nest -= 1,
+                ";" if nest == 0 => break,
+                "{" if nest == 0 => {
+                    body = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = body else { continue };
+        let mut depth = 0i32;
+        let mut k = open;
+        while k < tokens.len() {
+            match tokens[k].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        regions.push((i, k + 1));
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    regions
+}
+
+/// The innermost function region containing token `i` (nested fns shadow
+/// their enclosing one).
+fn innermost_region(regions: &[(usize, usize)], i: usize) -> Option<(usize, usize)> {
+    regions
+        .iter()
+        .copied()
+        .filter(|&(start, end)| start < i && i < end)
+        .max_by_key(|&(start, _)| start)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::path::Path;
+
+    use super::*;
+
+    fn file(source: &str) -> SourceFile {
+        SourceFile::from_source(Path::new("crates/service/src/conn.rs"), source)
+    }
+
+    fn budgets(entries: &[(&str, &str)]) -> QueueBudgets {
+        entries
+            .iter()
+            .map(|(field, budget)| (field.to_string(), budget.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn an_untested_push_onto_a_budgeted_queue_is_a_finding() {
+        let src = file("fn f(&mut self, x: T) { self.write_queue.push_back(x); }\n");
+        let b = budgets(&[("write_queue", "write_queue_budget_bytes")]);
+        let findings = run(&[&src], Some(&b));
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].message.contains("write_queue_budget_bytes"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn a_budget_test_in_the_enclosing_fn_satisfies_the_pass() {
+        let src = file(concat!(
+            "fn f(&mut self, x: T, write_queue_budget_bytes: usize) -> bool {\n",
+            "    if self.queued + x.len() > write_queue_budget_bytes { return false; }\n",
+            "    self.write_queue.push_back(x);\n",
+            "    true\n",
+            "}\n",
+        ));
+        let b = budgets(&[("write_queue", "write_queue_budget_bytes")]);
+        assert!(run(&[&src], Some(&b)).is_empty());
+    }
+
+    #[test]
+    fn unlisted_queues_missing_manifest_and_test_code_are_exempt() {
+        let src = file("fn f(&mut self, x: T) { self.scratch.push(x); }\n");
+        let b = budgets(&[("write_queue", "write_queue_budget_bytes")]);
+        assert!(run(&[&src], Some(&b)).is_empty());
+        assert!(run(&[&src], None).is_empty());
+
+        let test_only = file("#[test]\nfn t() { self.write_queue.push_back(x); }\n");
+        assert!(run(&[&test_only], Some(&b)).is_empty());
+    }
+
+    #[test]
+    fn the_budget_must_be_in_the_innermost_fn_not_an_outer_one() {
+        // The outer fn mentions the budget, but the nested fn holding the
+        // push does not: still a finding.
+        let src = file(concat!(
+            "fn outer(limit: usize) {\n",
+            "    let _ = limit;\n",
+            "    fn inner(q: &mut VecDeque<T>, x: T) { q.push_back(x); }\n",
+            "}\n",
+        ));
+        let b = budgets(&[("q", "limit")]);
+        let findings = run(&[&src], Some(&b));
+        assert_eq!(findings.len(), 1, "{findings:?}");
+    }
+
+    #[test]
+    fn push_front_and_try_send_are_not_growth_sites() {
+        let src = file(concat!(
+            "fn f(&mut self, x: T) {\n",
+            "    self.write_queue.push_front(x);\n",
+            "    self.jobs.try_send(x);\n",
+            "}\n",
+        ));
+        let b = budgets(&[("write_queue", "limit"), ("jobs", "workers")]);
+        assert!(run(&[&src], Some(&b)).is_empty());
+    }
+}

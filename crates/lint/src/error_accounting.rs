@@ -1,0 +1,166 @@
+//! The error-accounting pass: every `ErrorCode` variant declared in
+//! `crates/wire/src/envelope.rs` must have a per-code counter increment
+//! site in `crates/service/src` — concretely, a fully-qualified
+//! `ErrorCode::Variant` inside the argument list of a call to
+//! `record_error`, `error_reply` or `error_response` (the three funnels
+//! that feed `Metrics::errors_by_code`). This mirrors the
+//! wire-exhaustiveness contract on the service side: a new error code that
+//! ships without an accounting site would be invisible in the deep stats,
+//! and operators debug what they can see.
+//!
+//! Findings anchor at the variant's declaration line in `envelope.rs`,
+//! because the fix usually lands with the variant. Trees with no service
+//! sources (the wire-only lint fixtures declare `ErrorCode` enums of their
+//! own) skip the pass.
+
+use std::collections::BTreeSet;
+
+use crate::scan::SourceFile;
+use crate::wire_exhaustive::enum_variants;
+use crate::Finding;
+
+/// The pass name, as used in findings and `lint:allow`.
+pub const PASS: &str = "error-accounting";
+
+/// The service-side funnels whose argument lists count as accounting
+/// evidence; all three record into `Metrics::errors_by_code`.
+const COUNTING_FNS: [&str; 3] = ["record_error", "error_reply", "error_response"];
+
+/// Runs the pass: `ErrorCode` variants come from the wire `envelope.rs`,
+/// evidence from the vaq-service sources.
+pub fn run(envelope: &SourceFile, service: &[&SourceFile]) -> Vec<Finding> {
+    if service.is_empty() {
+        return Vec::new();
+    }
+    let variants = enum_variants(envelope, "ErrorCode");
+    if variants.is_empty() {
+        return Vec::new();
+    }
+    let mut counted: BTreeSet<String> = BTreeSet::new();
+    for file in service {
+        collect_counted(file, &mut counted);
+    }
+    variants
+        .into_iter()
+        .filter(|(variant, _)| !counted.contains(variant))
+        .map(|(variant, line)| Finding {
+            pass: PASS,
+            file: envelope.path.clone(),
+            line,
+            message: format!(
+                "`ErrorCode::{variant}` has no per-code counter increment site in \
+                 crates/service/src; pass it through record_error / error_reply / \
+                 error_response so the deep stats account for it"
+            ),
+        })
+        .collect()
+}
+
+/// Collects every `ErrorCode::X` mentioned inside the balanced argument
+/// list of a non-test call to one of the counting funnels.
+fn collect_counted(file: &SourceFile, counted: &mut BTreeSet<String>) {
+    let tokens = &file.tokens;
+    for i in 0..tokens.len() {
+        if !COUNTING_FNS.contains(&tokens[i].text.as_str())
+            || tokens.get(i + 1).map(|t| t.text.as_str()) != Some("(")
+            || file.is_masked(tokens[i].line)
+        {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "ErrorCode" if tokens.get(j + 1).map(|t| t.text.as_str()) == Some("::") => {
+                    if let Some(variant) = tokens.get(j + 2) {
+                        if variant.is_ident() {
+                            counted.insert(variant.text.clone());
+                        }
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::path::Path;
+
+    use super::*;
+
+    fn file(name: &str, source: &str) -> SourceFile {
+        SourceFile::from_source(Path::new(name), source)
+    }
+
+    const ENVELOPE: &str = concat!(
+        "pub enum ErrorCode {\n",
+        "    Malformed,\n",
+        "    Overloaded,\n",
+        "}\n",
+    );
+
+    #[test]
+    fn an_uncounted_variant_is_flagged_at_its_declaration_line() {
+        let envelope = file("crates/wire/src/envelope.rs", ENVELOPE);
+        let server = file(
+            "crates/service/src/server.rs",
+            "fn f(m: &Metrics) { error_reply(m, ErrorCode::Malformed, text()); }\n",
+        );
+        let findings = run(&envelope, &[&server]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 3);
+        assert!(
+            findings[0].message.contains("`ErrorCode::Overloaded`"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn evidence_in_any_counting_funnel_covers_the_variant() {
+        let envelope = file("crates/wire/src/envelope.rs", ENVELOPE);
+        let server = file(
+            "crates/service/src/server.rs",
+            concat!(
+                "fn f(m: &Metrics) {\n",
+                "    m.record_error(ErrorCode::Malformed);\n",
+                "    error_response(shared, ErrorCode::Overloaded, text());\n",
+                "}\n",
+            ),
+        );
+        assert!(run(&envelope, &[&server]).is_empty());
+    }
+
+    #[test]
+    fn mentions_outside_a_funnel_call_or_in_tests_do_not_count() {
+        let envelope = file("crates/wire/src/envelope.rs", ENVELOPE);
+        let server = file(
+            "crates/service/src/server.rs",
+            concat!(
+                "fn f(m: &Metrics) {\n",
+                "    let code = ErrorCode::Malformed;\n",
+                "    m.record_error(code);\n",
+                "}\n",
+                "#[test]\n",
+                "fn t(m: &Metrics) { m.record_error(ErrorCode::Overloaded); }\n",
+            ),
+        );
+        let findings = run(&envelope, &[&server]);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+    }
+
+    #[test]
+    fn wire_only_trees_skip_the_pass() {
+        let envelope = file("crates/wire/src/envelope.rs", ENVELOPE);
+        assert!(run(&envelope, &[]).is_empty());
+    }
+}

@@ -1,7 +1,7 @@
 //! `vaq-lint`: workspace-native static analysis for the verified-analytics
 //! service tier.
 //!
-//! Four passes, each a cheap token-level scan (no rustc internals, no
+//! Seven passes, each a cheap token-level scan (no rustc internals, no
 //! crates.io dependencies), enforce properties the type system cannot:
 //!
 //! - **lock-order** — every mutex/condvar acquisition in vaq-service is
@@ -15,6 +15,16 @@
 //! - **epoch-discipline** — epoch ordering goes through
 //!   `vaq_wire::epoch::{advances, rolls_back, next}` and response-cache
 //!   accesses key on the epoch-prefixed `key`.
+//! - **reactor-discipline** — reactor-thread code (`reactor.rs`,
+//!   `conn.rs`) never blocks: no `sleep`, no blocking `recv()`, no condvar
+//!   waits, no locks ranked above the `reactor_safe_ceiling`, no blocking
+//!   socket I/O.
+//! - **bounded-queue** — every growth site of a queue named in
+//!   `crates/lint/queue_budgets.toml` sits in a function that tests the
+//!   queue's declared budget before inserting.
+//! - **error-accounting** — every `ErrorCode` variant has a per-code
+//!   counter increment site in vaq-service, so no typed error is invisible
+//!   in the deep stats.
 //!
 //! Any finding can be silenced inline with
 //! `// lint:allow(<pass>, <reason>)` on the same line or the line above —
@@ -27,10 +37,13 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod bounded_queue;
 pub mod epoch_discipline;
+pub mod error_accounting;
 pub mod lock_order;
 pub mod manifest;
 pub mod panic_path;
+pub mod reactor_discipline;
 pub mod scan;
 pub mod wire_exhaustive;
 
@@ -71,7 +84,8 @@ pub enum LintError {
     Io(PathBuf, std::io::Error),
     /// The root does not contain the expected workspace source trees.
     NoSources(PathBuf),
-    /// `lock_ranks.toml` exists but could not be parsed.
+    /// A manifest (`lock_ranks.toml`, `queue_budgets.toml`) exists but
+    /// could not be parsed.
     Manifest(String),
 }
 
@@ -84,15 +98,15 @@ impl fmt::Display for LintError {
                 "no sources found under {} (expected crates/service/src and crates/wire/src)",
                 root.display()
             ),
-            LintError::Manifest(message) => write!(f, "bad lock_ranks.toml: {message}"),
+            LintError::Manifest(message) => write!(f, "bad manifest: {message}"),
         }
     }
 }
 
 impl std::error::Error for LintError {}
 
-/// Runs all four passes over the workspace rooted at `root` and returns the
-/// surviving (non-allowed) findings, sorted by file and line.
+/// Runs all seven passes over the workspace rooted at `root` and returns
+/// the surviving (non-allowed) findings, sorted by file and line.
 pub fn run_all(root: &Path) -> Result<Vec<Finding>, LintError> {
     let service_src = read_tree(&root.join("crates/service/src"))?;
     let wire_src = read_tree(&root.join("crates/wire/src"))?;
@@ -102,6 +116,8 @@ pub fn run_all(root: &Path) -> Result<Vec<Finding>, LintError> {
     }
     let manifest =
         manifest::load(&root.join("crates/lint/lock_ranks.toml")).map_err(LintError::Manifest)?;
+    let budgets = manifest::load_queue_budgets(&root.join("crates/lint/queue_budgets.toml"))
+        .map_err(LintError::Manifest)?;
 
     let mut findings = Vec::new();
 
@@ -129,9 +145,14 @@ pub fn run_all(root: &Path) -> Result<Vec<Finding>, LintError> {
     let panic_files: Vec<&SourceFile> = service_src.iter().chain(&wire_src).collect();
     raw.extend(panic_path::run(&panic_files));
 
+    let service_files: Vec<&SourceFile> = service_src.iter().collect();
+    raw.extend(reactor_discipline::run(&service_files, manifest.as_ref()));
+    raw.extend(bounded_queue::run(&service_files, budgets.as_ref()));
+
     if let Some(envelope) = wire_src.iter().find(|f| f.file_name() == "envelope.rs") {
         let tests: Vec<&SourceFile> = wire_tests.iter().collect();
         raw.extend(wire_exhaustive::run(envelope, &tests));
+        raw.extend(error_accounting::run(envelope, &service_files));
     }
 
     let epoch_files: Vec<&SourceFile> = service_src

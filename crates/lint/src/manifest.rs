@@ -1,9 +1,12 @@
-//! Loader for the checked-in lock-rank manifest `crates/lint/lock_ranks.toml`.
+//! Loaders for the checked-in manifests `crates/lint/lock_ranks.toml`
+//! (lock name → rank) and `crates/lint/queue_budgets.toml` (queue field →
+//! budget identifier).
 //!
-//! The manifest is a deliberately tiny TOML subset — comment lines and
-//! `name = rank` pairs — so the crate stays dependency-free. The runtime
-//! counterpart is `vaq_service::sync::rank`; a unit test in vaq-service
-//! asserts the two never drift apart.
+//! Both manifests are a deliberately tiny TOML subset — comment lines and
+//! `name = value` pairs — so the crate stays dependency-free. The runtime
+//! counterparts live in vaq-service (`sync::rank`, the queue fields
+//! themselves); unit tests in vaq-service (`sync_ranks.rs`,
+//! `queue_budgets.rs`) assert the manifests never drift from the code.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -46,4 +49,55 @@ pub fn load(path: &Path) -> Result<Option<Manifest>, String> {
         manifest.insert(name.trim().to_string(), rank);
     }
     Ok(Some(manifest))
+}
+
+/// Queue field → budget identifier, as read from `queue_budgets.toml`: the
+/// name of a queue field in vaq-service, and the identifier of the budget
+/// (a config field, constant or guard flag) that every growth site's
+/// enclosing function must test before inserting.
+pub type QueueBudgets = BTreeMap<String, String>;
+
+/// Loads the queue-budget manifest at `path`.
+///
+/// Returns `Ok(None)` when the file does not exist (the bounded-queue pass
+/// is then inert, which is what the fixture trees without one rely on);
+/// malformed content is a hard error, exactly like [`load`].
+pub fn load_queue_budgets(path: &Path) -> Result<Option<QueueBudgets>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    let mut budgets = QueueBudgets::new();
+    for (index, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or_default().trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((field, budget)) = line.split_once('=') else {
+            return Err(format!(
+                "{}:{}: expected `queue_field = budget_ident`, got `{line}`",
+                path.display(),
+                index + 1
+            ));
+        };
+        let (field, budget) = (field.trim(), budget.trim());
+        for name in [field, budget] {
+            if !is_ident(name) {
+                return Err(format!(
+                    "{}:{}: `{name}` is not an identifier",
+                    path.display(),
+                    index + 1
+                ));
+            }
+        }
+        budgets.insert(field.to_string(), budget.to_string());
+    }
+    Ok(Some(budgets))
+}
+
+fn is_ident(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+        && name.chars().all(|c| c.is_alphanumeric() || c == '_')
 }

@@ -10,11 +10,14 @@
 use std::path::{Path, PathBuf};
 
 /// The pass names a `// lint:allow(<pass>, <reason>)` annotation may name.
-pub const PASSES: [&str; 4] = [
+pub const PASSES: [&str; 7] = [
     "lock-order",
     "panic-path",
     "wire-exhaustiveness",
     "epoch-discipline",
+    "reactor-discipline",
+    "bounded-queue",
+    "error-accounting",
 ];
 
 /// Two-character punctuation tokens, matched with maximal munch.

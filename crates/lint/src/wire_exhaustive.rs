@@ -59,8 +59,9 @@ pub fn run(envelope: &SourceFile, tests: &[&SourceFile]) -> Vec<Finding> {
 
 /// The variants of `enum <name> { … }`: identifiers at the enum's own brace
 /// depth, outside parens/brackets, directly after `{`, `,` or an
-/// attribute's `]`.
-fn enum_variants(file: &SourceFile, name: &str) -> Vec<(String, u32)> {
+/// attribute's `]`. Also used by the error-accounting pass to enumerate
+/// `ErrorCode`.
+pub(crate) fn enum_variants(file: &SourceFile, name: &str) -> Vec<(String, u32)> {
     let tokens = &file.tokens;
     for i in 0..tokens.len() {
         if tokens[i].text != "enum"

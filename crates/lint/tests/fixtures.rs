@@ -230,6 +230,133 @@ fn epoch_good_fixture_is_clean() {
     assert!(f.is_empty(), "expected clean, got:\n{}", dump(&f));
 }
 
+#[test]
+fn reactor_bad_fixture_flags_every_blocking_shape() {
+    let f = findings("reactor_bad");
+    let listing = dump(&f);
+    assert!(
+        has(&f, "reactor-discipline", "src/reactor.rs", 4, "`sleep(…)`"),
+        "missing the sleep finding:\n{listing}"
+    );
+    assert!(
+        has(&f, "reactor-discipline", "src/reactor.rs", 8, "`.recv()`"),
+        "missing the blocking-recv finding:\n{listing}"
+    );
+    assert!(
+        has(
+            &f,
+            "reactor-discipline",
+            "src/reactor.rs",
+            12,
+            "lock 'cache' (rank 40)"
+        ),
+        "missing the over-ceiling cache lock:\n{listing}"
+    );
+    assert!(
+        has(
+            &f,
+            "reactor-discipline",
+            "src/reactor.rs",
+            17,
+            "lock 'result' (rank 60)"
+        ),
+        "missing the over-ceiling result lock:\n{listing}"
+    );
+    assert!(
+        has(&f, "reactor-discipline", "src/reactor.rs", 18, "`.wait(…)`"),
+        "missing the condvar-wait finding:\n{listing}"
+    );
+    assert!(
+        has(
+            &f,
+            "reactor-discipline",
+            "src/reactor.rs",
+            22,
+            "`.set_nonblocking(false)`"
+        ),
+        "missing the blocking-socket finding:\n{listing}"
+    );
+    assert!(
+        has(
+            &f,
+            "reactor-discipline",
+            "src/reactor.rs",
+            23,
+            "`.write_all(…)`"
+        ),
+        "missing the blocking-I/O finding:\n{listing}"
+    );
+    // Exactly the seven reactor-discipline findings: the fixture's lock
+    // nesting and wait pairing are lock-order clean by construction.
+    assert_eq!(f.len(), 7, "unexpected finding set:\n{listing}");
+}
+
+#[test]
+fn reactor_good_fixture_is_clean() {
+    // recv_timeout / try_recv pacing, a ceiling-respecting lock, a justified
+    // pacing sleep, and non-blocking socket pumps are all fine.
+    let f = findings("reactor_good");
+    assert!(f.is_empty(), "expected clean, got:\n{}", dump(&f));
+}
+
+#[test]
+fn queue_bad_fixture_flags_unbudgeted_pushes() {
+    let f = findings("queue_bad");
+    let listing = dump(&f);
+    assert!(
+        has(
+            &f,
+            "bounded-queue",
+            "src/conn.rs",
+            3,
+            "never tests its budget `write_queue_budget_bytes`"
+        ),
+        "missing the write-queue finding:\n{listing}"
+    );
+    assert!(
+        has(
+            &f,
+            "bounded-queue",
+            "src/conn.rs",
+            7,
+            "never tests its budget `MAX_CONN_BACKLOG`"
+        ),
+        "missing the pending-queue finding:\n{listing}"
+    );
+    assert_eq!(f.len(), 2, "unexpected finding set:\n{listing}");
+}
+
+#[test]
+fn queue_good_fixture_is_clean() {
+    // Budget-tested pushes, plus a push onto a queue the manifest does not
+    // name, scan clean.
+    let f = findings("queue_good");
+    assert!(f.is_empty(), "expected clean, got:\n{}", dump(&f));
+}
+
+#[test]
+fn error_bad_fixture_flags_the_uncounted_code() {
+    let f = findings("error_bad");
+    let listing = dump(&f);
+    assert!(
+        has(
+            &f,
+            "error-accounting",
+            "src/envelope.rs",
+            3,
+            "`ErrorCode::Overloaded`"
+        ),
+        "missing the uncounted-code finding:\n{listing}"
+    );
+    assert_eq!(f.len(), 1, "unexpected finding set:\n{listing}");
+}
+
+#[test]
+fn error_good_fixture_counts_every_code() {
+    let f = findings("error_good");
+    assert!(f.is_empty(), "expected clean, got:\n{}", dump(&f));
+}
+
 // --- CLI surface -----------------------------------------------------------
 
 fn cli_status(args: &[&str]) -> Option<i32> {
@@ -249,6 +376,9 @@ fn cli_exits_nonzero_on_every_bad_fixture() {
         "allow_bad",
         "wire_bad",
         "epoch_bad",
+        "reactor_bad",
+        "queue_bad",
+        "error_bad",
     ] {
         let root = fixture(bad);
         let code = cli_status(&["--root", root.to_str().expect("utf-8 path")]);
@@ -263,6 +393,9 @@ fn cli_exits_zero_on_every_good_fixture() {
         "panic_path_good",
         "wire_good",
         "epoch_good",
+        "reactor_good",
+        "queue_good",
+        "error_good",
     ] {
         let root = fixture(good);
         let code = cli_status(&["--root", root.to_str().expect("utf-8 path")]);

@@ -1,0 +1,7 @@
+#[test]
+fn codes_roundtrip() {
+    for code in [ErrorCode::Malformed, ErrorCode::Overloaded] {
+        let bytes = code.to_wire_bytes();
+        assert!(ErrorCode::from_wire_bytes(&bytes).is_ok());
+    }
+}

@@ -1,0 +1,12 @@
+fn error_reply(metrics: &Metrics, code: ErrorCode, message: String) -> ErrorReply {
+    metrics.record_error(code);
+    ErrorReply { code, message }
+}
+
+fn reject_bad_frame(metrics: &Metrics) -> ErrorReply {
+    error_reply(metrics, ErrorCode::Malformed, bad_frame_text())
+}
+
+fn shed_slow_reader(metrics: &Metrics) -> ErrorReply {
+    error_reply(metrics, ErrorCode::Overloaded, shed_text())
+}

@@ -1,0 +1,9 @@
+impl Conn {
+    fn enqueue_unchecked(&mut self, frame: Vec<u8>) {
+        self.write_queue.push_back(frame);
+    }
+
+    fn buffer_request(&mut self, request: PendingRequest) {
+        self.pending_tagged.push_back(request);
+    }
+}

@@ -1,0 +1,21 @@
+impl Conn {
+    fn enqueue(&mut self, frame: Vec<u8>, write_queue_budget_bytes: usize) -> bool {
+        if self.queued_bytes + frame.len() > write_queue_budget_bytes {
+            return false;
+        }
+        self.queued_bytes += frame.len();
+        self.write_queue.push_back(frame);
+        true
+    }
+
+    fn buffer_request(&mut self, request: PendingRequest) {
+        if self.pending_tagged.len() >= MAX_CONN_BACKLOG {
+            return;
+        }
+        self.pending_tagged.push_back(request);
+    }
+
+    fn note(&mut self, trace: Trace) {
+        self.finished.push(trace);
+    }
+}

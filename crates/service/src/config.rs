@@ -98,6 +98,21 @@ pub struct ServiceConfig {
     /// accepted beyond this limit is shed with a best-effort typed
     /// [`vaq_wire::ErrorCode::Overloaded`] reply before the close.
     pub max_connections: usize,
+    /// Per-connection write-queue byte budget: the most queued-but-unflushed
+    /// response bytes one connection may hold. A peer that requests faster
+    /// than it reads (a slow reader) is shed with a typed
+    /// [`vaq_wire::ErrorCode::Overloaded`] reply once its queue would exceed
+    /// this budget, bounding reactor memory per connection. The budget
+    /// should be at least `max_frame_bytes`, or any single response larger
+    /// than it sheds the connection.
+    pub write_queue_budget_bytes: usize,
+    /// Reactor stall watchdog threshold, in micros: a single readiness
+    /// sweep taking at least this long counts as a `reactor_stalls` tick in
+    /// the deep stats (every sweep also feeds the sweep-duration
+    /// histogram). One stalled sweep delays every connection at once, so
+    /// the threshold is deliberately coarse — it flags blocking calls and
+    /// pathological fleets, not routine jitter.
+    pub reactor_stall_micros: u64,
 }
 
 impl Default for ServiceConfig {
@@ -115,6 +130,8 @@ impl Default for ServiceConfig {
             slow_log: SlowLogSink::default(),
             mid_frame_patience: crate::frame::DEFAULT_MID_FRAME_PATIENCE,
             max_connections: 10_000,
+            write_queue_budget_bytes: 64 << 20,
+            reactor_stall_micros: 100_000,
         }
     }
 }
@@ -187,6 +204,21 @@ impl ServiceConfig {
         self.max_connections = limit.max(1);
         self
     }
+
+    /// Sets the per-connection write-queue byte budget; a connection whose
+    /// queued response bytes would exceed it is shed with a typed overload
+    /// reply.
+    pub fn write_queue_budget_bytes(mut self, bytes: usize) -> Self {
+        self.write_queue_budget_bytes = bytes;
+        self
+    }
+
+    /// Sets the reactor stall watchdog threshold in micros; a readiness
+    /// sweep at or above it counts as a stall in the deep stats.
+    pub fn reactor_stall_micros(mut self, micros: u64) -> Self {
+        self.reactor_stall_micros = micros;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +231,11 @@ mod tests {
         assert_eq!(config.bind_addr.port(), 0);
         assert!(config.workers >= 1);
         assert!(config.max_frame_bytes >= 1 << 20);
+        assert!(
+            config.write_queue_budget_bytes >= config.max_frame_bytes,
+            "the default budget must admit at least one max-size response"
+        );
+        assert!(config.reactor_stall_micros > 0);
     }
 
     #[test]
@@ -209,12 +246,16 @@ mod tests {
             .max_frame_bytes(4096)
             .read_timeout(None)
             .mid_frame_patience(Duration::from_millis(250))
-            .max_connections(0);
+            .max_connections(0)
+            .write_queue_budget_bytes(8192)
+            .reactor_stall_micros(250_000);
         assert_eq!(config.workers, 1, "worker count clamps to 1");
         assert_eq!(config.cache_capacity, 7);
         assert_eq!(config.max_frame_bytes, 4096);
         assert!(config.read_timeout.is_none());
         assert_eq!(config.mid_frame_patience, Duration::from_millis(250));
         assert_eq!(config.max_connections, 1, "connection limit clamps to 1");
+        assert_eq!(config.write_queue_budget_bytes, 8192);
+        assert_eq!(config.reactor_stall_micros, 250_000);
     }
 }

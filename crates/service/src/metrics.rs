@@ -4,8 +4,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use vaq_wire::{
-    ErrorCode, ErrorCount, KindLatency, KindStages, LatencyHistogram, StageLatency, StageMicros,
-    StatsDeep, StatsSnapshot, LATENCY_BUCKET_BOUNDS_MICROS,
+    ErrorCode, ErrorCount, KindLatency, KindStages, LatencyHistogram, ReactorStats, StageLatency,
+    StageMicros, StatsDeep, StatsSnapshot, LATENCY_BUCKET_BOUNDS_MICROS,
 };
 
 /// Number of histogram buckets: one per bound plus an overflow bucket.
@@ -230,10 +230,17 @@ pub struct Metrics {
     /// records a typed [`ErrorCode::Overloaded`] reply in the per-code
     /// breakdown).
     pub connections_shed: AtomicU64,
+    /// Connections shed because their queued response bytes exceeded the
+    /// per-connection write-queue budget (slow readers); each also records
+    /// a typed [`ErrorCode::Overloaded`] reply in the per-code breakdown.
+    pub slow_readers_shed: AtomicU64,
+    /// Reactor sweeps that ran past the configured stall threshold.
+    pub reactor_stalls: AtomicU64,
     per_error: [AtomicU64; ErrorCode::ALL.len()],
     latency: [Histogram; 4],
     stage_latency: [Histogram; STAGES],
     kind_stage: [[StageAccum; STAGES]; 4],
+    sweep_latency: Histogram,
     started: Instant,
 }
 
@@ -247,10 +254,13 @@ impl Default for Metrics {
             bytes_out: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             connections_shed: AtomicU64::new(0),
+            slow_readers_shed: AtomicU64::new(0),
+            reactor_stalls: AtomicU64::new(0),
             per_error: Default::default(),
             latency: Default::default(),
             stage_latency: Default::default(),
             kind_stage: Default::default(),
+            sweep_latency: Default::default(),
             started: Instant::now(),
         }
     }
@@ -280,6 +290,23 @@ impl Metrics {
                 self.kind_stage[kind.index()][stage.index()].record(stage_micros[stage.index()]);
             }
         }
+    }
+
+    /// Records one reactor sweep's duration, counting it as a stall when it
+    /// ran for at least `stall_threshold_micros` — the runtime twin of the
+    /// static reactor-discipline lint pass: a blocking call that slipped
+    /// past the linter surfaces here as a stall tick.
+    pub fn observe_sweep(&self, duration: Duration, stall_threshold_micros: u64) {
+        let micros = duration.as_micros().min(u64::MAX as u128) as u64;
+        self.sweep_latency.observe_micros(micros);
+        if micros >= stall_threshold_micros {
+            self.reactor_stalls.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Reactor sweeps observed so far.
+    pub fn sweep_count(&self) -> u64 {
+        self.sweep_latency.count()
     }
 
     /// Bumps the flat error counter and the per-code breakdown together.
@@ -343,8 +370,8 @@ impl Metrics {
         }
     }
 
-    /// Deep snapshot: the flat snapshot plus per-stage histograms and
-    /// per-kind stage attribution.
+    /// Deep snapshot: the flat snapshot plus per-stage histograms,
+    /// per-kind stage attribution, and reactor health telemetry.
     pub fn deep_snapshot(&self, workers: usize, epoch: u64, cache: CacheGauges) -> StatsDeep {
         StatsDeep {
             snapshot: self.snapshot(workers, epoch, cache),
@@ -365,6 +392,12 @@ impl Metrics {
                         .collect(),
                 })
                 .collect(),
+            reactor: ReactorStats {
+                sweeps: self.sweep_latency.snapshot(),
+                reactor_stalls: Self::get(&self.reactor_stalls),
+                slow_readers_shed: Self::get(&self.slow_readers_shed),
+                connections_shed: Self::get(&self.connections_shed),
+            },
         }
     }
 }
@@ -458,6 +491,21 @@ mod tests {
         let whole = &deep.snapshot.per_kind[RequestKind::Range.index()].histogram;
         assert_eq!(whole.count, 1);
         assert!(stage_sum <= whole.sum_micros);
+    }
+
+    #[test]
+    fn sweep_watchdog_counts_stalls_above_the_threshold() {
+        let m = Metrics::default();
+        m.observe_sweep(Duration::from_micros(40), 1000);
+        m.observe_sweep(Duration::from_micros(1000), 1000); // at threshold: stall
+        m.observe_sweep(Duration::from_micros(2500), 1000);
+        assert_eq!(m.sweep_count(), 3);
+        assert_eq!(Metrics::get(&m.reactor_stalls), 2);
+        let deep = m.deep_snapshot(1, 0, CacheGauges::default());
+        assert_eq!(deep.reactor.sweeps.count, 3);
+        assert_eq!(deep.reactor.sweeps.max_micros, 2500);
+        assert_eq!(deep.reactor.reactor_stalls, 2);
+        assert_eq!(deep.reactor.slow_readers_shed, 0);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! concurrent requests.
 
 use std::collections::{HashMap, VecDeque};
-use std::net::TcpStream;
+use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -129,7 +129,15 @@ pub(crate) fn run(
         if Instant::now() >= next_scan {
             let started = Instant::now();
             busy |= reactor.sweep();
-            next_scan = Instant::now() + started.elapsed() * SCAN_PACE_FACTOR;
+            let took = started.elapsed();
+            // The stall watchdog: every sweep feeds the duration histogram,
+            // and a sweep past the configured threshold counts as a stall —
+            // the runtime cross-check of the static reactor-discipline pass.
+            reactor
+                .shared
+                .metrics
+                .observe_sweep(took, reactor.shared.config.reactor_stall_micros);
+            next_scan = Instant::now() + took * SCAN_PACE_FACTOR;
         }
         if reactor.shared.shutdown.load(Ordering::SeqCst) {
             break;
@@ -172,8 +180,10 @@ impl Reactor {
     }
 
     /// Routes one finished response frame onto its connection's write
-    /// queue. A connection that died while the request was in flight just
-    /// drops the frame — there is nowhere left to write it.
+    /// queue, enforcing the per-connection write-queue byte budget. A
+    /// connection that died (or was shed) while the request was in flight
+    /// just drops the frame — there is nowhere left to write it; one whose
+    /// queued bytes would exceed the budget is shed as a slow reader.
     fn complete(&mut self, completion: Completion) {
         let Some(conn) = self.conns.get_mut(&completion.conn_id) else {
             return;
@@ -184,7 +194,13 @@ impl Reactor {
             }
             None => conn.untagged_in_flight = false,
         }
-        conn.enqueue(completion.frame, Some(completion.trace), false);
+        if conn.shed {
+            return;
+        }
+        let budget = self.shared.config.write_queue_budget_bytes;
+        if !conn.enqueue(completion.frame, Some(completion.trace), false, budget) {
+            shed_slow_reader(&self.shared, conn);
+        }
     }
 
     /// One readiness pass over every connection: reads, dispatch, timers,
@@ -206,11 +222,22 @@ impl Reactor {
                 queue_request(conn, payload);
             }
             if let Some(error) = pass.error {
-                frame_error(&self.shared, conn, error);
+                if conn.shed {
+                    // The goodbye can no longer be delivered cleanly;
+                    // nothing else on a shed connection is worth saving.
+                    conn.abort();
+                } else {
+                    frame_error(&self.shared, conn, error);
+                }
             }
             // A stalled peer: the stream offset is stuck inside a frame and
-            // no byte has arrived for a whole patience window.
-            if !conn.reads_done && conn.mid_frame() && conn.last_progress.elapsed() >= patience {
+            // no byte has arrived for a whole patience window. (A shed
+            // connection's leftovers are covered by its own backstops.)
+            if !conn.shed
+                && !conn.reads_done
+                && conn.mid_frame()
+                && conn.last_progress.elapsed() >= patience
+            {
                 frame_error(&self.shared, conn, ServiceError::Stalled { patience });
             }
             busy |= dispatch(&self.shared, &self.jobs, &self.completions_tx, id, conn);
@@ -228,7 +255,23 @@ impl Reactor {
             for trace in wrote.finished {
                 finish_request(&self.shared, &trace);
             }
-            if wrote.close || conn.drained() {
+            // A shed slow reader that also refuses to read its typed
+            // goodbye cannot pin its write queue forever: once no byte has
+            // moved for a whole patience window, drop it outright. The same
+            // deadline bounds the post-goodbye draining linger.
+            if conn.shed && conn.wants_write() && conn.last_progress.elapsed() >= patience {
+                conn.abort();
+            }
+            if conn.linger_deadline.is_some_and(|d| Instant::now() >= d) {
+                conn.abort();
+            }
+            if wrote.close {
+                if close_or_linger(conn, patience) {
+                    dead.push(id);
+                }
+                continue;
+            }
+            if conn.drained() {
                 dead.push(id);
                 continue;
             }
@@ -280,7 +323,12 @@ impl Reactor {
             for trace in wrote.finished {
                 finish_request(&self.shared, &trace);
             }
-            if wrote.close || conn.drained() {
+            if wrote.close {
+                if close_or_linger(conn, self.shared.config.mid_frame_patience) {
+                    self.close(id);
+                    busy = true;
+                }
+            } else if conn.drained() {
                 self.close(id);
                 busy = true;
             }
@@ -328,12 +376,14 @@ impl Reactor {
             "service is shutting down".into(),
         )
         .to_framed_bytes();
+        let budget = self.shared.config.write_queue_budget_bytes;
         for conn in self.conns.values_mut() {
-            conn.enqueue(goodbye.clone(), None, true);
+            conn.enqueue(goodbye.clone(), None, true, budget);
         }
         let flush_deadline = Instant::now() + FLUSH_DEADLINE;
         while !self.conns.is_empty() && Instant::now() < flush_deadline {
             if !self.flush_all() {
+                // lint:allow(reactor-discipline, deliberate shutdown pacing: the sweep loop has exited and this 1ms nap only bounds busy-waiting while the final goodbye frames flush)
                 std::thread::sleep(Duration::from_millis(1));
             }
         }
@@ -371,9 +421,40 @@ impl Reactor {
     }
 }
 
+/// After a write pass asked to close: returns whether the connection
+/// should drop now. A shed connection half-closes instead — FIN goes out
+/// behind the flushed goodbye, and the reactor keeps draining (and
+/// discarding) inbound bytes until the peer closes or the linger deadline
+/// passes. A full close here would make the kernel reset the peer over the
+/// unread flood bytes still in the receive buffer, destroying the typed
+/// goodbye before the peer reads it.
+fn close_or_linger(conn: &mut Conn, patience: Duration) -> bool {
+    if !conn.shed || conn.drained() {
+        return true;
+    }
+    if conn.linger_deadline.is_none() {
+        let _ = conn.stream.shutdown(Shutdown::Write);
+        conn.linger_deadline = Some(Instant::now() + patience);
+    }
+    false
+}
+
 /// Splits the optional tag envelope off one received payload and queues it
 /// for dispatch.
 fn queue_request(conn: &mut Conn, payload: Vec<u8>) {
+    if conn.shed {
+        // Shed connections keep reading only so the eventual close does
+        // not reset the peer; their requests are discarded unanswered.
+        return;
+    }
+    // `pump_reads` stops reading once MAX_CONN_BACKLOG requests are
+    // buffered, so the pending queues are bounded by construction; the
+    // assert keeps the budget test next to the push (for the bounded-queue
+    // lint pass) and loud in debug builds.
+    debug_assert!(
+        conn.pending() < MAX_CONN_BACKLOG,
+        "pending queues past MAX_CONN_BACKLOG: pump_reads stopped throttling"
+    );
     let received = Instant::now();
     match Request::split_tagged(&payload) {
         Some((tag, inner)) => conn.pending_tagged.push_back(PendingRequest {
@@ -421,6 +502,46 @@ fn frame_error(shared: &Shared, conn: &mut Conn, error: ServiceError) {
         reply.to_framed_bytes(),
         Some(Trace::begin(Duration::ZERO)),
         true,
+        shared.config.write_queue_budget_bytes,
+    );
+}
+
+/// Sheds a slow reader: a connection whose queued-but-unflushed response
+/// bytes exceeded [`crate::ServiceConfig::write_queue_budget_bytes`]. The
+/// peer requested faster than it reads, so buffering more would grow
+/// without bound; instead its pending work is dropped, its unstarted
+/// queued frames are discarded (a partially-written head stays so the
+/// stream remains frame-aligned), and a typed `Overloaded` goodbye closes
+/// the connection — via a draining half-close (see [`close_or_linger`]) so
+/// the goodbye survives the flooder's own unread backlog. Counted under
+/// `slow_readers_shed` in the deep stats.
+fn shed_slow_reader(shared: &Shared, conn: &mut Conn) {
+    if conn.shed {
+        return;
+    }
+    conn.shed = true;
+    // Reads stay open: the flooder's pipelined requests keep draining (and
+    // are discarded in `queue_request`) so the close never resets the peer
+    // with unread bytes and the typed goodbye below actually arrives.
+    conn.pending_untagged.clear();
+    conn.pending_tagged.clear();
+    let queued = conn.queued_bytes();
+    conn.drop_unwritten();
+    Metrics::add(&shared.metrics.slow_readers_shed, 1);
+    let budget = shared.config.write_queue_budget_bytes;
+    let reply = error_response(
+        shared,
+        ErrorCode::Overloaded,
+        format!(
+            "shed: queued responses would exceed the {budget}-byte write-queue \
+             budget ({queued} bytes already queued unread); read responses faster"
+        ),
+    );
+    conn.enqueue(
+        reply.to_framed_bytes(),
+        Some(Trace::begin(Duration::ZERO)),
+        true,
+        budget,
     );
 }
 
@@ -450,7 +571,11 @@ fn dispatch(
                 response: Box::new(reply),
             }
             .to_framed_bytes();
-            conn.enqueue(frame, Some(Trace::begin(next.received.elapsed())), false);
+            let trace = Some(Trace::begin(next.received.elapsed()));
+            if !conn.enqueue(frame, trace, false, shared.config.write_queue_budget_bytes) {
+                shed_slow_reader(shared, conn);
+                return true;
+            }
             busy = true;
             continue;
         }

@@ -264,6 +264,20 @@ impl QueryService {
         Metrics::get(&self.shared.metrics.connections_shed)
     }
 
+    /// Slow readers shed so far at the
+    /// [`ServiceConfig::write_queue_budget_bytes`] budget; each also shows
+    /// up as an [`ErrorCode::Overloaded`] entry in the per-code error
+    /// breakdown.
+    pub fn slow_readers_shed(&self) -> u64 {
+        Metrics::get(&self.shared.metrics.slow_readers_shed)
+    }
+
+    /// Reactor sweeps that ran past the
+    /// [`ServiceConfig::reactor_stall_micros`] watchdog threshold.
+    pub fn reactor_stalls(&self) -> u64 {
+        Metrics::get(&self.shared.metrics.reactor_stalls)
+    }
+
     /// A point-in-time deep snapshot: the flat counters plus per-stage
     /// latency histograms and per-kind stage attribution.
     pub fn stats_deep(&self) -> StatsDeep {

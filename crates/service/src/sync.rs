@@ -42,6 +42,14 @@ pub mod rank {
     pub const RESULT: u32 = 60;
     /// The in-memory slow-log capture buffer.
     pub const BUFFER: u32 = 70;
+
+    /// Not a lock: the highest rank the reactor thread may acquire. Locks
+    /// above this ceiling are worker-side and may be held across request
+    /// execution — taking one on the reactor thread would let a single
+    /// request stall every connection at once. Enforced statically by the
+    /// `vaq-lint` reactor-discipline pass (via the `reactor_safe_ceiling`
+    /// manifest entry) and at runtime by the sweep stall watchdog.
+    pub const REACTOR_SAFE_CEILING: u32 = SERVING;
 }
 
 #[cfg(debug_assertions)]

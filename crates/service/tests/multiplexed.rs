@@ -270,3 +270,75 @@ fn loadgen_fan_out_simulates_many_connections_per_thread() {
     let stats = service.shutdown();
     assert!(stats.requests_served >= 90);
 }
+
+#[test]
+fn slow_reader_is_shed_with_a_typed_overloaded_reply() {
+    // Regression for the write-queue byte budget (ROADMAP 2b): a peer whose
+    // responses would overflow its per-connection budget is shed with a
+    // typed Overloaded reply and counted, while other connections on the
+    // same service keep working. The 300-record response is far larger than
+    // the 4 KiB budget, so the very first completion triggers the shed —
+    // deterministically, with no dependence on kernel socket buffering.
+    let (_, server, _) = owner_setup(300, 2, 91);
+    let service = QueryService::bind(
+        ServiceConfig::ephemeral()
+            .workers(2)
+            .write_queue_budget_bytes(4096),
+        server,
+    )
+    .unwrap();
+    let addr = service.local_addr();
+
+    let mut healthy = ServiceClient::connect(addr).unwrap();
+    healthy.ping().unwrap();
+
+    let mut slow = ServiceClient::connect(addr).unwrap();
+    slow.send_tagged(&Request::Query(Query::top_k(vec![0.5, 0.5], 300)))
+        .unwrap();
+    match slow.receive().unwrap_err() {
+        ServiceError::Remote(reply) => {
+            assert_eq!(reply.code, ErrorCode::Overloaded);
+            assert!(reply.message.contains("write-queue"), "{reply:?}");
+        }
+        other => panic!("expected a remote Overloaded reply, got {other}"),
+    }
+    // The shed connection is closed after the goodbye; the healthy one is
+    // untouched and the shed is accounted in the deep stats.
+    assert!(slow.ping().is_err());
+    healthy.ping().unwrap();
+    assert_eq!(service.slow_readers_shed(), 1);
+    let deep = service.stats_deep();
+    assert_eq!(deep.reactor.slow_readers_shed, 1);
+    let overloaded = deep
+        .snapshot
+        .per_error
+        .iter()
+        .find(|e| e.code == ErrorCode::Overloaded.label())
+        .map(|e| e.count)
+        .unwrap_or(0);
+    assert_eq!(overloaded, 1, "shed reply missing from per-error breakdown");
+    service.shutdown();
+}
+
+#[test]
+fn sweep_watchdog_feeds_the_deep_stats_over_the_wire() {
+    // A zero stall threshold counts every sweep as a stall, making the
+    // watchdog plumbing observable without manufacturing a real stall.
+    let (_, server, _) = owner_setup(10, 1, 5);
+    let service =
+        QueryService::bind(ServiceConfig::ephemeral().reactor_stall_micros(0), server).unwrap();
+    let mut client = ServiceClient::connect(service.local_addr()).unwrap();
+    client.ping().unwrap();
+
+    let deep = client.stats_deep().unwrap();
+    assert!(deep.reactor.sweeps.count > 0, "sweep histogram never fed");
+    assert!(deep.reactor.reactor_stalls > 0, "zero threshold must tick");
+    assert!(
+        deep.reactor.reactor_stalls <= deep.reactor.sweeps.count,
+        "stalls cannot outnumber sweeps: {:?}",
+        deep.reactor
+    );
+    assert_eq!(deep.reactor.slow_readers_shed, 0);
+    assert!(service.reactor_stalls() > 0);
+    service.shutdown();
+}

@@ -53,10 +53,18 @@ fn manifest_matches_runtime_rank_constants() {
     // `done` is a condvar paired with the `result` mutex; waiting releases
     // and re-acquires `result`, so their ranks must be identical.
     assert_eq!(ranks.get("done"), ranks.get("result"));
-    // No manifest entries beyond the runtime set (7 mutexes + 1 condvar).
+    // The reactor-safe ceiling (read by the reactor-discipline lint pass)
+    // must match its runtime constant.
+    assert_eq!(
+        ranks.get("reactor_safe_ceiling").copied(),
+        Some(rank::REACTOR_SAFE_CEILING),
+        "manifest `reactor_safe_ceiling` must equal rank::REACTOR_SAFE_CEILING"
+    );
+    // No manifest entries beyond the runtime set (7 mutexes + 1 condvar +
+    // the reactor-safe ceiling).
     assert_eq!(
         ranks.len(),
-        8,
+        9,
         "unexpected extra manifest entries: {ranks:?}"
     );
 }

@@ -358,9 +358,29 @@ pub struct KindStages {
     pub stages: Vec<StageMicros>,
 }
 
+/// Health telemetry of the service's reactor thread: sweep-duration
+/// distribution, stall count, and the shed counters for connections the
+/// reactor gave up on. The runtime cross-check of the static
+/// reactor-discipline and bounded-queue lint passes — a blocking call
+/// shows up here as a sweep-latency outlier and a `reactor_stalls` bump.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ReactorStats {
+    /// Duration distribution of full readiness sweeps (buckets per
+    /// [`LATENCY_BUCKET_BOUNDS_MICROS`]).
+    pub sweeps: LatencyHistogram,
+    /// Sweeps that exceeded the configured stall threshold.
+    pub reactor_stalls: u64,
+    /// Connections shed because their queued-but-unflushed response bytes
+    /// exceeded the per-connection write-queue budget (each also records a
+    /// typed overloaded reply in the per-code breakdown).
+    pub slow_readers_shed: u64,
+    /// Connections shed at the configured connection limit.
+    pub connections_shed: u64,
+}
+
 /// The deep-telemetry payload of [`Response::StatsDeep`]: the flat
-/// [`StatsSnapshot`] plus per-stage histograms over all requests and
-/// per-kind stage attribution.
+/// [`StatsSnapshot`] plus per-stage histograms over all requests,
+/// per-kind stage attribution, and reactor health telemetry.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct StatsDeep {
     /// The flat counter snapshot, taken atomically with the breakdowns
@@ -370,6 +390,8 @@ pub struct StatsDeep {
     pub per_stage: Vec<StageLatency>,
     /// Per-request-kind stage attribution.
     pub per_kind_stage: Vec<KindStages>,
+    /// Reactor-thread health: sweep durations, stalls, shed counters.
+    pub reactor: ReactorStats,
 }
 
 /// A point-in-time snapshot of service counters, served over the wire.
@@ -968,6 +990,26 @@ impl WireDecode for KindStages {
     }
 }
 
+impl WireEncode for ReactorStats {
+    fn encode(&self, w: &mut Writer) {
+        self.sweeps.encode(w);
+        w.put_u64(self.reactor_stalls);
+        w.put_u64(self.slow_readers_shed);
+        w.put_u64(self.connections_shed);
+    }
+}
+
+impl WireDecode for ReactorStats {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ReactorStats {
+            sweeps: LatencyHistogram::decode(r)?,
+            reactor_stalls: r.get_u64()?,
+            slow_readers_shed: r.get_u64()?,
+            connections_shed: r.get_u64()?,
+        })
+    }
+}
+
 impl WireEncode for StatsDeep {
     fn encode(&self, w: &mut Writer) {
         self.snapshot.encode(w);
@@ -979,6 +1021,7 @@ impl WireEncode for StatsDeep {
         for kind in &self.per_kind_stage {
             kind.encode(w);
         }
+        self.reactor.encode(w);
     }
 }
 
@@ -999,6 +1042,7 @@ impl WireDecode for StatsDeep {
             snapshot,
             per_stage,
             per_kind_stage,
+            reactor: ReactorStats::decode(r)?,
         })
     }
 }
@@ -1286,6 +1330,17 @@ mod tests {
                     max_micros: 500,
                 }],
             }],
+            reactor: ReactorStats {
+                sweeps: LatencyHistogram {
+                    bucket_counts: vec![2; LATENCY_BUCKET_BOUNDS_MICROS.len() + 1],
+                    count: 26,
+                    sum_micros: 4242,
+                    max_micros: 1_200_000,
+                },
+                reactor_stalls: 1,
+                slow_readers_shed: 3,
+                connections_shed: 5,
+            },
         };
         let bytes = deep.to_wire_bytes();
         assert_eq!(StatsDeep::from_wire_bytes(&bytes).unwrap(), deep);

@@ -33,8 +33,8 @@ pub mod io;
 pub mod sigmesh_impls;
 
 pub use envelope::{
-    ErrorCode, ErrorCount, ErrorReply, KindLatency, KindStages, LatencyHistogram, Request,
-    Response, ShardEntry, ShardInfo, ShardMap, SignedShardMap, StageLatency, StageMicros,
+    ErrorCode, ErrorCount, ErrorReply, KindLatency, KindStages, LatencyHistogram, ReactorStats,
+    Request, Response, ShardEntry, ShardInfo, ShardMap, SignedShardMap, StageLatency, StageMicros,
     StatsDeep, StatsSnapshot, LATENCY_BUCKET_BOUNDS_MICROS,
 };
 pub use error::WireError;

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use vaq_authquery::Query;
 use vaq_wire::{
-    ErrorCode, ErrorCount, ErrorReply, KindLatency, KindStages, LatencyHistogram, Request,
-    Response, ShardEntry, ShardInfo, ShardMap, SignedShardMap, StageLatency, StageMicros,
+    ErrorCode, ErrorCount, ErrorReply, KindLatency, KindStages, LatencyHistogram, ReactorStats,
+    Request, Response, ShardEntry, ShardInfo, ShardMap, SignedShardMap, StageLatency, StageMicros,
     StatsDeep, StatsSnapshot, WireDecode, WireEncode, WireError, LATENCY_BUCKET_BOUNDS_MICROS,
 };
 
@@ -337,6 +337,12 @@ proptest! {
                     })
                     .collect(),
             }],
+            reactor: ReactorStats {
+                sweeps: histogram.clone(),
+                reactor_stalls: counters[3],
+                slow_readers_shed: counters[4],
+                connections_shed: counters[5],
+            },
         };
         let response = Response::StatsDeep(deep.clone());
         let bytes = response.to_framed_bytes();
