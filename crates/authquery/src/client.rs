@@ -41,6 +41,19 @@ pub struct VerifiedResult {
 /// not rejected due to floating-point noise.
 const SCORE_EPS: f64 = 1e-9;
 
+/// Reusable scratch buffers for repeated verifications.
+///
+/// Rebuilding the FMH leaf window allocates a digest vector per call; a
+/// client verifying a stream of responses (the service client, the sharded
+/// merge path) can hold one `VerifyScratch` and amortize that allocation
+/// across calls via [`verify_at_epoch_with_scratch`].
+#[derive(Clone, Debug, Default)]
+pub struct VerifyScratch {
+    /// Leaf digests of the proven window: left boundary, records, right
+    /// boundary. Cleared (not shrunk) between calls.
+    leaves: Vec<Digest>,
+}
+
 /// Verifies a query result against its verification object.
 ///
 /// * `query` — the query the client originally issued,
@@ -76,6 +89,22 @@ pub fn verify_at_epoch(
     verifier: &dyn Verifier,
     epoch: u64,
 ) -> Result<VerifiedResult, VerifyError> {
+    let mut scratch = VerifyScratch::default();
+    verify_at_epoch_with_scratch(query, records, vo, template, verifier, epoch, &mut scratch)
+}
+
+/// Like [`verify_at_epoch`], reusing the caller's [`VerifyScratch`] so
+/// repeated verifications do not reallocate the leaf-digest buffer.
+#[allow(clippy::too_many_arguments)]
+pub fn verify_at_epoch_with_scratch(
+    query: &Query,
+    records: &[Record],
+    vo: &VerificationObject,
+    template: &FunctionTemplate,
+    verifier: &dyn Verifier,
+    epoch: u64,
+    scratch: &mut VerifyScratch,
+) -> Result<VerifiedResult, VerifyError> {
     let mut cost = ClientCost::default();
     let x = query.weights();
     if x.len() != template.dims() {
@@ -85,7 +114,9 @@ pub fn verify_at_epoch(
     }
 
     // ---- Step 1a: rebuild the FMH part from the result + boundaries -------
-    let mut leaves: Vec<Digest> = Vec::with_capacity(records.len() + 2);
+    let leaves = &mut scratch.leaves;
+    leaves.clear();
+    leaves.reserve(records.len() + 2);
     leaves.push(vo.left_boundary.leaf_digest());
     cost.hash_ops += 1;
     for r in records {
@@ -96,7 +127,7 @@ pub fn verify_at_epoch(
     cost.hash_ops += 1;
 
     let first_leaf = vo.first_leaf as usize;
-    let outcome = verify_range(first_leaf, &leaves, &vo.range_proof)
+    let outcome = verify_range(first_leaf, leaves, &vo.range_proof)
         .map_err(|e| VerifyError::MalformedProof(e.to_string()))?;
     cost.hash_ops += outcome.hash_ops;
 

@@ -13,6 +13,7 @@
 //!    FMH root together with its defining inequalities (*multi-signature*).
 
 use crate::cost::OwnerStats;
+use crate::proof_cache::ProofCache;
 use crate::signing::SigningMode;
 use crate::vo::{
     epoch_binding_digest, intersection_node_hash, max_sentinel_digest, min_sentinel_digest,
@@ -44,6 +45,9 @@ pub struct IfmhTree {
     pub(crate) leaf_signatures: HashMap<u32, Signature>,
     /// The publication epoch every signature in this tree is bound to.
     epoch: u64,
+    /// Per-subdomain interior proofs, materialized once at build time and
+    /// served read-only for the whole epoch.
+    proof_cache: ProofCache,
     stats: OwnerStats,
     /// I-tree construction statistics.
     pub build_stats: BuildStats,
@@ -207,6 +211,18 @@ impl IfmhTree {
                 + signatures * sig_size,
         };
 
+        // Step 5: materialize the interior-proof cache. Everything it holds
+        // is immutable for this epoch, so `vo_build` can assemble proofs by
+        // cloning instead of re-walking the I-tree per query.
+        let proof_cache = ProofCache::build(
+            &itree,
+            &node_hashes,
+            mode,
+            &root_signature,
+            &leaf_signatures,
+            epoch,
+        );
+
         IfmhTree {
             itree,
             fmh,
@@ -215,6 +231,7 @@ impl IfmhTree {
             root_signature,
             leaf_signatures,
             epoch,
+            proof_cache,
             stats,
             build_stats,
         }
@@ -253,6 +270,11 @@ impl IfmhTree {
     /// The FMH-tree attached to a subdomain node, if `id` is a leaf.
     pub fn fmh_tree(&self, id: NodeId) -> Option<&MerkleTree> {
         self.fmh.get(&id.0)
+    }
+
+    /// The epoch-scoped interior-proof cache materialized at build time.
+    pub fn proof_cache(&self) -> &ProofCache {
+        &self.proof_cache
     }
 
     /// Number of subdomains.

@@ -1,0 +1,160 @@
+//! Epoch-scoped interior-proof cache.
+//!
+//! Within one publication epoch the IFMH-tree is immutable, so everything a
+//! verification object needs *besides* the query-specific range proof is
+//! static per subdomain: the root-to-leaf IMH path with its sibling hashes
+//! (one-signature mode) or the subdomain's defining half-spaces
+//! (multi-signature mode), plus the signature that covers it. This module
+//! materializes that per-leaf data once at `build_at_epoch` / `republish`
+//! time into a read-only [`ProofCache`], so `vo_build` assembles proofs by
+//! cloning precomputed slices instead of re-walking the I-tree and
+//! re-reading node hashes per query.
+//!
+//! The cache lives *inside* the [`IfmhTree`](crate::IfmhTree) it was built
+//! from, so an epoch hot-swap replaces tree, signatures, and cache as one
+//! atomic unit — a query racing a republish can never pair old-epoch cached
+//! digests with a new-epoch signature.
+//!
+//! This file is on vaq-lint's panic-path hot list: no `unwrap`/`expect`/
+//! `panic!` and no direct slice indexing outside tests.
+
+use crate::signing::SigningMode;
+use crate::vo::{IntersectionVerification, IvStep};
+use std::collections::HashMap;
+use vaq_crypto::sha256::Digest;
+use vaq_crypto::Signature;
+use vaq_itree::{ITree, Node, NodeId};
+
+/// Everything a VO needs for one subdomain except the range proof: the
+/// subdomain-verification data, the covering signature, and the node count
+/// the legacy assembly would have reported for cost accounting.
+#[derive(Clone, Debug)]
+pub struct LeafProof {
+    /// Precomputed subdomain verification data (IMH path or inequality set).
+    pub(crate) iv: IntersectionVerification,
+    /// The signature covering this subdomain at the cache's epoch.
+    pub(crate) signature: Signature,
+    /// Interior nodes the uncached path would have collected (path length in
+    /// one-signature mode, 0 in multi-signature mode).
+    pub(crate) nodes_collected: usize,
+}
+
+/// Read-only per-subdomain proof material for one publication epoch.
+#[derive(Clone, Debug, Default)]
+pub struct ProofCache {
+    /// Precomputed proofs keyed by I-tree subdomain node id.
+    proofs: HashMap<u32, LeafProof>,
+    /// The epoch every cached signature is bound to.
+    epoch: u64,
+}
+
+impl ProofCache {
+    /// Materializes the cache from a freshly built tree's parts. Called once
+    /// per build/republish; the result is immutable thereafter.
+    pub(crate) fn build(
+        itree: &ITree,
+        node_hashes: &[Digest],
+        mode: SigningMode,
+        root_signature: &Option<Signature>,
+        leaf_signatures: &HashMap<u32, Signature>,
+        epoch: u64,
+    ) -> Self {
+        let mut proofs = HashMap::new();
+        match mode {
+            SigningMode::OneSignature => {
+                let Some(signature) = root_signature else {
+                    return ProofCache { proofs, epoch };
+                };
+                // DFS from the root, extending the IvStep path per branch;
+                // each subdomain leaf's root-to-leaf path is unique and
+                // static for the whole epoch.
+                let mut stack: Vec<(NodeId, Vec<IvStep>)> = vec![(itree.root(), Vec::new())];
+                while let Some((id, path)) = stack.pop() {
+                    match itree.node(id) {
+                        Node::Subdomain { .. } => {
+                            let nodes_collected = path.len();
+                            proofs.insert(
+                                id.0,
+                                LeafProof {
+                                    iv: IntersectionVerification::OneSignature { path },
+                                    signature: signature.clone(),
+                                    nodes_collected,
+                                },
+                            );
+                        }
+                        Node::Intersection {
+                            pair,
+                            coeffs,
+                            constant,
+                            above,
+                            below,
+                        } => {
+                            let step = |sibling: &NodeId, went_above: bool| IvStep {
+                                pair: (pair.0 .0, pair.1 .0),
+                                coeffs: coeffs.clone(),
+                                constant: *constant,
+                                sibling_hash: node_hashes
+                                    .get(sibling.index())
+                                    .copied()
+                                    .unwrap_or([0u8; 32]),
+                                went_above,
+                            };
+                            let mut above_path = path.clone();
+                            above_path.push(step(below, true));
+                            stack.push((*above, above_path));
+                            let mut below_path = path;
+                            below_path.push(step(above, false));
+                            stack.push((*below, below_path));
+                        }
+                    }
+                }
+            }
+            SigningMode::MultiSignature => {
+                for &leaf in itree.leaf_ids() {
+                    if let Some(signature) = leaf_signatures.get(&leaf.0) {
+                        proofs.insert(
+                            leaf.0,
+                            LeafProof {
+                                iv: IntersectionVerification::MultiSignature {
+                                    halfspaces: itree.constraints(leaf).halfspaces.clone(),
+                                },
+                                signature: signature.clone(),
+                                nodes_collected: 0,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        ProofCache { proofs, epoch }
+    }
+
+    /// The precomputed proof for a subdomain leaf, if cached.
+    pub fn get(&self, leaf: NodeId) -> Option<&LeafProof> {
+        self.proofs.get(&leaf.0)
+    }
+
+    /// The publication epoch every cached signature is bound to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of subdomains with cached proof material.
+    pub fn len(&self) -> usize {
+        self.proofs.len()
+    }
+
+    /// True when no proofs are cached.
+    pub fn is_empty(&self) -> bool {
+        self.proofs.is_empty()
+    }
+
+    /// Approximate in-memory size in bytes of the cached proof material
+    /// (for structure-size accounting).
+    pub fn byte_size(&self) -> usize {
+        self.proofs
+            .values()
+            .map(|p| p.iv.byte_size() + p.signature.byte_len())
+            .sum()
+    }
+}

@@ -6,8 +6,9 @@ use crate::query::Query;
 use crate::signing::SigningMode;
 use crate::vo::{BoundaryEntry, IntersectionVerification, IvStep, VerificationObject};
 use std::time::{Duration, Instant};
+use vaq_crypto::Signature;
 use vaq_funcdb::{Dataset, Record};
-use vaq_itree::Node;
+use vaq_itree::{LocateResult, Node, NodeId};
 
 /// A query result together with its verification object and the server's
 /// traversal cost.
@@ -71,6 +72,18 @@ impl Server {
     /// split between query execution and VO construction, so callers can
     /// attribute latency to the right stage.
     pub fn process_timed(&self, query: &Query) -> (QueryResponse, ProcessTiming) {
+        self.process_inner(query, true)
+    }
+
+    /// Reference path: identical to [`Server::process`] but assembles the
+    /// subdomain-verification data by re-walking the I-tree instead of using
+    /// the interior-proof cache. Kept for differential testing — the VO
+    /// bytes must be identical to the cached path.
+    pub fn process_uncached(&self, query: &Query) -> QueryResponse {
+        self.process_inner(query, false).0
+    }
+
+    fn process_inner(&self, query: &Query, use_cache: bool) -> (QueryResponse, ProcessTiming) {
         let x = query.weights();
         assert_eq!(
             x.len(),
@@ -132,8 +145,57 @@ impl Server {
             .expect("every subdomain has an FMH tree");
         let range_proof = fmh.prove_range(first_leaf, last_leaf);
 
-        // 5. Subdomain verification data and signature.
-        let (intersection_verification, signature, vo_nodes_collected) = match self.tree.mode() {
+        // 5. Subdomain verification data and signature: served from the
+        //    epoch-scoped interior-proof cache when available (everything in
+        //    it is immutable within the epoch), with the tree re-walk kept
+        //    as the uncached reference path.
+        let cached = if use_cache {
+            self.tree.proof_cache().get(leaf)
+        } else {
+            None
+        };
+        let (intersection_verification, signature, vo_nodes_collected) = match cached {
+            Some(proof) => (
+                proof.iv.clone(),
+                proof.signature.clone(),
+                proof.nodes_collected,
+            ),
+            None => self.assemble_interior_proof(&located, leaf),
+        };
+
+        let cost = ServerCost {
+            imh_nodes_visited: located.nodes_visited,
+            fmh_nodes_visited: (last_leaf - first_leaf + 1)
+                + range_proof.nodes.len()
+                + fmh.height(),
+            vo_nodes_collected,
+            result_len: records.len(),
+        };
+
+        let vo = VerificationObject {
+            first_leaf: first_leaf as u32,
+            left_boundary,
+            right_boundary,
+            range_proof,
+            intersection_verification,
+            signature,
+        };
+
+        let timing = ProcessTiming {
+            execute,
+            vo_build: t_vo.elapsed(),
+        };
+        (QueryResponse { records, vo, cost }, timing)
+    }
+
+    /// Legacy interior-proof assembly: re-walks the located path and reads
+    /// node hashes per query. The proof cache precomputes exactly this.
+    fn assemble_interior_proof(
+        &self,
+        located: &LocateResult,
+        leaf: NodeId,
+    ) -> (IntersectionVerification, Signature, usize) {
+        match self.tree.mode() {
             SigningMode::OneSignature => {
                 let mut path = Vec::with_capacity(located.path.len());
                 for step in &located.path {
@@ -171,30 +233,6 @@ impl Server {
                     0,
                 )
             }
-        };
-
-        let cost = ServerCost {
-            imh_nodes_visited: located.nodes_visited,
-            fmh_nodes_visited: (last_leaf - first_leaf + 1)
-                + range_proof.nodes.len()
-                + fmh.height(),
-            vo_nodes_collected,
-            result_len: records.len(),
-        };
-
-        let vo = VerificationObject {
-            first_leaf: first_leaf as u32,
-            left_boundary,
-            right_boundary,
-            range_proof,
-            intersection_verification,
-            signature,
-        };
-
-        let timing = ProcessTiming {
-            execute,
-            vo_build: t_vo.elapsed(),
-        };
-        (QueryResponse { records, vo, cost }, timing)
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! Verification objects.
 
-use vaq_crypto::sha256::{sha256, Digest};
+use vaq_crypto::sha256::{sha256, sha256_multi, sha256_pair, Digest, Sha256};
 use vaq_crypto::Signature;
 use vaq_funcdb::{HalfSpace, Record};
 use vaq_mht::RangeProof;
@@ -152,14 +152,14 @@ impl VerificationObject {
 /// the difference function). Shared by the owner (tree construction) and the
 /// client (path recomputation).
 pub fn predicate_digest(pair: (u32, u32), coeffs: &[f64], constant: f64) -> Digest {
-    let mut bytes = Vec::with_capacity(16 + coeffs.len() * 8);
-    bytes.extend_from_slice(&pair.0.to_be_bytes());
-    bytes.extend_from_slice(&pair.1.to_be_bytes());
+    let mut h = Sha256::new();
+    h.update(&pair.0.to_be_bytes());
+    h.update(&pair.1.to_be_bytes());
     for c in coeffs {
-        bytes.extend_from_slice(&c.to_be_bytes());
+        h.update(&c.to_be_bytes());
     }
-    bytes.extend_from_slice(&constant.to_be_bytes());
-    sha256(&bytes)
+    h.update(&constant.to_be_bytes());
+    h.finalize()
 }
 
 /// Computes the hash stored at a subdomain node: the FMH root bound to the
@@ -168,29 +168,19 @@ pub fn predicate_digest(pair: (u32, u32), coeffs: &[f64], constant: f64) -> Dige
 /// Binding the leaf count prevents an adversary from presenting a truncated
 /// list with a re-balanced tree shape as if it were the full list.
 pub fn subdomain_node_hash(fmh_root: &Digest, leaf_count: u32) -> Digest {
-    let mut bytes = Vec::with_capacity(36);
-    bytes.extend_from_slice(fmh_root);
-    bytes.extend_from_slice(&leaf_count.to_be_bytes());
-    sha256(&bytes)
+    sha256_multi(&[fmh_root, &leaf_count.to_be_bytes()])
 }
 
 /// Computes the hash stored at an intersection node:
 /// `H(predicate ‖ above ‖ below)`.
 pub fn intersection_node_hash(predicate: &Digest, above: &Digest, below: &Digest) -> Digest {
-    let mut bytes = Vec::with_capacity(96);
-    bytes.extend_from_slice(predicate);
-    bytes.extend_from_slice(above);
-    bytes.extend_from_slice(below);
-    sha256(&bytes)
+    sha256_multi(&[predicate, above, below])
 }
 
 /// Computes the digest signed by the multi-signature scheme for one
 /// subdomain: `H(inequality-digest ‖ subdomain-node-hash)`.
 pub fn multi_signature_digest(inequality_digest: &Digest, subdomain_hash: &Digest) -> Digest {
-    let mut bytes = Vec::with_capacity(64);
-    bytes.extend_from_slice(inequality_digest);
-    bytes.extend_from_slice(subdomain_hash);
-    sha256(&bytes)
+    sha256_pair(inequality_digest, subdomain_hash)
 }
 
 /// Binds a to-be-signed digest to a publication epoch:
@@ -203,11 +193,7 @@ pub fn multi_signature_digest(inequality_digest: &Digest, subdomain_hash: &Diges
 /// reject a **replayed** response that was honestly signed under a
 /// superseded publication — the replay verifies only at its own epoch.
 pub fn epoch_binding_digest(digest: &Digest, epoch: u64) -> Digest {
-    let mut bytes = Vec::with_capacity(9 + 8 + 32);
-    bytes.extend_from_slice(b"VAQ-EPOCH");
-    bytes.extend_from_slice(&epoch.to_be_bytes());
-    bytes.extend_from_slice(digest);
-    sha256(&bytes)
+    sha256_multi(&[b"VAQ-EPOCH", &epoch.to_be_bytes(), digest])
 }
 
 #[cfg(test)]

@@ -30,8 +30,10 @@ use vaq_workload::{uniform_dataset, QueryMix};
 
 /// Version stamp of the artifact layout; bump when fields change shape.
 /// v2 adds the reactor-health columns (sweep stats, stalls, shed counters)
-/// and the `slow_reader` scenario.
-const SCHEMA_VERSION: u32 = 2;
+/// and the `slow_reader` scenario. v3 adds the `crypto_microbench` section:
+/// old-vs-new timings for the hot-path crypto rework (Montgomery `mod_pow`,
+/// pooled DSA signing, fixed-base verify, block-batched SHA-256).
+const SCHEMA_VERSION: u32 = 3;
 
 /// Substrings every valid artifact must contain: the schema self-check CI
 /// runs. Field names only — values vary run to run.
@@ -82,6 +84,15 @@ const REQUIRED_FIELDS: &[&str] = &[
     "\"multiplexed\"",
     "\"republish_churn\"",
     "\"slow_reader\"",
+    "\"crypto_microbench\"",
+    "\"ops\"",
+    "\"old_ns_per_op\"",
+    "\"new_ns_per_op\"",
+    "\"speedup\"",
+    "\"mod_pow\"",
+    "\"dsa_sign\"",
+    "\"dsa_verify\"",
+    "\"sha256_pair\"",
 ];
 
 /// One hot-path stage's aggregate across every service in a scenario.
@@ -146,6 +157,8 @@ struct BenchReport {
     benchmark: String,
     mode: String,
     seed: u64,
+    /// Old-vs-new timings for the hot-path crypto rework (schema v3).
+    crypto_microbench: Vec<vaq_bench::crypto_microbench::MicrobenchRow>,
     scenarios: Vec<ScenarioRow>,
 }
 
@@ -158,7 +171,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
-        out: "BENCH_PR9.json".to_string(),
+        out: "BENCH_PR10.json".to_string(),
         seed: 0xbe7c,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -584,6 +597,15 @@ fn main() {
     let sizing = Sizing::new(args.smoke);
     let dataset = uniform_dataset(sizing.records, 1, args.seed);
 
+    eprintln!("bench_report: crypto microbenchmarks");
+    let crypto_microbench = vaq_bench::crypto_microbench::run(args.smoke, args.seed);
+    for row in &crypto_microbench {
+        eprintln!(
+            "  {:>12}: old {:>10.0} ns/op, new {:>10.0} ns/op ({:.2}x)",
+            row.name, row.old_ns_per_op, row.new_ns_per_op, row.speedup
+        );
+    }
+
     eprintln!("bench_report: single service");
     let mut scenarios = vec![run_single(
         "single",
@@ -638,6 +660,7 @@ fn main() {
         benchmark: "vaq_service_bench_report".to_string(),
         mode: if args.smoke { "smoke" } else { "full" }.to_string(),
         seed: args.seed,
+        crypto_microbench,
         scenarios,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize artifact");

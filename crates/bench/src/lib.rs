@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crypto_microbench;
 pub mod figures;
 pub mod report;
 pub mod setup;

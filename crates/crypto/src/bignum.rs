@@ -383,8 +383,33 @@ impl BigUint {
         self.mul(other).rem(modulus)
     }
 
-    /// Modular exponentiation by repeated squaring.
+    /// Modular exponentiation.
+    ///
+    /// Odd multi-limb moduli (every RSA modulus and DSA prime in this
+    /// workspace) go through the windowed Montgomery fast path
+    /// ([`crate::montgomery::MontgomeryContext`]); everything else falls
+    /// back to [`BigUint::mod_pow_legacy`]. The two paths are
+    /// property-tested equivalent.
     pub fn mod_pow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "mod_pow with zero modulus");
+        if modulus.is_one() {
+            return BigUint::zero();
+        }
+        if modulus.limbs.len() > 1 && !modulus.is_even() {
+            if let Some(ctx) = crate::montgomery::MontgomeryContext::new(modulus) {
+                return ctx.mod_pow(self, exponent);
+            }
+        }
+        self.mod_pow_legacy(exponent, modulus)
+    }
+
+    /// Modular exponentiation by plain LSB-first square-and-multiply, with
+    /// every product reduced by long division.
+    ///
+    /// This is the pre-Montgomery implementation, kept (and exercised by
+    /// property tests) as the reference the fast path must agree with, and
+    /// as the fallback for even or single-limb moduli.
+    pub fn mod_pow_legacy(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
         assert!(!modulus.is_zero(), "mod_pow with zero modulus");
         if modulus.is_one() {
             return BigUint::zero();
@@ -508,6 +533,20 @@ impl BigUint {
             2 => Some(self.limbs[0] as u64 | ((self.limbs[1] as u64) << 32)),
             _ => None,
         }
+    }
+
+    /// The little-endian `u32` limbs (no trailing zeros). Internal to the
+    /// crate: the Montgomery context works on raw limbs.
+    pub(crate) fn limbs(&self) -> &[u32] {
+        &self.limbs
+    }
+
+    /// Builds a value from little-endian limbs, normalizing trailing zeros.
+    /// Internal to the crate (Montgomery-domain conversions).
+    pub(crate) fn from_limbs(limbs: Vec<u32>) -> Self {
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
     }
 }
 

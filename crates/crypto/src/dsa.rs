@@ -6,13 +6,44 @@
 //! RSA verifying faster — this module reproduces that cost relationship.
 
 use crate::bignum::BigUint;
+use crate::montgomery::{FixedBaseTable, MontgomeryContext};
 use crate::prime::generate_dsa_primes;
 use crate::sha256::{sha256, Digest};
+use crate::sign_pool::{DsaNoncePair, DsaSigningPool};
 use rand::Rng;
 use std::cmp::Ordering;
+use std::sync::{Arc, OnceLock};
+
+/// Fixed-base precomputation backing the fast verify path: a Montgomery
+/// context for `p` plus windowed tables for `g` and `y`, so the two
+/// exponentiations in `verify` become table lookups with no squarings.
+#[derive(Debug)]
+struct DsaVerifyTables {
+    ctx: MontgomeryContext,
+    g_table: FixedBaseTable,
+    y_table: FixedBaseTable,
+}
+
+/// Lazily-initialized, shared verify tables. `None` inside the `Arc` means
+/// the modulus does not admit a Montgomery context (even `p` — only possible
+/// with hand-crafted parameters) and verification uses the generic path.
+#[derive(Debug, Default)]
+struct VerifyCache(OnceLock<Arc<Option<DsaVerifyTables>>>);
+
+impl Clone for VerifyCache {
+    fn clone(&self) -> Self {
+        // Share the already-built tables with the clone; an unbuilt cache
+        // clones to another unbuilt cache.
+        let cell = OnceLock::new();
+        if let Some(tables) = self.0.get() {
+            let _ = cell.set(Arc::clone(tables));
+        }
+        VerifyCache(cell)
+    }
+}
 
 /// DSA domain parameters and public key.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct DsaPublicKey {
     /// Prime modulus.
     pub p: BigUint,
@@ -22,7 +53,18 @@ pub struct DsaPublicKey {
     pub g: BigUint,
     /// Public value `y = g^x mod p`.
     pub y: BigUint,
+    /// Precomputed fixed-base tables for the verify fast path.
+    verify_cache: VerifyCache,
 }
+
+impl PartialEq for DsaPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The verify cache is derived state; identity is the parameters.
+        self.p == other.p && self.q == other.q && self.g == other.g && self.y == other.y
+    }
+}
+
+impl Eq for DsaPublicKey {}
 
 /// DSA key pair (private exponent `x` kept internal).
 #[derive(Clone, Debug)]
@@ -79,7 +121,7 @@ impl DsaKeyPair {
         let y = g.mod_pow(&x, &p);
 
         DsaKeyPair {
-            public: DsaPublicKey { p, q, g, y },
+            public: DsaPublicKey::new(p, q, g, y),
             x,
         }
     }
@@ -112,9 +154,71 @@ impl DsaKeyPair {
     pub fn sign_message<R: Rng + ?Sized>(&self, message: &[u8], rng: &mut R) -> DsaSignature {
         self.sign(&sha256(message), rng)
     }
+
+    /// Signs a digest using a precomputed `(r, k⁻¹)` nonce pair: the whole
+    /// signing operation collapses to one modular multiply-add,
+    /// `s = k⁻¹ (z + x·r) mod q`. Returns `None` in the (vanishingly rare)
+    /// case `s = 0`, in which case the caller should take another pair.
+    pub fn sign_with_pair(&self, digest: &Digest, pair: &DsaNoncePair) -> Option<DsaSignature> {
+        let pk = &self.public;
+        let z = digest_to_int(digest, &pk.q);
+        let s = pair
+            .k_inv
+            .mul_mod(&z.add(&self.x.mul_mod(&pair.r, &pk.q)), &pk.q);
+        if s.is_zero() {
+            return None;
+        }
+        Some(DsaSignature {
+            r: pair.r.clone(),
+            s,
+        })
+    }
+
+    /// Signs a digest by drawing precomputed nonce pairs from `pool`,
+    /// retrying (with fresh pairs) until a valid signature is produced.
+    pub fn sign_pooled(&self, digest: &Digest, pool: &mut DsaSigningPool) -> DsaSignature {
+        loop {
+            let pair = pool.take();
+            if let Some(sig) = self.sign_with_pair(digest, &pair) {
+                return sig;
+            }
+        }
+    }
 }
 
 impl DsaPublicKey {
+    /// Builds a public key from its domain parameters and public value.
+    ///
+    /// The verify fast-path tables are built lazily on first `verify` and
+    /// shared across clones, so constructing keys stays cheap.
+    pub fn new(p: BigUint, q: BigUint, g: BigUint, y: BigUint) -> Self {
+        DsaPublicKey {
+            p,
+            q,
+            g,
+            y,
+            verify_cache: VerifyCache::default(),
+        }
+    }
+
+    /// Returns (building on first use) the fixed-base verify tables, or
+    /// `None` when `p` does not admit a Montgomery context.
+    fn verify_tables(&self) -> Arc<Option<DsaVerifyTables>> {
+        Arc::clone(self.verify_cache.0.get_or_init(|| {
+            Arc::new(MontgomeryContext::new(&self.p).map(|ctx| {
+                // u1, u2 < q, so q's width bounds every exponent we look up.
+                let exp_bits = self.q.bits().max(1);
+                let g_table = FixedBaseTable::new(&ctx, &self.g, exp_bits);
+                let y_table = FixedBaseTable::new(&ctx, &self.y, exp_bits);
+                DsaVerifyTables {
+                    ctx,
+                    g_table,
+                    y_table,
+                }
+            }))
+        }))
+    }
+
     /// Verifies a signature over a 32-byte digest.
     pub fn verify(&self, digest: &Digest, signature: &DsaSignature) -> bool {
         let DsaSignature { r, s } = signature;
@@ -131,11 +235,21 @@ impl DsaPublicKey {
         let z = digest_to_int(digest, &self.q);
         let u1 = z.mul_mod(&w, &self.q);
         let u2 = r.mul_mod(&w, &self.q);
-        let v = self
-            .g
-            .mod_pow(&u1, &self.p)
-            .mul_mod(&self.y.mod_pow(&u2, &self.p), &self.p)
-            .rem(&self.q);
+        let tables = self.verify_tables();
+        let v = match tables.as_ref() {
+            // Fast path: both exponentiations are fixed-base table walks in
+            // the Montgomery domain; the product never leaves the domain.
+            Some(t) => {
+                let gu1 = t.g_table.pow_mont(&t.ctx, &u1);
+                let yu2 = t.y_table.pow_mont(&t.ctx, &u2);
+                t.ctx.from_mont(&t.ctx.mont_mul(&gu1, &yu2)).rem(&self.q)
+            }
+            None => self
+                .g
+                .mod_pow(&u1, &self.p)
+                .mul_mod(&self.y.mod_pow(&u2, &self.p), &self.p)
+                .rem(&self.q),
+        };
         v == *r
     }
 

@@ -38,9 +38,11 @@
 
 pub mod bignum;
 pub mod dsa;
+pub mod montgomery;
 pub mod prime;
 pub mod rsa;
 pub mod sha256;
+pub mod sign_pool;
 pub mod signer;
 
 pub use bignum::BigUint;

@@ -193,13 +193,42 @@ pub fn sha256(data: &[u8]) -> Digest {
     h.finalize()
 }
 
-/// SHA-256 of the concatenation of two byte slices, `H(a | b)`.
+/// SHA-256 of two concatenated 32-byte digests, `H(a | b)` — the Merkle-tree
+/// combiner used throughout the paper.
 ///
-/// This is the Merkle-tree combiner used throughout the paper.
-pub fn sha256_concat(a: &[u8], b: &[u8]) -> Digest {
+/// Two digests are exactly one 64-byte compression block, and the padding
+/// for a 64-byte message is a fixed second block, so this runs as two
+/// `compress` calls with no buffering, no length bookkeeping, and no
+/// intermediate allocation — the hot path of every interior-node hash.
+pub fn sha256_pair(a: &Digest, b: &Digest) -> Digest {
+    let mut block = [0u8; 64];
+    block[..32].copy_from_slice(a);
+    block[32..].copy_from_slice(b);
+
+    // Padding block for a 64-byte message: 0x80, zeros, then the bit length
+    // (512) as a 64-bit big-endian integer.
+    let mut pad = [0u8; 64];
+    pad[0] = 0x80;
+    pad[56..].copy_from_slice(&512u64.to_be_bytes());
+
     let mut h = Sha256::new();
-    h.update(a);
-    h.update(b);
+    h.compress(&block);
+    h.compress(&pad);
+
+    let mut out = [0u8; 32];
+    for (i, word) in h.state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// SHA-256 of the concatenation of several byte slices, streamed through the
+/// hasher with no intermediate staging buffer.
+pub fn sha256_multi(parts: &[&[u8]]) -> Digest {
+    let mut h = Sha256::new();
+    for part in parts {
+        h.update(part);
+    }
     h.finalize()
 }
 
@@ -294,13 +323,26 @@ mod tests {
     }
 
     #[test]
-    fn concat_matches_manual() {
-        let a = b"hello";
-        let b = b"world";
+    fn pair_matches_manual_concatenation() {
+        let a = sha256(b"left child");
+        let b = sha256(b"right child");
         let mut joined = Vec::new();
-        joined.extend_from_slice(a);
-        joined.extend_from_slice(b);
-        assert_eq!(sha256_concat(a, b), sha256(&joined));
+        joined.extend_from_slice(&a);
+        joined.extend_from_slice(&b);
+        assert_eq!(sha256_pair(&a, &b), sha256(&joined));
+        // Order matters.
+        assert_ne!(sha256_pair(&a, &b), sha256_pair(&b, &a));
+    }
+
+    #[test]
+    fn multi_matches_manual_concatenation() {
+        let parts: [&[u8]; 4] = [b"VAQ-EPOCH", &42u64.to_be_bytes(), b"", b"digest bytes"];
+        let mut joined = Vec::new();
+        for p in parts {
+            joined.extend_from_slice(p);
+        }
+        assert_eq!(sha256_multi(&parts), sha256(&joined));
+        assert_eq!(sha256_multi(&[]), sha256(b""));
     }
 
     #[test]

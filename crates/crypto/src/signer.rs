@@ -9,6 +9,7 @@
 use crate::dsa::{DsaKeyPair, DsaPublicKey, DsaSignature};
 use crate::rsa::{RsaKeyPair, RsaPublicKey, RsaSignature};
 use crate::sha256::Digest;
+use crate::sign_pool::DsaSigningPool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cell::RefCell;
@@ -62,8 +63,10 @@ pub trait Verifier: Send + Sync {
 pub enum SignatureScheme {
     /// RSA key pair.
     Rsa(RsaKeyPair),
-    /// DSA key pair plus a private RNG for ephemeral nonces.
-    Dsa(DsaKeyPair, RefCell<StdRng>),
+    /// DSA key pair plus a pool of precomputed `(r, k⁻¹)` nonce pairs, so
+    /// signing is one modular multiply-add instead of an exponentiation.
+    /// The pool is boxed to keep the enum close to the RSA variant's size.
+    Dsa(DsaKeyPair, Box<RefCell<DsaSigningPool>>),
 }
 
 impl std::fmt::Debug for SignatureScheme {
@@ -86,7 +89,8 @@ impl SignatureScheme {
     pub fn new_dsa(p_bits: usize, q_bits: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let kp = DsaKeyPair::generate(p_bits, q_bits, &mut rng);
-        SignatureScheme::Dsa(kp, RefCell::new(StdRng::seed_from_u64(seed ^ 0x5eed)))
+        let pool = DsaSigningPool::new(&kp.public, StdRng::seed_from_u64(seed ^ 0x5eed));
+        SignatureScheme::Dsa(kp, Box::new(RefCell::new(pool)))
     }
 
     /// A small/fast RSA scheme suitable for unit tests.
@@ -120,9 +124,9 @@ impl Signer for SignatureScheme {
     fn sign_digest(&self, digest: &Digest) -> Signature {
         match self {
             SignatureScheme::Rsa(kp) => Signature::Rsa(kp.sign(digest)),
-            SignatureScheme::Dsa(kp, rng) => {
-                let mut rng = rng.borrow_mut();
-                Signature::Dsa(kp.sign(digest, &mut *rng))
+            SignatureScheme::Dsa(kp, pool) => {
+                let mut pool = pool.borrow_mut();
+                Signature::Dsa(kp.sign_pooled(digest, &mut pool))
             }
         }
     }

@@ -8,8 +8,10 @@
 //!   ranked against `crates/lint/lock_ranks.toml`; nestings must strictly
 //!   increase in rank and the observed nesting graph must be acyclic.
 //! - **panic-path** — no `unwrap`/`expect`/`panic!`/`todo!` (or hot-path
-//!   slice indexing) in non-test vaq-service / vaq-wire code; requests die
-//!   as typed errors, never as worker panics.
+//!   slice indexing) in non-test vaq-service / vaq-wire code, nor in the
+//!   crypto/VO fast-path files (`montgomery.rs`, `sign_pool.rs`,
+//!   `proof_cache.rs`); requests die as typed errors, never as worker
+//!   panics.
 //! - **wire-exhaustiveness** — every `Request`/`Response`/`ErrorCode`
 //!   variant has an encode arm, a decode arm, and round-trip test coverage.
 //! - **epoch-discipline** — epoch ordering goes through
@@ -114,6 +116,15 @@ pub fn run_all(root: &Path) -> Result<Vec<Finding>, LintError> {
     if service_src.is_empty() && wire_src.is_empty() {
         return Err(LintError::NoSources(root.to_path_buf()));
     }
+    // Crypto / VO fast-path files run per request on the server; the
+    // panic-path pass holds them to the reactor's no-panic bar. Only the
+    // named hot files are scanned — the rest of those crates (key
+    // generation, tree construction) runs owner-side at publish time.
+    let hot_files: Vec<SourceFile> = read_tree(&root.join("crates/crypto/src"))?
+        .into_iter()
+        .chain(read_tree(&root.join("crates/authquery/src"))?)
+        .filter(|f| panic_path::CRYPTO_HOT_FILES.contains(&f.file_name()))
+        .collect();
     let manifest =
         manifest::load(&root.join("crates/lint/lock_ranks.toml")).map_err(LintError::Manifest)?;
     let budgets = manifest::load_queue_budgets(&root.join("crates/lint/queue_budgets.toml"))
@@ -123,7 +134,12 @@ pub fn run_all(root: &Path) -> Result<Vec<Finding>, LintError> {
 
     // Malformed allow annotations are findings in their own right and are
     // never suppressible.
-    for file in service_src.iter().chain(&wire_src).chain(&wire_tests) {
+    for file in service_src
+        .iter()
+        .chain(&wire_src)
+        .chain(&wire_tests)
+        .chain(&hot_files)
+    {
         for (line, message) in &file.malformed_allows {
             findings.push(Finding {
                 pass: "lint-allow",
@@ -142,7 +158,11 @@ pub fn run_all(root: &Path) -> Result<Vec<Finding>, LintError> {
         .collect();
     raw.extend(lock_order::run(&lock_files, manifest.as_ref()));
 
-    let panic_files: Vec<&SourceFile> = service_src.iter().chain(&wire_src).collect();
+    let panic_files: Vec<&SourceFile> = service_src
+        .iter()
+        .chain(&wire_src)
+        .chain(&hot_files)
+        .collect();
     raw.extend(panic_path::run(&panic_files));
 
     let service_files: Vec<&SourceFile> = service_src.iter().collect();
@@ -165,7 +185,12 @@ pub fn run_all(root: &Path) -> Result<Vec<Finding>, LintError> {
     // Apply allow annotations: an allow suppresses a matching-pass finding
     // on its own line or the line directly below it.
     let mut allows: BTreeMap<&Path, Vec<&scan::Allow>> = BTreeMap::new();
-    for file in service_src.iter().chain(&wire_src).chain(&wire_tests) {
+    for file in service_src
+        .iter()
+        .chain(&wire_src)
+        .chain(&wire_tests)
+        .chain(&hot_files)
+    {
         for allow in &file.allows {
             allows.entry(file.path.as_path()).or_default().push(allow);
         }

@@ -20,7 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use vaq_crypto::sha256::{sha256, sha256_concat, Digest};
+use vaq_crypto::sha256::{sha256_multi, sha256_pair, Digest};
 
 /// Binds a root digest to its tree's leaf count.
 ///
@@ -32,11 +32,7 @@ use vaq_crypto::sha256::{sha256, sha256_concat, Digest};
 /// exactly what the IFMH scheme's `subdomain_node_hash(root, leaf_count)`
 /// does, and [`committed_root`] is the reusable mht-level form of it.
 pub fn committed_root(root: &Digest, leaf_count: u32) -> Digest {
-    let mut bytes = Vec::with_capacity(4 + 32 + 4);
-    bytes.extend_from_slice(b"MHTC");
-    bytes.extend_from_slice(root);
-    bytes.extend_from_slice(&leaf_count.to_be_bytes());
-    sha256(&bytes)
+    sha256_multi(&[b"MHTC", root, &leaf_count.to_be_bytes()])
 }
 
 /// A Merkle hash tree stored layer by layer.
@@ -143,7 +139,7 @@ impl MerkleTree {
             let mut next = Vec::with_capacity(prev.len().div_ceil(2));
             let mut i = 0;
             while i + 1 < prev.len() {
-                next.push(sha256_concat(&prev[i], &prev[i + 1]));
+                next.push(sha256_pair(&prev[i], &prev[i + 1]));
                 hash_ops += 1;
                 i += 2;
             }
@@ -308,7 +304,7 @@ pub fn verify_range(
                         index: right_idx as u32,
                     },
                 )?;
-                parents.push(sha256_concat(&left, &right));
+                parents.push(sha256_pair(&left, &right));
                 hash_ops += 1;
             }
         }
@@ -349,7 +345,7 @@ mod tests {
     fn two_leaf_tree_root_is_concat_hash() {
         let l = leaves(2);
         let t = MerkleTree::build(l.clone());
-        assert_eq!(t.root(), sha256_concat(&l[0], &l[1]));
+        assert_eq!(t.root(), sha256_pair(&l[0], &l[1]));
         assert_eq!(t.build_hash_ops, 1);
     }
 
@@ -358,7 +354,7 @@ mod tests {
         // 3 leaves: layer1 = [H(0|1), leaf2]; root = H(H(0|1) | leaf2)
         let l = leaves(3);
         let t = MerkleTree::build(l.clone());
-        let expected = sha256_concat(&sha256_concat(&l[0], &l[1]), &l[2]);
+        let expected = sha256_pair(&sha256_pair(&l[0], &l[1]), &l[2]);
         assert_eq!(t.root(), expected);
     }
 

@@ -4,7 +4,7 @@ use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
-use vaq_authquery::{client, Query, QueryResponse, VerifiedResult};
+use vaq_authquery::{client, Query, QueryResponse, VerifiedResult, VerifyScratch};
 use vaq_crypto::Verifier;
 use vaq_funcdb::FunctionTemplate;
 use vaq_wire::{ErrorCode, Request, Response, ShardInfo, SignedShardMap, StatsDeep, StatsSnapshot};
@@ -39,6 +39,9 @@ pub struct ServiceClient {
     /// Responses that arrived while waiting for a *different* tag, parked
     /// until their own [`ServiceClient::receive_tagged`] asks for them.
     parked: HashMap<u64, Response>,
+    /// Reusable verification scratch: repeated `query_verified` calls on one
+    /// connection share the leaf-digest buffer instead of reallocating it.
+    verify_scratch: VerifyScratch,
 }
 
 impl ServiceClient {
@@ -50,6 +53,7 @@ impl ServiceClient {
             next_tag: 0,
             pending_tags: HashSet::new(),
             parked: HashMap::new(),
+            verify_scratch: VerifyScratch::default(),
         }
     }
 
@@ -157,7 +161,15 @@ impl ServiceClient {
         verifier: &dyn Verifier,
     ) -> Result<(QueryResponse, VerifiedResult), ServiceError> {
         let response = self.query(query)?;
-        let verified = client::verify(query, &response.records, &response.vo, template, verifier)?;
+        let verified = client::verify_at_epoch_with_scratch(
+            query,
+            &response.records,
+            &response.vo,
+            template,
+            verifier,
+            0,
+            &mut self.verify_scratch,
+        )?;
         Ok((response, verified))
     }
 

@@ -1,0 +1,74 @@
+//! Regression test: a republication swaps the interior-proof cache
+//! atomically with the epoch hot-swap. VO assembly on the hot path is
+//! served from the cache, so a stale cache would surface as new-epoch
+//! responses carrying old-epoch interior digests or signatures — which this
+//! test detects because such a response cannot verify at its own envelope
+//! epoch.
+
+use vaq_authquery::{verify_at_epoch, IfmhTree, Query, Server, SigningMode};
+use vaq_crypto::{SignatureScheme, Signer};
+use vaq_service::{QueryService, ServiceClient, ServiceConfig};
+use vaq_workload::uniform_dataset;
+
+#[test]
+fn republish_swaps_the_interior_proof_cache_with_the_epoch() {
+    let dataset = uniform_dataset(30, 1, 99);
+    let scheme = SignatureScheme::test_rsa(99);
+    let verifier = scheme.verifier();
+    for mode in [SigningMode::OneSignature, SigningMode::MultiSignature] {
+        // The cache is embedded in the tree, so cache and epoch can only
+        // travel together through the serving snapshot swap.
+        let t0 = IfmhTree::build_at_epoch(&dataset, mode, &scheme, 0);
+        assert_eq!(t0.proof_cache().epoch(), t0.epoch());
+        let service =
+            QueryService::bind(ServiceConfig::ephemeral(), Server::new(dataset.clone(), t0))
+                .expect("bind");
+        let mut client = ServiceClient::connect(service.local_addr()).expect("connect");
+        let query = Query::top_k(vec![0.5], 3);
+
+        let (epoch, resp) = client.query_with_epoch(&query).expect("query at epoch 0");
+        assert_eq!(epoch, 0);
+        verify_at_epoch(
+            &query,
+            &resp.records,
+            &resp.vo,
+            &dataset.template,
+            verifier.as_ref(),
+            0,
+        )
+        .expect("pre-republish response verifies at epoch 0");
+
+        let t1 = IfmhTree::build_at_epoch(&dataset, mode, &scheme, 1);
+        assert_eq!(t1.proof_cache().epoch(), 1);
+        service
+            .republish(Server::new(dataset.clone(), t1))
+            .expect("hot swap to epoch 1");
+
+        // Post-swap, the served interior proof must be the new epoch's:
+        // the response verifies at epoch 1 and at no other epoch.
+        let (epoch, resp) = client.query_with_epoch(&query).expect("query at epoch 1");
+        assert_eq!(epoch, 1, "{mode:?}: envelope stamp must advance");
+        verify_at_epoch(
+            &query,
+            &resp.records,
+            &resp.vo,
+            &dataset.template,
+            verifier.as_ref(),
+            1,
+        )
+        .expect("new-epoch response must carry new-epoch cached proofs");
+        assert!(
+            verify_at_epoch(
+                &query,
+                &resp.records,
+                &resp.vo,
+                &dataset.template,
+                verifier.as_ref(),
+                0,
+            )
+            .is_err(),
+            "{mode:?}: response after republish must not verify at the superseded epoch"
+        );
+        service.shutdown();
+    }
+}

@@ -108,12 +108,11 @@ impl WireEncode for DsaPublicKey {
 
 impl WireDecode for DsaPublicKey {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(DsaPublicKey {
-            p: BigUint::decode(r)?,
-            q: BigUint::decode(r)?,
-            g: BigUint::decode(r)?,
-            y: BigUint::decode(r)?,
-        })
+        let p = BigUint::decode(r)?;
+        let q = BigUint::decode(r)?;
+        let g = BigUint::decode(r)?;
+        let y = BigUint::decode(r)?;
+        Ok(DsaPublicKey::new(p, q, g, y))
     }
 }
 

@@ -21,6 +21,19 @@ impl Writer {
         Writer { buf: Vec::new() }
     }
 
+    /// Creates a writer that reuses the allocation of `buf` (the previous
+    /// contents are cleared). Lets encode-heavy callers keep one warm
+    /// buffer instead of growing a fresh vector per message.
+    pub fn reusing(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Writer { buf }
+    }
+
+    /// Bytes written so far, borrowed.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
     /// Bytes written so far.
     pub fn len(&self) -> usize {
         self.buf.len()
@@ -80,6 +93,19 @@ impl Writer {
     /// Writes a length-prefixed UTF-8 string.
     pub fn put_string(&mut self, v: &str) {
         self.put_bytes(v.as_bytes());
+    }
+
+    /// Writes raw bytes with no length prefix.
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Overwrites a previously written little-endian u32 at byte `offset`.
+    /// Out-of-range offsets are ignored (nothing was written there).
+    pub fn patch_u32(&mut self, offset: usize, v: u32) {
+        if let Some(slot) = self.buf.get_mut(offset..offset.saturating_add(4)) {
+            slot.copy_from_slice(&v.to_le_bytes());
+        }
     }
 
     /// Writes a length prefix for a collection of `n` elements.

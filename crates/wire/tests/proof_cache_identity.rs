@@ -1,0 +1,107 @@
+//! Differential tests for the server's epoch-scoped interior-proof cache:
+//! the cache must be invisible on the wire. For every query kind, signing
+//! mode, signature scheme and epoch — including the boundary epochs `0` and
+//! `u64::MAX` — the cached path ([`Server::process`]) and the re-walking
+//! reference path ([`Server::process_uncached`]) must produce byte-identical
+//! verification objects and identical cost accounting.
+
+use vaq_authquery::{client, IfmhTree, Query, Server, SigningMode};
+use vaq_crypto::{SignatureScheme, Signer};
+use vaq_wire::WireEncode;
+use vaq_workload::uniform_dataset;
+
+/// One query of every kind, aimed at the middle of the unit domain.
+fn all_kinds(dims: usize) -> Vec<Query> {
+    let w = vec![1.0 / dims as f64; dims];
+    vec![
+        Query::top_k(w.clone(), 3),
+        Query::range(w.clone(), 0.2, 0.7),
+        Query::knn(w, 2, 0.5),
+    ]
+}
+
+#[test]
+fn cached_and_uncached_vo_bytes_are_identical_across_kinds_modes_and_epochs() {
+    let dims = 2;
+    let dataset = uniform_dataset(40, dims, 7);
+    for (name, scheme) in [
+        ("rsa", SignatureScheme::test_rsa(9)),
+        ("dsa", SignatureScheme::test_dsa(9)),
+    ] {
+        for mode in [SigningMode::OneSignature, SigningMode::MultiSignature] {
+            for epoch in [0u64, 1, u64::MAX] {
+                let tree = IfmhTree::build_at_epoch(&dataset, mode, &scheme, epoch);
+                let server = Server::new(dataset.clone(), tree);
+                let verifier = scheme.verifier();
+                for query in all_kinds(dims) {
+                    let cached = server.process(&query);
+                    let uncached = server.process_uncached(&query);
+                    let ctx = format!("{name} {mode:?} epoch {epoch} query {query}");
+                    assert_eq!(
+                        cached.vo.to_wire_bytes(),
+                        uncached.vo.to_wire_bytes(),
+                        "VO bytes diverge: {ctx}"
+                    );
+                    assert_eq!(
+                        cached.vo.to_framed_bytes(),
+                        uncached.vo.to_framed_bytes(),
+                        "framed VO bytes diverge: {ctx}"
+                    );
+                    let cached_ids: Vec<u64> = cached.records.iter().map(|r| r.id).collect();
+                    let uncached_ids: Vec<u64> = uncached.records.iter().map(|r| r.id).collect();
+                    assert_eq!(cached_ids, uncached_ids, "records diverge: {ctx}");
+                    assert_eq!(
+                        cached.cost.vo_nodes_collected, uncached.cost.vo_nodes_collected,
+                        "cost accounting diverges: {ctx}"
+                    );
+                    // And the cached bytes verify at exactly their epoch.
+                    let out = client::verify_at_epoch(
+                        &query,
+                        &cached.records,
+                        &cached.vo,
+                        &dataset.template,
+                        verifier.as_ref(),
+                        epoch,
+                    );
+                    assert!(out.is_ok(), "cached VO failed to verify: {ctx} ({out:?})");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cached_responses_never_verify_under_a_different_epoch() {
+    let dataset = uniform_dataset(24, 1, 11);
+    let scheme = SignatureScheme::test_rsa(5);
+    for mode in [SigningMode::OneSignature, SigningMode::MultiSignature] {
+        let tree = IfmhTree::build_at_epoch(&dataset, mode, &scheme, 3);
+        let server = Server::new(dataset.clone(), tree);
+        let verifier = scheme.verifier();
+        let query = Query::top_k(vec![0.5], 2);
+        let resp = server.process(&query);
+        let ok = client::verify_at_epoch(
+            &query,
+            &resp.records,
+            &resp.vo,
+            &dataset.template,
+            verifier.as_ref(),
+            3,
+        );
+        assert!(ok.is_ok(), "{mode:?}: honest epoch must verify");
+        for wrong in [0u64, 2, 4, u64::MAX] {
+            let out = client::verify_at_epoch(
+                &query,
+                &resp.records,
+                &resp.vo,
+                &dataset.template,
+                verifier.as_ref(),
+                wrong,
+            );
+            assert!(
+                out.is_err(),
+                "{mode:?}: cached VO signed at epoch 3 must not verify at {wrong}"
+            );
+        }
+    }
+}
